@@ -1,0 +1,32 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench records paper-vs-measured rows in a session-wide
+:class:`~repro.analysis.results.ExperimentLog`; the full table prints in
+the terminal summary so a ``pytest benchmarks/ --benchmark-only`` run
+ends with the complete reproduction scoreboard.
+"""
+
+import pytest
+
+from repro.analysis.results import ExperimentLog
+
+_LOG = ExperimentLog()
+
+
+@pytest.fixture
+def experiment_log() -> ExperimentLog:
+    """The session-wide paper-vs-measured log."""
+    return _LOG
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _LOG.records:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(
+            _LOG.render("Reproduction scoreboard: paper vs measured")
+        )
+        failures = _LOG.failures()
+        if failures:
+            terminalreporter.write_line(
+                f"{len(failures)} metric(s) OUT OF BAND — see rows above"
+            )

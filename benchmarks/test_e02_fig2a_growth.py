@@ -1,0 +1,43 @@
+"""E2 — Figure 2(a): U.S. options + equities event count per day, 2020–24.
+
+Regenerates the five-year daily-volume series and checks the three facts
+the paper extracts from it: ~500% growth over the window, tens of
+billions of events per day at the end, and an average rate above 500k
+events/second.
+"""
+
+import numpy as np
+
+from repro.workload.growth import (
+    average_events_per_second,
+    daily_event_counts,
+    measured_growth_factor,
+)
+
+PAPER_GROWTH_FACTOR = 5.0  # "+500% over the last 5 years"
+PAPER_MIN_AVG_RATE = 500_000  # ">500k events per second"
+
+
+def test_fig2a_growth_series(benchmark, experiment_log):
+    years, counts = benchmark.pedantic(
+        daily_event_counts, rounds=1, iterations=1
+    )
+
+    growth = measured_growth_factor(counts)
+    final_year_daily = float(np.median(counts[-252:]))
+    avg_rate = average_events_per_second(final_year_daily, 86_400)
+
+    experiment_log.add("E2/Fig2a", "5-year growth factor",
+                       PAPER_GROWTH_FACTOR, growth, rel_band=0.25)
+    experiment_log.add("E2/Fig2a", "2024 daily events (tens of billions)",
+                       5.0e10, final_year_daily, rel_band=0.5)
+    experiment_log.add("E2/Fig2a", "2024 avg events/s (>500k)",
+                       PAPER_MIN_AVG_RATE, avg_rate, rel_band=0.5)
+
+    assert 3.75 <= growth <= 6.25
+    assert 1e10 <= final_year_daily <= 1e11
+    assert avg_rate > PAPER_MIN_AVG_RATE
+    # Series covers the plotted axis: 2020 through end of 2024.
+    assert years[0] == 2020.0 and 2024.9 <= years[-1] <= 2025.1
+    # Day-to-day raggedness is visible (the figure's band, not a line).
+    assert counts.std() / counts.mean() > 0.2

@@ -1,0 +1,98 @@
+"""E5 — §3 latency trends: switch hops vs software hops over generations.
+
+Measures, in simulation, the actual one-hop forwarding latency of the
+decade-ago and current switch generations and a software "ping-pong" hop,
+verifying the paper's three data points: ~500 ns per commodity hop today,
+~20% above a decade ago, and software hops now under 1 µs.
+"""
+
+import pytest
+
+from repro.net.addressing import EndpointAddress
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.net.switch import (
+    CommoditySwitch,
+    CURRENT_GENERATION,
+    DECADE_AGO_GENERATION,
+)
+from repro.sim.kernel import Simulator
+
+PAPER_HOP_TODAY_NS = 500
+PAPER_DECADE_INCREASE = 1.20  # "around 20% higher latency"
+PAPER_SOFTWARE_HOP_NS = 1_000  # "below 1 microsecond"
+
+
+def _measure_switch_hop(profile) -> float:
+    """Wire a host–switch–host path and time the switch's contribution."""
+    sim = Simulator(seed=1)
+    switch = CommoditySwitch(sim, "sw", profile)
+
+    class Host:
+        def __init__(self, name):
+            self.name = name
+            self.arrivals = []
+
+        def handle_packet(self, packet, ingress):
+            self.arrivals.append(sim.now)
+
+    a, b = Host("a"), Host("b")
+    l1 = Link(sim, "l1", a, switch, propagation_delay_ns=0)
+    l2 = Link(sim, "l2", switch, b, propagation_delay_ns=0)
+    switch.attach_link(l1)
+    switch.attach_link(l2)
+    switch.install_route(EndpointAddress("b"), l2)
+    packet = Packet(
+        src=EndpointAddress("a"), dst=EndpointAddress("b"),
+        wire_bytes=100, payload_bytes=50,
+    )
+    l1.send(packet, a)
+    sim.run()
+    wire_time = 2 * l1.serialization_ns(100)
+    return b.arrivals[0] - wire_time
+
+
+def _measure_software_pingpong() -> float:
+    """An empty application hop: NIC rx + immediate turnaround + NIC tx."""
+    sim = Simulator(seed=1)
+    a = Nic(sim, "a", EndpointAddress("hostA"))
+    b = Nic(sim, "b", EndpointAddress("hostB"))
+    link = Link(sim, "l", a, b, propagation_delay_ns=0)
+    a.attach(link)
+    b.attach(link)
+    done = []
+
+    def echo(packet):
+        b.send(
+            Packet(src=b.address, dst=a.address, wire_bytes=64, payload_bytes=0)
+        )
+
+    b.bind(echo)
+    a.bind(lambda p: done.append(sim.now))
+    a.send(Packet(src=a.address, dst=b.address, wire_bytes=64, payload_bytes=0))
+    sim.run()
+    wire_time = 2 * link.serialization_ns(64)
+    # One software hop = the B-side turnaround (rx latency + tx latency).
+    return done[0] - wire_time - (a.tx_latency_ns + a.rx_latency_ns)
+
+
+def test_switch_latency_trend(benchmark, experiment_log):
+    today = benchmark.pedantic(
+        _measure_switch_hop, args=(CURRENT_GENERATION,), rounds=1, iterations=1
+    )
+    decade_ago = _measure_switch_hop(DECADE_AGO_GENERATION)
+    software = _measure_software_pingpong()
+
+    experiment_log.add("E5/latency-trend", "commodity hop today ns",
+                       PAPER_HOP_TODAY_NS, today, rel_band=0.02)
+    experiment_log.add("E5/latency-trend", "decade latency increase x",
+                       PAPER_DECADE_INCREASE, today / decade_ago, rel_band=0.05)
+    experiment_log.add("E5/latency-trend", "software hop ns (<1us)",
+                       PAPER_SOFTWARE_HOP_NS, software, rel_band=0.5)
+
+    assert today == pytest.approx(PAPER_HOP_TODAY_NS, rel=0.02)
+    assert today / decade_ago == pytest.approx(1.20, abs=0.05)
+    assert software < PAPER_SOFTWARE_HOP_NS
+    # The consequence: network latency is "a large and increasing share".
+    assert today / software > 0.5

@@ -1,0 +1,64 @@
+"""E8 — §4.1 Design 1: the leaf-spine round trip.
+
+Two levels of reproduction:
+
+* the paper's arithmetic — 12 switch hops + 3 software hops, network =
+  half the total — from the analytic budget;
+* the same round trip *measured* in a full packet-level simulation
+  (exchange → normalizer → strategy → gateway → exchange), which adds
+  the terms the arithmetic ignores (NICs, serialization, propagation,
+  feed coalescing).
+"""
+
+import pytest
+
+from repro.core.designs import Design1LeafSpine
+from repro.core.latency import Category
+from repro.core.testbed import build_design1_system
+from repro.sim.kernel import MILLISECOND
+
+PAPER_SWITCH_HOPS = 12
+PAPER_SOFTWARE_HOPS = 3
+PAPER_NETWORK_SHARE = 0.5  # "half of the overall time ... in the network!"
+PAPER_ROUND_TRIP_NS = 12_000
+
+
+def test_design1_budget_arithmetic(benchmark, experiment_log):
+    design = Design1LeafSpine()
+    budget = benchmark.pedantic(design.round_trip_budget, rounds=1, iterations=1)
+    experiment_log.add("E8/design1", "round-trip switch hops",
+                       PAPER_SWITCH_HOPS, budget.count(Category.SWITCH),
+                       rel_band=0.001)
+    experiment_log.add("E8/design1", "software hops",
+                       PAPER_SOFTWARE_HOPS, budget.count(Category.HOST),
+                       rel_band=0.001)
+    experiment_log.add("E8/design1", "model round trip ns",
+                       PAPER_ROUND_TRIP_NS, budget.total_ns, rel_band=0.001)
+    experiment_log.add("E8/design1", "network share of round trip",
+                       PAPER_NETWORK_SHARE, budget.network_fraction,
+                       rel_band=0.01)
+    assert budget.count(Category.SWITCH) == 12
+    assert budget.network_fraction == pytest.approx(0.5)
+
+
+def _simulated_round_trip():
+    system = build_design1_system(seed=31)
+    system.run(40 * MILLISECOND)
+    return system
+
+
+def test_design1_simulated_round_trip(benchmark, experiment_log):
+    system = benchmark.pedantic(_simulated_round_trip, rounds=1, iterations=1)
+    stats = system.roundtrip_stats()
+    model = Design1LeafSpine().round_trip_budget().total_ns
+    experiment_log.add("E8/design1", "simulated round trip median ns",
+                       model, stats.median, rel_band=0.45)
+    assert stats.count > 10
+    # The simulation includes NICs/serialization/coalescing the model
+    # omits: strictly above the model, within ~1.5x of it.
+    assert model < stats.median < 1.5 * model
+    # Switch time alone (12 x 500 ns) is visible as the floor component.
+    switch_time = Design1LeafSpine().round_trip_budget().category_ns(
+        Category.SWITCH
+    )
+    assert stats.minimum > switch_time

@@ -1,0 +1,86 @@
+"""E9 — §4.2 Design 2: the latency-equalized cloud.
+
+The paper's cloud argument is qualitative; the quantities it rests on
+are measurable: (i) equalized delivery puts each network leg at the
+provider's guarantee (tens of microseconds), dwarfing Design 1; (ii)
+without native multicast, internal dissemination cost is linear in
+receivers, against constant-cost multicast on-prem.
+"""
+
+import pytest
+
+from repro.core.designs import Design1LeafSpine, Design2Cloud
+
+CLOUD_EQUALIZED_LEG_NS = 50_000.0  # DBO-class guarantee, per leg
+N_STRATEGY_SERVERS = 936  # 1000 servers minus a few dozen norm/gw
+
+
+def test_cloud_round_trip_vs_design1(benchmark, experiment_log):
+    cloud = Design2Cloud(equalized_delivery_ns=CLOUD_EQUALIZED_LEG_NS)
+    budget = benchmark.pedantic(cloud.round_trip_budget, rounds=1, iterations=1)
+    d1_total = Design1LeafSpine().round_trip_budget().total_ns
+    slowdown = budget.total_ns / d1_total
+    experiment_log.add("E9/design2", "cloud round trip ns",
+                       4 * CLOUD_EQUALIZED_LEG_NS + 6_000, budget.total_ns,
+                       rel_band=0.001)
+    experiment_log.add("E9/design2", "cloud vs design1 slowdown x",
+                       17.2, slowdown, rel_band=0.10)
+    assert budget.total_ns > 10 * d1_total
+    assert budget.network_fraction > 0.9
+
+
+def test_cloud_dissemination_is_linear(benchmark, experiment_log):
+    cloud = Design2Cloud()
+    cost = benchmark.pedantic(
+        cloud.dissemination_cost_messages, args=(N_STRATEGY_SERVERS,),
+        rounds=1, iterations=1,
+    )
+    multicast_cost = Design2Cloud(
+        supports_native_multicast=True
+    ).dissemination_cost_messages(N_STRATEGY_SERVERS)
+    experiment_log.add("E9/design2", "unicast sends per update (936 rx)",
+                       N_STRATEGY_SERVERS, cost, rel_band=0.001)
+    experiment_log.add("E9/design2", "multicast sends per update",
+                       1, multicast_cost, rel_band=0.001)
+    assert cost == N_STRATEGY_SERVERS
+    assert multicast_cost == 1
+
+
+def test_cloud_round_trip_measured(benchmark, experiment_log):
+    """The cloud round trip, *measured* on the simulated equalized
+    fabric (provider multicast from the exchange, unicast fan-out
+    inside the tenant), next to the analytic model."""
+    from repro.core.cloud import build_design2_system
+    from repro.sim.kernel import MILLISECOND
+
+    def run():
+        system = build_design2_system(seed=31)
+        system.run(40 * MILLISECOND)
+        return system
+
+    system = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = system.roundtrip_stats()
+    model = Design2Cloud(equalized_delivery_ns=50_000).round_trip_budget().total_ns
+    experiment_log.add("E9/design2", "simulated cloud round trip median ns",
+                       model, stats.median, rel_band=0.05)
+    assert stats.count > 10
+    assert model < stats.median < 1.05 * model + 10_000
+    # And the dissemination really was unicast: frames out are a
+    # per-strategy multiple.
+    normalizer = system.normalizers[0]
+    assert normalizer.stats.frames_out % len(system.strategies) == 0
+
+
+def test_equalization_pins_every_tenant_to_the_slowest(benchmark, experiment_log):
+    """Latency equalization means faster placement buys nothing: all
+    tenants see the guarantee, so the *best achievable* equals the
+    *worst* — fair, and exactly why latency-competitive firms stay out."""
+
+    def best_achievable():
+        return Design2Cloud(equalized_delivery_ns=50_000).round_trip_budget().total_ns
+
+    best = benchmark.pedantic(best_achievable, rounds=1, iterations=1)
+    worst = Design2Cloud(equalized_delivery_ns=50_000).round_trip_budget().total_ns
+    experiment_log.add("E9/design2", "best/worst tenant ratio (equalized)",
+                       1.0, best / worst, rel_band=0.001)
+    assert best == worst

@@ -1,0 +1,134 @@
+"""E10 — §4.3 Design 3: layer-1 switches.
+
+Checks the paper's L1S numbers and structural claims:
+
+* 5–6 ns fan-out; +50 ns merge;
+* two orders of magnitude below commodity switching on the network;
+* the NIC-proliferation / merge-bottleneck trade-off, including the
+  subscription cap workaround and its partitioning cost;
+* the merge bottleneck measured packet-by-packet under bursty load.
+"""
+
+import pytest
+
+from repro.core.designs import Design1LeafSpine, Design3L1S, NicPlanVerdict
+from repro.core.merge import analyze_merge
+from repro.core.testbed import build_design3_system
+from repro.sim.kernel import MILLISECOND
+
+PAPER_FANOUT_NS = 5.5  # "5-6 nanoseconds"
+PAPER_MERGE_NS = 50
+PAPER_LATENCY_RATIO = 100  # "two orders of magnitude lower latency"
+
+
+def test_l1s_network_vs_commodity(benchmark, experiment_log):
+    design = Design3L1S()
+    budget = benchmark.pedantic(design.round_trip_budget, rounds=1, iterations=1)
+    d1_net = Design1LeafSpine().round_trip_budget().network_ns
+    ratio = d1_net / (budget.network_ns / (4 + 2) * 4)  # per-hop basis
+    per_hop_ratio = 500 / design.fanout_latency_ns
+    experiment_log.add("E10/design3", "L1S fan-out ns",
+                       PAPER_FANOUT_NS, design.fanout_latency_ns, rel_band=0.15)
+    experiment_log.add("E10/design3", "merge extra ns",
+                       PAPER_MERGE_NS, design.merge_latency_ns, rel_band=0.001)
+    experiment_log.add("E10/design3", "commodity/L1S per-hop ratio",
+                       PAPER_LATENCY_RATIO, per_hop_ratio, rel_band=0.25)
+    assert 5 <= design.fanout_latency_ns <= 6
+    assert per_hop_ratio >= 80
+    assert budget.network_fraction < 0.05
+
+    # §1/§2: "deploying algorithms on specialized hardware directly
+    # connected to exchanges ... can execute trades in 10s to 100s of
+    # nanoseconds" — with L1S networking and FPGA-class functions
+    # (~100 ns each), the whole round trip sits in the 100s of ns.
+    hw = Design3L1S(function_latency_ns=100.0)
+    hw_budget = hw.round_trip_budget(merges_on_path=2)
+    experiment_log.add("E10/design3", "hardware-strategy round trip ns",
+                       420, hw_budget.total_ns, rel_band=0.05)
+    assert 100 <= hw_budget.total_ns <= 999  # "10s to 100s of nanoseconds"
+
+
+def test_nic_proliferation_tradeoff(benchmark, experiment_log):
+    design = Design3L1S()
+
+    def sweep():
+        verdicts = {}
+        for feeds in (1, 4, 8, 16, 32):
+            verdicts[feeds] = design.nic_plan(feeds, per_feed_burst_bps=2e9)
+        return verdicts
+
+    verdicts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # 1 feed fits the spare NIC slot; moderate counts merge; heavy
+    # subscription exceeds line rate even merged.
+    assert verdicts[1] is NicPlanVerdict.DIRECT_NICS
+    assert verdicts[4] is NicPlanVerdict.MERGED
+    assert verdicts[8] is NicPlanVerdict.INFEASIBLE
+
+    cap = design.max_safe_subscriptions(per_feed_burst_bps=2e9)
+    experiment_log.add("E10/design3", "max safe merged subscriptions @2Gb bursts",
+                       5, cap, rel_band=0.001)
+    # The §5 mitigations push the cap up.
+    mitigated = design.max_safe_subscriptions(
+        2e9, compression_ratio=0.4, filter_pass_fraction=0.5
+    )
+    experiment_log.add("E10/design3", "cap with filtering+compression",
+                       25, mitigated, rel_band=0.001)
+    assert mitigated == 5 * cap
+
+
+def test_merge_bottleneck_measured(benchmark, experiment_log):
+    """Merged bursty feeds past line rate: queueing then loss (§4.3)."""
+    overloaded = benchmark.pedantic(
+        analyze_merge,
+        kwargs=dict(
+            n_feeds=12, events_per_feed_per_s=1_000_000,
+            duration_ns=10 * MILLISECOND, frame_payload_bytes=900,
+            line_rate_bps=1e9, seed=7,
+        ),
+        rounds=1, iterations=1,
+    )
+    safe = analyze_merge(
+        n_feeds=2, events_per_feed_per_s=20_000,
+        duration_ns=10 * MILLISECOND, frame_payload_bytes=900,
+        line_rate_bps=1e9, seed=7,
+    )
+    experiment_log.add("E10/design3", "overloaded merge loss rate (>0)",
+                       0.8, overloaded.loss_rate, rel_band=0.3)
+    experiment_log.add("E10/design3", "safe merge loss rate",
+                       0.0, safe.loss_rate, rel_band=0.01)
+    assert overloaded.loss_rate > 0.3
+    assert safe.loss_rate == 0.0
+    assert overloaded.mean_queue_delay_ns > 20 * safe.mean_queue_delay_ns
+
+
+def test_tick_to_trade_hardware_measured(benchmark, experiment_log):
+    """§1's fastest firms, measured: an FPGA-class strategy on raw PITCH
+    over two L1S hops executes in the 100s of nanoseconds."""
+    import numpy as np
+
+    from repro.core.ticktotrade import build_tick_to_trade_system
+
+    sim, exchange, strategy = benchmark.pedantic(
+        build_tick_to_trade_system, kwargs=dict(seed=77, run_ms=5),
+        rounds=1, iterations=1,
+    )
+    median = float(np.median(exchange.order_entry.roundtrip_samples))
+    experiment_log.add("E10/design3", "measured tick-to-trade ns (HW path)",
+                       522, median, rel_band=0.05)
+    assert 100 <= median < 1_000
+
+
+def test_design3_simulated_round_trip(benchmark, experiment_log):
+    def run():
+        system = build_design3_system(seed=31)
+        system.run(40 * MILLISECOND)
+        return system
+
+    system = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = system.roundtrip_stats()
+    model = Design3L1S().round_trip_budget().total_ns
+    experiment_log.add("E10/design3", "simulated L1S round trip median ns",
+                       model * 1.6, stats.median, rel_band=0.3)
+    assert stats.count > 10
+    # Network contributes almost nothing: the total is host-dominated.
+    assert stats.median < 2 * model

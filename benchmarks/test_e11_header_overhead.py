@@ -1,0 +1,70 @@
+"""E11 — §5 protocols: header overhead and its wire-time cost.
+
+Reproduces the three §5 numbers: standard headers cost ~40 ns at
+10 Gb/s; network headers are 25–40% of the bytes market-data feeds send;
+PITCH orders are tiny (26 B new / 14 B cancel), so header overhead per
+order is comparable to the order itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.protocols.headers import (
+    TCP_PARSED_HEADER_BYTES,
+    UDP_PARSED_HEADER_BYTES,
+    wire_time_ns,
+)
+from repro.protocols.pitch import AddOrder, DeleteOrder
+from repro.workload.framesize import FEED_PROFILES, sample_frame_lengths
+
+PAPER_HEADER_COST_NS = 40  # "costs 40 nanoseconds" at 10 Gbps
+PAPER_OVERHEAD_BAND = (0.25, 0.40)  # "25%-40% of the data sent"
+PAPER_NEW_ORDER_BYTES = 26
+PAPER_CANCEL_BYTES = 14
+
+
+def test_header_wire_time(benchmark, experiment_log):
+    cost = benchmark.pedantic(
+        wire_time_ns, args=(TCP_PARSED_HEADER_BYTES, 10e9),
+        rounds=1, iterations=1,
+    )
+    experiment_log.add("E11/headers", "Eth+IP+TCP header time @10G ns",
+                       PAPER_HEADER_COST_NS, cost, rel_band=0.10)
+    assert cost == pytest.approx(43.2)
+    assert abs(cost - PAPER_HEADER_COST_NS) <= 4
+
+
+def test_overhead_share_across_feeds(benchmark, experiment_log):
+    def measure():
+        shares = {}
+        rng = np.random.default_rng(5)
+        for name, profile in FEED_PROFILES.items():
+            lengths = sample_frame_lengths(profile, 10_000, rng)
+            shares[name] = UDP_PARSED_HEADER_BYTES / lengths.mean()
+        return shares
+
+    shares = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, share in shares.items():
+        experiment_log.add("E11/headers", f"feed {name} network-header share",
+                           0.33, share, rel_band=0.45)
+        lo, hi = PAPER_OVERHEAD_BAND
+        assert lo - 0.03 <= share <= hi + 0.06
+
+
+def test_order_messages_dwarfed_by_headers(benchmark, experiment_log):
+    new_bytes = len(AddOrder(0, 1, "B", 100, "AAPL", 10_000).encode())
+    cancel_bytes = len(DeleteOrder(0, 1).encode())
+    experiment_log.add("E11/headers", "PITCH new order bytes",
+                       PAPER_NEW_ORDER_BYTES, new_bytes, rel_band=0.001)
+    experiment_log.add("E11/headers", "PITCH cancel bytes",
+                       PAPER_CANCEL_BYTES, cancel_bytes, rel_band=0.001)
+
+    def overhead_ratio():
+        return TCP_PARSED_HEADER_BYTES / cancel_bytes
+
+    ratio = benchmark.pedantic(overhead_ratio, rounds=1, iterations=1)
+    # Standard transport headers are ~4x the size of a cancel: "the
+    # overhead of standard protocol headers is excessive".
+    experiment_log.add("E11/headers", "header/cancel size ratio",
+                       54 / 14, ratio, rel_band=0.01)
+    assert ratio > 3

@@ -1,0 +1,93 @@
+"""E12 — the full round trip, measured on Designs 1 and 3 side by side.
+
+The cross-design experiment the paper implies but cannot publish: the
+same exchange, workload, strategies, and gateways, moved from a
+leaf-spine fabric onto L1S networks. The delta must equal the commodity
+switch time (12 hops x 500 ns ~ 6 µs) because everything else is held
+fixed.
+"""
+
+import pytest
+
+from repro.core.designs import Design1LeafSpine
+from repro.core.latency import Category
+from repro.core.testbed import build_design1_system, build_design3_system
+from repro.sim.kernel import MILLISECOND
+
+RUN_NS = 40 * MILLISECOND
+SEED = 77
+
+
+def _run_both():
+    d1 = build_design1_system(seed=SEED)
+    d1.run(RUN_NS)
+    d3 = build_design3_system(seed=SEED)
+    d3.run(RUN_NS)
+    return d1, d3
+
+
+def test_cross_design_round_trip(benchmark, experiment_log):
+    d1, d3 = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    s1, s3 = d1.roundtrip_stats(), d3.roundtrip_stats()
+    switch_time = Design1LeafSpine().round_trip_budget().category_ns(
+        Category.SWITCH
+    )
+
+    experiment_log.add("E12/end-to-end", "design1 median round trip ns",
+                       16_000, s1.median, rel_band=0.25)
+    experiment_log.add("E12/end-to-end", "design3 median round trip ns",
+                       10_000, s3.median, rel_band=0.25)
+    experiment_log.add("E12/end-to-end", "design1-design3 delta ns (=12 hops)",
+                       switch_time, s1.median - s3.median, rel_band=0.25)
+
+    assert s1.count > 10 and s3.count > 10
+    assert s3.median < s1.median
+    assert (s1.median - s3.median) == pytest.approx(switch_time, rel=0.25)
+    # Same seed => identical trading activity on both fabrics (orders
+    # still in flight at the cutoff can differ by one or two).
+    assert d1.flow.stats.total == d3.flow.stats.total
+    assert abs(len(d1.roundtrip_samples()) - len(d3.roundtrip_samples())) <= 2
+
+
+def test_all_three_designs_measured(benchmark, experiment_log):
+    """The full §4 comparison, measured: the same trading activity on
+    all three fabrics. The ordering and the ratios are the paper's
+    conclusion in one table."""
+    from repro.core.cloud import build_design2_system
+
+    def run_all():
+        medians = {}
+        for label, builder in (
+            ("design1", build_design1_system),
+            ("design2", build_design2_system),
+            ("design3", build_design3_system),
+        ):
+            system = builder(seed=SEED + 2)
+            system.run(RUN_NS)
+            medians[label] = system.roundtrip_stats().median
+        return medians
+
+    medians = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    experiment_log.add("E12/end-to-end", "cloud/design1 measured slowdown x",
+                       12.8, medians["design2"] / medians["design1"],
+                       rel_band=0.25)
+    experiment_log.add("E12/end-to-end", "design1/design3 measured ratio x",
+                       1.6, medians["design1"] / medians["design3"],
+                       rel_band=0.25)
+    assert medians["design3"] < medians["design1"] < medians["design2"]
+    assert medians["design2"] > 10 * medians["design1"]
+
+
+def test_tail_behavior(benchmark, experiment_log):
+    def run():
+        system = build_design1_system(seed=SEED + 1, flow_rate_per_s=80_000)
+        system.run(RUN_NS)
+        return system
+
+    system = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = system.roundtrip_stats()
+    experiment_log.add("E12/end-to-end", "design1 p99/median tail ratio",
+                       1.05, stats.p99 / stats.median, rel_band=0.25)
+    # Uncongested fabric: modest tail (the paper's footnote 1 concedes
+    # tail latency matters; here we show the baseline tail is tight).
+    assert stats.p99 < 2 * stats.median

@@ -1,0 +1,118 @@
+"""E14 — ablations: design knobs the paper calls out.
+
+Three sweeps:
+
+* cut-through vs store-and-forward switching (the latency cost of
+  buffering full frames);
+* naive merge vs merge + filtering vs merge + header compression vs both
+  (the §5 recipe for safe L1S merges);
+* switch generation sweep (how the 12-hop round trip would have looked
+  on each hardware generation).
+"""
+
+import pytest
+
+from repro.core.merge import analyze_merge
+from repro.net.switch import SWITCH_GENERATIONS, SwitchProfile
+from repro.sim.kernel import MILLISECOND
+
+MERGE_KW = dict(
+    n_feeds=12, events_per_feed_per_s=12_000,
+    duration_ns=20 * MILLISECOND, frame_payload_bytes=900,
+    line_rate_bps=1e9, seed=14,
+)
+
+
+def test_merge_mitigation_ablation(benchmark, experiment_log):
+    def sweep():
+        return {
+            "naive": analyze_merge(**MERGE_KW),
+            "filtered": analyze_merge(**MERGE_KW, filter_pass_fraction=0.5),
+            "compressed": analyze_merge(**MERGE_KW, compression_ratio=0.4),
+            "both": analyze_merge(
+                **MERGE_KW, filter_pass_fraction=0.5, compression_ratio=0.4
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    loss = {k: v.loss_rate for k, v in results.items()}
+    experiment_log.add("E14/ablation", "merge loss: naive (overrun)",
+                       0.25, loss["naive"], rel_band=0.8)
+    experiment_log.add("E14/ablation", "merge loss: +filtering",
+                       0.0, loss["filtered"], rel_band=0.02)
+    experiment_log.add("E14/ablation", "merge loss: +compression",
+                       0.0, loss["compressed"], rel_band=0.02)
+    experiment_log.add("E14/ablation", "merge loss: both mitigations",
+                       0.0, loss["both"], rel_band=0.001)
+    assert loss["naive"] > 0.0
+    assert loss["filtered"] < loss["naive"]
+    assert loss["compressed"] < loss["naive"]
+    assert loss["both"] == 0.0
+    # Queueing delay collapses along with loss.
+    assert (
+        results["both"].mean_queue_delay_ns < results["naive"].mean_queue_delay_ns
+    )
+
+
+def test_store_and_forward_penalty(benchmark, experiment_log):
+    """SF buffers the whole frame per hop: +1.2 us per 1500 B at 10 G."""
+    from repro.net.addressing import EndpointAddress
+    from repro.net.link import Link
+    from repro.net.packet import Packet
+    from repro.net.switch import CommoditySwitch
+    from repro.sim.kernel import Simulator
+
+    def measure(store_and_forward: bool) -> int:
+        sim = Simulator(seed=1)
+        profile = SwitchProfile(
+            "x", 2024, 10e9, 500, 100, 1000,
+            store_and_forward=store_and_forward,
+        )
+        switch = CommoditySwitch(sim, "sw", profile)
+
+        class Host:
+            def __init__(self, name):
+                self.name = name
+                self.t = None
+
+            def handle_packet(self, packet, ingress):
+                self.t = sim.now
+
+        a, b = Host("a"), Host("b")
+        l1 = Link(sim, "l1", a, switch, propagation_delay_ns=0)
+        l2 = Link(sim, "l2", switch, b, propagation_delay_ns=0)
+        switch.attach_link(l1)
+        switch.attach_link(l2)
+        switch.install_route(EndpointAddress("b"), l2)
+        l1.send(
+            Packet(src=EndpointAddress("a"), dst=EndpointAddress("b"),
+                   wire_bytes=1518, payload_bytes=1400),
+            a,
+        )
+        sim.run()
+        return b.t
+
+    sf = benchmark.pedantic(measure, args=(True,), rounds=1, iterations=1)
+    ct = measure(False)
+    penalty = sf - ct
+    experiment_log.add("E14/ablation", "store-and-forward penalty ns (1518B)",
+                       1_214, penalty, rel_band=0.02)
+    assert penalty == pytest.approx(1_214, abs=20)
+
+
+def test_generation_sweep_round_trip(benchmark, experiment_log):
+    """The 12-hop round trip per switch generation: latency creeps *up*
+    with newer, faster, more flexible silicon."""
+
+    def sweep():
+        return {p.model: 12 * p.hop_latency_ns + 3 * 2_000 for p in SWITCH_GENERATIONS}
+
+    totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    values = list(totals.values())
+    assert values == sorted(values)  # monotone worsening
+    experiment_log.add("E14/ablation", "round trip on 2014 fabric ns",
+                       10_980, values[0], rel_band=0.001)
+    experiment_log.add("E14/ablation", "round trip on 2024 fabric ns",
+                       12_000, values[-1], rel_band=0.001)
+    experiment_log.add("E14/ablation", "decade round-trip regression x",
+                       12_000 / 10_980, values[-1] / values[0], rel_band=0.01)

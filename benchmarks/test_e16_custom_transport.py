@@ -1,0 +1,128 @@
+"""E16 — §5 "Protocols": what a custom transport buys.
+
+Quantifies the CTP design against the standard stack: bytes and wire
+time saved per frame, the extra feeds a merge can safely carry, and the
+FPGA filter stage keying on CTP's exposed class bits.
+"""
+
+import pytest
+
+from repro.core.merge import safe_merge_count
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.fpga_l1s import FilteringL1Switch
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.protocols.ctp import (
+    CTP_STACK_OVERHEAD_BYTES,
+    encode_frame,
+    frame_bytes_ctp,
+    header_savings_bytes,
+    header_savings_ns,
+    peek_header,
+    symbol_class_bit,
+)
+from repro.protocols.headers import UDP_STACK_OVERHEAD_BYTES, frame_bytes_udp
+from repro.sim.kernel import Simulator
+
+PAPER_HEADER_COST_NS = 40  # the §5 figure CTP attacks
+TYPICAL_PAYLOAD = 46  # one PITCH unit header + ~38 B of messages
+
+
+def test_ctp_overhead_savings(benchmark, experiment_log):
+    saved_ns = benchmark.pedantic(header_savings_ns, rounds=1, iterations=1)
+    saved_bytes = header_savings_bytes()
+    udp_frame = frame_bytes_udp(TYPICAL_PAYLOAD)
+    ctp_frame = frame_bytes_ctp(TYPICAL_PAYLOAD)
+    shrink = 1 - ctp_frame / udp_frame
+
+    experiment_log.add("E16/ctp", "header bytes saved per frame",
+                       30, saved_bytes, rel_band=0.001)
+    experiment_log.add("E16/ctp", "wire ns saved per frame @10G",
+                       24.0, saved_ns, rel_band=0.01)
+    experiment_log.add("E16/ctp", "typical frame shrink fraction",
+                       0.30, shrink, rel_band=0.15)
+
+    assert saved_bytes == 30
+    assert saved_ns == pytest.approx(24.0)
+    # Most of the paper's 40 ns header cost disappears.
+    assert saved_ns / PAPER_HEADER_COST_NS > 0.5
+    assert UDP_STACK_OVERHEAD_BYTES == 46 and CTP_STACK_OVERHEAD_BYTES == 16
+
+
+def test_ctp_extends_safe_merge_fanin(benchmark, experiment_log):
+    """Smaller frames mean more feeds fit one merged NIC (§4.3 + §5)."""
+
+    def capacities():
+        udp_frame_bits = (frame_bytes_udp(TYPICAL_PAYLOAD) + 20) * 8
+        ctp_frame_bits = (frame_bytes_ctp(TYPICAL_PAYLOAD) + 20) * 8
+        per_feed_frames = 1.2e6  # bursting feed, frames/s
+        return (
+            safe_merge_count(per_feed_frames * udp_frame_bits, 10e9),
+            safe_merge_count(per_feed_frames * ctp_frame_bits, 10e9),
+        )
+
+    udp_cap, ctp_cap = benchmark.pedantic(capacities, rounds=1, iterations=1)
+    experiment_log.add("E16/ctp", "safe merge fan-in, UDP framing",
+                       9, udp_cap, rel_band=0.15)
+    experiment_log.add("E16/ctp", "safe merge fan-in, CTP framing",
+                       12, ctp_cap, rel_band=0.15)
+    assert ctp_cap > udp_cap
+
+
+def test_fpga_filters_on_ctp_class_bits(benchmark, experiment_log):
+    """The §5 co-design: CTP exposes filter bits; the FPGA L1S keys on
+    them without parsing payloads."""
+
+    def run():
+        sim = Simulator(seed=16)
+        fpga = FilteringL1Switch(sim, "fpga")
+
+        class Sink:
+            def __init__(self, name):
+                self.name = name
+                self.received = []
+
+            def handle_packet(self, packet, ingress):
+                self.received.append(packet)
+
+        src = Sink("src")
+        tech_rx, energy_rx = Sink("tech"), Sink("energy")
+        l_in = Link(sim, "in", src, fpga, propagation_delay_ns=1)
+        l_tech = Link(sim, "tech", fpga, tech_rx, propagation_delay_ns=1)
+        l_energy = Link(sim, "energy", fpga, energy_rx, propagation_delay_ns=1)
+        group = MulticastGroup("norm", 0)
+        tech_mask = symbol_class_bit("AAPL") | symbol_class_bit("MSFT")
+        energy_mask = symbol_class_bit("XOM")
+        fpga.add_egress(
+            group, l_tech,
+            lambda p: peek_header(p.message).matches_class(tech_mask),
+        )
+        fpga.add_egress(
+            group, l_energy,
+            lambda p: peek_header(p.message).matches_class(energy_mask),
+        )
+
+        symbols = ["AAPL", "MSFT", "XOM", "GE", "AAPL", "XOM"]
+        for seq, symbol in enumerate(symbols, start=1):
+            frame = encode_frame(
+                b"update", feed_id=1, partition=0, sequence=seq,
+                class_bits=symbol_class_bit(symbol),
+            )
+            l_in.send(
+                Packet(src=EndpointAddress("src"), dst=group,
+                       wire_bytes=frame_bytes_ctp(len(frame)),
+                       payload_bytes=len(frame), message=frame),
+                src,
+            )
+        sim.run_until_idle()
+        return tech_rx.received, energy_rx.received, fpga
+
+    tech, energy, fpga = benchmark.pedantic(run, rounds=1, iterations=1)
+    experiment_log.add("E16/ctp", "in-fabric filter: tech frames delivered",
+                       3, len(tech), rel_band=0.001)
+    experiment_log.add("E16/ctp", "in-fabric filter: energy frames delivered",
+                       2, len(energy), rel_band=0.001)
+    # AAPL/MSFT/AAPL reach tech; XOM/XOM reach energy; GE reaches no one.
+    assert len(tech) == 3
+    assert len(energy) == 2
+    assert fpga.stats.filtered_out == 7  # 12 candidate copies - 5 delivered

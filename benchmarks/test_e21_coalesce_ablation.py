@@ -1,0 +1,73 @@
+"""E21 — ablation: the feed publisher's coalescing window.
+
+Table 1's frame-length distribution and §5's efficiency concern meet at
+one knob: how long the exchange holds messages to pack them. A short
+window minimizes publication delay but emits many small frames (header
+overhead dominates); a long window packs frames tight but every message
+waits. This bench sweeps the window on a live simulated feed and
+measures both sides of the trade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.testbed import build_design1_system
+from repro.sim.kernel import MILLISECOND
+
+
+def _run(coalesce_ns: int):
+    system = build_design1_system(seed=21)
+    publisher = system.exchange.publisher
+    publisher.coalesce_window_ns = coalesce_ns
+    system.run(30 * MILLISECOND)
+    return system
+
+
+def test_coalesce_window_sweep(benchmark, experiment_log):
+    def sweep():
+        return {ns: _run(ns) for ns in (100, 1_000, 10_000, 100_000)}
+
+    systems = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    packing = {
+        ns: s.exchange.publisher.stats.messages_per_frame
+        for ns, s in systems.items()
+    }
+    medians = {ns: s.roundtrip_stats().median for ns, s in systems.items()}
+
+    # Packing improves monotonically with the window...
+    values = [packing[ns] for ns in sorted(packing)]
+    assert values == sorted(values)
+    assert packing[100_000] > 2 * packing[100]
+    # ...and the round trip pays for it, roughly half a window on average.
+    assert medians[100_000] > medians[100] + 30_000
+
+    experiment_log.add("E21/coalesce", "msgs/frame @100ns window",
+                       1.0, packing[100], rel_band=0.15)
+    experiment_log.add("E21/coalesce", "msgs/frame @100us window",
+                       4.0, packing[100_000], rel_band=0.5)
+    experiment_log.add("E21/coalesce", "round-trip cost of 100us window ns",
+                       50_000, medians[100_000] - medians[100], rel_band=0.5)
+
+
+def test_wire_efficiency_vs_latency(benchmark, experiment_log):
+    """Bytes-on-wire per message falls as the window grows — §5's header
+    overhead amortized by packing, priced in latency."""
+
+    def run_two():
+        fast = _run(100)
+        packed = _run(50_000)
+        return fast, packed
+
+    fast, packed = benchmark.pedantic(run_two, rounds=1, iterations=1)
+
+    def bytes_per_message(system):
+        stats = system.exchange.publisher.stats
+        return stats.bytes_on_wire / max(1, stats.messages)
+
+    fast_bpm = bytes_per_message(fast)
+    packed_bpm = bytes_per_message(packed)
+    experiment_log.add("E21/coalesce", "wire bytes/msg, immediate flush",
+                       70.0, fast_bpm, rel_band=0.15)
+    experiment_log.add("E21/coalesce", "wire bytes/msg, 50us packing",
+                       40.0, packed_bpm, rel_band=0.3)
+    assert packed_bpm < fast_bpm

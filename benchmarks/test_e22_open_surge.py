@@ -1,0 +1,100 @@
+"""E22 — the 9:30 surge: the opening cross as a message burst.
+
+Figure 2(b) opens hot; part of that heat is structural — the opening
+auction releases every symbol's accumulated interest in one instant.
+This bench queues pre-open interest across a symbol set, runs the cross,
+and compares the bell's message burst against the continuous-session
+rate that follows: the open compresses tens of milliseconds of normal
+messaging into the first coalescing window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exchange.exchange import Exchange
+from repro.exchange.publisher import alphabetical_scheme
+from repro.exchange.session import TradingSession
+from repro.net.addressing import EndpointAddress
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.sim.kernel import MILLISECOND, Simulator
+from repro.workload.orderflow import OrderFlowGenerator
+from repro.workload.symbols import make_universe
+
+N_SYMBOLS = 40
+PRE_OPEN_ORDERS_PER_SYMBOL = 6
+CONTINUOUS_RATE = 40_000.0
+
+
+class _FrameLog:
+    name = "framelog"
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.frames = []  # (time, messages in frame)
+
+    def handle_packet(self, packet, ingress):
+        from repro.protocols.pitch import PitchFrameCodec
+
+        if isinstance(packet.message, (bytes, bytearray)):
+            _, _, messages = PitchFrameCodec.unpack(bytes(packet.message))
+            self.frames.append((self.sim.now, len(messages)))
+
+
+def _run():
+    sim = Simulator(seed=22)
+    log = _FrameLog(sim)
+    feed = Nic(sim, "f", EndpointAddress("x", "feed"))
+    feed.attach(Link(sim, "lf", feed, log))
+    orders = Nic(sim, "o", EndpointAddress("x", "orders"))
+    orders.attach(Link(sim, "lo", orders, _FrameLog(sim)))
+    universe = make_universe(N_SYMBOLS, seed=22)
+    exchange = Exchange(
+        sim, "X", list(universe.names), alphabetical_scheme(4),
+        feed_nic_a=feed, orders_nic=orders, coalesce_window_ns=1_000,
+    )
+    flow = OrderFlowGenerator(sim, "flow", exchange, universe, CONTINUOUS_RATE)
+    session = TradingSession(
+        sim, "day", exchange,
+        open_at_ns=5 * MILLISECOND, close_at_ns=45 * MILLISECOND,
+        on_phase=lambda phase: flow.start() if phase.value == "open" else None,
+    )
+    rng = np.random.default_rng(22)
+    for symbol in universe.symbols:
+        for _ in range(PRE_OPEN_ORDERS_PER_SYMBOL):
+            side = "B" if rng.random() < 0.5 else "S"
+            offset = int(rng.integers(1, 30)) * 100
+            price = (
+                symbol.base_price + offset if side == "B"
+                else symbol.base_price - offset
+            )  # crossing interest: the auction will match heavily
+            session.submit("pre", symbol.name, side, price, 100)
+    sim.run(until=45 * MILLISECOND)
+    return session, log
+
+
+def test_opening_cross_surge(benchmark, experiment_log):
+    session, log = benchmark.pedantic(_run, rounds=1, iterations=1)
+    times = np.array([t for t, _ in log.frames])
+    counts = np.array([c for _, c in log.frames])
+    bell = 5 * MILLISECOND
+    window = 1 * MILLISECOND
+    surge = counts[(times >= bell) & (times < bell + window)].sum()
+    # Messages per 1 ms window across the continuous session.
+    continuous = [
+        counts[(times >= t) & (times < t + window)].sum()
+        for t in range(10 * MILLISECOND, 40 * MILLISECOND, MILLISECOND)
+    ]
+    median_continuous = float(np.median(continuous))
+    ratio = surge / max(1.0, median_continuous)
+
+    experiment_log.add("E22/open-surge", "opening cross matched volume",
+                       N_SYMBOLS * 100 * 2, session.stats.open_cross_volume,
+                       rel_band=0.55)
+    experiment_log.add("E22/open-surge", "bell-window msgs vs continuous median x",
+                       8.0, ratio, rel_band=0.8)
+
+    assert session.stats.open_cross_volume > 0
+    assert surge > 3 * median_continuous  # the open really is a burst
+    # Before the bell, the feed was silent (pre-open: no continuous prints).
+    assert counts[times < bell].sum() == 0

@@ -1,0 +1,99 @@
+"""E24 — §5 "Hardware": the enhanced-L1S design point, measured.
+
+"These devices appear to offer the best of both worlds —
+100-nanosecond latency and standard IP forwarding and multicast —
+although they tend to have small forwarding tables."
+
+The bench completes the design space: all four designs' round trips on
+identical trading activity, plus the two §5 claims specific to this
+hardware — in-fabric filtering replaces NIC-side discards, and the
+small table is the new scaling wall (groups that fit a commodity ASIC
+overflow the FPGA).
+"""
+
+import pytest
+
+from repro.core.designs import Design4EnhancedL1S
+from repro.core.testbed import build_design1_system, build_design3_system
+from repro.core.testbed4 import build_design4_system
+from repro.net.addressing import MulticastGroup
+from repro.net.fpga_l1s import FilteringL1Switch, TableFull
+from repro.sim.kernel import MILLISECOND, Simulator
+
+SEED = 24
+RUN_NS = 40 * MILLISECOND
+
+
+def test_four_design_round_trips(benchmark, experiment_log):
+    def run_all():
+        medians = {}
+        for label, builder in (
+            ("design1", build_design1_system),
+            ("design3", build_design3_system),
+            ("design4", build_design4_system),
+        ):
+            system = builder(seed=SEED)
+            system.run(RUN_NS)
+            medians[label] = system.roundtrip_stats().median
+        return medians
+
+    medians = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    experiment_log.add("E24/enhanced-l1s", "design4 median round trip ns",
+                       Design4EnhancedL1S().round_trip_budget().total_ns + 4_000,
+                       medians["design4"], rel_band=0.10)
+    experiment_log.add("E24/enhanced-l1s", "d4-d3 delta ns (2 hops x 95 ns)",
+                       190, medians["design4"] - medians["design3"],
+                       rel_band=0.25)
+    # The §5 positioning: between the pure L1S and the commodity fabric.
+    assert medians["design3"] < medians["design4"] < medians["design1"]
+
+
+def test_in_fabric_filtering_offloads_the_nic(benchmark, experiment_log):
+    def run_thin():
+        system = build_design4_system(seed=SEED, subscriptions_per_strategy=2)
+        system.run(RUN_NS)
+        return system
+
+    thin = benchmark.pedantic(run_thin, rounds=1, iterations=1)
+    full = build_design4_system(seed=SEED)
+    full.run(RUN_NS)
+
+    thin_updates = thin.strategies[0].stats.updates_in
+    full_updates = full.strategies[0].stats.updates_in
+    experiment_log.add("E24/enhanced-l1s", "per-strategy traffic, 2/8 partitions",
+                       0.25 * full_updates, thin_updates, rel_band=0.35)
+    # The fabric filtered — the strategy NIC discarded nothing.
+    assert thin.strategies[0].md_nic.stats.packets_filtered == 0
+    assert thin_updates < 0.5 * full_updates
+
+
+def test_small_table_is_the_new_wall(benchmark, experiment_log):
+    """1,300 partitions (§3's current count) fit a commodity ASIC but
+    overflow the FPGA hard — the §5 caveat quantified."""
+
+    def fill():
+        sim = Simulator(seed=1)
+        fpga = FilteringL1Switch(sim, "fpga")
+        from repro.net.link import Link
+
+        class Sink:
+            name = "sink"
+
+            def handle_packet(self, packet, ingress):
+                pass
+
+        leg = Link(sim, "leg", fpga, Sink())
+        installed = 0
+        try:
+            for partition in range(1_300):
+                fpga.add_egress(MulticastGroup("norm", partition), leg)
+                installed += 1
+        except TableFull:
+            pass
+        return installed
+
+    installed = benchmark.pedantic(fill, rounds=1, iterations=1)
+    experiment_log.add("E24/enhanced-l1s", "FPGA table capacity (groups)",
+                       128, installed, rel_band=0.001)
+    assert installed == 128  # of the 1,300 the workload wants
+    assert installed < 1_300

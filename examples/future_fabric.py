@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""The §5 research agenda, assembled: a "future fabric" walkthrough.
+
+Combines the paper's proposed directions into one pipeline and measures
+each contribution:
+
+* **custom transport** (CTP): a 12-byte header replaces the 42-byte
+  standard stack and exposes filter bits;
+* **enhanced L1S hardware**: a 100 ns FPGA switch filters and
+  load-balances on those bits, in-fabric;
+* **routing co-design**: interest-clustered symbol→group mapping cuts
+  the irrelevant traffic subscribers receive;
+* **cluster management**: make-before-break migration with zero
+  market-data gap.
+
+Run:  python examples/future_fabric.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
+from repro.mgmt.feedmap import (
+    evaluate_mapping,
+    interest_clustered_mapping,
+    mapping_from_scheme,
+)
+from repro.mgmt.migration import MigrationParams, break_before_make, make_before_break
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.fpga_l1s import FilteringL1Switch
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.protocols.ctp import (
+    encode_frame,
+    frame_bytes_ctp,
+    header_savings_bytes,
+    header_savings_ns,
+    peek_header,
+    symbol_class_bit,
+)
+from repro.protocols.headers import frame_bytes_udp
+from repro.sim.kernel import Simulator
+from repro.workload.symbols import make_universe
+
+
+def transport_section() -> None:
+    print("=== 1. custom transport (CTP) ===")
+    payload = 46  # a typical packed PITCH unit
+    print(f"standard UDP stack frame : {frame_bytes_udp(payload)} B")
+    print(f"CTP frame                : {frame_bytes_ctp(payload)} B")
+    print(f"saved per frame          : {header_savings_bytes()} B "
+          f"= {header_savings_ns():.0f} ns of wire time at 10G")
+    print("(the paper: headers cost ~40 ns that strategies never read)")
+
+
+def fabric_section() -> None:
+    print("\n=== 2. enhanced L1S: filter + load-balance in the fabric ===")
+    sim = Simulator(seed=1)
+    fpga = FilteringL1Switch(sim, "fpga")
+
+    class Sink:
+        def __init__(self, name):
+            self.name = name
+            self.received = 0
+
+        def handle_packet(self, packet, ingress):
+            self.received += 1
+
+    src = Sink("normalizer")
+    tech = Sink("tech-strategy")
+    balance = [Sink(f"capture-{i}") for i in range(2)]
+    l_in = Link(sim, "in", src, fpga, propagation_delay_ns=1)
+    l_tech = Link(sim, "tech", fpga, tech, propagation_delay_ns=1)
+    l_bal = [Link(sim, f"bal{i}", fpga, s, propagation_delay_ns=1)
+             for i, s in enumerate(balance)]
+    group = MulticastGroup("norm", 0)
+    tech_mask = symbol_class_bit("AAPL") | symbol_class_bit("MSFT")
+    fpga.add_egress(
+        group, l_tech,
+        lambda p: peek_header(p.message).matches_class(tech_mask),
+    )
+    fpga.add_balanced_egress(group, l_bal)
+
+    rng = np.random.default_rng(0)
+    symbols = ["AAPL", "MSFT", "XOM", "GE", "ZION"]
+    n = 1_000
+    for seq in range(n):
+        symbol = symbols[int(rng.integers(len(symbols)))]
+        frame = encode_frame(b"update", 1, 0, seq + 1,
+                             class_bits=symbol_class_bit(symbol))
+        l_in.send(
+            Packet(src=EndpointAddress("norm"), dst=group,
+                   wire_bytes=frame_bytes_ctp(len(frame)),
+                   payload_bytes=len(frame), message=frame),
+            src,
+        )
+    sim.run_until_idle()
+    print(f"{n} frames in -> tech strategy received {tech.received} "
+          f"(only its symbol classes; {fpga.stats.filtered_out} filtered in-fabric)")
+    print(f"capture path load-balanced: "
+          f"{[s.received for s in balance]} frames per leg")
+    print(f"switch latency: 100 ns (vs 5 ns pure L1S, 500 ns commodity)")
+
+
+def routing_section() -> None:
+    print("\n=== 3. routing co-design: interest-clustered feed mapping ===")
+    universe = make_universe(120, seed=17)
+    symbols = universe.names
+    rates = {s.name: s.activity_weight * 1e6 for s in universe.symbols}
+    rng = np.random.default_rng(17)
+    sectors = [symbols[i::6] for i in range(6)]
+    interests = {}
+    for i in range(24):
+        if i % 6 == 0:
+            interests[f"strat{i}"] = set(rng.choice(symbols, 20, replace=False))
+        else:
+            sector = sectors[i % 6]
+            interests[f"strat{i}"] = set(
+                rng.choice(sector, min(10, len(sector)), replace=False)
+            )
+    rows = []
+    for label, mapping in (
+        ("alphabetical", mapping_from_scheme(alphabetical_scheme(16), symbols)),
+        ("hashed", mapping_from_scheme(hashed_scheme(16), symbols)),
+        ("interest-clustered", interest_clustered_mapping(interests, rates, 16)),
+    ):
+        report = evaluate_mapping(mapping, interests, rates)
+        rows.append([
+            label,
+            f"{report.waste_fraction:.0%}",
+            f"{report.joins_total}",
+            f"{report.efficiency:.2f}",
+        ])
+    print(render_table(
+        ["symbol->group mapping", "irrelevant traffic", "joins", "efficiency"],
+        rows,
+    ))
+
+
+def migration_section() -> None:
+    print("\n=== 4. cluster management: bare-metal strategy migration ===")
+    params = MigrationParams()
+    for plan in (break_before_make(params), make_before_break(params)):
+        print(f"{plan.strategy:<18}: market-data gap "
+              f"{plan.market_data_gap_ns/1e6:8.1f} ms, order gap "
+              f"{plan.order_gap_ns/1e6:8.1f} ms, "
+              f"servers during move: {plan.peak_servers}")
+    print("multicast makes make-before-break cheap: the target joins the")
+    print("same groups and warms from the live feed at no sender cost.")
+
+
+def main() -> None:
+    transport_section()
+    fabric_section()
+    routing_section()
+    migration_section()
+
+
+if __name__ == "__main__":
+    main()

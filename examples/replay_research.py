@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""After-hours research: record a live session, replay candidates offline.
+
+§2: "Timestamps are also used for conducting simulations after the
+trading day has ended, and for analyzing the performance of new
+strategies being developed."
+
+This example runs a live Design 1 session with a journaling tap on the
+normalized feed, then — "after the close" — replays the journal through
+three candidate momentum configurations offline, comparing trade counts
+and decisions without touching the network again.
+
+Run:  python examples/replay_research.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.testbed import build_design1_system
+from repro.firm.replay import ReplayDriver, UpdateRecorder, compare_decisions
+from repro.firm.strategies import MomentumStrategy
+from repro.net.addressing import MulticastGroup
+from repro.net.routing import compute_unicast_routes
+from repro.sim.kernel import MILLISECOND
+
+
+class OfflineMomentum:
+    """Momentum decision logic detached from the network, for replay."""
+
+    def __init__(self, symbol: str, trigger_ticks: int):
+        import itertools
+
+        from repro.firm.strategy import InternalOrder
+
+        self.symbol = symbol
+        self.trigger_ticks = trigger_ticks
+        self._last_bid = 0
+        self._streak = 0
+        self._ids = itertools.count(1)
+        self._order_cls = InternalOrder
+
+    def on_update(self, update):
+        if update.symbol != self.symbol or not update.is_quote:
+            return None
+        if not update.bid_price:
+            return None
+        if update.bid_price > self._last_bid and self._last_bid:
+            self._streak += 1
+        elif update.bid_price < self._last_bid:
+            self._streak = 0
+        self._last_bid = update.bid_price
+        if self._streak >= self.trigger_ticks and update.ask_price:
+            self._streak = 0
+            return [
+                self._order_cls(
+                    "candidate", next(self._ids), f"exch{update.exchange_id}",
+                    self.symbol, "B", update.ask_price, 100,
+                    immediate_or_cancel=True,
+                )
+            ]
+        return None
+
+
+def main() -> None:
+    print("Running the live session (Design 1, 40 simulated ms)...")
+    system = build_design1_system(seed=33)
+    tap_nic = system.topology.attach_server(
+        system.topology.hosts["strat0"], system.topology.leaves[2], "tap"
+    )
+    compute_unicast_routes(system.topology)
+    recorder = UpdateRecorder(system.sim, tap_nic)
+    for partition in range(8):
+        system.fabric.join(MulticastGroup("norm", partition), tap_nic)
+    system.run(40 * MILLISECOND)
+
+    live = next(s for s in system.strategies if isinstance(s, MomentumStrategy))
+    print(f"journaled {len(recorder):,} normalized updates; live strategy "
+          f"'{live.name}' ({live.symbol}) sent {live.stats.orders_sent} orders")
+
+    print("\nReplaying candidates offline against the journal...")
+    driver = ReplayDriver(recorder.journal)
+    results = {}
+    for trigger in (1, 2, 3):
+        candidate = OfflineMomentum(live.symbol, trigger_ticks=trigger)
+        results[trigger] = driver.run(candidate.on_update,
+                                      decision_latency_ns=1_800)
+
+    rows = []
+    for trigger, result in results.items():
+        label = "(= live config)" if trigger == live.trigger_ticks else ""
+        rows.append([
+            f"trigger={trigger} {label}",
+            result.updates_processed,
+            result.order_count,
+        ])
+    print(render_table(["candidate", "updates replayed", "orders"], rows))
+
+    base = results[live.trigger_ticks]
+    print(f"\ndeterminism check: replay of the live config produced "
+          f"{base.order_count} orders vs {live.stats.orders_sent} live -> "
+          f"{'MATCH' if base.order_count == live.stats.orders_sent else 'MISMATCH'}")
+
+    diff = compare_decisions(results[1].decisions(), results[3].decisions())
+    print(f"\ntrigger=1 vs trigger=3 decision diff: {diff.matched} shared, "
+          f"{diff.only_in_a} only in the aggressive config "
+          f"(agreement {diff.agreement:.0%})")
+    print("\nthe whole loop ran on recorded timestamps — the §2 use case for")
+    print("precise capture: research needs the event order, not the market.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``designs``     print the three §4 designs' budgets and comparison table
+``table1``      regenerate the paper's Table 1 from the calibrated feeds
+``figure2``     regenerate Figure 2's headline statistics
+``roundtrip``   run the Design 1 and Design 3 testbeds and compare
+``run``         build and run a system from a SystemSpec JSON file
+``scoreboard``  run every reproduction bench (the full scoreboard)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_designs(_args) -> int:
+    from repro.core import compare_designs, Design1LeafSpine, Design2Cloud, Design3L1S
+    from repro.core.compare import render_comparison
+
+    for design in (Design1LeafSpine(), Design2Cloud(), Design3L1S()):
+        print(design.round_trip_budget().render())
+        print()
+    print(render_comparison(compare_designs()))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    import numpy as np
+
+    from repro.analysis.tables import render_table
+    from repro.workload.framesize import FEED_PROFILES, sample_frame_lengths
+
+    rng = np.random.default_rng(args.seed)
+    rows = []
+    for name, profile in FEED_PROFILES.items():
+        lengths = sample_frame_lengths(profile, args.frames, rng)
+        rows.append(
+            [f"Exchange {name}", int(lengths.min()), round(float(lengths.mean())),
+             int(np.median(lengths)), int(lengths.max())]
+        )
+    print(render_table(
+        ["Feed", "min", "avg", "median", "max"], rows,
+        title=f"Table 1 reproduction ({args.frames:,} frames per feed)",
+    ))
+    print("\npaper:  A: 73/92/89/1514   B: 64/113/76/1067   C: 81/151/101/1442")
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    import numpy as np
+
+    from repro.analysis.windows import summarize_windows
+    from repro.workload.bursts import window_counts
+    from repro.workload.daily import busy_second_event_times, intraday_second_counts
+    from repro.workload.growth import daily_event_counts, measured_growth_factor
+
+    _, daily = daily_event_counts(seed=args.seed)
+    print(f"Fig 2(a): growth {measured_growth_factor(daily):.2f}x over 5y "
+          f"(paper: ~5x); final-year median "
+          f"{np.median(daily[-252:])/1e9:.0f}B events/day")
+
+    seconds = intraday_second_counts(seed=args.seed)
+    print(f"Fig 2(b): median second {np.median(seconds):,.0f} events "
+          f"(paper: >300k); busiest {seconds.max():,} (paper: 1.5M)")
+
+    times = busy_second_event_times(seed=args.seed + 4)
+    summary = summarize_windows(window_counts(times, 100_000, 10**9), 100_000)
+    print(f"Fig 2(c): median 100us window {summary.median:.0f} (paper: 129); "
+          f"busiest {summary.maximum} (paper: 1066); "
+          f"peak budget {summary.budget_at_peak_ns:.0f} ns/event (paper: ~100)")
+
+    if args.csv:
+        from repro.analysis.figures import write_all_figures
+
+        paths = write_all_figures(args.csv, seed=args.seed)
+        print("\nwrote plot series:")
+        for path in paths:
+            print(f"  {path}")
+    return 0
+
+
+def _cmd_roundtrip(args) -> int:
+    from repro.core.testbed import build_design1_system, build_design3_system
+    from repro.sim.kernel import MILLISECOND, format_ns
+
+    for label, builder in (
+        ("design1 (leaf-spine)", build_design1_system),
+        ("design3 (L1S)", build_design3_system),
+    ):
+        system = builder(seed=args.seed)
+        system.run(args.ms * MILLISECOND)
+        stats = system.roundtrip_stats()
+        print(f"{label:<22}: median {format_ns(int(stats.median))}, "
+              f"p99 {format_ns(int(stats.p99))}  (n={stats.count})")
+    print("paper model: design1 = 12 us (12 hops x 500 ns + 3 x 2 us); the "
+          "~6 us delta between rows is the commodity switch time")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.config import SystemSpec
+    from repro.sim.kernel import format_ns
+
+    if args.config:
+        spec = SystemSpec.from_file(args.config)
+    else:
+        spec = SystemSpec(design=args.design, seed=args.seed)
+    print(f"building {spec.design} (seed={spec.seed}, "
+          f"{spec.n_strategies} strategies, {spec.run_ms} ms)...")
+    system = spec.build_and_run()
+    stats = system.roundtrip_stats()
+    print(f"round trip: median {format_ns(int(stats.median))}, "
+          f"p99 {format_ns(int(stats.p99))} (n={stats.count})")
+    print(f"feed frames: {system.exchange.publisher.stats.frames:,}; "
+          f"orders: {system.gateway.stats.orders_in}; "
+          f"fills: {sum(s.stats.fills for s in system.strategies)}")
+    return 0
+
+
+def _cmd_scoreboard(args) -> int:
+    import subprocess
+
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only", "-q"]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trading-network simulation (HotNets '24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("designs", help="compare the three §4 designs")
+
+    t1 = sub.add_parser("table1", help="regenerate Table 1")
+    t1.add_argument("--frames", type=int, default=30_000)
+    t1.add_argument("--seed", type=int, default=2024)
+
+    f2 = sub.add_parser("figure2", help="regenerate Figure 2 statistics")
+    f2.add_argument("--seed", type=int, default=7)
+    f2.add_argument("--csv", help="also write the plot series as CSV into DIR")
+
+    rt = sub.add_parser("roundtrip", help="simulate the round trip end to end")
+    rt.add_argument("--seed", type=int, default=7)
+    rt.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
+
+    run = sub.add_parser("run", help="build and run a system from a spec")
+    run.add_argument("--config", help="path to a SystemSpec JSON file")
+    run.add_argument("--design", choices=["design1", "design2", "design3", "design4"], default="design1")
+    run.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("scoreboard", help="run all reproduction benches")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "designs": _cmd_designs,
+        "table1": _cmd_table1,
+        "figure2": _cmd_figure2,
+        "roundtrip": _cmd_roundtrip,
+        "run": _cmd_run,
+        "scoreboard": _cmd_scoreboard,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Figure-series export: the plotted data behind Figure 2, as CSV.
+
+The benches verify the statistics; this module hands users the raw
+series so they can draw the paper's plots themselves (any plotting tool
+reads CSV). Each writer returns the path it wrote.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.workload.bursts import window_counts
+from repro.workload.daily import (
+    MARKET_OPEN_SECOND,
+    busy_second_event_times,
+    intraday_second_counts,
+)
+from repro.workload.growth import daily_event_counts
+
+
+def write_fig2a_csv(path: str | Path, seed: int = 3) -> Path:
+    """Figure 2(a): events per day, 2020–2024. Columns: year, events."""
+    path = Path(path)
+    years, counts = daily_event_counts(seed=seed)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["year_fraction", "events_per_day"])
+        for year, count in zip(years, counts):
+            writer.writerow([f"{year:.4f}", int(count)])
+    return path
+
+
+def write_fig2b_csv(path: str | Path, seed: int = 7) -> Path:
+    """Figure 2(b): events per second across the session.
+    Columns: time-of-day (seconds since midnight), events."""
+    path = Path(path)
+    counts = intraday_second_counts(seed=seed)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["second_of_day", "events"])
+        for offset, count in enumerate(counts):
+            writer.writerow([MARKET_OPEN_SECOND + offset, int(count)])
+    return path
+
+
+def write_fig2c_csv(path: str | Path, seed: int = 11, window_ns: int = 100_000) -> Path:
+    """Figure 2(c): events per 100 µs window inside the busiest second.
+    Columns: window start (ms within the second), events."""
+    path = Path(path)
+    times = busy_second_event_times(seed=seed)
+    counts = window_counts(times, window_ns, 1_000_000_000)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["window_start_ms", "events"])
+        for index, count in enumerate(counts):
+            writer.writerow([f"{index * window_ns / 1e6:.1f}", int(count)])
+    return path
+
+
+def write_all_figures(directory: str | Path, seed: int = 7) -> list[Path]:
+    """Write all three Figure 2 series into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        write_fig2a_csv(directory / "fig2a_daily_events.csv", seed=seed),
+        write_fig2b_csv(directory / "fig2b_second_counts.csv", seed=seed),
+        write_fig2c_csv(directory / "fig2c_busy_second.csv", seed=seed + 4),
+    ]

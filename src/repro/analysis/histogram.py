@@ -1,0 +1,134 @@
+"""Log-binned latency histograms.
+
+Latency distributions in trading systems span decades (hundreds of ns to
+hundreds of µs under bursts), so fixed-width bins waste resolution.
+:class:`LatencyHistogram` uses geometric bins, supports streaming
+insertion, percentile queries by interpolation, and an ASCII rendering
+for bench output — the standard operational tool for the footnote-1
+question ("of course, tail latency matters too").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HistogramBin:
+    low_ns: float
+    high_ns: float
+    count: int
+
+
+class LatencyHistogram:
+    """A streaming histogram with geometric (log-spaced) bins."""
+
+    def __init__(
+        self,
+        min_ns: float = 100.0,
+        max_ns: float = 1e9,
+        bins_per_decade: int = 10,
+    ):
+        if min_ns <= 0 or max_ns <= min_ns or bins_per_decade < 1:
+            raise ValueError("invalid histogram bounds")
+        self.min_ns = float(min_ns)
+        self.max_ns = float(max_ns)
+        self.bins_per_decade = int(bins_per_decade)
+        decades = math.log10(max_ns / min_ns)
+        self._n_bins = max(1, math.ceil(decades * bins_per_decade))
+        self._counts = [0] * self._n_bins
+        self._underflow = 0
+        self._overflow = 0
+        self.total = 0
+        self._sum = 0.0
+        self._max_seen = float("-inf")
+        self._min_seen = float("inf")
+
+    # -- insertion -----------------------------------------------------------
+
+    def _bin_index(self, value: float) -> int:
+        ratio = math.log10(value / self.min_ns)
+        return int(ratio * self.bins_per_decade)
+
+    def record(self, value_ns: float) -> None:
+        self.total += 1
+        self._sum += value_ns
+        self._max_seen = max(self._max_seen, value_ns)
+        self._min_seen = min(self._min_seen, value_ns)
+        if value_ns < self.min_ns:
+            self._underflow += 1
+            return
+        if value_ns >= self.max_ns:
+            self._overflow += 1
+            return
+        self._counts[self._bin_index(value_ns)] += 1
+
+    def record_many(self, values) -> None:
+        for value in values:
+            self.record(value)
+
+    # -- queries -----------------------------------------------------------
+
+    def _bin_edges(self, index: int) -> tuple[float, float]:
+        low = self.min_ns * 10 ** (index / self.bins_per_decade)
+        high = self.min_ns * 10 ** ((index + 1) / self.bins_per_decade)
+        return low, high
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.total if self.total else float("nan")
+
+    @property
+    def max_seen(self) -> float:
+        return self._max_seen if self.total else float("nan")
+
+    @property
+    def min_seen(self) -> float:
+        return self._min_seen if self.total else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile by within-bin geometric interpolation."""
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if self.total == 0:
+            return float("nan")
+        target = p / 100 * self.total
+        cumulative = self._underflow
+        if cumulative >= target:
+            return self.min_ns
+        for index, count in enumerate(self._counts):
+            if cumulative + count >= target and count > 0:
+                low, high = self._bin_edges(index)
+                frac = (target - cumulative) / count
+                return low * (high / low) ** frac
+            cumulative += count
+        return self.max_ns
+
+    def bins(self) -> list[HistogramBin]:
+        """Non-empty bins, low to high."""
+        out = []
+        for index, count in enumerate(self._counts):
+            if count:
+                low, high = self._bin_edges(index)
+                out.append(HistogramBin(low, high, count))
+        return out
+
+    def render(self, width: int = 50) -> str:
+        """ASCII bar rendering of the non-empty bins."""
+        bins = self.bins()
+        if not bins:
+            return "(empty histogram)"
+        peak = max(b.count for b in bins)
+        lines = []
+        for entry in bins:
+            bar = "#" * max(1, round(entry.count / peak * width))
+            lines.append(
+                f"{entry.low_ns:>12,.0f}-{entry.high_ns:>12,.0f} ns "
+                f"|{bar:<{width}}| {entry.count}"
+            )
+        if self._underflow:
+            lines.append(f"(<{self.min_ns:,.0f} ns: {self._underflow})")
+        if self._overflow:
+            lines.append(f"(>={self.max_ns:,.0f} ns: {self._overflow})")
+        return "\n".join(lines)

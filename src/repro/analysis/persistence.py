@@ -1,0 +1,118 @@
+"""On-disk journals: persist recorded feeds and captures across runs.
+
+The §2 research workflow spans processes and days: today's capture is
+next week's backtest input. Two formats:
+
+* **update journals** — binary, fixed-record: an 8-byte timestamp plus a
+  48-byte standard-ITF record per update. Compact, seekable, and decoded
+  by the same codec the live feed uses.
+* **capture journals** — JSON lines, one
+  :class:`~repro.timing.capture.CaptureRecord` per line: heterogeneous
+  and human-greppable, matching how capture metadata is actually kept.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+from repro.firm.replay import RecordedUpdate
+from repro.protocols.itf import ItfCodec, STANDARD_RECORD_BYTES
+from repro.timing.capture import CaptureRecord
+
+_MAGIC = b"RJN1"
+_HEADER = struct.Struct("<4sI")  # magic, record count
+_TIMESTAMP = struct.Struct("<q")
+RECORD_BYTES = _TIMESTAMP.size + STANDARD_RECORD_BYTES
+
+
+class JournalFormatError(ValueError):
+    """Raised when a journal file fails validation."""
+
+
+def save_update_journal(path: str | Path, journal: list[RecordedUpdate]) -> int:
+    """Write ``journal`` to ``path``; returns bytes written."""
+    codec = ItfCodec("standard")
+    path = Path(path)
+    with path.open("wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, len(journal)))
+        for record in journal:
+            handle.write(_TIMESTAMP.pack(record.timestamp_ns))
+            handle.write(codec.encode(record.update))
+    return path.stat().st_size
+
+
+def load_update_journal(path: str | Path) -> list[RecordedUpdate]:
+    """Read a journal written by :func:`save_update_journal`."""
+    codec = ItfCodec("standard")
+    data = Path(path).read_bytes()
+    if len(data) < _HEADER.size:
+        raise JournalFormatError("journal shorter than its header")
+    magic, count = _HEADER.unpack(data[: _HEADER.size])
+    if magic != _MAGIC:
+        raise JournalFormatError(f"bad journal magic {magic!r}")
+    expected = _HEADER.size + count * RECORD_BYTES
+    if len(data) != expected:
+        raise JournalFormatError(
+            f"journal length {len(data)} != expected {expected} "
+            f"({count} records)"
+        )
+    journal = []
+    offset = _HEADER.size
+    for _ in range(count):
+        (timestamp,) = _TIMESTAMP.unpack(data[offset : offset + _TIMESTAMP.size])
+        offset += _TIMESTAMP.size
+        update = codec.decode(data[offset : offset + STANDARD_RECORD_BYTES])
+        offset += STANDARD_RECORD_BYTES
+        journal.append(RecordedUpdate(timestamp, update))
+    return journal
+
+
+def save_capture_journal(path: str | Path, records: list[CaptureRecord]) -> int:
+    """Write capture records as JSON lines; returns record count."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    {
+                        "tap": record.tap,
+                        "packet_id": record.packet_id,
+                        "timestamp_ns": record.timestamp_ns,
+                        "wire_bytes": record.wire_bytes,
+                        "src": record.src,
+                        "dst": record.dst,
+                    },
+                    separators=(",", ":"),
+                )
+            )
+            handle.write("\n")
+    return len(records)
+
+
+def load_capture_journal(path: str | Path) -> list[CaptureRecord]:
+    """Read capture records written by :func:`save_capture_journal`."""
+    records = []
+    for line_no, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            raw = json.loads(line)
+            records.append(
+                CaptureRecord(
+                    tap=raw["tap"],
+                    packet_id=raw["packet_id"],
+                    timestamp_ns=raw["timestamp_ns"],
+                    wire_bytes=raw["wire_bytes"],
+                    src=raw["src"],
+                    dst=raw["dst"],
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise JournalFormatError(
+                f"bad capture record on line {line_no}: {exc}"
+            ) from exc
+    return records

@@ -1,0 +1,84 @@
+"""Experiment records: paper value vs. measured value, with bands.
+
+Every bench produces :class:`ExperimentRecord` rows; the log renders the
+paper-vs-measured table that EXPERIMENTS.md freezes. ``rel_band`` is the
+tolerance within which we claim the *shape* reproduced (we never claim
+absolute-number parity with the authors' proprietary testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import render_table
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One measured quantity against its paper counterpart."""
+
+    experiment: str  # e.g. "E1/Table1"
+    metric: str  # e.g. "feed A median frame bytes"
+    paper_value: float
+    measured_value: float
+    rel_band: float = 0.15  # acceptable relative deviation
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value == 0:
+            return float("inf") if self.measured_value else 1.0
+        return self.measured_value / self.paper_value
+
+    @property
+    def within_band(self) -> bool:
+        if self.paper_value == 0:
+            return abs(self.measured_value) <= self.rel_band
+        return abs(self.measured_value - self.paper_value) <= (
+            self.rel_band * abs(self.paper_value)
+        )
+
+
+@dataclass
+class ExperimentLog:
+    """A collection of records with rendering and gating helpers."""
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        experiment: str,
+        metric: str,
+        paper_value: float,
+        measured_value: float,
+        rel_band: float = 0.15,
+    ) -> ExperimentRecord:
+        record = ExperimentRecord(
+            experiment, metric, paper_value, measured_value, rel_band
+        )
+        self.records.append(record)
+        return record
+
+    @property
+    def all_within_band(self) -> bool:
+        return all(r.within_band for r in self.records)
+
+    def failures(self) -> list[ExperimentRecord]:
+        return [r for r in self.records if not r.within_band]
+
+    def render(self, title: str | None = None) -> str:
+        rows = [
+            [
+                r.experiment,
+                r.metric,
+                f"{r.paper_value:,.6g}",
+                f"{r.measured_value:,.6g}",
+                f"{r.ratio:.3f}",
+                "ok" if r.within_band else "OUT-OF-BAND",
+            ]
+            for r in self.records
+        ]
+        return render_table(
+            ["experiment", "metric", "paper", "measured", "ratio", "band"],
+            rows,
+            title=title,
+        )

@@ -1,0 +1,46 @@
+"""General descriptive statistics used across tests and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Description:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p99: float
+    maximum: float
+
+    def within(self, target: float, rel_tol: float, metric: str = "mean") -> bool:
+        """Whether ``metric`` is within ``rel_tol`` (relative) of ``target``."""
+        value = getattr(self, metric)
+        if target == 0:
+            return abs(value) <= rel_tol
+        return abs(value - target) / abs(target) <= rel_tol
+
+
+def describe(samples) -> Description:
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot describe an empty sample")
+    return Description(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.median(arr)),
+        p75=float(np.percentile(arr, 75)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,30 @@
+"""Minimal ASCII table rendering for bench output.
+
+Benches print the same rows the paper's tables/figures report; this
+keeps that output aligned and diff-friendly without pulling in a
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` with column auto-sizing."""
+    if not headers:
+        raise ValueError("need at least one column")
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Windowed event-count statistics — the lens of Figure 2(b)/(c).
+
+The paper reads its workload plots through a few numbers per series:
+the median window, the busiest window, and the implied per-event
+processing budget. This module computes those from any window-count
+array (produced by :func:`repro.workload.bursts.window_counts`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """Summary statistics over a window-count series."""
+
+    n_windows: int
+    total_events: int
+    mean: float
+    median: float
+    p99: float
+    maximum: int
+    window_ns: int
+
+    @property
+    def budget_at_peak_ns(self) -> float:
+        """Per-event time budget to keep up with the busiest window."""
+        if self.maximum <= 0:
+            return float("inf")
+        return self.window_ns / self.maximum
+
+    @property
+    def budget_at_median_ns(self) -> float:
+        if self.median <= 0:
+            return float("inf")
+        return self.window_ns / self.median
+
+
+def summarize_windows(counts: np.ndarray, window_ns: int) -> WindowSummary:
+    """Summarize a window-count series."""
+    arr = np.asarray(counts)
+    if arr.size == 0:
+        raise ValueError("no windows to summarize")
+    if window_ns <= 0:
+        raise ValueError("window_ns must be positive")
+    return WindowSummary(
+        n_windows=int(arr.size),
+        total_events=int(arr.sum()),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=int(arr.max()),
+        window_ns=window_ns,
+    )
+
+
+def peak_to_median(counts: np.ndarray) -> float:
+    """Max window over median window — the burstiness headline number."""
+    arr = np.asarray(counts, dtype=float)
+    median = np.median(arr)
+    if median <= 0:
+        return float("inf")
+    return float(arr.max() / median)
+
+
+def burstiness_ratio(counts: np.ndarray) -> float:
+    """Index of dispersion (variance/mean): 1 for Poisson, >1 for bursty."""
+    arr = np.asarray(counts, dtype=float)
+    mean = arr.mean()
+    if mean <= 0:
+        return 0.0
+    return float(arr.var() / mean)

@@ -1,0 +1,62 @@
+"""The paper's core contribution: the trading-network design space.
+
+* :mod:`repro.core.latency` — latency-budget composition (the arithmetic
+  behind "half of the overall time through the system is spent in the
+  network");
+* :mod:`repro.core.designs` — the three §4 designs as analyzable
+  objects: Design 1 (leaf-spine commodity switches), Design 2
+  (latency-equalized cloud), Design 3 (layer-1 switches);
+* :mod:`repro.core.merge` — the L1S merge-bottleneck analysis of §4.3
+  and the filtering/compression mitigations of §5;
+* :mod:`repro.core.testbed` — fully-simulated end-to-end builds of
+  Designs 1 and 3 (exchange → normalizer → strategy → gateway →
+  exchange), used by the round-trip experiments;
+* :mod:`repro.core.compare` — the cross-design comparison table.
+"""
+
+from repro.core.latency import BudgetItem, Category, PathBudget
+from repro.core.designs import (
+    Design1LeafSpine,
+    Design2Cloud,
+    Design3L1S,
+    Design4EnhancedL1S,
+    NicPlanVerdict,
+)
+from repro.core.merge import MergeAnalysis, analyze_merge, safe_merge_count
+from repro.core.compare import DesignComparison, compare_designs
+from repro.core.testbed import TradingSystem, build_design1_system, build_design3_system
+from repro.core.cloud import CloudFabric, build_design2_system
+from repro.core.config import SystemSpec
+from repro.core.wan_testbed import CrossColoSystem, build_cross_colo_system
+from repro.core.multivenue import MultiVenueSystem, build_multi_venue_system
+from repro.core.testbed4 import build_design4_system
+from repro.core.ticktotrade import HardwareStrategy, build_tick_to_trade_system
+
+__all__ = [
+    "BudgetItem",
+    "Category",
+    "CloudFabric",
+    "CrossColoSystem",
+    "MultiVenueSystem",
+    "build_multi_venue_system",
+    "SystemSpec",
+    "build_cross_colo_system",
+    "build_design2_system",
+    "Design1LeafSpine",
+    "Design2Cloud",
+    "Design3L1S",
+    "Design4EnhancedL1S",
+    "build_design4_system",
+    "HardwareStrategy",
+    "build_tick_to_trade_system",
+    "DesignComparison",
+    "MergeAnalysis",
+    "NicPlanVerdict",
+    "PathBudget",
+    "TradingSystem",
+    "analyze_merge",
+    "build_design1_system",
+    "build_design3_system",
+    "compare_designs",
+    "safe_merge_count",
+]

@@ -1,0 +1,224 @@
+"""A simulated latency-equalized cloud (Design 2's substrate).
+
+§4.2's model, implemented: (i) the provider manages the network, so
+there is no topology to wire — every host connects to one fabric;
+(ii) connections to/from the *exchange* support multicast and are
+latency-equalized; (iii) all tenants see the same delivery bound.
+
+The catch the paper identifies is also implemented: the fabric offers
+**no multicast for tenant-internal traffic**. A normalizer fanning its
+feed to N strategies must send N unicast copies, each paying the full
+equalized delivery bound — which is what
+:func:`build_design2_system` wires so the cloud round trip can be
+*measured* next to Designs 1 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.testbed import (
+    EXCHANGE_ID,
+    EXCHANGE_KEY,
+    TradingSystem,
+    _momentum_strategies,
+    _standalone_nic,
+)
+from repro.exchange.exchange import Exchange
+from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
+from repro.firm.gateway import OrderGateway
+from repro.firm.normalizer import Normalizer
+from repro.net.addressing import (
+    Address,
+    EndpointAddress,
+    MulticastGroup,
+    is_multicast,
+)
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.process import Component
+from repro.timing.latency import LatencyRecorder
+from repro.workload.orderflow import OrderFlowGenerator
+from repro.workload.symbols import make_universe
+
+DEFAULT_EQUALIZED_NS = 50_000  # a DBO-class delivery guarantee
+
+
+class UnsupportedMulticast(RuntimeError):
+    """Tenant-internal multicast is not offered by the provider."""
+
+
+@dataclass
+class CloudStats:
+    frames_in: int = 0
+    delivered: int = 0
+    exchange_multicast_copies: int = 0
+    unroutable: int = 0
+    internal_multicast_rejected: int = 0
+
+
+class CloudFabric(Component):
+    """The provider's network: one hop, equalized to a fixed bound.
+
+    Every registered NIC hangs off the fabric on a fast access link;
+    whatever arrives is delivered to its destination exactly
+    ``equalized_delivery_ns`` after ingress — fast tenants gain nothing,
+    slow ones lose nothing (assumption (iii)). Multicast groups whose
+    feed name starts with ``exchange_feed_prefix`` are provider-managed
+    (assumption (ii)); any other group is rejected and counted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "cloud",
+        equalized_delivery_ns: int = DEFAULT_EQUALIZED_NS,
+        exchange_feed_prefix: str = "exch",
+    ):
+        super().__init__(sim, name)
+        if equalized_delivery_ns <= 0:
+            raise ValueError("the equalization bound must be positive")
+        self.equalized_delivery_ns = int(equalized_delivery_ns)
+        self.exchange_feed_prefix = exchange_feed_prefix
+        self.stats = CloudStats()
+        self._links: dict[EndpointAddress, Link] = {}
+        self._members: dict[MulticastGroup, list[EndpointAddress]] = {}
+
+    # -- provisioning ------------------------------------------------------------
+
+    def register(self, nic: Nic) -> Link:
+        """Connect ``nic`` to the fabric; returns its access link."""
+        if nic.address in self._links:
+            raise ValueError(f"{nic.address} already registered")
+        link = Link(
+            self.sim,
+            f"cloud.{nic.address}",
+            nic,
+            self,
+            propagation_delay_ns=0,
+            queue_limit_bytes=None,
+        )
+        nic.attach(link)
+        self._links[nic.address] = link
+        return link
+
+    def join(self, group: MulticastGroup, nic: Nic) -> None:
+        """Subscribe to a provider-managed (exchange) multicast group."""
+        if not group.feed.startswith(self.exchange_feed_prefix):
+            raise UnsupportedMulticast(
+                f"the provider offers no multicast for tenant feed "
+                f"{group.feed!r} (§4.2)"
+            )
+        self._members.setdefault(group, []).append(nic.address)
+        nic.join_group(group)
+
+    # -- datapath ------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, ingress: Link) -> None:
+        self.stats.frames_in += 1
+        self.call_after(self.equalized_delivery_ns, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        dst: Address = packet.dst
+        if is_multicast(dst):
+            assert isinstance(dst, MulticastGroup)
+            members = self._members.get(dst)
+            if members is None:
+                self.stats.internal_multicast_rejected += 1
+                return
+            for address in members:
+                self.stats.exchange_multicast_copies += 1
+                self._send_to(address, packet.clone())
+            return
+        self._send_to(dst, packet)  # type: ignore[arg-type]
+
+    def _send_to(self, address: EndpointAddress, packet: Packet) -> None:
+        link = self._links.get(address)
+        if link is None:
+            self.stats.unroutable += 1
+            return
+        self.stats.delivered += 1
+        packet.stamp(f"cloud.{self.name}", self.now)
+        link.send(packet, self)
+
+
+def build_design2_system(
+    seed: int = 1,
+    n_symbols: int = 12,
+    n_strategies: int = 3,
+    flow_rate_per_s: float = 40_000.0,
+    exchange_partitions: int = 4,
+    equalized_delivery_ns: int = DEFAULT_EQUALIZED_NS,
+    function_latency_ns: int = 2_000,
+    matching_latency_ns: int = 10_000,
+) -> TradingSystem:
+    """A complete Design 2 system on the equalized cloud fabric.
+
+    Exchange → normalizer rides provider multicast; normalizer →
+    strategies is *unicast per recipient* (the §4.2 dissemination cost);
+    orders flow unicast. Every leg pays the equalization bound.
+    """
+    sim = Simulator(seed=seed)
+    universe = make_universe(n_symbols, seed=seed)
+    recorder = LatencyRecorder()
+    fabric = CloudFabric(sim, equalized_delivery_ns=equalized_delivery_ns)
+
+    exchange_feed_nic = _standalone_nic(sim, "exchange", "feed")
+    exchange_orders_nic = _standalone_nic(sim, "exchange", "orders")
+    norm_rx = _standalone_nic(sim, "norm0", "md")
+    norm_tx = _standalone_nic(sim, "norm0", "pub")
+    strat_md = [_standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
+    strat_orders = [
+        _standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
+    ]
+    gw_strat_nic = _standalone_nic(sim, "gw0", "strat")
+    gw_exch_nic = _standalone_nic(sim, "gw0", "exch")
+    for nic in (
+        exchange_feed_nic, exchange_orders_nic, norm_rx, norm_tx,
+        *strat_md, *strat_orders, gw_strat_nic, gw_exch_nic,
+    ):
+        fabric.register(nic)
+
+    exchange = Exchange(
+        sim,
+        EXCHANGE_KEY,
+        list(universe.names),
+        alphabetical_scheme(exchange_partitions),
+        feed_nic_a=exchange_feed_nic,
+        orders_nic=exchange_orders_nic,
+        matching_latency_ns=matching_latency_ns,
+        coalesce_window_ns=1_000,
+    )
+
+    # Exchange feed: provider multicast, equalized (assumption (ii)).
+    normalizer = Normalizer(
+        sim, "norm0", EXCHANGE_ID, norm_rx, norm_tx, "norm",
+        hashed_scheme(1),  # partitioning buys nothing without multicast
+        function_latency_ns=function_latency_ns,
+        unicast_recipients=[nic.address for nic in strat_md],
+    )
+    for group in exchange.publisher.groups:
+        fabric.join(group, norm_rx)
+        normalizer.feed.subscribe(group)  # NIC filter only; fabric delivers
+
+    gateway = OrderGateway(
+        sim, "gw0", gw_strat_nic, gw_exch_nic,
+        function_latency_ns=function_latency_ns,
+    )
+    gateway.connect_exchange(EXCHANGE_KEY, exchange_orders_nic.address)
+
+    strategies = _momentum_strategies(
+        sim, universe, strat_md, strat_orders, gw_strat_nic.address,
+        recorder, function_latency_ns,
+    )
+
+    flow = OrderFlowGenerator(sim, "flow", exchange, universe, flow_rate_per_s)
+    system = TradingSystem(
+        sim=sim, exchange=exchange, normalizers=[normalizer],
+        strategies=strategies, gateway=gateway, flow=flow, recorder=recorder,
+        universe=universe,
+    )
+    system.cloud = fabric  # type: ignore[attr-defined]
+    return system

@@ -1,0 +1,72 @@
+"""Cross-design comparison: the summary judgment of §4.
+
+Collects each design's round-trip budget and qualitative properties into
+one table, so "who wins, by what factor" is computed rather than
+asserted. The expected shape (and what the benches verify):
+
+* L1S round trips sit ~100× below commodity switching on the network
+  component, and the network share of Design 3's total collapses to ~0;
+* Design 1 spends about *half* its round trip in the network;
+* Design 2's equalized legs put it one-to-two orders of magnitude above
+  Design 1 on raw latency, with multicast and aggregation caveats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.designs import Design1LeafSpine, Design2Cloud, Design3L1S
+from repro.core.latency import Category, PathBudget
+
+
+@dataclass(frozen=True)
+class DesignComparison:
+    """One design's row in the comparison table."""
+
+    name: str
+    round_trip_ns: float
+    network_ns: float
+    network_fraction: float
+    switch_hop_count: int
+    multicast_groups: int
+    reconfigurable: bool
+
+    def render(self) -> str:
+        return (
+            f"{self.name:<22} rt={self.round_trip_ns:>10,.0f}ns "
+            f"net={self.network_ns:>10,.0f}ns ({self.network_fraction:>5.1%}) "
+            f"hops={self.switch_hop_count:>2} groups={self.multicast_groups:>9,} "
+            f"reconfig={'yes' if self.reconfigurable else 'no'}"
+        )
+
+
+def _row(design, budget: PathBudget) -> DesignComparison:
+    return DesignComparison(
+        name=design.name,
+        round_trip_ns=budget.total_ns,
+        network_ns=budget.network_ns,
+        network_fraction=budget.network_fraction,
+        switch_hop_count=budget.count(Category.SWITCH),
+        multicast_groups=design.multicast_group_capacity,
+        reconfigurable=design.reconfigurable,
+    )
+
+
+def compare_designs(
+    design1: Design1LeafSpine | None = None,
+    design2: Design2Cloud | None = None,
+    design3: Design3L1S | None = None,
+) -> list[DesignComparison]:
+    """The §4 comparison with default parameterizations."""
+    design1 = design1 or Design1LeafSpine()
+    design2 = design2 or Design2Cloud()
+    design3 = design3 or Design3L1S()
+    return [
+        _row(design1, design1.round_trip_budget()),
+        _row(design2, design2.round_trip_budget()),
+        _row(design3, design3.round_trip_budget()),
+    ]
+
+
+def render_comparison(rows: list[DesignComparison]) -> str:
+    return "\n".join(row.render() for row in rows)

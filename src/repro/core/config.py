@@ -1,0 +1,122 @@
+"""Config-driven system construction.
+
+A downstream user shouldn't need to know the wiring internals to stand
+up an experiment: :class:`SystemSpec` captures every knob the testbed
+builders expose, validates it, round-trips through JSON, and builds the
+system. This is also what the CLI's ``run`` command consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.testbed import (
+    TradingSystem,
+    build_design1_system,
+    build_design3_system,
+)
+from repro.sim.kernel import MILLISECOND
+
+DESIGNS = ("design1", "design2", "design3", "design4")
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Everything needed to build and run one simulated trading system."""
+
+    design: str = "design1"
+    seed: int = 1
+    n_symbols: int = 12
+    n_strategies: int = 3
+    n_normalizers: int = 1
+    flow_rate_per_s: float = 40_000.0
+    exchange_partitions: int = 4
+    firm_partitions: int = 8
+    function_latency_ns: int = 2_000
+    matching_latency_ns: int = 10_000
+    run_ms: int = 40
+
+    def __post_init__(self) -> None:
+        if self.design not in DESIGNS:
+            raise ValueError(f"design must be one of {DESIGNS}, got {self.design!r}")
+        if self.n_symbols < 1 or self.n_strategies < 1 or self.n_normalizers < 1:
+            raise ValueError("system needs at least one of each component")
+        if self.flow_rate_per_s < 0 or self.run_ms <= 0:
+            raise ValueError("rates and durations must be positive")
+        if self.exchange_partitions < 1 or self.firm_partitions < 1:
+            raise ValueError("partition counts must be >= 1")
+        if self.function_latency_ns < 0 or self.matching_latency_ns < 0:
+            raise ValueError("latencies must be >= 0")
+
+    # -- (de)serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SystemSpec":
+        unknown = set(raw) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**raw)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SystemSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # -- building ------------------------------------------------------------
+
+    def build(self) -> TradingSystem:
+        if self.design == "design4":
+            from repro.core.testbed4 import build_design4_system
+
+            return build_design4_system(
+                seed=self.seed,
+                n_symbols=self.n_symbols,
+                n_strategies=self.n_strategies,
+                flow_rate_per_s=self.flow_rate_per_s,
+                exchange_partitions=self.exchange_partitions,
+                firm_partitions=self.firm_partitions,
+                function_latency_ns=self.function_latency_ns,
+                matching_latency_ns=self.matching_latency_ns,
+            )
+        if self.design == "design2":
+            from repro.core.cloud import build_design2_system
+
+            return build_design2_system(
+                seed=self.seed,
+                n_symbols=self.n_symbols,
+                n_strategies=self.n_strategies,
+                flow_rate_per_s=self.flow_rate_per_s,
+                exchange_partitions=self.exchange_partitions,
+                function_latency_ns=self.function_latency_ns,
+                matching_latency_ns=self.matching_latency_ns,
+            )
+        builder = (
+            build_design1_system if self.design == "design1" else build_design3_system
+        )
+        return builder(
+            seed=self.seed,
+            n_symbols=self.n_symbols,
+            n_strategies=self.n_strategies,
+            n_normalizers=self.n_normalizers,
+            flow_rate_per_s=self.flow_rate_per_s,
+            exchange_partitions=self.exchange_partitions,
+            firm_partitions=self.firm_partitions,
+            function_latency_ns=self.function_latency_ns,
+            matching_latency_ns=self.matching_latency_ns,
+        )
+
+    def build_and_run(self) -> TradingSystem:
+        system = self.build()
+        system.run(self.run_ms * MILLISECOND)
+        return system

@@ -1,0 +1,309 @@
+"""The three §4 designs as analyzable objects.
+
+All three target the same system: "a network of roughly 1,000 servers
+running normalizers, gateways and strategies ... a few dozen each for
+normalizers and gateways and the rest for strategies", with "the average
+latency of each function ... less than 2 microseconds".
+
+The round trip under analysis is exchange → normalizer → strategy →
+gateway → exchange: four network legs and three software hops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.latency import Category, PathBudget
+from repro.net.fpga_l1s import DEFAULT_TABLE_ENTRIES, FPGA_L1S_LATENCY_NS
+from repro.net.l1switch import L1S_FANOUT_LATENCY_NS, L1S_MERGE_LATENCY_NS
+from repro.net.nic import DEFAULT_RX_LATENCY_NS, DEFAULT_TX_LATENCY_NS
+from repro.net.switch import CURRENT_GENERATION, SwitchProfile
+
+ROUND_TRIP_LEGS = 4
+SOFTWARE_HOPS = 3  # normalizer, strategy, gateway
+
+
+@dataclass(frozen=True)
+class Design1LeafSpine:
+    """§4.1 — leaf-spine fabric of commodity switches.
+
+    One ToR is dedicated to the exchange cross-connects; functions are
+    grouped by rack, so every leg crosses leaf → spine → leaf: 3 switch
+    hops × 4 legs = the paper's 12 switch hops.
+    """
+
+    n_servers: int = 1000
+    servers_per_rack: int = 40
+    n_spines: int = 2
+    profile: SwitchProfile = CURRENT_GENERATION
+    function_latency_ns: float = 2_000.0
+
+    @property
+    def name(self) -> str:
+        return "design1-leaf-spine"
+
+    @property
+    def n_racks(self) -> int:
+        return math.ceil(self.n_servers / self.servers_per_rack)
+
+    @property
+    def switch_hops_per_leg(self) -> int:
+        return 3  # leaf, spine, leaf (functions grouped by rack)
+
+    @property
+    def round_trip_switch_hops(self) -> int:
+        return ROUND_TRIP_LEGS * self.switch_hops_per_leg  # 12
+
+    def round_trip_budget(self, include_nics: bool = False) -> PathBudget:
+        """The paper's arithmetic; ``include_nics`` adds NIC latencies for
+        comparison against the full simulation."""
+        budget = PathBudget(self.name)
+        budget.add(
+            "switch hops (leaf/spine/leaf x 4 legs)",
+            Category.SWITCH,
+            self.round_trip_switch_hops,
+            self.profile.hop_latency_ns,
+        )
+        budget.add(
+            "software hops (normalizer/strategy/gateway)",
+            Category.HOST,
+            SOFTWARE_HOPS,
+            self.function_latency_ns,
+        )
+        if include_nics:
+            budget.add(
+                "NIC rx+tx per software hop",
+                Category.NIC,
+                SOFTWARE_HOPS,
+                DEFAULT_RX_LATENCY_NS + DEFAULT_TX_LATENCY_NS,
+            )
+        return budget
+
+    @property
+    def multicast_group_capacity(self) -> int:
+        """Groups the fabric supports — bounded by one switch's table."""
+        return self.profile.mroute_capacity
+
+    @property
+    def reconfigurable(self) -> bool:
+        """Subscriptions change per-receiver via IGMP joins."""
+        return True
+
+
+@dataclass(frozen=True)
+class Design2Cloud:
+    """§4.2 — latency-equalized cloud hosting.
+
+    The cloud delivers market data to all tenants simultaneously by
+    *equalizing* latency — padding everyone to the slowest path. The
+    delivery bound is therefore a property of the provider's fabric
+    (tens of microseconds), not of any single hop. Internal
+    dissemination (strategy fan-out, NBBO aggregation, firm-wide risk)
+    still has to cross the equalized fabric.
+    """
+
+    equalized_delivery_ns: float = 50_000.0  # per leg, provider-guaranteed
+    function_latency_ns: float = 2_000.0
+    supports_native_multicast: bool = False
+    n_servers: int = 1000
+
+    @property
+    def name(self) -> str:
+        return "design2-cloud"
+
+    def round_trip_budget(self) -> PathBudget:
+        budget = PathBudget(self.name)
+        budget.add(
+            "equalized cloud legs",
+            Category.WIRE,
+            ROUND_TRIP_LEGS,
+            self.equalized_delivery_ns,
+        )
+        budget.add(
+            "software hops (normalizer/strategy/gateway)",
+            Category.HOST,
+            SOFTWARE_HOPS,
+            self.function_latency_ns,
+        )
+        return budget
+
+    def dissemination_cost_messages(self, n_receivers: int) -> int:
+        """Messages the sender must emit to reach ``n_receivers``.
+
+        Without native multicast, internal dissemination is unicast
+        copies — linear in receivers, where Designs 1/3 pay one send.
+        """
+        if n_receivers < 0:
+            raise ValueError("receivers must be >= 0")
+        return n_receivers if not self.supports_native_multicast else 1
+
+    @property
+    def multicast_group_capacity(self) -> int:
+        return 0 if not self.supports_native_multicast else 1_000_000
+
+    @property
+    def reconfigurable(self) -> bool:
+        return True
+
+
+class NicPlanVerdict(Enum):
+    """How a strategy server connects to its feeds under Design 3."""
+
+    DIRECT_NICS = "direct"  # one NIC per subscribed feed: fits in slots
+    MERGED = "merged"  # feeds merged onto one NIC: check bandwidth
+    INFEASIBLE = "infeasible"  # exceeds slots and merge exceeds line rate
+
+
+@dataclass(frozen=True)
+class Design3L1S:
+    """§4.3 — layer-1 switch fabrics.
+
+    Four separate L1S networks: exchange→normalizers,
+    normalizers→strategies, strategies→gateways, gateways→exchange.
+    Fan-out costs 5–6 ns; merging inputs onto one output costs ~50 ns
+    more. The structural problem is interface proliferation: a strategy
+    subscribing to many normalizer feeds needs a NIC per feed or a merge
+    whose summed burst rate fits one NIC's line rate.
+    """
+
+    fanout_latency_ns: float = float(L1S_FANOUT_LATENCY_NS)
+    merge_latency_ns: float = float(L1S_MERGE_LATENCY_NS)
+    function_latency_ns: float = 2_000.0
+    nic_slots_per_server: int = 3
+    nic_line_rate_bps: float = 10e9
+    n_servers: int = 1000
+
+    @property
+    def name(self) -> str:
+        return "design3-l1s"
+
+    def round_trip_budget(self, merges_on_path: int = 2) -> PathBudget:
+        """Round trip with ``merges_on_path`` N-to-1 merge points.
+
+        The natural merge points are the strategies→gateway leg and the
+        gateways→exchange leg (many sources, one sink); the two fan-out
+        legs (exchange→normalizers, normalizers→strategies) need none.
+        """
+        if not 0 <= merges_on_path <= ROUND_TRIP_LEGS:
+            raise ValueError("merges_on_path out of range")
+        budget = PathBudget(self.name)
+        budget.add(
+            "L1S fan-out hops", Category.SWITCH, ROUND_TRIP_LEGS,
+            self.fanout_latency_ns,
+        )
+        if merges_on_path:
+            budget.add(
+                "L1S merge units", Category.SWITCH, merges_on_path,
+                self.merge_latency_ns,
+            )
+        budget.add(
+            "software hops (normalizer/strategy/gateway)",
+            Category.HOST,
+            SOFTWARE_HOPS,
+            self.function_latency_ns,
+        )
+        return budget
+
+    def nic_plan(
+        self,
+        n_subscribed_feeds: int,
+        per_feed_burst_bps: float,
+        reserved_nics: int = 2,  # management + orders (Fig 1d)
+        compression_ratio: float = 1.0,
+        filter_pass_fraction: float = 1.0,
+    ) -> NicPlanVerdict:
+        """Resolve the §4.3 trade-off for one strategy server.
+
+        ``compression_ratio`` (<1) and ``filter_pass_fraction`` (<1)
+        model the §5 mitigations: header compression shrinks bytes,
+        filtering drops irrelevant traffic before the merge.
+        """
+        if n_subscribed_feeds < 0 or per_feed_burst_bps < 0:
+            raise ValueError("subscriptions and rates must be >= 0")
+        free_slots = self.nic_slots_per_server - reserved_nics
+        if n_subscribed_feeds <= free_slots:
+            return NicPlanVerdict.DIRECT_NICS
+        merged_burst = (
+            n_subscribed_feeds
+            * per_feed_burst_bps
+            * compression_ratio
+            * filter_pass_fraction
+        )
+        if merged_burst <= self.nic_line_rate_bps:
+            return NicPlanVerdict.MERGED
+        return NicPlanVerdict.INFEASIBLE
+
+    def max_safe_subscriptions(
+        self,
+        per_feed_burst_bps: float,
+        compression_ratio: float = 1.0,
+        filter_pass_fraction: float = 1.0,
+    ) -> int:
+        """Most feeds mergeable onto one NIC without burst overrun —
+        the "restrict the total number of normalizers each trading
+        strategy can subscribe to" workaround, quantified."""
+        if per_feed_burst_bps <= 0:
+            raise ValueError("burst rate must be positive")
+        effective = per_feed_burst_bps * compression_ratio * filter_pass_fraction
+        return int(self.nic_line_rate_bps // effective)
+
+    @property
+    def multicast_group_capacity(self) -> int:
+        """Effectively unlimited *static* taps, but coarse: one 'group'
+        per physical input port configuration."""
+        return 10**9
+
+    @property
+    def reconfigurable(self) -> bool:
+        """Feed membership is physical port wiring, not per-receiver
+        state — §4.3: "cannot be as easily reconfigured"."""
+        return False
+
+
+@dataclass(frozen=True)
+class Design4EnhancedL1S:
+    """§5's "Hardware" direction as a fourth design point.
+
+    FPGA-accelerated L1Ses: "100-nanosecond latency and standard IP
+    forwarding and multicast — although they tend to have small
+    forwarding tables." Group-based forwarding restores per-receiver
+    reconfigurability and in-fabric filtering, at 5x the latency of a
+    pure L1S but still 5x below a commodity switch — with the small
+    table as the new scaling constraint.
+    """
+
+    hop_latency_ns: float = float(FPGA_L1S_LATENCY_NS)
+    function_latency_ns: float = 2_000.0
+    table_entries: int = DEFAULT_TABLE_ENTRIES
+    n_servers: int = 1000
+
+    @property
+    def name(self) -> str:
+        return "design4-enhanced-l1s"
+
+    def round_trip_budget(self) -> PathBudget:
+        budget = PathBudget(self.name)
+        budget.add(
+            "FPGA L1S hops", Category.SWITCH, ROUND_TRIP_LEGS,
+            self.hop_latency_ns,
+        )
+        budget.add(
+            "software hops (normalizer/strategy/gateway)",
+            Category.HOST,
+            SOFTWARE_HOPS,
+            self.function_latency_ns,
+        )
+        return budget
+
+    @property
+    def multicast_group_capacity(self) -> int:
+        """The small FPGA table — the §5 caveat, and far below even the
+        commodity ASIC's mroute capacity."""
+        return self.table_entries
+
+    @property
+    def reconfigurable(self) -> bool:
+        """Group-based forwarding: membership is table state again."""
+        return True

@@ -1,0 +1,169 @@
+"""Merge-bottleneck analysis for L1S fabrics (§4.3 / §5).
+
+"Recall that market data is bursty, so merged feeds can easily exceed
+the available bandwidth, leading to latency from queuing or packet
+loss." (§4.3) — and the §5 mitigation: "when combined with other ideas,
+such as header compression or data filtering, it should be possible to
+safely merge feeds while avoiding these issues."
+
+Two tools:
+
+* :func:`safe_merge_count` — the closed-form sizing rule;
+* :func:`analyze_merge` — a packet-level simulation of N bursty feeds
+  through a :class:`~repro.net.l1switch.MergeUnit` onto one NIC-rate
+  link, measuring queueing delay and loss directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.addressing import EndpointAddress
+from repro.net.l1switch import MergeUnit
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.protocols.headers import frame_bytes_udp
+from repro.sim.kernel import MILLISECOND, Simulator
+from repro.workload.bursts import hawkes_timestamps
+
+
+def safe_merge_count(
+    per_feed_burst_bps: float,
+    line_rate_bps: float = 10e9,
+    compression_ratio: float = 1.0,
+    filter_pass_fraction: float = 1.0,
+) -> int:
+    """Feeds mergeable onto one link if bursts coincide (worst case)."""
+    if per_feed_burst_bps <= 0 or line_rate_bps <= 0:
+        raise ValueError("rates must be positive")
+    effective = per_feed_burst_bps * compression_ratio * filter_pass_fraction
+    return int(line_rate_bps // effective)
+
+
+@dataclass(frozen=True)
+class MergeAnalysis:
+    """Measured outcome of merging N bursty feeds onto one link."""
+
+    n_feeds: int
+    offered_frames: int
+    delivered_frames: int
+    dropped_frames: int
+    mean_queue_delay_ns: float
+    max_queue_delay_ns: int
+    utilization: float
+
+    @property
+    def loss_rate(self) -> float:
+        return self.dropped_frames / self.offered_frames if self.offered_frames else 0.0
+
+
+class _CountingSink:
+    """Terminal endpoint for the merged link."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.frames = 0
+
+    def handle_packet(self, packet: Packet, ingress: Link) -> None:
+        self.frames += 1
+
+
+class _FeedSource:
+    """Emits pre-scheduled frames into the merge unit."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def handle_packet(self, packet: Packet, ingress: Link) -> None:
+        pass  # sources never receive
+
+
+def analyze_merge(
+    n_feeds: int,
+    events_per_feed_per_s: float,
+    duration_ns: int = 20 * MILLISECOND,
+    branching_ratio: float = 0.6,
+    decay_ns: float = 100_000.0,
+    frame_payload_bytes: int = 120,
+    compression_ratio: float = 1.0,
+    filter_pass_fraction: float = 1.0,
+    line_rate_bps: float = 10e9,
+    queue_limit_bytes: int = 64 * 1024,
+    seed: int = 0,
+) -> MergeAnalysis:
+    """Simulate N Hawkes-bursty feeds through a merge unit onto one link.
+
+    ``compression_ratio`` shrinks frame payloads (header compression);
+    ``filter_pass_fraction`` thins the event streams (upstream
+    filtering) — the two §5 levers, applied before the merge.
+    """
+    if n_feeds < 1:
+        raise ValueError("need at least one feed")
+    sim = Simulator(seed=seed)
+    merge = MergeUnit(sim, "merge")
+    sink = _CountingSink("strategy-nic")
+    out_link = Link(
+        sim,
+        "merged-output",
+        merge,
+        sink,
+        bandwidth_bps=line_rate_bps,
+        propagation_delay_ns=25,
+        queue_limit_bytes=queue_limit_bytes,
+    )
+    merge.set_output(out_link)
+
+    payload = max(1, int(frame_payload_bytes * compression_ratio))
+    wire = frame_bytes_udp(payload)
+    rng = sim.rng.stream("merge.analysis")
+    offered = 0
+    for feed_index in range(n_feeds):
+        times = hawkes_timestamps(
+            mean_rate_per_s=events_per_feed_per_s * filter_pass_fraction,
+            branching_ratio=branching_ratio,
+            decay_ns=decay_ns,
+            duration_ns=duration_ns,
+            rng=rng,
+        )
+        source = _FeedSource(f"feed{feed_index}")
+        in_link = Link(
+            sim,
+            f"feed-link-{feed_index}",
+            source,
+            merge,
+            bandwidth_bps=line_rate_bps,
+            propagation_delay_ns=25,
+        )
+        merge.add_input(in_link)
+        src = EndpointAddress(f"feed{feed_index}")
+        dst = EndpointAddress("strategy")
+        for t in times:
+            offered += 1
+            sim.schedule(
+                at=int(t),
+                callback=_emit_frame,
+                args=(in_link, source, src, dst, wire, payload),
+            )
+
+    sim.run_until_idle()
+    stats = out_link.stats_from(merge)
+    delivered = sink.frames
+    sent = stats.packets_sent
+    return MergeAnalysis(
+        n_feeds=n_feeds,
+        offered_frames=offered,
+        delivered_frames=delivered,
+        dropped_frames=offered - delivered,
+        mean_queue_delay_ns=(stats.queue_delay_total_ns / sent) if sent else 0.0,
+        max_queue_delay_ns=stats.queue_delay_max_ns,
+        utilization=stats.utilization(duration_ns),
+    )
+
+
+def _emit_frame(link, source, src, dst, wire, payload) -> None:
+    link.send(
+        Packet(src=src, dst=dst, wire_bytes=wire, payload_bytes=payload),
+        source,
+    )

@@ -1,0 +1,354 @@
+"""Fully-simulated end-to-end trading systems on Designs 1 and 3.
+
+These builders wire a complete loop — exchange → normalizers →
+strategies → gateways → exchange — over either a leaf-spine fabric
+(Design 1) or four layer-1 switch networks (Design 3), with ambient
+order flow driving the exchange. The round trip the paper analyzes is
+then *measured* (via client timestamps echoed to the exchange edge)
+rather than modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exchange.exchange import Exchange
+from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
+from repro.firm.gateway import OrderGateway
+from repro.firm.normalizer import Normalizer
+from repro.firm.strategies import MomentumStrategy
+from repro.firm.strategy import Strategy
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.l1switch import Layer1Switch, MergeUnit
+from repro.net.link import Link
+from repro.net.multicast import MulticastFabric
+from repro.net.nic import HostStack, Nic
+from repro.net.topology import LeafSpineTopology, build_leaf_spine
+from repro.net.routing import compute_unicast_routes
+from repro.sim.kernel import MILLISECOND, Simulator
+from repro.timing.latency import LatencyRecorder, LatencyStats, summarize
+from repro.workload.orderflow import OrderFlowGenerator
+from repro.workload.symbols import SymbolUniverse, make_universe
+
+EXCHANGE_ID = 1
+EXCHANGE_KEY = f"exch{EXCHANGE_ID}"  # how strategies address the venue
+
+
+@dataclass
+class TradingSystem:
+    """Handles to every component of a built system."""
+
+    sim: Simulator
+    exchange: Exchange
+    normalizers: list[Normalizer]
+    strategies: list[Strategy]
+    gateway: OrderGateway
+    flow: OrderFlowGenerator
+    recorder: LatencyRecorder
+    universe: SymbolUniverse
+    topology: LeafSpineTopology | None = None
+    fabric: MulticastFabric | None = None
+    l1_switches: list[Layer1Switch] = field(default_factory=list)
+    merge_units: list[MergeUnit] = field(default_factory=list)
+
+    def run(self, duration_ns: int = 50 * MILLISECOND) -> None:
+        """Start the flow and run the simulation for ``duration_ns``."""
+        self.flow.start()
+        self.sim.run(until=self.sim.now + duration_ns)
+
+    def roundtrip_samples(self) -> list[int]:
+        """Exchange-edge round-trip samples (event time → order arrival)."""
+        return list(self.exchange.order_entry.roundtrip_samples)
+
+    def roundtrip_stats(self) -> LatencyStats:
+        return summarize(self.roundtrip_samples())
+
+
+def _momentum_strategies(
+    sim: Simulator,
+    universe: SymbolUniverse,
+    md_nics: list[Nic],
+    order_nics: list[Nic],
+    gateway_address: EndpointAddress,
+    recorder: LatencyRecorder,
+    decision_latency_ns: int,
+) -> list[Strategy]:
+    """One momentum strategy per server, each on a hot symbol."""
+    hot = universe.most_active(len(md_nics))
+    strategies: list[Strategy] = []
+    for i, (md, orders) in enumerate(zip(md_nics, order_nics)):
+        symbol = hot[i % len(hot)].name
+        strategies.append(
+            MomentumStrategy(
+                sim,
+                f"strat{i}",
+                md,
+                orders,
+                gateway_address,
+                decision_latency_ns=decision_latency_ns,
+                recorder=recorder,
+                symbol=symbol,
+                trigger_ticks=1,
+            )
+        )
+    return strategies
+
+
+def build_design1_system(
+    seed: int = 1,
+    n_symbols: int = 12,
+    n_strategies: int = 3,
+    n_normalizers: int = 1,
+    flow_rate_per_s: float = 40_000.0,
+    exchange_partitions: int = 4,
+    firm_partitions: int = 8,
+    function_latency_ns: int = 2_000,
+    matching_latency_ns: int = 10_000,
+) -> TradingSystem:
+    """A complete Design 1 system on a leaf-spine fabric.
+
+    Racks follow the §4.1 grouped-by-function layout: normalizers on one
+    leaf, strategies on another, gateways on a third, with the exchange
+    on its dedicated ToR — so every leg crosses 3 switch hops.
+    """
+    sim = Simulator(seed=seed)
+    universe = make_universe(n_symbols, seed=seed)
+    topo = build_leaf_spine(sim, n_racks=3, servers_per_rack=0, n_spines=2)
+    norm_leaf, strat_leaf, gw_leaf = topo.leaves[1], topo.leaves[2], topo.leaves[3]
+
+    # Exchange host on the dedicated ToR: feed NIC + orders NIC.
+    exchange_host = HostStack("exchange")
+    feed_nic = topo.attach_server(exchange_host, topo.exchange_leaf, "feed")
+    orders_nic = topo.attach_server(exchange_host, topo.exchange_leaf, "orders")
+
+    # Normalizer hosts: feed-in NIC + publish NIC.
+    norm_nics = []
+    for i in range(n_normalizers):
+        host = HostStack(f"norm{i}")
+        rx = topo.attach_server(host, norm_leaf, "md")
+        tx = topo.attach_server(host, norm_leaf, "pub")
+        norm_nics.append((rx, tx))
+
+    # Strategy hosts: market-data NIC + orders NIC.
+    strat_md, strat_orders = [], []
+    for i in range(n_strategies):
+        host = HostStack(f"strat{i}")
+        strat_md.append(topo.attach_server(host, strat_leaf, "md"))
+        strat_orders.append(topo.attach_server(host, strat_leaf, "orders"))
+
+    # Gateway host: strategy-side NIC + exchange-side NIC.
+    gw_host = HostStack("gw0")
+    gw_strat_nic = topo.attach_server(gw_host, gw_leaf, "strat")
+    gw_exch_nic = topo.attach_server(gw_host, gw_leaf, "exch")
+
+    compute_unicast_routes(topo)
+    fabric = MulticastFabric(topo)
+
+    exchange = Exchange(
+        sim,
+        EXCHANGE_KEY,
+        list(universe.names),
+        alphabetical_scheme(exchange_partitions),
+        feed_nic_a=feed_nic,
+        orders_nic=orders_nic,
+        matching_latency_ns=matching_latency_ns,
+        coalesce_window_ns=1_000,
+    )
+    for group in exchange.publisher.groups:
+        fabric.announce_server_source(group, feed_nic)
+
+    firm_scheme = hashed_scheme(firm_partitions)
+    normalizers = []
+    for i, (rx, tx) in enumerate(norm_nics):
+        normalizer = Normalizer(
+            sim, f"norm{i}", EXCHANGE_ID, rx, tx, "norm", firm_scheme,
+            function_latency_ns=function_latency_ns,
+        )
+        # Normalizers split the exchange feed: each owns a subset of the
+        # exchange's partitions (the partitioned-workload model of §3).
+        for group in exchange.publisher.groups:
+            if group.partition % n_normalizers == i:
+                normalizer.feed.subscribe(group, fabric)
+        for partition in range(firm_partitions):
+            fabric.announce_server_source(MulticastGroup("norm", partition), tx)
+        normalizers.append(normalizer)
+
+    gateway = OrderGateway(
+        sim, "gw0", gw_strat_nic, gw_exch_nic,
+        function_latency_ns=function_latency_ns,
+    )
+    gateway.connect_exchange(EXCHANGE_KEY, orders_nic.address)
+
+    recorder = LatencyRecorder()
+    strategies = _momentum_strategies(
+        sim, universe, strat_md, strat_orders, gw_strat_nic.address,
+        recorder, function_latency_ns,
+    )
+    for strategy in strategies:
+        for partition in range(firm_partitions):
+            strategy.subscribe(MulticastGroup("norm", partition), fabric)
+
+    flow = OrderFlowGenerator(sim, "flow", exchange, universe, flow_rate_per_s)
+    return TradingSystem(
+        sim=sim, exchange=exchange, normalizers=normalizers,
+        strategies=strategies, gateway=gateway, flow=flow, recorder=recorder,
+        universe=universe, topology=topo, fabric=fabric,
+    )
+
+
+def _standalone_nic(sim: Simulator, host: str, nic_name: str) -> Nic:
+    return Nic(sim, f"nic.{host}:{nic_name}", EndpointAddress(host, nic_name))
+
+
+def build_design3_system(
+    seed: int = 1,
+    n_symbols: int = 12,
+    n_strategies: int = 3,
+    n_normalizers: int = 1,
+    flow_rate_per_s: float = 40_000.0,
+    exchange_partitions: int = 4,
+    firm_partitions: int = 8,
+    function_latency_ns: int = 2_000,
+    matching_latency_ns: int = 10_000,
+) -> TradingSystem:
+    """A complete Design 3 system on four L1S networks.
+
+    * net A: exchange feed → every normalizer (pure fan-out);
+    * net B: normalizer feeds → every strategy (fan-out; with more than
+      one normalizer, a per-strategy merge unit combines them onto the
+      strategy's single market-data NIC — §4.3's interface problem);
+    * net C: strategies → gateway (merge), fills fan back out;
+    * net D: gateway ↔ exchange order port (1:1 cross-connect).
+    """
+    sim = Simulator(seed=seed)
+    universe = make_universe(n_symbols, seed=seed)
+    recorder = LatencyRecorder()
+
+    exchange_feed_nic = _standalone_nic(sim, "exchange", "feed")
+    exchange_orders_nic = _standalone_nic(sim, "exchange", "orders")
+
+    norm_nics = [
+        (_standalone_nic(sim, f"norm{i}", "md"), _standalone_nic(sim, f"norm{i}", "pub"))
+        for i in range(n_normalizers)
+    ]
+    strat_md = [_standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
+    strat_orders = [
+        _standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
+    ]
+    gw_strat_nic = _standalone_nic(sim, "gw0", "strat")
+    gw_exch_nic = _standalone_nic(sim, "gw0", "exch")
+
+    l1s: list[Layer1Switch] = []
+    merges: list[MergeUnit] = []
+
+    # --- net A: exchange feed -> normalizers -------------------------------
+    l1s_a = Layer1Switch(sim, "l1s-a")
+    l1s.append(l1s_a)
+    feed_in = Link(sim, "a.exchange", exchange_feed_nic, l1s_a)
+    exchange_feed_nic.attach(feed_in)
+    norm_legs = []
+    for i, (rx, _tx) in enumerate(norm_nics):
+        leg = Link(sim, f"a.norm{i}", l1s_a, rx)
+        rx.attach(leg)
+        norm_legs.append(leg)
+    l1s_a.set_fanout(feed_in, norm_legs)
+
+    # --- net B: normalizers -> strategies ----------------------------------
+    l1s_b = Layer1Switch(sim, "l1s-b")
+    l1s.append(l1s_b)
+    if n_normalizers == 1:
+        pub_in = Link(sim, "b.norm0", norm_nics[0][1], l1s_b)
+        norm_nics[0][1].attach(pub_in)
+        strat_legs = []
+        for i, md in enumerate(strat_md):
+            leg = Link(sim, f"b.strat{i}", l1s_b, md)
+            md.attach(leg)
+            strat_legs.append(leg)
+        l1s_b.set_fanout(pub_in, strat_legs)
+    else:
+        pub_ins = []
+        for i, (_rx, tx) in enumerate(norm_nics):
+            pub_in = Link(sim, f"b.norm{i}", tx, l1s_b)
+            tx.attach(pub_in)
+            pub_ins.append(pub_in)
+        per_strategy_legs: list[list[Link]] = [[] for _ in strat_md]
+        for s, md in enumerate(strat_md):
+            merge = MergeUnit(sim, f"merge-b.strat{s}")
+            merges.append(merge)
+            out = Link(sim, f"b.merge{s}.out", merge, md)
+            md.attach(out)
+            merge.set_output(out)
+            for n in range(n_normalizers):
+                leg = Link(sim, f"b.n{n}.s{s}", l1s_b, merge)
+                merge.add_input(leg)
+                per_strategy_legs[s].append(leg)
+        for n, pub_in in enumerate(pub_ins):
+            l1s_b.set_fanout(pub_in, [per_strategy_legs[s][n] for s in range(len(strat_md))])
+
+    # --- net C: strategies -> gateway (merge), fills fan back --------------
+    merge_c = MergeUnit(sim, "merge-c")
+    merges.append(merge_c)
+    gw_in = Link(sim, "c.gw", merge_c, gw_strat_nic)
+    gw_strat_nic.attach(gw_in)
+    merge_c.set_output(gw_in)
+    for i, orders in enumerate(strat_orders):
+        leg = Link(sim, f"c.strat{i}", orders, merge_c)
+        orders.attach(leg)
+        merge_c.add_input(leg)
+
+    # --- net D: gateway <-> exchange order port ----------------------------
+    l1s_d = Layer1Switch(sim, "l1s-d")
+    l1s.append(l1s_d)
+    d_gw = Link(sim, "d.gw", gw_exch_nic, l1s_d)
+    gw_exch_nic.attach(d_gw)
+    d_exch = Link(sim, "d.exchange", l1s_d, exchange_orders_nic)
+    exchange_orders_nic.attach(d_exch)
+    l1s_d.set_fanout(d_gw, [d_exch])
+    l1s_d.set_fanout(d_exch, [d_gw])
+
+    # --- components ---------------------------------------------------------
+    exchange = Exchange(
+        sim,
+        EXCHANGE_KEY,
+        list(universe.names),
+        alphabetical_scheme(exchange_partitions),
+        feed_nic_a=exchange_feed_nic,
+        orders_nic=exchange_orders_nic,
+        matching_latency_ns=matching_latency_ns,
+        coalesce_window_ns=1_000,
+    )
+    firm_scheme = hashed_scheme(firm_partitions)
+    normalizers = []
+    for i, (rx, tx) in enumerate(norm_nics):
+        normalizer = Normalizer(
+            sim, f"norm{i}", EXCHANGE_ID, rx, tx, "norm", firm_scheme,
+            function_latency_ns=function_latency_ns,
+        )
+        # L1S membership is physical: every normalizer NIC sees every
+        # frame; the NIC filter keeps only this normalizer's share of the
+        # exchange partitions (feeds split across normalizers, §3).
+        for group in exchange.publisher.groups:
+            if group.partition % n_normalizers == i:
+                normalizer.feed.subscribe(group)
+        normalizers.append(normalizer)
+
+    gateway = OrderGateway(
+        sim, "gw0", gw_strat_nic, gw_exch_nic,
+        function_latency_ns=function_latency_ns,
+    )
+    gateway.connect_exchange(EXCHANGE_KEY, exchange_orders_nic.address)
+
+    strategies = _momentum_strategies(
+        sim, universe, strat_md, strat_orders, gw_strat_nic.address,
+        recorder, function_latency_ns,
+    )
+    for strategy in strategies:
+        for partition in range(firm_partitions):
+            strategy.subscribe(MulticastGroup("norm", partition))
+
+    flow = OrderFlowGenerator(sim, "flow", exchange, universe, flow_rate_per_s)
+    return TradingSystem(
+        sim=sim, exchange=exchange, normalizers=normalizers,
+        strategies=strategies, gateway=gateway, flow=flow, recorder=recorder,
+        universe=universe, l1_switches=l1s, merge_units=merges,
+    )

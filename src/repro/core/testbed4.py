@@ -1,0 +1,147 @@
+"""The Design 4 (enhanced L1S) testbed.
+
+§5's FPGA-accelerated L1S fabric, fully wired: market data forwards *by
+multicast group* at 100 ns through :class:`FilteringL1Switch` devices,
+so — unlike the pure L1S of Design 3 — each strategy's link carries only
+the partitions that strategy subscribed to (in-fabric filtering), and
+membership changes are table updates rather than re-cabling. Orders ride
+the same merge/point-to-point paths as Design 3 (the FPGA pipeline here
+models multicast forwarding only).
+"""
+
+from __future__ import annotations
+
+from repro.core.testbed import (
+    EXCHANGE_ID,
+    EXCHANGE_KEY,
+    TradingSystem,
+    _momentum_strategies,
+    _standalone_nic,
+)
+from repro.exchange.exchange import Exchange
+from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
+from repro.firm.gateway import OrderGateway
+from repro.firm.normalizer import Normalizer
+from repro.net.addressing import MulticastGroup
+from repro.net.fpga_l1s import FilteringL1Switch
+from repro.net.l1switch import Layer1Switch, MergeUnit
+from repro.net.link import Link
+from repro.sim.kernel import Simulator
+from repro.timing.latency import LatencyRecorder
+from repro.workload.orderflow import OrderFlowGenerator
+from repro.workload.symbols import make_universe
+
+
+def build_design4_system(
+    seed: int = 1,
+    n_symbols: int = 12,
+    n_strategies: int = 3,
+    flow_rate_per_s: float = 40_000.0,
+    exchange_partitions: int = 4,
+    firm_partitions: int = 8,
+    function_latency_ns: int = 2_000,
+    matching_latency_ns: int = 10_000,
+    subscriptions_per_strategy: int | None = None,
+) -> TradingSystem:
+    """A complete Design 4 system on FPGA-enhanced L1S fabrics.
+
+    ``subscriptions_per_strategy`` limits each strategy to its first N
+    firm partitions (None = all): the fabric then demonstrably delivers
+    only subscribed traffic to each link.
+    """
+    sim = Simulator(seed=seed)
+    universe = make_universe(n_symbols, seed=seed)
+    recorder = LatencyRecorder()
+
+    exchange_feed_nic = _standalone_nic(sim, "exchange", "feed")
+    exchange_orders_nic = _standalone_nic(sim, "exchange", "orders")
+    norm_rx = _standalone_nic(sim, "norm0", "md")
+    norm_tx = _standalone_nic(sim, "norm0", "pub")
+    strat_md = [_standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
+    strat_orders = [
+        _standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
+    ]
+    gw_strat_nic = _standalone_nic(sim, "gw0", "strat")
+    gw_exch_nic = _standalone_nic(sim, "gw0", "exch")
+
+    exchange = Exchange(
+        sim, EXCHANGE_KEY, list(universe.names),
+        alphabetical_scheme(exchange_partitions),
+        feed_nic_a=exchange_feed_nic, orders_nic=exchange_orders_nic,
+        matching_latency_ns=matching_latency_ns, coalesce_window_ns=1_000,
+    )
+
+    # --- net A: exchange feed -> normalizer, by group -----------------------
+    fpga_a = FilteringL1Switch(sim, "fpga-a")
+    feed_in = Link(sim, "a.exchange", exchange_feed_nic, fpga_a)
+    exchange_feed_nic.attach(feed_in)
+    norm_leg = Link(sim, "a.norm0", fpga_a, norm_rx)
+    norm_rx.attach(norm_leg)
+    for group in exchange.publisher.groups:
+        fpga_a.add_egress(group, norm_leg)
+
+    # --- net B: normalizer -> strategies, by group (in-fabric filtering) ----
+    fpga_b = FilteringL1Switch(sim, "fpga-b")
+    pub_in = Link(sim, "b.norm0", norm_tx, fpga_b)
+    norm_tx.attach(pub_in)
+    fpga_b.attach_link(pub_in)
+    strat_legs = []
+    for i, md in enumerate(strat_md):
+        leg = Link(sim, f"b.strat{i}", fpga_b, md)
+        md.attach(leg)
+        strat_legs.append(leg)
+
+    firm_scheme = hashed_scheme(firm_partitions)
+    normalizer = Normalizer(
+        sim, "norm0", EXCHANGE_ID, norm_rx, norm_tx, "norm", firm_scheme,
+        function_latency_ns=function_latency_ns,
+    )
+    for group in exchange.publisher.groups:
+        normalizer.feed.subscribe(group)
+
+    gateway = OrderGateway(
+        sim, "gw0", gw_strat_nic, gw_exch_nic,
+        function_latency_ns=function_latency_ns,
+    )
+    gateway.connect_exchange(EXCHANGE_KEY, exchange_orders_nic.address)
+
+    strategies = _momentum_strategies(
+        sim, universe, strat_md, strat_orders, gw_strat_nic.address,
+        recorder, function_latency_ns,
+    )
+    for i, strategy in enumerate(strategies):
+        wanted = range(firm_partitions)
+        if subscriptions_per_strategy is not None:
+            wanted = range(min(subscriptions_per_strategy, firm_partitions))
+        for partition in wanted:
+            group = MulticastGroup("norm", partition)
+            strategy.subscribe(group)  # NIC filter
+            fpga_b.add_egress(group, strat_legs[i])  # fabric table
+
+    # --- net C: strategies -> gateway (merge), fills fan back ---------------
+    merge_c = MergeUnit(sim, "merge-c")
+    gw_in = Link(sim, "c.gw", merge_c, gw_strat_nic)
+    gw_strat_nic.attach(gw_in)
+    merge_c.set_output(gw_in)
+    for i, orders in enumerate(strat_orders):
+        leg = Link(sim, f"c.strat{i}", orders, merge_c)
+        orders.attach(leg)
+        merge_c.add_input(leg)
+
+    # --- net D: gateway <-> exchange order port (1:1 L1S) -------------------
+    l1s_d = Layer1Switch(sim, "l1s-d")
+    d_gw = Link(sim, "d.gw", gw_exch_nic, l1s_d)
+    gw_exch_nic.attach(d_gw)
+    d_exch = Link(sim, "d.exchange", l1s_d, exchange_orders_nic)
+    exchange_orders_nic.attach(d_exch)
+    l1s_d.set_fanout(d_gw, [d_exch])
+    l1s_d.set_fanout(d_exch, [d_gw])
+
+    flow = OrderFlowGenerator(sim, "flow", exchange, universe, flow_rate_per_s)
+    system = TradingSystem(
+        sim=sim, exchange=exchange, normalizers=[normalizer],
+        strategies=strategies, gateway=gateway, flow=flow, recorder=recorder,
+        universe=universe, merge_units=[merge_c],
+    )
+    system.fpga_switches = [fpga_a, fpga_b]  # type: ignore[attr-defined]
+    return system

@@ -1,0 +1,58 @@
+"""Exchange simulator: matching engine, market-data publisher, order entry.
+
+Exchanges "receive orders from participants, match up compatible buy and
+sell orders ('trades'), and disseminate a real-time feed of orders and
+trades ('market data')" (§2). This package implements that loop:
+
+* :mod:`repro.exchange.book` — a price-time-priority limit order book;
+* :mod:`repro.exchange.matching` — the multi-symbol matching engine with
+  halts and order-id allocation;
+* :mod:`repro.exchange.publisher` — PITCH frame publication over
+  multicast with pluggable partitioning schemes (alphabetical, by
+  instrument type, hashed), optionally on redundant A/B legs;
+* :mod:`repro.exchange.order_entry` — the exchange side of BOE sessions,
+  including the cancel-vs-fill race;
+* :mod:`repro.exchange.exchange` — the facade wiring it together as a
+  simulation component;
+* :mod:`repro.exchange.colo` — co-location facilities and the metro WAN
+  (fiber vs microwave) connecting them.
+"""
+
+from repro.exchange.book import Fill, MatchResult, OrderBook, RestingOrder
+from repro.exchange.matching import BookUpdate, MatchingEngine
+from repro.exchange.publisher import (
+    FeedPublisher,
+    PartitionScheme,
+    alphabetical_scheme,
+    hashed_scheme,
+    instrument_type_scheme,
+)
+from repro.exchange.order_entry import OrderEntryPort
+from repro.exchange.exchange import Exchange
+from repro.exchange.auction import AuctionResult, OpeningAuction, compute_clearing_price
+from repro.exchange.session import Phase, TradingSession
+from repro.exchange.colo import ColoFacility, MetroRegion, default_nj_metro
+
+__all__ = [
+    "AuctionResult",
+    "BookUpdate",
+    "OpeningAuction",
+    "Phase",
+    "TradingSession",
+    "compute_clearing_price",
+    "ColoFacility",
+    "Exchange",
+    "FeedPublisher",
+    "Fill",
+    "MatchResult",
+    "MatchingEngine",
+    "MetroRegion",
+    "OrderBook",
+    "OrderEntryPort",
+    "PartitionScheme",
+    "RestingOrder",
+    "alphabetical_scheme",
+    "default_nj_metro",
+    "hashed_scheme",
+    "instrument_type_scheme",
+]

@@ -1,0 +1,261 @@
+"""A price-time-priority limit order book for one symbol.
+
+The book is the exchange's core data structure: resting orders queue at
+each price level in arrival order; an incoming order trades against the
+best contra levels while prices cross, and any remainder rests. Cancels
+remove resting quantity; modifies that shrink an order keep its queue
+priority, while price changes or size increases lose it (standard
+exchange semantics — and the reason repricing speed matters so much, §2).
+
+Implementation: two lazy-deletion heaps of price levels plus per-level
+FIFO deques. All quantities are integer shares; all prices are integer
+hundredths of a cent, matching the PITCH codec.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class RestingOrder:
+    """One open order resting in the book."""
+
+    order_id: int
+    side: str  # 'B' or 'S'
+    price: int
+    quantity: int
+    owner: str  # session/participant identifier
+    entry_time_ns: int = 0
+    cancelled: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Fill:
+    """One match between a resting (maker) and incoming (taker) order."""
+
+    maker_order_id: int
+    taker_order_id: int
+    price: int  # trade prints at the maker's price
+    quantity: int
+    maker_owner: str
+    taker_owner: str
+    maker_remaining: int
+
+
+@dataclass(slots=True)
+class MatchResult:
+    """Outcome of submitting an order: fills plus any resting remainder."""
+
+    order_id: int
+    fills: list[Fill] = field(default_factory=list)
+    resting_quantity: int = 0
+    # Resting same-owner orders cancelled by self-trade prevention.
+    self_trade_cancels: list[int] = field(default_factory=list)
+
+    @property
+    def executed_quantity(self) -> int:
+        return sum(f.quantity for f in self.fills)
+
+
+class OrderBook:
+    """Price-time-priority book for a single symbol."""
+
+    def __init__(self, symbol: str):
+        self.symbol = symbol
+        # Heaps of prices: bids negated for max-heap behaviour.
+        self._bid_prices: list[int] = []
+        self._ask_prices: list[int] = []
+        # price -> FIFO of live orders at that level.
+        self._bid_levels: dict[int, deque[RestingOrder]] = {}
+        self._ask_levels: dict[int, deque[RestingOrder]] = {}
+        self._orders: dict[int, RestingOrder] = {}
+        self._arrival = itertools.count()
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, order_id: int) -> bool:
+        order = self._orders.get(order_id)
+        return order is not None and not order.cancelled and order.quantity > 0
+
+    def order(self, order_id: int) -> RestingOrder | None:
+        order = self._orders.get(order_id)
+        if order is None or order.cancelled or order.quantity <= 0:
+            return None
+        return order
+
+    def best_bid(self) -> tuple[int, int] | None:
+        """(price, total size) of the best bid level, or None if empty."""
+        return self._best(self._bid_prices, self._bid_levels, is_bid=True)
+
+    def best_ask(self) -> tuple[int, int] | None:
+        """(price, total size) of the best ask level, or None if empty."""
+        return self._best(self._ask_prices, self._ask_levels, is_bid=False)
+
+    def _best(
+        self,
+        prices: list[int],
+        levels: dict[int, deque[RestingOrder]],
+        is_bid: bool,
+    ) -> tuple[int, int] | None:
+        while prices:
+            price = -prices[0] if is_bid else prices[0]
+            level = levels.get(price)
+            size = sum(o.quantity for o in level if not o.cancelled) if level else 0
+            if size > 0:
+                return price, size
+            heapq.heappop(prices)
+            levels.pop(price, None)
+        return None
+
+    def depth(self) -> int:
+        """Number of live resting orders."""
+        return sum(
+            1 for o in self._orders.values() if not o.cancelled and o.quantity > 0
+        )
+
+    # -- mutations ---------------------------------------------------------------
+
+    def add_order(
+        self,
+        order_id: int,
+        side: str,
+        price: int,
+        quantity: int,
+        owner: str,
+        now_ns: int = 0,
+        immediate_or_cancel: bool = False,
+        prevent_self_trade: bool = False,
+    ) -> MatchResult:
+        """Submit a limit order; match while crossing, then rest (unless IOC).
+
+        With ``prevent_self_trade``, an incoming order never executes
+        against the same owner's resting order: the resting order is
+        cancelled instead (cancel-resting STP, the common venue default),
+        and its id is recorded in ``MatchResult.self_trade_cancels``.
+        """
+        if side not in ("B", "S"):
+            raise ValueError("side must be 'B' or 'S'")
+        if price <= 0 or quantity <= 0:
+            raise ValueError("price and quantity must be positive")
+        if order_id in self._orders:
+            raise ValueError(f"duplicate order id {order_id}")
+
+        result = MatchResult(order_id=order_id)
+        remaining = quantity
+        contra_levels = self._ask_levels if side == "B" else self._bid_levels
+        contra_prices = self._ask_prices if side == "B" else self._bid_prices
+
+        def crosses(level_price: int) -> bool:
+            return level_price <= price if side == "B" else level_price >= price
+
+        while remaining > 0:
+            best = self._best(contra_prices, contra_levels, is_bid=(side == "S"))
+            if best is None or not crosses(best[0]):
+                break
+            level = contra_levels[best[0]]
+            while level and remaining > 0:
+                maker = level[0]
+                if maker.cancelled or maker.quantity <= 0:
+                    level.popleft()
+                    continue
+                if prevent_self_trade and maker.owner == owner:
+                    # Cancel-resting STP: the stale same-owner quote goes.
+                    result.self_trade_cancels.append(maker.order_id)
+                    maker.cancelled = True
+                    maker.quantity = 0
+                    level.popleft()
+                    self._orders.pop(maker.order_id, None)
+                    continue
+                traded = min(remaining, maker.quantity)
+                maker.quantity -= traded
+                remaining -= traded
+                result.fills.append(
+                    Fill(
+                        maker_order_id=maker.order_id,
+                        taker_order_id=order_id,
+                        price=maker.price,
+                        quantity=traded,
+                        maker_owner=maker.owner,
+                        taker_owner=owner,
+                        maker_remaining=maker.quantity,
+                    )
+                )
+                if maker.quantity == 0:
+                    level.popleft()
+                    self._orders.pop(maker.order_id, None)
+
+        if remaining > 0 and not immediate_or_cancel:
+            self._rest(order_id, side, price, remaining, owner, now_ns)
+            result.resting_quantity = remaining
+        return result
+
+    def _rest(
+        self, order_id: int, side: str, price: int, quantity: int, owner: str, now: int
+    ) -> None:
+        order = RestingOrder(order_id, side, price, quantity, owner, now)
+        self._orders[order_id] = order
+        if side == "B":
+            level = self._bid_levels.get(price)
+            if level is None:
+                level = deque()
+                self._bid_levels[price] = level
+                heapq.heappush(self._bid_prices, -price)
+            level.append(order)
+        else:
+            level = self._ask_levels.get(price)
+            if level is None:
+                level = deque()
+                self._ask_levels[price] = level
+                heapq.heappush(self._ask_prices, price)
+            level.append(order)
+
+    def cancel(self, order_id: int) -> int | None:
+        """Cancel a resting order. Returns quantity removed, or None."""
+        order = self.order(order_id)
+        if order is None:
+            return None
+        removed = order.quantity
+        order.cancelled = True
+        order.quantity = 0
+        self._orders.pop(order_id, None)
+        return removed
+
+    def reduce(self, order_id: int, by_quantity: int) -> int | None:
+        """Reduce a resting order's size in place (keeps queue priority).
+
+        Returns the new remaining quantity, or None if unknown. Reducing
+        to zero (or below) cancels the order.
+        """
+        if by_quantity <= 0:
+            raise ValueError("reduction must be positive")
+        order = self.order(order_id)
+        if order is None:
+            return None
+        if by_quantity >= order.quantity:
+            self.cancel(order_id)
+            return 0
+        order.quantity -= by_quantity
+        return order.quantity
+
+    def modify(
+        self, order_id: int, new_quantity: int, new_price: int, now_ns: int = 0
+    ) -> MatchResult | None:
+        """Modify price/size. Size-only reductions keep priority; anything
+        else is cancel + re-add (and may therefore trade on re-entry).
+
+        Returns the MatchResult of the re-add (empty fills for in-place
+        reductions), or None if the order is unknown.
+        """
+        order = self.order(order_id)
+        if order is None:
+            return None
+        if new_price == order.price and new_quantity < order.quantity:
+            self.reduce(order_id, order.quantity - new_quantity)
+            return MatchResult(order_id=order_id, resting_quantity=new_quantity)
+        side, owner = order.side, order.owner
+        self.cancel(order_id)
+        return self.add_order(order_id, side, new_price, new_quantity, owner, now_ns)

@@ -1,0 +1,145 @@
+"""Co-location facilities and the metro WAN connecting them.
+
+"Trading on all U.S. equities markets requires placing servers in three
+different co-location facilities ('colos') that are tens of miles apart"
+(§2, Figure 1a): Mahwah (NYSE family), Secaucus (Cboe family and
+others), and Carteret (Nasdaq family). Between colos, firms run private
+WANs, with microwave links used despite their loss and bandwidth
+penalties because air propagation beats glass.
+
+The model is geometric: facilities carry map coordinates (km), and link
+factories in :mod:`repro.net.link` convert pairwise distances into
+propagation delays for fiber (with path stretch) or microwave (near
+line-of-sight).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.net.link import (
+    Link,
+    PacketSink,
+    SPEED_IN_FIBER,
+    SPEED_MICROWAVE,
+    propagation_ns,
+)
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class ColoFacility:
+    """One co-location data center and the venues it hosts."""
+
+    name: str
+    x_km: float
+    y_km: float
+    exchanges: tuple[str, ...] = ()
+
+    def distance_m(self, other: "ColoFacility") -> float:
+        dx = (self.x_km - other.x_km) * 1000.0
+        dy = (self.y_km - other.y_km) * 1000.0
+        return math.hypot(dx, dy)
+
+
+@dataclass
+class MetroRegion:
+    """A set of colos plus pairwise circuit latency computation."""
+
+    name: str
+    facilities: dict[str, ColoFacility] = field(default_factory=dict)
+    fiber_path_stretch: float = 1.4  # fiber follows roads, not geodesics
+
+    def add(self, facility: ColoFacility) -> None:
+        if facility.name in self.facilities:
+            raise ValueError(f"duplicate facility {facility.name}")
+        self.facilities[facility.name] = facility
+
+    def facility_of_exchange(self, exchange: str) -> ColoFacility:
+        for facility in self.facilities.values():
+            if exchange in facility.exchanges:
+                return facility
+        raise KeyError(f"no facility hosts exchange {exchange}")
+
+    def distance_m(self, a: str, b: str) -> float:
+        return self.facilities[a].distance_m(self.facilities[b])
+
+    def fiber_latency_ns(self, a: str, b: str) -> int:
+        """One-way fiber propagation between colos ``a`` and ``b``."""
+        return propagation_ns(
+            self.distance_m(a, b) * self.fiber_path_stretch, SPEED_IN_FIBER
+        )
+
+    def microwave_latency_ns(self, a: str, b: str) -> int:
+        """One-way microwave propagation (near line-of-sight, near c)."""
+        return propagation_ns(self.distance_m(a, b), SPEED_MICROWAVE)
+
+    def microwave_advantage_ns(self, a: str, b: str) -> int:
+        """How much one-way time microwave saves over fiber on this pair."""
+        return self.fiber_latency_ns(a, b) - self.microwave_latency_ns(a, b)
+
+    def wan_link(
+        self,
+        sim: Simulator,
+        a: str,
+        b: str,
+        end_a: PacketSink,
+        end_b: PacketSink,
+        medium: str = "fiber",
+        bandwidth_bps: float | None = None,
+        loss_prob: float | None = None,
+    ) -> Link:
+        """Build a WAN circuit between colos ``a`` and ``b``.
+
+        ``medium`` is "fiber" (10 Gb/s, lossless) or "microwave"
+        (1 Gb/s, lossy, faster propagation).
+        """
+        if medium == "fiber":
+            delay = self.fiber_latency_ns(a, b)
+            bandwidth = bandwidth_bps if bandwidth_bps is not None else 10e9
+            loss = loss_prob if loss_prob is not None else 0.0
+        elif medium == "microwave":
+            delay = self.microwave_latency_ns(a, b)
+            bandwidth = bandwidth_bps if bandwidth_bps is not None else 1e9
+            loss = loss_prob if loss_prob is not None else 1e-4
+        else:
+            raise ValueError(f"unknown WAN medium {medium!r}")
+        return Link(
+            sim,
+            f"wan.{medium}.{a}-{b}",
+            end_a,
+            end_b,
+            bandwidth_bps=bandwidth,
+            propagation_delay_ns=delay,
+            loss_prob=loss,
+        )
+
+
+def default_nj_metro() -> MetroRegion:
+    """The New Jersey equities triangle of Figure 1(a).
+
+    Coordinates are approximate map positions in km on a local grid;
+    pairwise distances land in the paper's "tens of miles apart" range
+    (Mahwah–Carteret is the long leg at roughly 55 km ≈ 34 miles).
+    """
+    region = MetroRegion("nj-equities")
+    region.add(
+        ColoFacility(
+            "mahwah", 0.0, 0.0,
+            exchanges=("NYSE", "AMEX", "ARCA", "National", "Chicago"),
+        )
+    )
+    region.add(
+        ColoFacility(
+            "secaucus", 14.0, -32.0,
+            exchanges=("CBOE", "BZX", "BYX", "EDGX", "EDGA", "MEMX", "LTSE", "MIAX", "IEX"),
+        )
+    )
+    region.add(
+        ColoFacility(
+            "carteret", 6.0, -55.0,
+            exchanges=("NASDAQ", "BX", "PSX", "ISE", "GEMX", "MRX"),
+        )
+    )
+    return region

@@ -1,0 +1,137 @@
+"""The exchange facade: matching engine + feed publisher + order entry.
+
+One :class:`Exchange` is one venue in one colo. It owns NICs on the
+trading network (or on cross-connect links), publishes its partitioned
+PITCH feed, and terminates order-entry sessions. Ambient market activity
+— the millions of events per second produced by every *other* participant
+— is injected through :meth:`inject_order` / :meth:`inject_cancel` by the
+workload generators, without simulating thousands of extra hosts.
+"""
+
+from __future__ import annotations
+
+from repro.exchange.matching import BookUpdate, MatchingEngine
+from repro.exchange.order_entry import OrderEntryPort, DEFAULT_MATCHING_LATENCY_NS
+from repro.exchange.publisher import FeedPublisher, PartitionScheme
+from repro.net.nic import Nic
+from repro.sim.kernel import Simulator
+from repro.sim.process import Component
+
+
+class Exchange(Component):
+    """A venue: symbols, matcher, market-data feed, order-entry port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        symbols: list[str],
+        scheme: PartitionScheme,
+        feed_nic_a: Nic,
+        orders_nic: Nic,
+        feed_nic_b: Nic | None = None,
+        matching_latency_ns: int = DEFAULT_MATCHING_LATENCY_NS,
+        coalesce_window_ns: int = 5_000,
+    ):
+        super().__init__(sim, name)
+        self.engine = MatchingEngine(name, symbols)
+        self.publisher = FeedPublisher(
+            sim,
+            f"{name}.feed",
+            feed_name=f"{name}.PITCH",
+            scheme=scheme,
+            nic_a=feed_nic_a,
+            nic_b=feed_nic_b,
+            coalesce_window_ns=coalesce_window_ns,
+        )
+        self.order_entry = OrderEntryPort(
+            sim,
+            f"{name}.oe",
+            engine=self.engine,
+            nic=orders_nic,
+            matching_latency_ns=matching_latency_ns,
+            on_update=self._publish_update,
+        )
+        self._auction = None
+
+    # -- feed ---------------------------------------------------------------
+
+    def _publish_update(self, update: BookUpdate) -> None:
+        self.publisher.publish(update.symbol, update.pitch_messages)
+
+    @property
+    def symbols(self) -> list[str]:
+        return self.engine.symbols
+
+    def bbo(self, symbol: str):
+        """((bid px, size) | None, (ask px, size) | None)."""
+        return self.engine.bbo(symbol)
+
+    # -- ambient (injected) activity ------------------------------------------
+
+    def inject_order(
+        self,
+        symbol: str,
+        side: str,
+        price: int,
+        quantity: int,
+        owner: str = "ambient",
+        immediate_or_cancel: bool = False,
+    ) -> BookUpdate:
+        """Apply an order from the ambient market and publish its feed
+        messages. Fills against firm sessions are delivered to them."""
+        update = self.engine.submit(
+            owner, symbol, side, price, quantity,
+            now_ns=self.now, immediate_or_cancel=immediate_or_cancel,
+        )
+        self._publish_update(update)
+        if update.fills:
+            self.order_entry.deliver_ambient_fills(update)
+        return update
+
+    def inject_cancel(self, exchange_order_id: int, owner: str = "ambient") -> BookUpdate:
+        """Cancel an ambient order and publish the delete."""
+        update = self.engine.cancel(owner, exchange_order_id, now_ns=self.now)
+        self._publish_update(update)
+        return update
+
+    def inject_modify(
+        self, exchange_order_id: int, quantity: int, price: int, owner: str = "ambient"
+    ) -> BookUpdate:
+        update = self.engine.modify(
+            owner, exchange_order_id, quantity, price, now_ns=self.now
+        )
+        self._publish_update(update)
+        if update.fills:
+            self.order_entry.deliver_ambient_fills(update)
+        return update
+
+    def halt(self, symbol: str, halted: bool = True) -> None:
+        update = self.engine.set_halted(symbol, halted, now_ns=self.now)
+        self._publish_update(update)
+
+    # -- opening auction ------------------------------------------------------
+
+    def arm_opening_auction(self):
+        """Enter pre-open: continuous trading halts, auction orders queue.
+
+        Returns the :class:`~repro.exchange.auction.OpeningAuction` to
+        submit orders into. Call :meth:`open_market` to cross and resume.
+        """
+        from repro.exchange.auction import OpeningAuction
+
+        if self._auction is not None and self._auction.armed:
+            raise RuntimeError("auction already armed")
+        self._auction = OpeningAuction(self.engine)
+        self._auction.arm()
+        return self._auction
+
+    def open_market(self):
+        """Run the opening cross, publish its prints, resume trading."""
+        auction = self._auction
+        if auction is None or not auction.armed:
+            raise RuntimeError("no armed auction")
+        updates = auction.open_market(now_ns=self.now)
+        for update in updates.values():
+            self._publish_update(update)
+        return auction.results

@@ -1,0 +1,281 @@
+"""The exchange side of BOE order-entry sessions.
+
+Each trading-firm gateway holds a long-lived TCP session to this port
+(§2). The port decodes requests, applies them to the matching engine
+after the exchange's internal processing latency, and answers with acks,
+rejects, and fills. Fills are also delivered to the *maker's* session —
+which is how the cancel-vs-fill race arises: a fill notification can
+already be in flight toward a firm whose cancel for the same order is
+simultaneously in flight toward the exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exchange.matching import BookUpdate, MatchingEngine
+from repro.net.addressing import EndpointAddress
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.protocols.boe import (
+    BoeMessage,
+    CancelAck,
+    CancelOrderRequest,
+    CancelReject,
+    ModifyOrderRequest,
+    NewOrderRequest,
+    OrderAck,
+    OrderFill,
+    OrderReject,
+    decode_message,
+    encode_message,
+)
+from repro.protocols.headers import frame_bytes_tcp
+from repro.sim.kernel import Simulator
+from repro.sim.process import Component
+
+DEFAULT_MATCHING_LATENCY_NS = 10_000  # exchange internal processing
+
+
+@dataclass
+class _SessionState:
+    """Exchange-side book-keeping for one connected firm session."""
+
+    address: EndpointAddress
+    next_sequence: int = 1
+    # client order id -> exchange order id (and back), for cancel routing.
+    client_to_exchange: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class OrderEntryStats:
+    requests: int = 0
+    acks: int = 0
+    rejects: int = 0
+    fills_sent: int = 0
+    cancel_acks: int = 0
+    cancel_rejects: int = 0
+
+
+class OrderEntryPort(Component):
+    """Terminates firm order-entry sessions and drives the matching engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        engine: MatchingEngine,
+        nic: Nic,
+        matching_latency_ns: int = DEFAULT_MATCHING_LATENCY_NS,
+        on_update=None,
+    ):
+        super().__init__(sim, name)
+        self.engine = engine
+        self.nic = nic
+        self.matching_latency_ns = int(matching_latency_ns)
+        # Called with each BookUpdate so the exchange can publish feed
+        # messages; wired by the Exchange facade.
+        self.on_update = on_update
+        self.stats = OrderEntryStats()
+        # Round-trip latency samples: arrival time minus the client
+        # timestamp echoed in each new-order request (= the market-data
+        # event time the order reacted to). This is where "back to the
+        # exchange" lands in the §4.1 round trip.
+        self.roundtrip_samples: list[int] = []
+        self._sessions: dict[str, _SessionState] = {}
+        # exchange order id -> (owner key, client order id): fill routing.
+        self._exchange_to_client: dict[int, tuple[str, int]] = {}
+        nic.bind(self._on_packet)
+
+    # -- inbound ---------------------------------------------------------------
+
+    def _session_for(self, address: EndpointAddress) -> _SessionState:
+        key = str(address)
+        session = self._sessions.get(key)
+        if session is None:
+            session = _SessionState(address)
+            self._sessions[key] = session
+        return session
+
+    def _on_packet(self, packet: Packet) -> None:
+        data = packet.message
+        if not isinstance(data, (bytes, bytearray)):
+            return  # not an order-entry frame; ignore
+        session = self._session_for(packet.src)
+        offset = 0
+        while offset < len(data):
+            message, _unit, _seq, consumed = decode_message(bytes(data[offset:]))
+            offset += consumed
+            self.stats.requests += 1
+            if isinstance(message, NewOrderRequest) and message.client_timestamp_ns:
+                self.roundtrip_samples.append(
+                    self.now - message.client_timestamp_ns
+                )
+            self.call_after(
+                self.matching_latency_ns, self._process, session, message
+            )
+
+    def _process(self, session: _SessionState, message: BoeMessage) -> None:
+        owner = str(session.address)
+        if isinstance(message, NewOrderRequest):
+            self._process_new(session, owner, message)
+        elif isinstance(message, CancelOrderRequest):
+            self._process_cancel(session, owner, message)
+        elif isinstance(message, ModifyOrderRequest):
+            self._process_modify(session, owner, message)
+        # Responses from exchange to client arriving here would be a wiring
+        # error; they are silently ignored by the isinstance chain.
+
+    def _process_new(
+        self, session: _SessionState, owner: str, request: NewOrderRequest
+    ) -> None:
+        if request.client_order_id in session.client_to_exchange:
+            self._respond(
+                session,
+                OrderReject(request.client_order_id, OrderReject.REASON_DUPLICATE_ID),
+            )
+            self.stats.rejects += 1
+            return
+        update = self.engine.submit(
+            owner,
+            request.symbol,
+            request.side,
+            request.price,
+            request.quantity,
+            now_ns=self.now,
+            immediate_or_cancel=(request.time_in_force == "I"),
+        )
+        self._publish(update)
+        if not update.accepted:
+            self._respond(
+                session, OrderReject(request.client_order_id, update.reason or "R")
+            )
+            self.stats.rejects += 1
+            return
+        assert update.exchange_order_id is not None
+        session.client_to_exchange[request.client_order_id] = update.exchange_order_id
+        self._exchange_to_client[update.exchange_order_id] = (
+            owner,
+            request.client_order_id,
+        )
+        self._respond(
+            session,
+            OrderAck(request.client_order_id, update.exchange_order_id, self.now),
+        )
+        self.stats.acks += 1
+        self._deliver_fills(update, taker_owner=owner, taker_client_id=request.client_order_id)
+
+    def _process_cancel(
+        self, session: _SessionState, owner: str, request: CancelOrderRequest
+    ) -> None:
+        exchange_id = session.client_to_exchange.get(request.client_order_id)
+        if exchange_id is None:
+            self._respond(
+                session,
+                CancelReject(request.client_order_id, CancelReject.REASON_UNKNOWN_ORDER),
+            )
+            self.stats.cancel_rejects += 1
+            return
+        update = self.engine.cancel(owner, exchange_id, now_ns=self.now)
+        self._publish(update)
+        if update.accepted:
+            self._respond(session, CancelAck(request.client_order_id, 0, self.now))
+            self.stats.cancel_acks += 1
+        else:
+            # The race resolved against the firm: the order already traded.
+            self._respond(
+                session,
+                CancelReject(request.client_order_id, CancelReject.REASON_TOO_LATE),
+            )
+            self.stats.cancel_rejects += 1
+
+    def _process_modify(
+        self, session: _SessionState, owner: str, request: ModifyOrderRequest
+    ) -> None:
+        exchange_id = session.client_to_exchange.get(request.client_order_id)
+        if exchange_id is None:
+            self._respond(
+                session,
+                CancelReject(request.client_order_id, CancelReject.REASON_UNKNOWN_ORDER),
+            )
+            self.stats.cancel_rejects += 1
+            return
+        update = self.engine.modify(
+            owner, exchange_id, request.quantity, request.price, now_ns=self.now
+        )
+        self._publish(update)
+        if update.accepted:
+            self._respond(session, OrderAck(request.client_order_id, exchange_id, self.now))
+            self.stats.acks += 1
+            self._deliver_fills(
+                update, taker_owner=owner, taker_client_id=request.client_order_id
+            )
+        else:
+            self._respond(
+                session,
+                CancelReject(request.client_order_id, CancelReject.REASON_TOO_LATE),
+            )
+            self.stats.cancel_rejects += 1
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _publish(self, update: BookUpdate) -> None:
+        if self.on_update is not None and update.pitch_messages:
+            self.on_update(update)
+
+    def _deliver_fills(
+        self, update: BookUpdate, taker_owner: str, taker_client_id: int
+    ) -> None:
+        """Send OrderFill to both sides of every fill in ``update``."""
+        # The taker's leaves decrease fill by fill down to the resting
+        # remainder: intermediate fills must NOT report zero leaves or
+        # the client marks the order filled prematurely.
+        taker_leaves = update.resting_quantity + update.executed_quantity
+        for fill in update.fills:
+            execution_id = fill.maker_order_id * 1_000_003 + fill.taker_order_id
+            # Taker side.
+            taker_session = self._sessions.get(taker_owner)
+            taker_leaves -= fill.quantity
+            if taker_session is not None:
+                self._respond(
+                    taker_session,
+                    OrderFill(
+                        taker_client_id, execution_id, fill.quantity, fill.price,
+                        self.now, taker_leaves,
+                    ),
+                )
+            # Maker side (may be an ambient/injected participant: no session).
+            maker = self._exchange_to_client.get(fill.maker_order_id)
+            if maker is not None:
+                maker_owner, maker_client_id = maker
+                maker_session = self._sessions.get(maker_owner)
+                if maker_session is not None:
+                    self._respond(
+                        maker_session,
+                        OrderFill(
+                            maker_client_id, execution_id, fill.quantity, fill.price,
+                            self.now, fill.maker_remaining,
+                        ),
+                    )
+                if fill.maker_remaining == 0:
+                    self._exchange_to_client.pop(fill.maker_order_id, None)
+
+    def deliver_ambient_fills(self, update: BookUpdate) -> None:
+        """Fill delivery for orders injected outside any session (workload
+        traffic that trades against a firm's resting orders)."""
+        self._deliver_fills(update, taker_owner="", taker_client_id=0)
+
+    def _respond(self, session: _SessionState, message: BoeMessage) -> None:
+        data = encode_message(message, unit=1, sequence=session.next_sequence)
+        session.next_sequence += 1
+        if isinstance(message, OrderFill):
+            self.stats.fills_sent += 1
+        packet = Packet(
+            src=self.nic.address,
+            dst=session.address,
+            wire_bytes=frame_bytes_tcp(len(data)),
+            payload_bytes=len(data),
+            message=data,
+            created_at=self.now,
+        )
+        self.nic.send(packet)

@@ -1,0 +1,136 @@
+"""The trading-session state machine.
+
+"Options on this stock trade from 9:30am to 4:00pm, with little to no
+activity outside of this range." (§3) — sessions have edges, and the
+edges are where the hardest workloads live: the opening cross releases a
+burst, the close does it again.
+
+:class:`TradingSession` drives an :class:`~repro.exchange.exchange.Exchange`
+through PRE_OPEN → OPEN (running the opening auction at the bell) →
+CLOSING_AUCTION → CLOSED on the simulation clock, at a configurable
+compression (a "day" can be 50 simulated milliseconds). Order flow
+routed through :meth:`submit` lands in whichever mechanism the current
+phase dictates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.exchange.auction import OpeningAuction
+from repro.exchange.exchange import Exchange
+from repro.exchange.matching import BookUpdate
+from repro.sim.kernel import Simulator
+from repro.sim.process import Component
+
+
+class Phase(Enum):
+    PRE_OPEN = "pre_open"
+    OPEN = "open"
+    CLOSING_AUCTION = "closing_auction"
+    CLOSED = "closed"
+
+
+@dataclass
+class SessionStats:
+    auction_orders: int = 0
+    continuous_orders: int = 0
+    rejected_closed: int = 0
+    open_cross_volume: int = 0
+    close_cross_volume: int = 0
+
+
+class TradingSession(Component):
+    """Schedules one session's phases on the simulation clock.
+
+    ``open_at_ns`` / ``close_at_ns`` bound continuous trading;
+    ``closing_auction_ns`` is how long the closing book accumulates
+    before the final cross. ``on_phase`` (optional) is called with each
+    new :class:`Phase` — workload generators use it to start/stop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        exchange: Exchange,
+        open_at_ns: int,
+        close_at_ns: int,
+        closing_auction_ns: int = 0,
+        on_phase: Callable[[Phase], None] | None = None,
+    ):
+        super().__init__(sim, name)
+        if not 0 <= open_at_ns < close_at_ns:
+            raise ValueError("need 0 <= open < close")
+        self.exchange = exchange
+        self.open_at_ns = int(open_at_ns)
+        self.close_at_ns = int(close_at_ns)
+        self.closing_auction_ns = int(closing_auction_ns)
+        self.on_phase = on_phase
+        self.stats = SessionStats()
+        self.phase = Phase.PRE_OPEN
+        self._auction: OpeningAuction | None = exchange.arm_opening_auction()
+        self.call_at(self.open_at_ns, self._open)
+        if self.closing_auction_ns > 0:
+            self.call_at(
+                self.close_at_ns - self.closing_auction_ns, self._arm_close
+            )
+        self.call_at(self.close_at_ns, self._close)
+
+    # -- phase transitions ------------------------------------------------------
+
+    def _set_phase(self, phase: Phase) -> None:
+        self.phase = phase
+        if self.on_phase is not None:
+            self.on_phase(phase)
+
+    def _open(self) -> None:
+        results = self.exchange.open_market()
+        self.stats.open_cross_volume = sum(
+            r.matched_volume for r in results.values()
+        )
+        self._auction = None
+        self._set_phase(Phase.OPEN)
+
+    def _arm_close(self) -> None:
+        self._auction = self.exchange.arm_opening_auction()  # same mechanism
+        self._set_phase(Phase.CLOSING_AUCTION)
+
+    def _close(self) -> None:
+        if self._auction is not None and self._auction.armed:
+            results = self.exchange.open_market()
+            self.stats.close_cross_volume = sum(
+                r.matched_volume for r in results.values()
+            )
+            self._auction = None
+        # Halt everything: the session is over.
+        for symbol in self.exchange.engine.symbols:
+            self.exchange.engine.set_halted(symbol, True)
+        self._set_phase(Phase.CLOSED)
+
+    # -- order routing ------------------------------------------------------------
+
+    def submit(
+        self, owner: str, symbol: str, side: str, price: int, quantity: int
+    ) -> BookUpdate | int | None:
+        """Route an order per the current phase.
+
+        PRE_OPEN / CLOSING_AUCTION → queued into the auction (returns the
+        auction order id); OPEN → continuous matching (returns the
+        BookUpdate); CLOSED → rejected (returns None).
+        """
+        if self.phase in (Phase.PRE_OPEN, Phase.CLOSING_AUCTION):
+            assert self._auction is not None
+            self.stats.auction_orders += 1
+            return self._auction.submit(owner, symbol, side, price, quantity)
+        if self.phase is Phase.OPEN:
+            self.stats.continuous_orders += 1
+            return self.exchange.inject_order(symbol, side, price, quantity, owner)
+        self.stats.rejected_closed += 1
+        return None
+
+    @property
+    def is_trading(self) -> bool:
+        return self.phase is Phase.OPEN

@@ -1,0 +1,62 @@
+"""The trading firm's in-colo stack.
+
+§2's decomposition: "three types of functions: market data normalizers,
+strategies, and order entry gateways". This package implements all three
+plus the shared infrastructure they rely on:
+
+* :mod:`repro.firm.feedhandler` — multicast subscription, A/B
+  arbitration, PITCH decoding;
+* :mod:`repro.firm.normalizer` — exchange format → internal format (ITF),
+  book state reconstruction, re-partitioned multicast publication;
+* :mod:`repro.firm.strategy` / :mod:`repro.firm.strategies` — the
+  strategy framework and reference strategies;
+* :mod:`repro.firm.gateway` — internal order format → exchange BOE
+  translation over long-lived sessions;
+* :mod:`repro.firm.partitioning` — partition-count planning and the
+  filter-inline-vs-middlebox break-even analysis of §3;
+* :mod:`repro.firm.nbbo` — national best bid/offer aggregation;
+* :mod:`repro.firm.risk` — positions and the SEC lock/cross/trade-through
+  checks of §4.2.
+"""
+
+from repro.firm.feedhandler import FeedHandler
+from repro.firm.normalizer import Normalizer
+from repro.firm.strategy import InternalOrder, Strategy
+from repro.firm.strategies import ArbitrageStrategy, MarketMakerStrategy, MomentumStrategy
+from repro.firm.gateway import OrderGateway
+from repro.firm.partitioning import (
+    FilterPlacement,
+    filter_placement,
+    middlebox_cores_saved,
+    required_partitions,
+)
+from repro.firm.nbbo import NbboBuilder, NbboState
+from repro.firm.risk import PositionTracker, RiskChecker, RiskVerdict
+from repro.firm.bookview import DepthView, SnapshotClient, SnapshotServer
+from repro.firm.replay import ReplayDriver, UpdateRecorder, compare_decisions
+
+__all__ = [
+    "ArbitrageStrategy",
+    "DepthView",
+    "ReplayDriver",
+    "SnapshotClient",
+    "SnapshotServer",
+    "UpdateRecorder",
+    "compare_decisions",
+    "FeedHandler",
+    "FilterPlacement",
+    "InternalOrder",
+    "MarketMakerStrategy",
+    "MomentumStrategy",
+    "NbboBuilder",
+    "NbboState",
+    "Normalizer",
+    "OrderGateway",
+    "PositionTracker",
+    "RiskChecker",
+    "RiskVerdict",
+    "Strategy",
+    "filter_placement",
+    "middlebox_cores_saved",
+    "required_partitions",
+]

@@ -1,0 +1,166 @@
+"""Depth views and snapshot-based recovery.
+
+Sequenced feeds answer "what changed"; a receiver that lost frames (or
+just started) also needs "what is the state now". Real normalized feeds
+pair the multicast stream with a unicast snapshot service: declare your
+gap, fetch a snapshot, resume from the snapshot's sequence number.
+
+:class:`SnapshotServer` serves a normalizer's reconstructed depth over
+unicast; :class:`SnapshotClient` requests it and hands the caller a
+:class:`DepthView`. Both speak a tiny tuple protocol over packets, sized
+realistically on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.firm.normalizer import Normalizer
+from repro.net.addressing import EndpointAddress
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.protocols.headers import frame_bytes_tcp
+from repro.sim.kernel import Simulator
+from repro.sim.process import Component
+
+# Wire sizing: 2 B price-level count + 12 B per level (8 price + 4 size)
+# + 8 B symbol + 8 B timestamp.
+_LEVEL_BYTES = 12
+_SNAPSHOT_FIXED_BYTES = 18
+_REQUEST_BYTES = 18
+
+
+@dataclass(frozen=True)
+class DepthView:
+    """A point-in-time view of one symbol's displayed book."""
+
+    symbol: str
+    bids: tuple[tuple[int, int], ...]  # (price, size), best first
+    asks: tuple[tuple[int, int], ...]
+    as_of_ns: int
+
+    @property
+    def best_bid(self) -> tuple[int, int] | None:
+        return self.bids[0] if self.bids else None
+
+    @property
+    def best_ask(self) -> tuple[int, int] | None:
+        return self.asks[0] if self.asks else None
+
+    @property
+    def crossed(self) -> bool:
+        if not (self.bids and self.asks):
+            return False
+        return self.bids[0][0] >= self.asks[0][0]
+
+    def wire_bytes(self) -> int:
+        return _SNAPSHOT_FIXED_BYTES + _LEVEL_BYTES * (len(self.bids) + len(self.asks))
+
+
+@dataclass
+class SnapshotStats:
+    requests: int = 0
+    responses: int = 0
+    unknown_symbol: int = 0
+
+
+class SnapshotServer(Component):
+    """Serves depth snapshots from a normalizer's book state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        normalizer: Normalizer,
+        nic: Nic,
+        depth: int = 5,
+        service_latency_ns: int = 5_000,
+    ):
+        super().__init__(sim, name)
+        self.normalizer = normalizer
+        self.nic = nic
+        self.depth = depth
+        self.service_latency_ns = int(service_latency_ns)
+        self.stats = SnapshotStats()
+        nic.bind(self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        message = packet.message
+        if not (isinstance(message, tuple) and message and message[0] == "snap_req"):
+            return
+        _tag, request_id, symbol = message
+        self.stats.requests += 1
+        self.call_after(
+            self.service_latency_ns, self._respond, request_id, symbol, packet.src
+        )
+
+    def _respond(
+        self, request_id: int, symbol: str, requester: EndpointAddress
+    ) -> None:
+        if symbol not in self.normalizer.known_symbols:
+            self.stats.unknown_symbol += 1
+            view = DepthView(symbol, (), (), self.now)
+        else:
+            bids, asks = self.normalizer.depth_snapshot(symbol, self.depth)
+            view = DepthView(symbol, tuple(bids), tuple(asks), self.now)
+        self.stats.responses += 1
+        payload_bytes = view.wire_bytes()
+        self.nic.send(
+            Packet(
+                src=self.nic.address,
+                dst=requester,
+                wire_bytes=frame_bytes_tcp(payload_bytes),
+                payload_bytes=payload_bytes,
+                message=("snap", request_id, view),
+                created_at=self.now,
+            )
+        )
+
+
+class SnapshotClient(Component):
+    """Requests snapshots and delivers them to per-request callbacks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        nic: Nic,
+        server: EndpointAddress,
+    ):
+        super().__init__(sim, name)
+        self.nic = nic
+        self.server = server
+        self._request_ids = itertools.count(1)
+        self._pending: dict[int, Callable[[DepthView], None]] = {}
+        nic.bind(self._on_packet)
+
+    def request(self, symbol: str, callback: Callable[[DepthView], None]) -> int:
+        """Ask the server for ``symbol``'s depth; returns the request id."""
+        request_id = next(self._request_ids)
+        self._pending[request_id] = callback
+        self.nic.send(
+            Packet(
+                src=self.nic.address,
+                dst=self.server,
+                wire_bytes=frame_bytes_tcp(_REQUEST_BYTES),
+                payload_bytes=_REQUEST_BYTES,
+                message=("snap_req", request_id, symbol),
+                created_at=self.now,
+            )
+        )
+        return request_id
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def _on_packet(self, packet: Packet) -> None:
+        message = packet.message
+        if not (isinstance(message, tuple) and message and message[0] == "snap"):
+            return
+        _tag, request_id, view = message
+        callback = self._pending.pop(request_id, None)
+        if callback is not None:
+            callback(view)

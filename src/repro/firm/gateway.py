@@ -1,0 +1,197 @@
+"""Order-entry gateways.
+
+"The purpose of the gateway is to translate from internal order entry
+formats back to the protocols that the exchanges use." (§2)
+
+An :class:`OrderGateway` terminates strategies' internal-order sessions
+on one side and holds a long-lived BOE session per exchange on the other.
+It allocates exchange-facing client order ids, tracks which strategy owns
+each, and routes acks/rejects/fills back to the owning strategy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.firm.strategy import InternalOrder
+from repro.net.addressing import EndpointAddress
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.protocols.boe import (
+    BoeSession,
+    NewOrderRequest,
+    OrderAck,
+    OrderFill,
+    OrderReject,
+    CancelAck,
+    CancelReject,
+)
+from repro.protocols.headers import frame_bytes_tcp
+from repro.sim.kernel import Simulator
+from repro.sim.process import Component
+
+
+@dataclass
+class GatewayStats:
+    orders_in: int = 0
+    cancels_in: int = 0
+    orders_out: int = 0
+    rejects: int = 0
+    fills_routed: int = 0
+    unknown_exchange: int = 0
+    race_cancel_rejects: int = 0
+    risk_blocked: int = 0
+
+
+class OrderGateway(Component):
+    """Translates internal orders to per-exchange BOE sessions.
+
+    ``function_latency_ns`` models the translation/validation work. The
+    gateway NIC faces the exchanges; strategies reach the gateway at its
+    strategy-side NIC address.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        strategy_nic: Nic,
+        exchange_nic: Nic,
+        function_latency_ns: int = 1_200,
+        risk_checker=None,
+    ):
+        super().__init__(sim, name)
+        self.strategy_nic = strategy_nic
+        self.exchange_nic = exchange_nic
+        self.function_latency_ns = int(function_latency_ns)
+        # Optional market-access gate (SEC 15c3-5 style): every new order
+        # is risk-checked at the gateway, the last firm-controlled hop
+        # before the exchange; fills it routes update the checker's
+        # positions, keyed exactly by client order id.
+        self.risk_checker = risk_checker
+        self.stats = GatewayStats()
+        self._sessions: dict[str, BoeSession] = {}
+        self._exchange_endpoints: dict[str, EndpointAddress] = {}
+        self._client_ids = itertools.count(1)
+        # exchange client order id -> (exchange, strategy address, intent id)
+        self._owners: dict[int, tuple[str, EndpointAddress, int]] = {}
+        # client order id -> (symbol, side), for position attribution.
+        self._order_terms: dict[int, tuple[str, str]] = {}
+        # (strategy name, intent id) -> client order id, for cancels
+        self._by_intent: dict[tuple[str, int], int] = {}
+        strategy_nic.bind(self._on_strategy_packet)
+        exchange_nic.bind(self._on_exchange_packet)
+
+    def connect_exchange(self, exchange: str, endpoint: EndpointAddress) -> None:
+        """Open the long-lived session toward ``exchange``'s order port."""
+        self._exchange_endpoints[exchange] = endpoint
+        self._sessions.setdefault(exchange, BoeSession())
+
+    @property
+    def connected_exchanges(self) -> list[str]:
+        return list(self._exchange_endpoints)
+
+    # -- strategy side ---------------------------------------------------------------
+
+    def _on_strategy_packet(self, packet: Packet) -> None:
+        order = packet.message
+        if not isinstance(order, InternalOrder):
+            return
+        self.call_after(self.function_latency_ns, self._translate, order, packet.src)
+
+    def _translate(self, order: InternalOrder, strategy_address: EndpointAddress) -> None:
+        session = self._sessions.get(order.exchange)
+        endpoint = self._exchange_endpoints.get(order.exchange)
+        if session is None or endpoint is None:
+            self.stats.unknown_exchange += 1
+            return
+        if order.action == "cancel":
+            self.stats.cancels_in += 1
+            client_id = self._by_intent.get((order.strategy, order.intent_id))
+            if client_id is None:
+                return  # nothing to cancel (never sent, or already done)
+            data = session.encode_cancel(client_id)
+        else:
+            self.stats.orders_in += 1
+            if self.risk_checker is not None:
+                verdict = self.risk_checker.check(order)
+                if not verdict.accepted:
+                    self.stats.risk_blocked += 1
+                    return
+            client_id = next(self._client_ids)
+            self._owners[client_id] = (order.exchange, strategy_address, order.intent_id)
+            self._by_intent[(order.strategy, order.intent_id)] = client_id
+            self._order_terms[client_id] = (order.symbol, order.side)
+            data = session.encode_new_order(
+                NewOrderRequest(
+                    client_order_id=client_id,
+                    side=order.side,
+                    quantity=order.quantity,
+                    symbol=order.symbol,
+                    price=order.price,
+                    time_in_force="I" if order.immediate_or_cancel else "0",
+                    client_timestamp_ns=order.trigger_time_ns,
+                )
+            )
+        self.stats.orders_out += 1
+        self.exchange_nic.send(
+            Packet(
+                src=self.exchange_nic.address,
+                dst=endpoint,
+                wire_bytes=frame_bytes_tcp(len(data)),
+                payload_bytes=len(data),
+                message=data,
+                created_at=self.now,
+            )
+        )
+
+    # -- exchange side ---------------------------------------------------------------
+
+    def _on_exchange_packet(self, packet: Packet) -> None:
+        data = packet.message
+        if not isinstance(data, (bytes, bytearray)):
+            return
+        session = self._session_for_endpoint(packet.src)
+        if session is None:
+            return
+        for message in session.on_bytes(bytes(data)):
+            if isinstance(message, OrderReject):
+                self.stats.rejects += 1
+            elif isinstance(message, CancelReject):
+                if message.reason == CancelReject.REASON_TOO_LATE:
+                    self.stats.race_cancel_rejects += 1
+            elif isinstance(message, OrderFill):
+                self._route_fill(message)
+            # OrderAck / CancelAck update session state internally.
+
+    def _session_for_endpoint(self, endpoint: EndpointAddress) -> BoeSession | None:
+        for exchange, known in self._exchange_endpoints.items():
+            if known == endpoint:
+                return self._sessions[exchange]
+        return None
+
+    def _route_fill(self, fill: OrderFill) -> None:
+        owner = self._owners.get(fill.client_order_id)
+        if owner is None:
+            return
+        _exchange, strategy_address, _intent = owner
+        self.stats.fills_routed += 1
+        if self.risk_checker is not None:
+            terms = self._order_terms.get(fill.client_order_id)
+            if terms is not None:
+                symbol, side = terms
+                self.risk_checker.positions.apply_fill(symbol, side, fill.quantity)
+        self.strategy_nic.send(
+            Packet(
+                src=self.strategy_nic.address,
+                dst=strategy_address,
+                wire_bytes=frame_bytes_tcp(40),
+                payload_bytes=40,
+                message=fill,
+                created_at=self.now,
+            )
+        )
+
+    def session(self, exchange: str) -> BoeSession:
+        return self._sessions[exchange]

@@ -1,0 +1,138 @@
+"""Risk-managed strategy execution.
+
+§4.2's compliance machinery (positions, lock/cross/trade-through) is
+useless as a passive monitor — it has to sit *in the order path*.
+:class:`ManagedStrategy` wraps any :class:`~repro.firm.strategy.Strategy`
+subclass: every order its logic produces passes through a
+:class:`~repro.firm.risk.RiskChecker` before leaving the host, fills
+update the shared :class:`~repro.firm.risk.PositionTracker`, and the
+firm's NBBO view (fed from the same normalized stream the strategy
+trades on) powers the price checks.
+
+The wrapper also shows the §4.2 scaling point in miniature: the checker
+needs *every* venue's updates, so a managed strategy's market-data
+subscription set is a superset of what its alpha logic needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.firm.nbbo import NbboBuilder
+from repro.firm.risk import PositionTracker, RiskChecker, RiskVerdict
+from repro.firm.strategy import InternalOrder, Strategy
+from repro.protocols.boe import OrderFill
+from repro.protocols.itf import NormalizedUpdate
+
+
+@dataclass
+class ManagedStats:
+    orders_proposed: int = 0
+    orders_released: int = 0
+    orders_blocked: int = 0
+    blocks_by_verdict: dict = field(default_factory=dict)
+
+    def record_block(self, verdict: RiskVerdict) -> None:
+        self.orders_blocked += 1
+        self.blocks_by_verdict[verdict] = (
+            self.blocks_by_verdict.get(verdict, 0) + 1
+        )
+
+
+class ManagedStrategy(Strategy):
+    """A strategy with an inline pre-trade risk gate.
+
+    Construct with an ``inner`` strategy *class* and its keyword
+    arguments; the managed wrapper owns the NICs and the network plumbing
+    while the inner class supplies ``on_update`` alpha logic.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name,
+        md_nic,
+        order_nic,
+        gateway_address,
+        inner_cls: type[Strategy],
+        inner_kwargs: dict | None = None,
+        positions: PositionTracker | None = None,
+        nbbo: NbboBuilder | None = None,
+        per_symbol_limit: int = 10_000,
+        firm_gross_limit: int = 100_000,
+        **strategy_kwargs,
+    ):
+        super().__init__(
+            sim, name, md_nic, order_nic, gateway_address, **strategy_kwargs
+        )
+        self.positions = positions if positions is not None else PositionTracker()
+        self.nbbo = nbbo if nbbo is not None else NbboBuilder()
+        self.checker = RiskChecker(
+            self.positions, self.nbbo,
+            per_symbol_limit=per_symbol_limit,
+            firm_gross_limit=firm_gross_limit,
+        )
+        self.managed_stats = ManagedStats()
+        # The inner strategy is instantiated decoupled from the network —
+        # it gets inert stub NICs and only contributes decision logic
+        # through on_update.
+        self._inner = inner_cls(
+            sim, f"{name}.inner", _NullNic(), _NullNic(), gateway_address,
+            **(inner_kwargs or {}),
+        )
+        # Orders the inner logic proposes route through our gate; track
+        # live orders by intent for position attribution on fills.
+        self._intent_symbols: dict[int, tuple[str, str]] = {}
+
+    # -- market data path ---------------------------------------------------------
+
+    def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
+        # Every update feeds the NBBO (the §4.2 aggregation requirement)...
+        self.nbbo.on_update(update)
+        # ...then the alpha logic sees it.
+        proposed = self._inner.on_update(update) or []
+        released: list[InternalOrder] = []
+        for order in proposed:
+            self.managed_stats.orders_proposed += 1
+            verdict = self.checker.check(order)
+            if verdict.accepted:
+                released.append(order)
+                self.managed_stats.orders_released += 1
+                self._intent_symbols[order.intent_id] = (order.symbol, order.side)
+            else:
+                self.managed_stats.record_block(verdict)
+        return released
+
+    # -- fills ---------------------------------------------------------------
+
+    def on_fill(self, fill: OrderFill) -> None:
+        # Without the intent map we cannot attribute side/symbol; the
+        # gateway's client ids are opaque here, so we conservatively use
+        # the most recent released intent. (Production systems echo the
+        # intent id in the fill; our OrderFill carries client ids only.)
+        if self._intent_symbols:
+            intent_id = max(self._intent_symbols)
+            symbol, side = self._intent_symbols[intent_id]
+            self.positions.apply_fill(symbol, side, fill.quantity)
+
+
+class _NullNic:
+    """Inert NIC stand-in for the inner strategy's unused plumbing."""
+
+    def __init__(self):
+        from repro.net.addressing import EndpointAddress
+
+        self.address = EndpointAddress("null", "nic")
+        self.joined_groups = frozenset()
+
+    def bind(self, handler):
+        pass
+
+    def join_group(self, group):
+        pass
+
+    def leave_group(self, group):
+        pass
+
+    def send(self, packet):
+        return True

@@ -1,0 +1,115 @@
+"""National best bid/offer aggregation and lock/cross detection.
+
+§4.2: the SEC prohibits advertising prices that "lock" (a bid on one
+exchange equals the ask on another) or "cross" (a bid higher than
+another exchange's ask), and prohibits "trading through" better prices
+advertised elsewhere. Enforcing these rules requires an aggregated view
+across every venue — the "broad internal communication" the paper argues
+makes isolated per-tenant cloud designs insufficient at scale.
+
+:class:`NbboBuilder` consumes normalized updates from all venues and
+maintains per-symbol NBBO state, flagging locked/crossed intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.itf import NormalizedUpdate
+
+
+@dataclass(frozen=True, slots=True)
+class NbboState:
+    """One symbol's NBBO at an instant."""
+
+    symbol: str
+    bid_price: int
+    bid_size: int
+    bid_venue: int
+    ask_price: int
+    ask_size: int
+    ask_venue: int
+
+    @property
+    def valid(self) -> bool:
+        return self.bid_price > 0 and self.ask_price > 0
+
+    @property
+    def locked(self) -> bool:
+        """Bid equals ask across venues (degenerate but not inverted)."""
+        return self.valid and self.bid_price == self.ask_price
+
+    @property
+    def crossed(self) -> bool:
+        """Bid exceeds ask across venues (inverted market)."""
+        return self.valid and self.bid_price > self.ask_price
+
+    @property
+    def spread(self) -> int | None:
+        return self.ask_price - self.bid_price if self.valid else None
+
+
+@dataclass
+class NbboStats:
+    updates: int = 0
+    nbbo_changes: int = 0
+    locked_events: int = 0
+    crossed_events: int = 0
+
+
+class NbboBuilder:
+    """Aggregates per-venue BBOs into NBBOs; detects locks and crosses."""
+
+    def __init__(self):
+        # symbol -> venue -> (bid px, bid sz, ask px, ask sz)
+        self._venue_quotes: dict[str, dict[int, tuple[int, int, int, int]]] = {}
+        self._nbbo: dict[str, NbboState] = {}
+        self.stats = NbboStats()
+        self.events: list[NbboState] = []
+
+    def on_update(self, update: NormalizedUpdate) -> NbboState | None:
+        """Apply one normalized update; returns the new NBBO if it changed."""
+        if not update.is_quote:
+            return None
+        self.stats.updates += 1
+        venues = self._venue_quotes.setdefault(update.symbol, {})
+        venues[update.exchange_id] = (
+            update.bid_price, update.bid_size, update.ask_price, update.ask_size,
+        )
+        state = self._recompute(update.symbol, venues)
+        previous = self._nbbo.get(update.symbol)
+        if state == previous:
+            return None
+        self._nbbo[update.symbol] = state
+        self.stats.nbbo_changes += 1
+        if state.crossed:
+            self.stats.crossed_events += 1
+            self.events.append(state)
+        elif state.locked:
+            self.stats.locked_events += 1
+            self.events.append(state)
+        return state
+
+    @staticmethod
+    def _recompute(
+        symbol: str, venues: dict[int, tuple[int, int, int, int]]
+    ) -> NbboState:
+        best_bid = (0, 0, -1)  # price, size, venue
+        best_ask = (0, 0, -1)
+        for venue, (bid_px, bid_sz, ask_px, ask_sz) in venues.items():
+            if bid_px > best_bid[0]:
+                best_bid = (bid_px, bid_sz, venue)
+            if ask_px > 0 and (best_ask[0] == 0 or ask_px < best_ask[0]):
+                best_ask = (ask_px, ask_sz, venue)
+        return NbboState(
+            symbol,
+            best_bid[0], best_bid[1], best_bid[2],
+            best_ask[0], best_ask[1], best_ask[2],
+        )
+
+    def nbbo(self, symbol: str) -> NbboState | None:
+        return self._nbbo.get(symbol)
+
+    @property
+    def symbols(self) -> list[str]:
+        return list(self._nbbo)

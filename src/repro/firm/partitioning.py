@@ -1,0 +1,139 @@
+"""Partition planning and the filter-placement analysis of §3.
+
+Two analyses from "Implications for trading systems":
+
+1. **Partition counts.** "The number of partitions can be scaled up as
+   the volume of market data increases ... the number of partitions
+   roughly doubled from around 600 to over 1300 over the past two
+   years." :func:`required_partitions` is the sizing rule that produces
+   that trajectory when fed the growth curve.
+
+2. **Filter placement.** "if the combined time spent discarding data and
+   the time spent processing data is larger than the arrival rate, then
+   filtering should happen outside the trading system — either on another
+   core on the same server or on a middlebox. When several systems employ
+   the same partitioning scheme, middleboxes can be more efficient in
+   terms of the number of cores used." :func:`filter_placement` encodes
+   the break-even; :func:`middlebox_cores_saved` the sharing win.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+def required_partitions(
+    total_events_per_s: float,
+    per_partition_capacity_events_per_s: float,
+    headroom: float = 0.5,
+) -> int:
+    """Partitions needed so each carries capacity × headroom at most.
+
+    ``headroom`` < 1 leaves room for bursts (the paper: burst rates are
+    "at least an order of magnitude larger" than averages, so capacity
+    planning on the mean alone underprovisions).
+    """
+    if total_events_per_s < 0:
+        raise ValueError("event rate must be >= 0")
+    if per_partition_capacity_events_per_s <= 0 or not 0 < headroom <= 1:
+        raise ValueError("capacity and headroom must be positive (headroom <= 1)")
+    usable = per_partition_capacity_events_per_s * headroom
+    return max(1, math.ceil(total_events_per_s / usable))
+
+
+class FilterPlacement(Enum):
+    """Where to discard irrelevant market data."""
+
+    INLINE = "inline"  # same process/core as the strategy
+    SEPARATE = "separate"  # another core or a middlebox
+
+
+@dataclass(frozen=True)
+class FilterAnalysis:
+    """The §3 break-even arithmetic, with its inputs preserved."""
+
+    placement: FilterPlacement
+    inline_busy_fraction: float  # strategy core utilization filtering inline
+    arrival_interval_ns: float
+    inline_time_per_event_ns: float
+
+    @property
+    def overloaded_inline(self) -> bool:
+        return self.inline_busy_fraction > 1.0
+
+
+def filter_placement(
+    arrival_rate_events_per_s: float,
+    relevant_fraction: float,
+    discard_ns_per_event: float,
+    process_ns_per_event: float,
+) -> FilterAnalysis:
+    """Decide where filtering belongs.
+
+    Inline, the strategy core pays ``discard_ns`` for every irrelevant
+    event and ``process_ns`` for every relevant one. If that combined
+    time exceeds the inter-arrival time, the core falls behind and
+    filtering must move out (§3's criterion, verbatim).
+    """
+    if arrival_rate_events_per_s <= 0:
+        raise ValueError("arrival rate must be positive")
+    if not 0.0 <= relevant_fraction <= 1.0:
+        raise ValueError("relevant fraction must be in [0, 1]")
+    if discard_ns_per_event < 0 or process_ns_per_event < 0:
+        raise ValueError("per-event costs must be >= 0")
+    interval_ns = 1e9 / arrival_rate_events_per_s
+    inline_cost_ns = (
+        (1.0 - relevant_fraction) * discard_ns_per_event
+        + relevant_fraction * process_ns_per_event
+    )
+    busy = inline_cost_ns / interval_ns
+    placement = FilterPlacement.SEPARATE if busy > 1.0 else FilterPlacement.INLINE
+    return FilterAnalysis(placement, busy, interval_ns, inline_cost_ns)
+
+
+def middlebox_cores_saved(
+    n_consumers: int,
+    arrival_rate_events_per_s: float,
+    discard_ns_per_event: float,
+    relevant_fraction: float,
+    middlebox_filter_ns_per_event: float | None = None,
+) -> float:
+    """Cores freed by filtering once on a middlebox vs. once per consumer.
+
+    Inline, every one of ``n_consumers`` burns discard time on the same
+    irrelevant events; a shared middlebox (same partition scheme across
+    consumers) pays that cost once.
+    """
+    if n_consumers < 1:
+        raise ValueError("need at least one consumer")
+    if middlebox_filter_ns_per_event is None:
+        middlebox_filter_ns_per_event = discard_ns_per_event
+    irrelevant_rate = arrival_rate_events_per_s * (1.0 - relevant_fraction)
+    per_consumer_cores = irrelevant_rate * discard_ns_per_event / 1e9
+    middlebox_cores = (
+        arrival_rate_events_per_s * middlebox_filter_ns_per_event / 1e9
+    )
+    return n_consumers * per_consumer_cores - middlebox_cores
+
+
+def partition_growth_trajectory(
+    start_partitions: int,
+    volume_growth_factor: float,
+    per_partition_capacity_growth: float = 1.0,
+) -> int:
+    """Partitions after volume grows by ``volume_growth_factor``.
+
+    With flat per-partition capacity (software doesn't get faster), the
+    partition count scales with volume — the paper's 600 → 1300 doubling
+    over two years corresponds to ~2.2× volume growth.
+    """
+    if start_partitions < 1 or volume_growth_factor <= 0:
+        raise ValueError("invalid trajectory inputs")
+    return max(
+        1,
+        math.ceil(
+            start_partitions * volume_growth_factor / per_partition_capacity_growth
+        ),
+    )

@@ -1,0 +1,144 @@
+"""Positions and pre-trade risk checks.
+
+§4.2: "Firms also track metrics akin to a firm-wide net position, for
+regulatory reasons and to assess risk." — :class:`PositionTracker`.
+
+:class:`RiskChecker` gates outgoing orders: per-symbol and firm-wide
+position limits, and the SEC market-access rules that need the NBBO —
+an order must not *lock or cross* the displayed market with a resting
+price, nor *trade through* a better price advertised at another venue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.firm.nbbo import NbboBuilder
+from repro.firm.strategy import InternalOrder
+
+
+class RiskVerdict(Enum):
+    ACCEPT = "accept"
+    REJECT_POSITION_LIMIT = "position_limit"
+    REJECT_FIRM_LIMIT = "firm_limit"
+    REJECT_WOULD_LOCK = "would_lock"
+    REJECT_WOULD_CROSS = "would_cross"
+    REJECT_TRADE_THROUGH = "trade_through"
+
+    @property
+    def accepted(self) -> bool:
+        return self is RiskVerdict.ACCEPT
+
+
+class PositionTracker:
+    """Net positions per symbol plus the firm-wide aggregate."""
+
+    def __init__(self):
+        self._positions: dict[str, int] = {}
+
+    def apply_fill(self, symbol: str, side: str, quantity: int) -> None:
+        """Record a fill: buys increase the position, sells decrease it."""
+        if quantity <= 0:
+            raise ValueError("fill quantity must be positive")
+        delta = quantity if side == "B" else -quantity
+        self._positions[symbol] = self._positions.get(symbol, 0) + delta
+
+    def position(self, symbol: str) -> int:
+        return self._positions.get(symbol, 0)
+
+    @property
+    def firm_net(self) -> int:
+        """Firm-wide net position (sum of signed per-symbol positions)."""
+        return sum(self._positions.values())
+
+    @property
+    def firm_gross(self) -> int:
+        """Firm-wide gross exposure (sum of absolute positions)."""
+        return sum(abs(p) for p in self._positions.values())
+
+    @property
+    def symbols(self) -> list[str]:
+        return [s for s, p in self._positions.items() if p != 0]
+
+
+@dataclass
+class RiskStats:
+    checked: int = 0
+    rejected: int = 0
+    by_verdict: dict | None = None
+
+    def __post_init__(self):
+        if self.by_verdict is None:
+            self.by_verdict = {}
+
+    def record(self, verdict: RiskVerdict) -> None:
+        self.checked += 1
+        if not verdict.accepted:
+            self.rejected += 1
+        self.by_verdict[verdict] = self.by_verdict.get(verdict, 0) + 1
+
+
+class RiskChecker:
+    """Pre-trade gate combining position limits and SEC price checks.
+
+    The NBBO source is the firm's own aggregated view — which is the
+    paper's point: these checks cannot run without market data from
+    *every* venue reaching the checking component.
+    """
+
+    def __init__(
+        self,
+        positions: PositionTracker,
+        nbbo: NbboBuilder | None = None,
+        per_symbol_limit: int = 10_000,
+        firm_gross_limit: int = 100_000,
+    ):
+        if per_symbol_limit <= 0 or firm_gross_limit <= 0:
+            raise ValueError("limits must be positive")
+        self.positions = positions
+        self.nbbo = nbbo
+        self.per_symbol_limit = per_symbol_limit
+        self.firm_gross_limit = firm_gross_limit
+        self.stats = RiskStats()
+
+    def check(self, order: InternalOrder) -> RiskVerdict:
+        verdict = self._evaluate(order)
+        self.stats.record(verdict)
+        return verdict
+
+    def _evaluate(self, order: InternalOrder) -> RiskVerdict:
+        if order.action == "cancel":
+            return RiskVerdict.ACCEPT  # cancels only reduce risk
+        delta = order.quantity if order.side == "B" else -order.quantity
+        projected = self.positions.position(order.symbol) + delta
+        if abs(projected) > self.per_symbol_limit:
+            return RiskVerdict.REJECT_POSITION_LIMIT
+        projected_gross = (
+            self.positions.firm_gross
+            - abs(self.positions.position(order.symbol))
+            + abs(projected)
+        )
+        if projected_gross > self.firm_gross_limit:
+            return RiskVerdict.REJECT_FIRM_LIMIT
+        if self.nbbo is not None:
+            state = self.nbbo.nbbo(order.symbol)
+            if state is not None and state.valid:
+                if not order.immediate_or_cancel:
+                    # A resting buy at/above the national ask locks/crosses.
+                    if order.side == "B" and order.price > state.ask_price:
+                        return RiskVerdict.REJECT_WOULD_CROSS
+                    if order.side == "B" and order.price == state.ask_price:
+                        return RiskVerdict.REJECT_WOULD_LOCK
+                    if order.side == "S" and order.price < state.bid_price:
+                        return RiskVerdict.REJECT_WOULD_CROSS
+                    if order.side == "S" and order.price == state.bid_price:
+                        return RiskVerdict.REJECT_WOULD_LOCK
+                else:
+                    # A marketable order executing at a worse price than
+                    # another venue displays is a trade-through.
+                    if order.side == "B" and order.price > state.ask_price:
+                        return RiskVerdict.REJECT_TRADE_THROUGH
+                    if order.side == "S" and order.price < state.bid_price:
+                        return RiskVerdict.REJECT_TRADE_THROUGH
+        return RiskVerdict.ACCEPT

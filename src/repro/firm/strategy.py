@@ -1,0 +1,223 @@
+"""The strategy framework.
+
+"Strategies subscribe to normalizers and implement the custom algorithms
+that decide which orders to send. Each strategy has a TCP connection to
+one or more gateways." (§2)
+
+:class:`Strategy` is the base class: it owns a market-data NIC (ITF
+subscriptions) and an orders NIC (session to a gateway), implements the
+decode path, integrates with the latency recorder using the paper's
+definition (order send time minus most recent input arrival), and leaves
+one method — :meth:`on_update` — for the trading logic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.multicast import MulticastFabric
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.protocols.boe import OrderFill
+from repro.protocols.headers import frame_bytes_tcp
+from repro.protocols.itf import ItfCodec, NormalizedUpdate
+from repro.sim.kernel import Simulator
+from repro.sim.process import Component
+from repro.timing.latency import LatencyRecorder
+
+
+@dataclass(frozen=True, slots=True)
+class InternalOrder:
+    """The firm's internal order message, strategy → gateway.
+
+    The gateway translates this into the destination exchange's BOE
+    session. 32 bytes nominal on the wire (the firm controls this format,
+    so it is already lean — §5's point is that the *standard transport
+    headers around it* dominate).
+    """
+
+    WIRE_BYTES = 32
+
+    strategy: str
+    intent_id: int
+    exchange: str
+    symbol: str
+    side: str
+    price: int
+    quantity: int
+    action: str = "new"  # "new" | "cancel"
+    immediate_or_cancel: bool = False
+    # Timestamp of the market-data event this order reacted to, echoed
+    # down the chain for end-to-end latency attribution.
+    trigger_time_ns: int = 0
+
+
+@dataclass
+class StrategyStats:
+    updates_in: int = 0
+    orders_sent: int = 0
+    cancels_sent: int = 0
+    fills: int = 0
+    filled_quantity: int = 0
+    seq_gaps: int = 0
+
+
+class Strategy(Component):
+    """Base class for trading strategies.
+
+    Subclasses implement :meth:`on_update`, returning a (possibly empty)
+    list of :class:`InternalOrder` to emit. ``decision_latency_ns`` is
+    the §4 "function latency" — the compute time between input and
+    output, charged before the order leaves the host.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        md_nic: Nic,
+        order_nic: Nic,
+        gateway_address: EndpointAddress,
+        decision_latency_ns: int = 1_800,
+        recorder: LatencyRecorder | None = None,
+        itf_codec: ItfCodec | None = None,
+    ):
+        super().__init__(sim, name)
+        self.md_nic = md_nic
+        self.order_nic = order_nic
+        self.gateway_address = gateway_address
+        self.decision_latency_ns = int(decision_latency_ns)
+        self.recorder = recorder
+        self.stats = StrategyStats()
+        self._codecs: dict[str, ItfCodec] = {}
+        if itf_codec is not None:
+            self._codecs[itf_codec.mode] = itf_codec
+        self._intent_ids = itertools.count(1)
+        self._expected_seq: dict[MulticastGroup, int] = {}
+        md_nic.bind(self._on_md_packet)
+        order_nic.bind(self._on_order_packet)
+
+    # -- subscriptions ---------------------------------------------------------------
+
+    def subscribe(
+        self, group: MulticastGroup, fabric: MulticastFabric | None = None
+    ) -> None:
+        if fabric is not None:
+            fabric.join(group, self.md_nic)
+        else:
+            self.md_nic.join_group(group)
+
+    @property
+    def subscriptions(self) -> frozenset[MulticastGroup]:
+        return self.md_nic.joined_groups
+
+    # -- market data path ---------------------------------------------------------------
+
+    def _codec_for(self, mode: str) -> ItfCodec:
+        codec = self._codecs.get(mode)
+        if codec is None:
+            codec = ItfCodec(mode)  # type: ignore[arg-type]
+            self._codecs[mode] = codec
+        return codec
+
+    def _on_md_packet(self, packet: Packet) -> None:
+        payload = packet.message
+        if not (isinstance(payload, tuple) and payload and payload[0] == "itf"):
+            return
+        _tag, mode, data, exchange_id = payload
+        if isinstance(packet.dst, MulticastGroup) and packet.seqno is not None:
+            expected = self._expected_seq.get(packet.dst)
+            if expected is not None and packet.seqno > expected:
+                self.stats.seq_gaps += 1
+            codec = self._codec_for(mode)
+            updates = codec.decode_batch(data, exchange_id, self.now)
+            self._expected_seq[packet.dst] = packet.seqno + len(updates)
+        else:
+            codec = self._codec_for(mode)
+            updates = codec.decode_batch(data, exchange_id, self.now)
+        for update in updates:
+            self.stats.updates_in += 1
+            if self.recorder is not None:
+                self.recorder.input_event(self.name, self.now)
+            orders = self.on_update(update) or []
+            if orders:
+                # Stamp the triggering event's origin time onto each order
+                # so latency can be attributed at the exchange edge.
+                orders = [
+                    replace(o, trigger_time_ns=update.source_time_ns)
+                    if o.trigger_time_ns == 0
+                    else o
+                    for o in orders
+                ]
+                self.call_after(self.decision_latency_ns, self._send_orders, orders)
+
+    # -- trading logic hook ---------------------------------------------------------------
+
+    def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
+        """Override: react to one normalized update."""
+        raise NotImplementedError
+
+    def on_fill(self, fill: OrderFill) -> None:
+        """Override for fill handling; default just counts."""
+
+    # -- order path ---------------------------------------------------------------
+
+    def new_order(
+        self,
+        exchange: str,
+        symbol: str,
+        side: str,
+        price: int,
+        quantity: int,
+        immediate_or_cancel: bool = False,
+    ) -> InternalOrder:
+        """Build a new-order intent addressed from this strategy."""
+        return InternalOrder(
+            strategy=self.name,
+            intent_id=next(self._intent_ids),
+            exchange=exchange,
+            symbol=symbol,
+            side=side,
+            price=price,
+            quantity=quantity,
+            immediate_or_cancel=immediate_or_cancel,
+        )
+
+    def cancel_order(self, original: InternalOrder) -> InternalOrder:
+        return InternalOrder(
+            strategy=self.name,
+            intent_id=original.intent_id,
+            exchange=original.exchange,
+            symbol=original.symbol,
+            side=original.side,
+            price=original.price,
+            quantity=original.quantity,
+            action="cancel",
+        )
+
+    def _send_orders(self, orders: list[InternalOrder]) -> None:
+        for order in orders:
+            if self.recorder is not None:
+                self.recorder.order_sent(self.name, self.now)
+            if order.action == "cancel":
+                self.stats.cancels_sent += 1
+            else:
+                self.stats.orders_sent += 1
+            packet = Packet(
+                src=self.order_nic.address,
+                dst=self.gateway_address,
+                wire_bytes=frame_bytes_tcp(InternalOrder.WIRE_BYTES),
+                payload_bytes=InternalOrder.WIRE_BYTES,
+                message=order,
+                created_at=self.now,
+            )
+            self.order_nic.send(packet)
+
+    def _on_order_packet(self, packet: Packet) -> None:
+        message = packet.message
+        if isinstance(message, OrderFill):
+            self.stats.fills += 1
+            self.stats.filled_quantity += message.quantity
+            self.on_fill(message)

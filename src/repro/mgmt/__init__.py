@@ -1,0 +1,55 @@
+"""Cluster management: inventory, placement, partition planning, capacity.
+
+§5 asks for cloud-style automation of "provisioning, placement, and
+scaling" that optimizes latency above other criteria. This package is
+that layer for the simulated firm:
+
+* :mod:`repro.mgmt.inventory` — cages, racks, servers, and their
+  space/power limits (Figure 1(c)'s practical constraints);
+* :mod:`repro.mgmt.placement` — latency-first placement of normalizers,
+  strategies, and gateways onto racks;
+* :mod:`repro.mgmt.partitions` — feed → multicast-group planning under
+  switch table budgets;
+* :mod:`repro.mgmt.capacity` — what-if projections of workload growth
+  against hardware generations.
+"""
+
+from repro.mgmt.inventory import Cage, Rack, ServerSpec
+from repro.mgmt.placement import (
+    Flow,
+    Placement,
+    evaluate_placement,
+    group_by_function_placement,
+    optimize_placement,
+    random_placement,
+)
+from repro.mgmt.partitions import PartitionPlan, plan_partitions
+from repro.mgmt.capacity import CapacityProjection, project_capacity
+from repro.mgmt.feedmap import (
+    evaluate_mapping,
+    interest_clustered_mapping,
+    scheme_from_mapping,
+)
+from repro.mgmt.migration import MigrationParams, MigrationPlan, plan_migration
+
+__all__ = [
+    "Cage",
+    "MigrationParams",
+    "MigrationPlan",
+    "evaluate_mapping",
+    "interest_clustered_mapping",
+    "plan_migration",
+    "scheme_from_mapping",
+    "CapacityProjection",
+    "Flow",
+    "PartitionPlan",
+    "Placement",
+    "Rack",
+    "ServerSpec",
+    "evaluate_placement",
+    "group_by_function_placement",
+    "optimize_placement",
+    "plan_partitions",
+    "project_capacity",
+    "random_placement",
+]

@@ -1,0 +1,90 @@
+"""Capacity projection: workload growth vs. hardware generations.
+
+Puts §3's two trend lines on the same axis: market-data volume growing
+~500% per five years against multicast table capacity growing ~80% per
+decade, and answers "in which year does the fabric run out of groups?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.switch import SWITCH_GENERATIONS, SwitchProfile
+from repro.workload.growth import GrowthModel
+
+
+@dataclass(frozen=True)
+class CapacityProjection:
+    """One year's supply/demand snapshot."""
+
+    year: int
+    daily_events: float
+    partitions_needed: int
+    switch_model: str
+    mroute_capacity: int
+
+    @property
+    def fits(self) -> bool:
+        return self.partitions_needed <= self.mroute_capacity
+
+    @property
+    def utilization(self) -> float:
+        return self.partitions_needed / self.mroute_capacity
+
+
+def _best_switch_for(year: int) -> SwitchProfile:
+    """The newest generation available in ``year``."""
+    available = [p for p in SWITCH_GENERATIONS if p.year <= year]
+    if not available:
+        return SWITCH_GENERATIONS[0]
+    return max(available, key=lambda p: p.year)
+
+
+def project_capacity(
+    model: GrowthModel | None = None,
+    per_partition_capacity_events_per_s: float = 1.0e6,
+    headroom: float = 0.5,
+    trading_seconds_per_day: int = 23_400,
+    peak_to_mean: float = 10.0,
+) -> list[CapacityProjection]:
+    """Project partition demand against the best available switch, yearly.
+
+    Demand: the year's average event rate, scaled by ``peak_to_mean``
+    (the paper: bursts are "at least an order of magnitude larger" than
+    averages), divided across partitions of the given capacity with
+    burst headroom.
+    """
+    from repro.firm.partitioning import required_partitions
+
+    if model is None:
+        model = GrowthModel()
+    projections = []
+    for offset in range(model.n_years):
+        year = model.start_year + offset
+        # Mid-year point on the exponential trend.
+        day = int((offset + 0.5) * 252)
+        daily = float(model.trend(day))
+        mean_rate = daily / trading_seconds_per_day
+        burst_rate = mean_rate * peak_to_mean
+        needed = required_partitions(
+            burst_rate, per_partition_capacity_events_per_s, headroom
+        )
+        switch = _best_switch_for(year)
+        projections.append(
+            CapacityProjection(
+                year=year,
+                daily_events=daily,
+                partitions_needed=needed,
+                switch_model=switch.model,
+                mroute_capacity=switch.mroute_capacity,
+            )
+        )
+    return projections
+
+
+def first_overflow_year(projections: list[CapacityProjection]) -> int | None:
+    """The first projected year demand exceeds the table, if any."""
+    for projection in projections:
+        if not projection.fits:
+            return projection.year
+    return None

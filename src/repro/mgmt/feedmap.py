@@ -1,0 +1,202 @@
+"""Interest-aware feed mapping (§5, "Routing").
+
+The paper: "How can we design routing schemes that deliver relevant
+market data to strategies? By co-designing the algorithm used to
+transform raw market data to normalized feeds as well as the mapping
+from feeds to multicast groups, can we achieve a more efficient design?"
+
+This module is that co-design, made concrete: given each subscriber's
+symbol interests and per-symbol event rates, assign symbols to a bounded
+number of multicast groups so that subscribers receive as little
+*irrelevant* traffic as possible. A subscriber must join every group
+containing any symbol it wants, so waste = delivered-but-unwanted rate.
+
+The optimizer clusters symbols by their *interest signature* (the exact
+set of subscribers that want them): symbols wanted by the same
+subscribers can share a group with zero added waste, and signatures are
+merged by Jaccard similarity when the group budget forces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exchange.publisher import PartitionScheme
+
+
+@dataclass(frozen=True)
+class WasteReport:
+    """How much irrelevant traffic a mapping delivers."""
+
+    total_wanted_rate: float  # sum over subscribers of wanted event rate
+    total_delivered_rate: float  # sum over subscribers of delivered rate
+    n_groups_used: int
+    joins_total: int  # total (subscriber, group) memberships
+
+    @property
+    def wasted_rate(self) -> float:
+        return self.total_delivered_rate - self.total_wanted_rate
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of delivered traffic that nobody asked for."""
+        if self.total_delivered_rate == 0:
+            return 0.0
+        return self.wasted_rate / self.total_delivered_rate
+
+    @property
+    def efficiency(self) -> float:
+        """Wanted / delivered: 1.0 is a perfect mapping."""
+        if self.total_delivered_rate == 0:
+            return 1.0
+        return self.total_wanted_rate / self.total_delivered_rate
+
+
+def evaluate_mapping(
+    mapping: dict[str, int],
+    interests: dict[str, set[str]],
+    rates: dict[str, float],
+) -> WasteReport:
+    """Score ``mapping`` (symbol -> group) against subscriber interests.
+
+    ``interests`` maps subscriber name -> set of wanted symbols;
+    ``rates`` maps symbol -> event rate. Every wanted symbol must be
+    mapped.
+    """
+    group_rate: dict[int, float] = {}
+    group_symbols: dict[int, set[str]] = {}
+    for symbol, group in mapping.items():
+        group_rate[group] = group_rate.get(group, 0.0) + rates.get(symbol, 0.0)
+        group_symbols.setdefault(group, set()).add(symbol)
+
+    total_wanted = 0.0
+    total_delivered = 0.0
+    joins = 0
+    for subscriber, wanted in interests.items():
+        unmapped = wanted - mapping.keys()
+        if unmapped:
+            raise ValueError(
+                f"subscriber {subscriber} wants unmapped symbols {sorted(unmapped)[:3]}"
+            )
+        joined_groups = {mapping[s] for s in wanted}
+        joins += len(joined_groups)
+        total_wanted += sum(rates.get(s, 0.0) for s in wanted)
+        total_delivered += sum(group_rate[g] for g in joined_groups)
+    return WasteReport(
+        total_wanted_rate=total_wanted,
+        total_delivered_rate=total_delivered,
+        n_groups_used=len(group_rate),
+        joins_total=joins,
+    )
+
+
+def mapping_from_scheme(
+    scheme: PartitionScheme, symbols: list[str]
+) -> dict[str, int]:
+    """Materialize a symbol->group mapping from a partition scheme."""
+    return {s: scheme.partition_of(s) for s in symbols}
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def interest_clustered_mapping(
+    interests: dict[str, set[str]],
+    rates: dict[str, float],
+    n_groups: int,
+    balance_rate: bool = True,
+) -> dict[str, int]:
+    """Assign symbols to ``n_groups`` groups by interest signature.
+
+    1. Bucket symbols by the exact set of subscribers wanting them
+       (plus an "unwanted" bucket for symbols nobody subscribes to).
+    2. While there are more buckets than groups, merge the pair of
+       buckets with the highest signature similarity (Jaccard), breaking
+       ties toward the lowest combined rate.
+    3. Optionally split the heaviest buckets across multiple groups when
+       buckets < groups (rate balancing: same signature, so zero waste).
+    """
+    if n_groups < 1:
+        raise ValueError("need at least one group")
+    all_symbols = set(rates)
+    for wanted in interests.values():
+        all_symbols |= wanted
+
+    signature_of: dict[str, frozenset] = {}
+    for symbol in all_symbols:
+        wanters = frozenset(
+            subscriber for subscriber, wanted in interests.items() if symbol in wanted
+        )
+        signature_of[symbol] = wanters
+
+    buckets: dict[frozenset, list[str]] = {}
+    for symbol, signature in signature_of.items():
+        buckets.setdefault(signature, []).append(symbol)
+
+    def bucket_rate(symbols: list[str]) -> float:
+        return sum(rates.get(s, 0.0) for s in symbols)
+
+    # Merge down to the budget.
+    entries: list[tuple[frozenset, list[str]]] = [
+        (sig, sorted(syms)) for sig, syms in buckets.items()
+    ]
+    entries.sort(key=lambda e: (-bucket_rate(e[1]), sorted(e[0])))
+    while len(entries) > n_groups:
+        best_pair = None
+        best_score = -1.0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                score = _jaccard(entries[i][0], entries[j][0])
+                if score > best_score:
+                    best_score = score
+                    best_pair = (i, j)
+        assert best_pair is not None
+        i, j = best_pair
+        sig_i, syms_i = entries[i]
+        sig_j, syms_j = entries[j]
+        merged = (sig_i | sig_j, sorted(syms_i + syms_j))
+        entries = [e for k, e in enumerate(entries) if k not in (i, j)]
+        entries.append(merged)
+
+    # Split heavy buckets into spare groups (same signature: no waste).
+    if balance_rate:
+        while len(entries) < n_groups:
+            entries.sort(key=lambda e: -bucket_rate(e[1]))
+            sig, syms = entries[0]
+            if len(syms) < 2:
+                break
+            syms_sorted = sorted(syms, key=lambda s: -rates.get(s, 0.0))
+            left, right = [], []
+            left_rate = right_rate = 0.0
+            for symbol in syms_sorted:
+                if left_rate <= right_rate:
+                    left.append(symbol)
+                    left_rate += rates.get(symbol, 0.0)
+                else:
+                    right.append(symbol)
+                    right_rate += rates.get(symbol, 0.0)
+            if not left or not right:
+                break
+            entries = entries[1:] + [(sig, sorted(left)), (sig, sorted(right))]
+
+    mapping: dict[str, int] = {}
+    for group, (_sig, symbols) in enumerate(sorted(entries, key=lambda e: e[1])):
+        for symbol in symbols:
+            mapping[symbol] = group
+    return mapping
+
+
+def scheme_from_mapping(name: str, mapping: dict[str, int]) -> PartitionScheme:
+    """Wrap a mapping as a PartitionScheme usable by the publishers."""
+    n_groups = max(mapping.values()) + 1 if mapping else 1
+
+    def assign(symbol: str) -> int:
+        try:
+            return mapping[symbol]
+        except KeyError:
+            raise ValueError(f"symbol {symbol} not in feed map") from None
+
+    return PartitionScheme(name, n_groups, assign)

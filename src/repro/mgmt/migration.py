@@ -1,0 +1,121 @@
+"""Bare-metal job migration planning (§5, "Cluster Management").
+
+"A related problem is how to migrate a given job from one server to
+another. The jobs in trading networks run on bare metal servers, so
+there are likely to be subtle differences compared to prior work on
+virtual machines and containers."
+
+The subtlety this module captures: a trading job's critical state is not
+its memory image but its *market data continuity* and its *open orders*.
+A migration therefore has two gap metrics:
+
+* **market-data gap** — time during which neither instance has a live,
+  sequenced view of the job's subscriptions;
+* **order gap** — time during which no instance can manage the job's
+  open orders (cancel/reprice), which is pure risk exposure (§2: stale
+  orders keep matching).
+
+Two plans are modeled: break-before-make (stop, move, start) and
+make-before-break (warm the target, dual-run, cut over), which trades
+double resource occupancy for near-zero gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.kernel import MICROSECOND, MILLISECOND, SECOND
+
+
+@dataclass(frozen=True)
+class MigrationParams:
+    """Costs of the individual migration steps."""
+
+    state_bytes: int = 256 * 1024 * 1024  # books + model state to rebuild
+    transfer_bandwidth_bps: float = 10e9
+    subscriptions: int = 32  # multicast groups to re-join
+    join_latency_ns: int = 50 * MICROSECOND  # IGMP join + tree graft, each
+    feed_warmup_ns: int = 200 * MILLISECOND  # replay/settle before trusting state
+    order_handoff_ns: int = 2 * MILLISECOND  # cancel+re-enter or session transfer
+    process_start_ns: int = 500 * MILLISECOND  # bare-metal process bring-up
+
+    @property
+    def state_transfer_ns(self) -> int:
+        return int(self.state_bytes * 8 / self.transfer_bandwidth_bps * 1e9)
+
+    @property
+    def rejoin_ns(self) -> int:
+        """Joins proceed in parallel trees but serialize on the NIC/IGMP
+        path; model as sequential at the join latency."""
+        return self.subscriptions * self.join_latency_ns
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Outcome of planning one migration."""
+
+    strategy: str  # "break-before-make" | "make-before-break"
+    total_duration_ns: int
+    market_data_gap_ns: int
+    order_gap_ns: int
+    peak_servers: int  # 1 or 2 during the migration
+
+    @property
+    def seconds(self) -> float:
+        return self.total_duration_ns / SECOND
+
+
+def break_before_make(params: MigrationParams) -> MigrationPlan:
+    """Stop the job, move it, start it: simple, but gapped.
+
+    The market-data gap spans process start + rejoin + warmup; the order
+    gap spans everything from stop to handoff completion.
+    """
+    md_gap = params.process_start_ns + params.rejoin_ns + params.feed_warmup_ns
+    total = (
+        params.process_start_ns
+        + params.state_transfer_ns
+        + params.rejoin_ns
+        + params.feed_warmup_ns
+        + params.order_handoff_ns
+    )
+    return MigrationPlan(
+        strategy="break-before-make",
+        total_duration_ns=total,
+        market_data_gap_ns=md_gap,
+        order_gap_ns=total,
+        peak_servers=1,
+    )
+
+
+def make_before_break(params: MigrationParams) -> MigrationPlan:
+    """Warm the target while the source still runs, then cut over.
+
+    Multicast does the heavy lifting: the target joins the same groups
+    (the fabric duplicates traffic at no sender cost, §2), rebuilds its
+    state from the live feed, and only the order session handoff gaps.
+    """
+    warm_time = (
+        params.process_start_ns
+        + params.state_transfer_ns
+        + params.rejoin_ns
+        + params.feed_warmup_ns
+    )
+    return MigrationPlan(
+        strategy="make-before-break",
+        total_duration_ns=warm_time + params.order_handoff_ns,
+        market_data_gap_ns=0,
+        order_gap_ns=params.order_handoff_ns,
+        peak_servers=2,
+    )
+
+
+def plan_migration(
+    params: MigrationParams | None = None, spare_capacity: bool = True
+) -> MigrationPlan:
+    """Choose a plan: dual-run when a spare server exists, else gap."""
+    if params is None:
+        params = MigrationParams()
+    if spare_capacity:
+        return make_before_break(params)
+    return break_before_make(params)

@@ -1,0 +1,97 @@
+"""Feed → multicast-group planning under switch table budgets.
+
+§3's tension: the workload wants *more* partitions every year (one
+representative strategy went from ~600 to over 1300 in two years), but
+the hardware's mroute table grew only ~80% in a decade. The planner
+allocates each feed the partitions its rate requires, then checks the
+total against the fabric's group budget and reports what had to give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.firm.partitioning import required_partitions
+
+
+@dataclass(frozen=True)
+class FeedDemand:
+    """One feed's rate and the capacity of a single consumer partition."""
+
+    feed: str
+    events_per_s: float
+    per_partition_capacity: float
+    headroom: float = 0.5
+
+
+@dataclass
+class PartitionPlan:
+    """The outcome: per-feed partition counts, fit or overflow."""
+
+    group_budget: int
+    allocations: dict[str, int] = field(default_factory=dict)
+    desired: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_groups(self) -> int:
+        return sum(self.allocations.values())
+
+    @property
+    def total_desired(self) -> int:
+        return sum(self.desired.values())
+
+    @property
+    def fits(self) -> bool:
+        return self.total_desired <= self.group_budget
+
+    @property
+    def shortfall(self) -> int:
+        """Partitions wanted but not grantable within the budget."""
+        return max(0, self.total_desired - self.group_budget)
+
+    def coarsening_factor(self, feed: str) -> float:
+        """How much coarser this feed's partitions are than desired.
+
+        >1 means each granted partition carries that multiple of the
+        intended load — the §4.3 consequence of capping subscriptions:
+        "the normalizers cannot be partitioned as widely, leading to
+        increased latency and reduced performance."
+        """
+        want = self.desired[feed]
+        got = self.allocations[feed]
+        return want / got if got else float("inf")
+
+
+def plan_partitions(demands: list[FeedDemand], group_budget: int) -> PartitionPlan:
+    """Allocate partitions per feed within ``group_budget``.
+
+    Each feed's desired count comes from :func:`required_partitions`.
+    When the total exceeds the budget, every feed is scaled down
+    proportionally (floor, minimum 1) — coarsening all feeds fairly
+    rather than starving one.
+    """
+    if group_budget < len(demands):
+        raise ValueError("budget smaller than one group per feed")
+    plan = PartitionPlan(group_budget=group_budget)
+    for demand in demands:
+        plan.desired[demand.feed] = required_partitions(
+            demand.events_per_s, demand.per_partition_capacity, demand.headroom
+        )
+    total = plan.total_desired
+    if total <= group_budget:
+        plan.allocations = dict(plan.desired)
+        return plan
+    scale = group_budget / total
+    for feed, want in plan.desired.items():
+        plan.allocations[feed] = max(1, int(want * scale))
+    # Distribute any leftover budget to the most-coarsened feeds.
+    leftover = group_budget - plan.total_groups
+    if leftover > 0:
+        by_pressure = sorted(
+            plan.desired,
+            key=lambda f: plan.desired[f] / plan.allocations[f],
+            reverse=True,
+        )
+        for feed in by_pressure[:leftover]:
+            plan.allocations[feed] += 1
+    return plan

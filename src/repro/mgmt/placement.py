@@ -1,0 +1,178 @@
+"""Latency-first placement of functions onto racks.
+
+§4.1's observation: grouping servers by function puts every round trip
+through 12 switch hops, and "we could try to reduce switch hops by
+placing servers in more optimal ways, but ... the distribution of
+normalizers, trading strategies, and order gateways is not uniform, so we
+could only optimize placement for a few strategies and the majority
+would not benefit."
+
+This module lets that claim be measured: :func:`group_by_function_placement`
+and :func:`optimize_placement` produce placements, and
+:func:`evaluate_placement` scores them in switch hops per flow on a
+leaf-spine hop model (1 hop same rack, 3 hops across racks, plus the legs
+to the dedicated exchange ToR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+SAME_RACK_HOPS = 1
+CROSS_RACK_HOPS = 3
+EXCHANGE_LEG_HOPS = 3  # any server rack <-> the dedicated exchange ToR
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One communication edge with a weight (messages/s or importance).
+
+    Endpoints are component names; the reserved name ``"@exchange"``
+    denotes the exchange ToR.
+    """
+
+    src: str
+    dst: str
+    weight: float = 1.0
+
+
+@dataclass
+class Placement:
+    """component name -> rack index."""
+
+    n_racks: int
+    rack_capacity: int
+    assignment: dict[str, int] = field(default_factory=dict)
+
+    def rack_load(self, rack: int) -> int:
+        return sum(1 for r in self.assignment.values() if r == rack)
+
+    def assign(self, component: str, rack: int) -> None:
+        if not 0 <= rack < self.n_racks:
+            raise ValueError(f"rack {rack} out of range")
+        if self.rack_load(rack) >= self.rack_capacity and self.assignment.get(component) != rack:
+            raise ValueError(f"rack {rack} is full")
+        self.assignment[component] = rack
+
+    def hops(self, a: str, b: str) -> int:
+        if a == "@exchange" or b == "@exchange":
+            return EXCHANGE_LEG_HOPS
+        if self.assignment[a] == self.assignment[b]:
+            return SAME_RACK_HOPS
+        return CROSS_RACK_HOPS
+
+
+def evaluate_placement(placement: Placement, flows: list[Flow]) -> float:
+    """Weighted mean switch hops per flow under ``placement``."""
+    if not flows:
+        raise ValueError("no flows to evaluate")
+    total_weight = sum(f.weight for f in flows)
+    weighted = sum(f.weight * placement.hops(f.src, f.dst) for f in flows)
+    return weighted / total_weight
+
+
+def group_by_function_placement(
+    components: dict[str, str], n_racks: int, rack_capacity: int
+) -> Placement:
+    """The conventional §4.1 layout: racks hold a single function type.
+
+    ``components`` maps name -> function ("normalizer" | "strategy" |
+    "gateway"). Each function starts on a fresh rack ("group servers with
+    common functions by rack"), so any two different-function components
+    are guaranteed cross-rack.
+    """
+    placement = Placement(n_racks, rack_capacity)
+    order = sorted(components, key=lambda c: (components[c], c))
+    rack = 0
+    current_function: str | None = None
+    for component in order:
+        function = components[component]
+        if current_function is not None and function != current_function:
+            rack += 1  # new function -> new rack
+        current_function = function
+        while placement.rack_load(rack) >= rack_capacity:
+            rack += 1
+        if rack >= n_racks:
+            raise ValueError("not enough racks for all components")
+        placement.assign(component, rack)
+    return placement
+
+
+def random_placement(
+    components: dict[str, str],
+    n_racks: int,
+    rack_capacity: int,
+    rng: np.random.Generator,
+) -> Placement:
+    """Uniform random placement (the straw-man baseline)."""
+    placement = Placement(n_racks, rack_capacity)
+    for component in sorted(components):
+        racks = [r for r in range(n_racks) if placement.rack_load(r) < rack_capacity]
+        if not racks:
+            raise ValueError("not enough racks for all components")
+        placement.assign(component, int(rng.choice(racks)))
+    return placement
+
+
+def optimize_placement(
+    components: dict[str, str],
+    flows: list[Flow],
+    n_racks: int,
+    rack_capacity: int,
+    rng: np.random.Generator,
+    iterations: int = 2_000,
+) -> Placement:
+    """Local-search placement: start grouped, then greedily relocate.
+
+    Single-component moves and pairwise swaps, accepted when they lower
+    the weighted hop count. Simple, deterministic given the RNG, and
+    strong enough to co-locate each strategy with its hottest normalizer
+    — which is exactly as far as §4.1 says optimization can go.
+    """
+    placement = group_by_function_placement(components, n_racks, rack_capacity)
+    names = sorted(components)
+    by_endpoint: dict[str, list[Flow]] = {}
+    for flow in flows:
+        by_endpoint.setdefault(flow.src, []).append(flow)
+        by_endpoint.setdefault(flow.dst, []).append(flow)
+
+    def component_cost(component: str) -> float:
+        return sum(
+            f.weight * placement.hops(f.src, f.dst)
+            for f in by_endpoint.get(component, ())
+        )
+
+    for _ in range(iterations):
+        component = names[int(rng.integers(len(names)))]
+        before = component_cost(component)
+        old_rack = placement.assignment[component]
+        if rng.random() < 0.5:
+            # Move to a random non-full rack.
+            candidates = [
+                r for r in range(n_racks)
+                if r != old_rack and placement.rack_load(r) < rack_capacity
+            ]
+            if not candidates:
+                continue
+            new_rack = int(rng.choice(candidates))
+            placement.assignment[component] = new_rack
+            if component_cost(component) >= before:
+                placement.assignment[component] = old_rack
+        else:
+            # Swap with a random other component.
+            other = names[int(rng.integers(len(names)))]
+            if other == component:
+                continue
+            other_rack = placement.assignment[other]
+            if other_rack == old_rack:
+                continue
+            before_pair = before + component_cost(other)
+            placement.assignment[component] = other_rack
+            placement.assignment[other] = old_rack
+            after_pair = component_cost(component) + component_cost(other)
+            if after_pair >= before_pair:
+                placement.assignment[component] = old_rack
+                placement.assignment[other] = other_rack
+    return placement

@@ -1,0 +1,52 @@
+"""Network substrate: packets, links, NICs, switches, topologies, multicast.
+
+This package models the datapath elements the paper reasons about:
+
+* commodity switches with ~500 ns hop latency, per-port output queues, and
+  a finite multicast route (mroute) table that falls back to software
+  forwarding when it overflows (:mod:`repro.net.switch`);
+* layer-1 switches with 5–6 ns fan-out and +50 ns merge units
+  (:mod:`repro.net.l1switch`);
+* links with serialization + propagation delay and optional loss, covering
+  both in-colo cross-connects and metro microwave/fiber circuits
+  (:mod:`repro.net.link`);
+* leaf-spine topology construction and L3 shortest-path routing
+  (:mod:`repro.net.topology`, :mod:`repro.net.routing`);
+* IGMP-style multicast group membership and distribution-tree computation
+  (:mod:`repro.net.multicast`).
+"""
+
+from repro.net.addressing import EndpointAddress, MulticastGroup, is_multicast
+from repro.net.link import Link, LinkStats
+from repro.net.nic import Nic, HostStack
+from repro.net.packet import Packet
+from repro.net.switch import CommoditySwitch, SwitchProfile, SWITCH_GENERATIONS
+from repro.net.l1switch import Layer1Switch, MergeUnit
+from repro.net.fpga_l1s import FilteringL1Switch
+from repro.net.reliable import ReliableChannel, connect as reliable_connect
+from repro.net.topology import LeafSpineTopology, build_leaf_spine
+from repro.net.routing import compute_unicast_routes
+from repro.net.multicast import MulticastFabric
+
+__all__ = [
+    "CommoditySwitch",
+    "FilteringL1Switch",
+    "ReliableChannel",
+    "reliable_connect",
+    "EndpointAddress",
+    "HostStack",
+    "Layer1Switch",
+    "LeafSpineTopology",
+    "Link",
+    "LinkStats",
+    "MergeUnit",
+    "MulticastFabric",
+    "MulticastGroup",
+    "Nic",
+    "Packet",
+    "SwitchProfile",
+    "SWITCH_GENERATIONS",
+    "build_leaf_spine",
+    "compute_unicast_routes",
+    "is_multicast",
+]

@@ -1,0 +1,240 @@
+"""Full-duplex links with serialization, propagation, queueing, and loss.
+
+A link is where latency physically accrues:
+
+* **serialization** — wire bits divided by line rate (plus the 20 B
+  Ethernet preamble + inter-frame gap per frame);
+* **propagation** — distance over signal speed; in-colo cross-connects are
+  tens of ns, metro fiber is tens–hundreds of µs, microwave beats fiber on
+  the same path because air propagation (~c) outruns glass (~2c/3);
+* **queueing** — a drop-tail FIFO per direction, sized in bytes, standing
+  in for the egress buffer of whatever device feeds the link;
+* **loss** — i.i.d. frame loss, used for microwave links where rain fade
+  makes loss a first-class design consideration (§2 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+
+# Ethernet preamble (8 B) + inter-frame gap (12 B) occupy line time per
+# frame but are not part of the frame length that Table 1 reports.
+ETHERNET_OVERHEAD_BYTES = 20
+
+# Propagation speeds, metres per second.
+SPEED_OF_LIGHT_VACUUM = 299_792_458.0
+SPEED_IN_FIBER = SPEED_OF_LIGHT_VACUUM * 2.0 / 3.0  # refractive index ~1.5
+SPEED_MICROWAVE = SPEED_OF_LIGHT_VACUUM * 0.99  # near-c through air
+
+
+def propagation_ns(distance_m: float, speed_m_per_s: float = SPEED_IN_FIBER) -> int:
+    """Propagation delay in ns for ``distance_m`` at ``speed_m_per_s``."""
+    if distance_m < 0:
+        raise ValueError("distance must be >= 0")
+    return int(round(distance_m / speed_m_per_s * 1e9))
+
+
+class PacketSink(Protocol):
+    """Anything that can terminate a link end: a NIC, switch, or tap."""
+
+    name: str
+
+    def handle_packet(self, packet: Packet, ingress: "Link") -> None:
+        """Deliver ``packet`` arriving over ``ingress``."""
+        ...
+
+
+@dataclass
+class LinkStats:
+    """Per-direction counters, exposed for analysis and tests."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped_queue: int = 0
+    packets_lost: int = 0
+    queue_delay_total_ns: int = 0
+    queue_delay_max_ns: int = 0
+    busy_ns: int = 0
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` the transmitter was serializing."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / elapsed_ns)
+
+
+class _Direction:
+    """One transmit direction of a full-duplex link."""
+
+    def __init__(self, link: "Link", label: str, sink: PacketSink):
+        self.link = link
+        self.label = label
+        self.sink = sink
+        self.queue: deque[tuple[Packet, int]] = deque()  # (packet, enqueue time)
+        self.queued_bytes = 0
+        self.transmitting = False
+        self.stats = LinkStats()
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission. Returns False if dropped."""
+        limit = self.link.queue_limit_bytes
+        if limit is not None and self.queued_bytes + packet.wire_bytes > limit:
+            self.stats.packets_dropped_queue += 1
+            return False
+        self.queue.append((packet, self.link.sim.now))
+        self.queued_bytes += packet.wire_bytes
+        if not self.transmitting:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet, enqueued_at = self.queue.popleft()
+        self.queued_bytes -= packet.wire_bytes
+        wait = self.link.sim.now - enqueued_at
+        self.stats.queue_delay_total_ns += wait
+        self.stats.queue_delay_max_ns = max(self.stats.queue_delay_max_ns, wait)
+        self.transmitting = True
+        ser = self.link.serialization_ns(packet.wire_bytes)
+        self.stats.busy_ns += ser
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.wire_bytes
+        self.link.sim.schedule(
+            after=ser, callback=self._serialization_done, args=(packet,)
+        )
+
+    def _serialization_done(self, packet: Packet) -> None:
+        self.transmitting = False
+        lost = False
+        if self.link.loss_prob > 0.0:
+            rng = self.link.sim.rng.stream(f"link.loss.{self.link.name}")
+            lost = rng.random() < self.link.loss_prob
+        if lost:
+            self.stats.packets_lost += 1
+        else:
+            self.link.sim.schedule(
+                after=self.link.propagation_delay_ns,
+                callback=self._deliver,
+                args=(packet,),
+            )
+        if self.queue:
+            self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        self.sink.handle_packet(packet, self.link)
+
+
+class Link:
+    """A full-duplex point-to-point link between two packet sinks.
+
+    Devices transmit with :meth:`send`, naming themselves so the link can
+    pick the direction. The conventional in-colo cross-connect is 10 Gb/s
+    (§2: "usually via 10 Gbps Ethernet").
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        end_a: PacketSink,
+        end_b: PacketSink,
+        bandwidth_bps: float = 10e9,
+        propagation_delay_ns: int = 50,
+        loss_prob: float = 0.0,
+        queue_limit_bytes: int | None = 512 * 1024,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= loss_prob <= 1.0:
+            raise ValueError("loss_prob must be within [0, 1]")
+        if end_a is end_b:
+            raise ValueError("link endpoints must be distinct devices")
+        self.sim = sim
+        self.name = name
+        self.end_a = end_a
+        self.end_b = end_b
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay_ns = int(propagation_delay_ns)
+        self.loss_prob = float(loss_prob)
+        self.queue_limit_bytes = queue_limit_bytes
+        self._a_to_b = _Direction(self, "a->b", end_b)
+        self._b_to_a = _Direction(self, "b->a", end_a)
+
+    def serialization_ns(self, frame_bytes: int) -> int:
+        """Line time for one frame, including preamble + inter-frame gap."""
+        bits = (frame_bytes + ETHERNET_OVERHEAD_BYTES) * 8
+        return max(1, int(round(bits / self.bandwidth_bps * 1e9)))
+
+    def other_end(self, device: PacketSink) -> PacketSink:
+        """The sink at the far end from ``device``."""
+        if device is self.end_a:
+            return self.end_b
+        if device is self.end_b:
+            return self.end_a
+        raise ValueError(f"{device!r} is not attached to link {self.name}")
+
+    def send(self, packet: Packet, sender: PacketSink) -> bool:
+        """Transmit ``packet`` away from ``sender``. False if tail-dropped."""
+        if sender is self.end_a:
+            return self._a_to_b.send(packet)
+        if sender is self.end_b:
+            return self._b_to_a.send(packet)
+        raise ValueError(f"{sender!r} is not attached to link {self.name}")
+
+    def stats_from(self, sender: PacketSink) -> LinkStats:
+        """Transmit-direction statistics for traffic sent by ``sender``."""
+        if sender is self.end_a:
+            return self._a_to_b.stats
+        if sender is self.end_b:
+            return self._b_to_a.stats
+        raise ValueError(f"{sender!r} is not attached to link {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.end_a.name}<->{self.end_b.name}>"
+
+
+def microwave_link(
+    sim: Simulator,
+    name: str,
+    end_a: PacketSink,
+    end_b: PacketSink,
+    distance_m: float,
+    bandwidth_bps: float = 1e9,
+    loss_prob: float = 1e-4,
+) -> Link:
+    """A metro microwave circuit: near-c propagation, low rate, lossy."""
+    return Link(
+        sim,
+        name,
+        end_a,
+        end_b,
+        bandwidth_bps=bandwidth_bps,
+        propagation_delay_ns=propagation_ns(distance_m, SPEED_MICROWAVE),
+        loss_prob=loss_prob,
+    )
+
+
+def fiber_link(
+    sim: Simulator,
+    name: str,
+    end_a: PacketSink,
+    end_b: PacketSink,
+    distance_m: float,
+    bandwidth_bps: float = 10e9,
+    path_stretch: float = 1.4,
+) -> Link:
+    """A metro fiber circuit; ``path_stretch`` models non-geodesic routing."""
+    return Link(
+        sim,
+        name,
+        end_a,
+        end_b,
+        bandwidth_bps=bandwidth_bps,
+        propagation_delay_ns=propagation_ns(distance_m * path_stretch, SPEED_IN_FIBER),
+    )

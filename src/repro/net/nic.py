@@ -1,0 +1,161 @@
+"""NICs and host stacks.
+
+Figure 1(d) of the paper shows the server layout trading firms use:
+separate NICs for management, market data, and orders, and dedicated cores
+per function. :class:`Nic` models one interface — hardware receive/transmit
+latency, multicast group filtering, and timestamping on receive (trading
+NICs timestamp in hardware). :class:`HostStack` models the software side:
+a per-message processing delay standing in for the application work done
+on a dedicated core, defaulting to the paper's "<1 µs per software hop".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.addressing import EndpointAddress, MulticastGroup, is_multicast
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.process import Component
+
+# Kernel-bypass (Onload-style) per-side latencies: a full software
+# "ping-pong" hop lands under 1 us, per §3 of the paper.
+DEFAULT_RX_LATENCY_NS = 250
+DEFAULT_TX_LATENCY_NS = 250
+
+
+@dataclass
+class NicStats:
+    packets_received: int = 0
+    packets_delivered: int = 0
+    packets_filtered: int = 0
+    packets_sent: int = 0
+    send_failures: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+
+
+class Nic(Component):
+    """One network interface on a host.
+
+    The NIC filters multicast frames for groups the host has not joined
+    (the hardware MAC filter), stamps hardware receive timestamps onto the
+    packet trail, and delivers to the bound handler after ``rx_latency_ns``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        address: EndpointAddress,
+        rx_latency_ns: int = DEFAULT_RX_LATENCY_NS,
+        tx_latency_ns: int = DEFAULT_TX_LATENCY_NS,
+    ):
+        super().__init__(sim, name)
+        self.address = address
+        self.rx_latency_ns = int(rx_latency_ns)
+        self.tx_latency_ns = int(tx_latency_ns)
+        self.link: Link | None = None
+        self.stats = NicStats()
+        self._handler: Callable[[Packet], None] | None = None
+        self._groups: set[MulticastGroup] = set()
+        self.promiscuous = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, link: Link) -> None:
+        """Connect this NIC to a link. One link per NIC."""
+        if self.link is not None:
+            raise RuntimeError(f"NIC {self.name} already attached to a link")
+        self.link = link
+
+    def bind(self, handler: Callable[[Packet], None]) -> None:
+        """Set the application callback invoked on each delivered packet."""
+        self._handler = handler
+
+    # -- multicast membership ------------------------------------------------
+
+    def join_group(self, group: MulticastGroup) -> None:
+        self._groups.add(group)
+
+    def leave_group(self, group: MulticastGroup) -> None:
+        self._groups.discard(group)
+
+    @property
+    def joined_groups(self) -> frozenset[MulticastGroup]:
+        return frozenset(self._groups)
+
+    # -- datapath ------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, ingress: Link) -> None:
+        """Link-side entry point (PacketSink protocol)."""
+        self.stats.packets_received += 1
+        self.stats.bytes_received += packet.wire_bytes
+        if not self._accepts(packet):
+            self.stats.packets_filtered += 1
+            return
+        packet.stamp(f"nic.rx.{self.name}", self.now)
+        self.call_after(self.rx_latency_ns, self._deliver, packet)
+
+    def _accepts(self, packet: Packet) -> bool:
+        if self.promiscuous:
+            return True
+        if is_multicast(packet.dst):
+            return packet.dst in self._groups
+        return packet.dst == self.address
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        if self._handler is not None:
+            self._handler(packet)
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit ``packet`` after the NIC's TX latency.
+
+        Returns True if the packet was queued for transmission. The return
+        value reflects NIC acceptance, not eventual delivery: a tail drop
+        at the link queue is counted in ``stats.send_failures`` when it
+        occurs at enqueue time.
+        """
+        if self.link is None:
+            raise RuntimeError(f"NIC {self.name} is not attached to a link")
+        packet.stamp(f"nic.tx.{self.name}", self.now)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.wire_bytes
+        self.call_after(self.tx_latency_ns, self._transmit, packet)
+        return True
+
+    def _transmit(self, packet: Packet) -> None:
+        assert self.link is not None
+        ok = self.link.send(packet, self)
+        if not ok:
+            self.stats.send_failures += 1
+
+
+@dataclass
+class HostStack:
+    """The software side of a server: NICs plus a processing-time model.
+
+    ``function_latency_ns`` is the paper's "average latency of each
+    function is less than 2 microseconds" — the time a normalizer,
+    strategy, or gateway spends between receiving an input and emitting
+    its output, excluding NIC and wire time.
+    """
+
+    host: str
+    function_latency_ns: int = 2_000
+    nics: dict[str, Nic] = field(default_factory=dict)
+
+    def add_nic(self, nic: Nic) -> None:
+        if nic.address.host != self.host:
+            raise ValueError(
+                f"NIC {nic.address} does not belong to host {self.host}"
+            )
+        if nic.address.nic in self.nics:
+            raise ValueError(f"duplicate NIC name {nic.address.nic} on {self.host}")
+        self.nics[nic.address.nic] = nic
+
+    def nic(self, name: str = "eth0") -> Nic:
+        return self.nics[name]

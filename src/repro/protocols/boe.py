@@ -1,0 +1,423 @@
+"""A BOE-style binary order-entry protocol.
+
+Orders travel over long-lived TCP sessions from the trading firm's
+servers to the exchange (§2). The protocol is a request/response state
+machine: enter a new order, cancel it, or modify it; the exchange answers
+with acknowledgements, rejects, and fills. These protocols "often exhibit
+races — e.g. if a firm's request to cancel an order is sent at the same
+time as a notification that the order has been filled" — the client-side
+state machine here resolves exactly that race.
+
+Framing: every message starts with a 10-byte header — start-of-message
+marker (2 B), message length (2 B), type (1 B), matching unit (1 B),
+sequence number (4 B) — followed by a fixed body per type.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import ClassVar
+
+START_OF_MESSAGE = 0xBA7A
+_HEADER = struct.Struct("<HHBBI")  # marker, length, type, unit, sequence
+HEADER_BYTES = _HEADER.size  # 10
+
+
+class BoeDecodeError(ValueError):
+    """Raised when a buffer does not parse as a valid BOE message."""
+
+
+def _encode_symbol(symbol: str) -> bytes:
+    raw = symbol.encode("ascii")
+    if len(raw) > 8:
+        raise ValueError(f"symbol {symbol!r} exceeds 8 characters")
+    return raw.ljust(8)
+
+
+def _decode_symbol(raw: bytes) -> str:
+    return raw.decode("ascii").rstrip()
+
+
+@dataclass(frozen=True, slots=True)
+class NewOrderRequest:
+    """Enter a new order.
+
+    Body: id(8) side(1) qty(4) symbol(8) price(8) tif(1) client_ts(8).
+    The client timestamp echoes the market-data event the order reacted
+    to — the standard trick firms use so latency can be attributed at
+    the exchange-facing edge (§2's timestamp-subtraction definition).
+    """
+
+    TYPE: ClassVar[int] = 0x38
+    _BODY: ClassVar[struct.Struct] = struct.Struct("<QcI8sQcQ")
+
+    client_order_id: int
+    side: str  # 'B' or 'S'
+    quantity: int
+    symbol: str
+    price: int  # hundredths of a cent
+    time_in_force: str = "0"  # '0' day, 'I' IOC
+    client_timestamp_ns: int = 0
+
+    def encode_body(self) -> bytes:
+        if self.side not in ("B", "S"):
+            raise ValueError("side must be 'B' or 'S'")
+        if self.quantity <= 0:
+            raise ValueError("quantity must be positive")
+        return self._BODY.pack(
+            self.client_order_id,
+            self.side.encode(),
+            self.quantity,
+            _encode_symbol(self.symbol),
+            self.price,
+            self.time_in_force.encode(),
+            self.client_timestamp_ns,
+        )
+
+    @classmethod
+    def decode_body(cls, buf: bytes) -> "NewOrderRequest":
+        oid, side, qty, sym, price, tif, ts = cls._BODY.unpack(buf)
+        return cls(
+            oid, side.decode(), qty, _decode_symbol(sym), price, tif.decode(), ts
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CancelOrderRequest:
+    """Cancel an open order. Body: id(8)."""
+
+    TYPE: ClassVar[int] = 0x39
+    _BODY: ClassVar[struct.Struct] = struct.Struct("<Q")
+
+    client_order_id: int
+
+    def encode_body(self) -> bytes:
+        return self._BODY.pack(self.client_order_id)
+
+    @classmethod
+    def decode_body(cls, buf: bytes) -> "CancelOrderRequest":
+        (oid,) = cls._BODY.unpack(buf)
+        return cls(oid)
+
+
+@dataclass(frozen=True, slots=True)
+class ModifyOrderRequest:
+    """Change price/size of an open order. Body: id(8) qty(4) price(8)."""
+
+    TYPE: ClassVar[int] = 0x3A
+    _BODY: ClassVar[struct.Struct] = struct.Struct("<QIQ")
+
+    client_order_id: int
+    quantity: int
+    price: int
+
+    def encode_body(self) -> bytes:
+        if self.quantity <= 0:
+            raise ValueError("quantity must be positive")
+        return self._BODY.pack(self.client_order_id, self.quantity, self.price)
+
+    @classmethod
+    def decode_body(cls, buf: bytes) -> "ModifyOrderRequest":
+        oid, qty, price = cls._BODY.unpack(buf)
+        return cls(oid, qty, price)
+
+
+@dataclass(frozen=True, slots=True)
+class OrderAck:
+    """Exchange accepted a new order. Body: id(8) exchange_id(8) ts(8)."""
+
+    TYPE: ClassVar[int] = 0x25
+    _BODY: ClassVar[struct.Struct] = struct.Struct("<QQQ")
+
+    client_order_id: int
+    exchange_order_id: int
+    timestamp_ns: int
+
+    def encode_body(self) -> bytes:
+        return self._BODY.pack(
+            self.client_order_id, self.exchange_order_id, self.timestamp_ns
+        )
+
+    @classmethod
+    def decode_body(cls, buf: bytes) -> "OrderAck":
+        return cls(*cls._BODY.unpack(buf))
+
+
+@dataclass(frozen=True, slots=True)
+class OrderReject:
+    """Exchange refused a new order. Body: id(8) reason(1)."""
+
+    TYPE: ClassVar[int] = 0x26
+    _BODY: ClassVar[struct.Struct] = struct.Struct("<Qc")
+
+    REASON_UNKNOWN_SYMBOL: ClassVar[str] = "S"
+    REASON_HALTED: ClassVar[str] = "H"
+    REASON_RISK: ClassVar[str] = "R"
+    REASON_DUPLICATE_ID: ClassVar[str] = "D"
+
+    client_order_id: int
+    reason: str
+
+    def encode_body(self) -> bytes:
+        return self._BODY.pack(self.client_order_id, self.reason.encode())
+
+    @classmethod
+    def decode_body(cls, buf: bytes) -> "OrderReject":
+        oid, reason = cls._BODY.unpack(buf)
+        return cls(oid, reason.decode())
+
+
+@dataclass(frozen=True, slots=True)
+class CancelAck:
+    """Order canceled. Body: id(8) remaining_canceled(4) ts(8)."""
+
+    TYPE: ClassVar[int] = 0x27
+    _BODY: ClassVar[struct.Struct] = struct.Struct("<QIQ")
+
+    client_order_id: int
+    canceled_quantity: int
+    timestamp_ns: int
+
+    def encode_body(self) -> bytes:
+        return self._BODY.pack(
+            self.client_order_id, self.canceled_quantity, self.timestamp_ns
+        )
+
+    @classmethod
+    def decode_body(cls, buf: bytes) -> "CancelAck":
+        return cls(*cls._BODY.unpack(buf))
+
+
+@dataclass(frozen=True, slots=True)
+class CancelReject:
+    """Cancel failed — typically because the order already filled (the race)."""
+
+    TYPE: ClassVar[int] = 0x28
+    _BODY: ClassVar[struct.Struct] = struct.Struct("<Qc")
+
+    REASON_TOO_LATE: ClassVar[str] = "L"
+    REASON_UNKNOWN_ORDER: ClassVar[str] = "U"
+    REASON_PENDING: ClassVar[str] = "P"
+
+    client_order_id: int
+    reason: str
+
+    def encode_body(self) -> bytes:
+        return self._BODY.pack(self.client_order_id, self.reason.encode())
+
+    @classmethod
+    def decode_body(cls, buf: bytes) -> "CancelReject":
+        oid, reason = cls._BODY.unpack(buf)
+        return cls(oid, reason.decode())
+
+
+@dataclass(frozen=True, slots=True)
+class OrderFill:
+    """An open order traded. Body: id(8) exec_id(8) qty(4) price(8) ts(8) leaves(4)."""
+
+    TYPE: ClassVar[int] = 0x2C
+    _BODY: ClassVar[struct.Struct] = struct.Struct("<QQIQQI")
+
+    client_order_id: int
+    execution_id: int
+    quantity: int
+    price: int
+    timestamp_ns: int
+    leaves_quantity: int
+
+    def encode_body(self) -> bytes:
+        return self._BODY.pack(
+            self.client_order_id,
+            self.execution_id,
+            self.quantity,
+            self.price,
+            self.timestamp_ns,
+            self.leaves_quantity,
+        )
+
+    @classmethod
+    def decode_body(cls, buf: bytes) -> "OrderFill":
+        return cls(*cls._BODY.unpack(buf))
+
+
+BoeMessage = (
+    NewOrderRequest
+    | CancelOrderRequest
+    | ModifyOrderRequest
+    | OrderAck
+    | OrderReject
+    | CancelAck
+    | CancelReject
+    | OrderFill
+)
+
+_MESSAGE_TYPES: dict[int, type] = {
+    cls.TYPE: cls
+    for cls in (
+        NewOrderRequest,
+        CancelOrderRequest,
+        ModifyOrderRequest,
+        OrderAck,
+        OrderReject,
+        CancelAck,
+        CancelReject,
+        OrderFill,
+    )
+}
+
+
+def encode_message(message: BoeMessage, unit: int, sequence: int) -> bytes:
+    """Frame one message with the 10-byte BOE header."""
+    body = message.encode_body()
+    header = _HEADER.pack(
+        START_OF_MESSAGE, HEADER_BYTES + len(body), message.TYPE, unit, sequence
+    )
+    return header + body
+
+
+def decode_message(buf: bytes) -> tuple[BoeMessage, int, int, int]:
+    """Parse one framed message → (message, unit, sequence, bytes consumed)."""
+    if len(buf) < HEADER_BYTES:
+        raise BoeDecodeError("buffer shorter than BOE header")
+    marker, length, mtype, unit, sequence = _HEADER.unpack(buf[:HEADER_BYTES])
+    if marker != START_OF_MESSAGE:
+        raise BoeDecodeError(f"bad start-of-message marker 0x{marker:04x}")
+    if length < HEADER_BYTES or length > len(buf):
+        raise BoeDecodeError(f"bad message length {length}")
+    cls = _MESSAGE_TYPES.get(mtype)
+    if cls is None:
+        raise BoeDecodeError(f"unknown BOE type 0x{mtype:02x}")
+    message = cls.decode_body(buf[HEADER_BYTES:length])
+    return message, unit, sequence, length
+
+
+class OrderState(Enum):
+    """Client-side lifecycle of one order."""
+
+    PENDING_NEW = "pending_new"
+    OPEN = "open"
+    PENDING_CANCEL = "pending_cancel"
+    FILLED = "filled"
+    CANCELED = "canceled"
+    REJECTED = "rejected"
+
+
+@dataclass
+class ClientOrder:
+    """Client-side book-keeping for one order on a BOE session."""
+
+    request: NewOrderRequest
+    state: OrderState = OrderState.PENDING_NEW
+    exchange_order_id: int | None = None
+    filled_quantity: int = 0
+    fills: list[OrderFill] = field(default_factory=list)
+
+    @property
+    def leaves_quantity(self) -> int:
+        return max(0, self.request.quantity - self.filled_quantity)
+
+
+class BoeSession:
+    """Client side of one long-lived order-entry session.
+
+    Owns the outbound sequence space and the order table; exposes
+    ``encode_*`` helpers producing wire bytes and ``on_bytes`` consuming
+    exchange responses and advancing each order's state machine. The
+    cancel-vs-fill race resolves here: a fill that lands while a cancel is
+    in flight moves the order to FILLED, and the subsequent
+    :class:`CancelReject` (too late) is recorded but changes nothing.
+    """
+
+    def __init__(self, unit: int = 1):
+        self.unit = unit
+        self.next_sequence = 1
+        self.orders: dict[int, ClientOrder] = {}
+        self.cancel_rejects: list[CancelReject] = []
+        self.order_rejects: list[OrderReject] = []
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- outbound ------------------------------------------------------------
+
+    def _frame(self, message: BoeMessage) -> bytes:
+        data = encode_message(message, self.unit, self.next_sequence)
+        self.next_sequence += 1
+        self.bytes_sent += len(data)
+        return data
+
+    def encode_new_order(self, request: NewOrderRequest) -> bytes:
+        if request.client_order_id in self.orders:
+            raise ValueError(
+                f"client order id {request.client_order_id} already in use"
+            )
+        self.orders[request.client_order_id] = ClientOrder(request)
+        return self._frame(request)
+
+    def encode_cancel(self, client_order_id: int) -> bytes:
+        order = self.orders.get(client_order_id)
+        if order is None:
+            raise ValueError(f"unknown client order id {client_order_id}")
+        if order.state in (OrderState.OPEN, OrderState.PENDING_NEW):
+            order.state = OrderState.PENDING_CANCEL
+        return self._frame(CancelOrderRequest(client_order_id))
+
+    def encode_modify(self, client_order_id: int, quantity: int, price: int) -> bytes:
+        if client_order_id not in self.orders:
+            raise ValueError(f"unknown client order id {client_order_id}")
+        return self._frame(ModifyOrderRequest(client_order_id, quantity, price))
+
+    # -- inbound ------------------------------------------------------------
+
+    def on_bytes(self, data: bytes) -> list[BoeMessage]:
+        """Consume framed exchange responses; returns decoded messages."""
+        self.bytes_received += len(data)
+        messages: list[BoeMessage] = []
+        offset = 0
+        while offset < len(data):
+            message, _unit, _seq, consumed = decode_message(data[offset:])
+            self._apply(message)
+            messages.append(message)
+            offset += consumed
+        return messages
+
+    def _apply(self, message: BoeMessage) -> None:
+        if isinstance(message, OrderAck):
+            order = self.orders.get(message.client_order_id)
+            if order is not None and order.state == OrderState.PENDING_NEW:
+                order.state = OrderState.OPEN
+                order.exchange_order_id = message.exchange_order_id
+        elif isinstance(message, OrderReject):
+            self.order_rejects.append(message)
+            order = self.orders.get(message.client_order_id)
+            if order is not None:
+                order.state = OrderState.REJECTED
+        elif isinstance(message, OrderFill):
+            order = self.orders.get(message.client_order_id)
+            if order is not None:
+                order.fills.append(message)
+                order.filled_quantity += message.quantity
+                if message.leaves_quantity == 0:
+                    order.state = OrderState.FILLED
+        elif isinstance(message, CancelAck):
+            order = self.orders.get(message.client_order_id)
+            if order is not None and order.state != OrderState.FILLED:
+                order.state = OrderState.CANCELED
+        elif isinstance(message, CancelReject):
+            self.cancel_rejects.append(message)
+            order = self.orders.get(message.client_order_id)
+            if order is not None and order.state == OrderState.PENDING_CANCEL:
+                # The race resolved against us: the order filled (or is
+                # unknown); a fill will move/has moved it to FILLED.
+                if order.leaves_quantity == 0:
+                    order.state = OrderState.FILLED
+                else:
+                    order.state = OrderState.OPEN
+
+    def open_orders(self) -> list[ClientOrder]:
+        return [
+            o
+            for o in self.orders.values()
+            if o.state in (OrderState.OPEN, OrderState.PENDING_CANCEL)
+        ]

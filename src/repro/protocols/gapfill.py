@@ -1,0 +1,253 @@
+"""Gap-request retransmission (the feed's recovery plane).
+
+Real sequenced feeds pair the multicast stream with a unicast gap-request
+service: a receiver that detects missing sequence numbers asks for
+exactly that range, and the proxy replays it from a bounded ring buffer.
+Only *recent* history is served — a receiver too far behind must fall
+back to a snapshot (see :mod:`repro.firm.bookview`).
+
+:class:`GapProxy` is the server (one per feed unit set, fed by the
+publisher); :class:`GapFillClient` automates the receiver side: it
+watches a :class:`~repro.firm.feedhandler.FeedHandler`, requests open
+gaps after a grace delay, feeds replayed messages back into arbitration,
+and declares loss only when the proxy cannot help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from repro.net.addressing import EndpointAddress
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.protocols.headers import frame_bytes_tcp, frame_bytes_udp
+from repro.protocols.pitch import PitchMessage, encode_messages
+from repro.sim.kernel import MICROSECOND, Simulator
+from repro.sim.process import Component
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.firm.feedhandler import FeedHandler
+
+_REQUEST_BYTES = 16  # unit(2) start(4) count(4) + framing
+
+
+@dataclass
+class GapProxyStats:
+    recorded: int = 0
+    requests: int = 0
+    replayed: int = 0
+    unavailable: int = 0  # requested range fell off the ring
+
+
+class GapProxy(Component):
+    """Serves retransmissions of recently published feed messages.
+
+    The publisher (or any tap on the feed) calls :meth:`record` with each
+    message in sequence order per unit; receivers unicast
+    ``("gap_req", unit, start_seq, count)`` packets to the proxy's NIC.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        nic: Nic,
+        history: int = 65_536,
+        service_latency_ns: int = 20 * MICROSECOND,
+    ):
+        super().__init__(sim, name)
+        self.nic = nic
+        self.history = int(history)
+        self.service_latency_ns = int(service_latency_ns)
+        self.stats = GapProxyStats()
+        # unit -> (first seq in buffer, [messages])
+        self._ring: dict[int, tuple[int, list[PitchMessage]]] = {}
+        nic.bind(self._on_packet)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, unit: int, first_seq: int, messages: list[PitchMessage]) -> None:
+        """Append published messages (must be contiguous per unit)."""
+        start, buffer = self._ring.get(unit, (first_seq, []))
+        expected_next = start + len(buffer)
+        if first_seq != expected_next:
+            raise ValueError(
+                f"unit {unit}: recording seq {first_seq}, expected {expected_next}"
+            )
+        buffer.extend(messages)
+        self.stats.recorded += len(messages)
+        overflow = len(buffer) - self.history
+        if overflow > 0:
+            del buffer[:overflow]
+            start += overflow
+        self._ring[unit] = (start, buffer)
+
+    def available_range(self, unit: int) -> tuple[int, int] | None:
+        """(first, last) sequence currently replayable for ``unit``."""
+        entry = self._ring.get(unit)
+        if entry is None or not entry[1]:
+            return None
+        start, buffer = entry
+        return start, start + len(buffer) - 1
+
+    # -- serving ---------------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        message = packet.message
+        if not (isinstance(message, tuple) and message and message[0] == "gap_req"):
+            return
+        _tag, unit, start_seq, count = message
+        self.stats.requests += 1
+        self.call_after(
+            self.service_latency_ns, self._serve, unit, start_seq, count, packet.src
+        )
+
+    def _serve(
+        self, unit: int, start_seq: int, count: int, requester: EndpointAddress
+    ) -> None:
+        entry = self._ring.get(unit)
+        if entry is None:
+            self._respond(requester, unit, start_seq, [])
+            self.stats.unavailable += 1
+            return
+        start, buffer = entry
+        lo = start_seq - start
+        hi = lo + count
+        if lo < 0 or lo >= len(buffer):
+            self._respond(requester, unit, start_seq, [])
+            self.stats.unavailable += 1
+            return
+        replay = buffer[lo:min(hi, len(buffer))]
+        self.stats.replayed += len(replay)
+        self._respond(requester, unit, start_seq, replay)
+
+    def _respond(
+        self,
+        requester: EndpointAddress,
+        unit: int,
+        start_seq: int,
+        messages: list[PitchMessage],
+    ) -> None:
+        payload = encode_messages(messages)
+        self.nic.send(
+            Packet(
+                src=self.nic.address,
+                dst=requester,
+                wire_bytes=frame_bytes_tcp(len(payload) + 8),
+                payload_bytes=len(payload) + 8,
+                message=("gap_rsp", unit, start_seq, list(messages)),
+                created_at=self.now,
+            )
+        )
+
+
+@dataclass
+class GapFillStats:
+    requests_sent: int = 0
+    messages_recovered: int = 0
+    declared_lost: int = 0
+
+
+class GapFillClient(Component):
+    """Automates gap recovery for one FeedHandler.
+
+    Call :meth:`poll` on a cadence (or wire it to a Timer): for each open
+    gap older than ``grace_ns``, a request goes to the proxy; replayed
+    messages feed straight into the handler's arbiter. If the proxy
+    cannot supply the range, the gap is declared lost so the feed moves
+    on (staleness being worse than a known hole).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        handler: "FeedHandler",
+        request_nic: Nic,
+        proxy_address: EndpointAddress,
+        grace_ns: int = 100 * MICROSECOND,
+        poll_interval_ns: int = 100 * MICROSECOND,
+    ):
+        super().__init__(sim, name)
+        self.handler = handler
+        self.request_nic = request_nic
+        self.proxy_address = proxy_address
+        self.grace_ns = int(grace_ns)
+        self.poll_interval_ns = int(poll_interval_ns)
+        self.stats = GapFillStats()
+        self._gap_seen_at: dict[tuple, int] = {}
+        self._outstanding: set[tuple] = set()
+        self._running = False
+        request_nic.bind(self._on_packet)
+
+    def start(self) -> None:
+        super().start()
+        if not self._running:
+            self._running = True
+            self.call_after(self.poll_interval_ns, self._poll_loop)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _poll_loop(self) -> None:
+        if not self._running:
+            return
+        self.poll()
+        self.call_after(self.poll_interval_ns, self._poll_loop)
+
+    def poll(self) -> None:
+        """Check gaps; request ranges whose grace period has expired."""
+        from repro.firm.feedhandler import _arbiter_key
+
+        gaps = self.handler.gaps()
+        open_keys = set()
+        for group, (missing_from, missing_to) in gaps.items():
+            key = _arbiter_key(group)
+            open_keys.add(key)
+            first_seen = self._gap_seen_at.setdefault(key, self.now)
+            if self.now - first_seen < self.grace_ns or key in self._outstanding:
+                continue
+            unit = (group.partition % 255) + 1
+            count = missing_to - missing_from
+            self._outstanding.add(key)
+            self.stats.requests_sent += 1
+            self.request_nic.send(
+                Packet(
+                    src=self.request_nic.address,
+                    dst=self.proxy_address,
+                    wire_bytes=frame_bytes_udp(_REQUEST_BYTES),
+                    payload_bytes=_REQUEST_BYTES,
+                    message=("gap_req", unit, missing_from, count),
+                    created_at=self.now,
+                )
+            )
+        # Gaps that resolved on their own clear their bookkeeping.
+        for key in list(self._gap_seen_at):
+            if key not in open_keys:
+                self._gap_seen_at.pop(key, None)
+                self._outstanding.discard(key)
+
+    def _on_packet(self, packet: Packet) -> None:
+        message = packet.message
+        if not (isinstance(message, tuple) and message and message[0] == "gap_rsp"):
+            return
+        _tag, unit, start_seq, messages = message
+        key = None
+        for arbiter_key, arbiter in self.handler._arbiters.items():
+            if arbiter.unit == unit:
+                key = arbiter_key
+                break
+        if key is None:
+            return
+        arbiter = self.handler._arbiters[key]
+        self._outstanding.discard(key)
+        if messages:
+            before = arbiter.stats.delivered
+            arbiter.on_messages(start_seq, list(messages))
+            self.stats.messages_recovered += arbiter.stats.delivered - before
+        else:
+            # The proxy could not help: write the gap off.
+            self.stats.declared_lost += arbiter.declare_loss()
+        self._gap_seen_at.pop(key, None)

@@ -1,0 +1,426 @@
+"""A PITCH-style multicast market-data wire format.
+
+Modeled on Cboe's Multicast PITCH: a UDP datagram carries a *sequenced
+unit header* (8 bytes: length, message count, unit, sequence number)
+followed by one or more length-prefixed binary messages. Exchanges pack
+several update messages into each packet for efficiency — which is why the
+paper's Table 1 sees average frame lengths near 100 B but maxima close to
+the Ethernet MTU.
+
+Message sizes follow the published spec where the paper cites them:
+a (short-form) add order is **26 bytes** and an order delete ("cancel")
+is **14 bytes** (§5). All integers are little-endian, prices are in
+hundredths of a cent (4 implied decimal places on a 2- or 8-byte field),
+symbols are 6 characters space-padded — close enough to the real encoding
+that every parsing/packing code path downstream is genuinely exercised.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import ClassVar, Iterable
+
+SEQUENCED_UNIT_HEADER = struct.Struct("<HBBI")  # length, count, unit, sequence
+SEQUENCED_UNIT_HEADER_BYTES = SEQUENCED_UNIT_HEADER.size  # 8
+
+MAX_UDP_PAYLOAD_BYTES = 1400  # conventional ceiling to dodge fragmentation
+
+# Internal prices are integer hundredths of a cent. Short-form messages
+# carry a 2-byte price denominated in cents (so up to $655.35), exactly
+# like the real short/long price split in PITCH; long-form fields carry
+# the full-resolution price.
+SHORT_PRICE_UNIT = 100
+
+
+def _to_short_price(price: int) -> int:
+    quantized = price // SHORT_PRICE_UNIT
+    if not 0 <= quantized <= 0xFFFF:
+        raise ValueError(
+            f"price {price} does not fit the short (2-byte, cent) price field"
+        )
+    return quantized
+
+
+def _from_short_price(raw: int) -> int:
+    return raw * SHORT_PRICE_UNIT
+
+
+class PitchDecodeError(ValueError):
+    """Raised when a buffer does not parse as valid PITCH."""
+
+
+def _encode_symbol(symbol: str) -> bytes:
+    raw = symbol.encode("ascii")
+    if len(raw) > 6:
+        raise ValueError(f"symbol {symbol!r} exceeds 6 characters")
+    return raw.ljust(6)
+
+
+def _decode_symbol(raw: bytes) -> str:
+    return raw.decode("ascii").rstrip()
+
+
+@dataclass(frozen=True, slots=True)
+class AddOrder:
+    """A new visible order entering the book. 26 bytes on the wire."""
+
+    TYPE: ClassVar[int] = 0x21
+    _STRUCT: ClassVar[struct.Struct] = struct.Struct("<BBIQcH6sHB")
+    WIRE_BYTES: ClassVar[int] = 26
+
+    time_offset_ns: int
+    order_id: int
+    side: str  # 'B' or 'S'
+    quantity: int
+    symbol: str
+    price: int  # hundredths of a cent
+
+    def encode(self) -> bytes:
+        if self.side not in ("B", "S"):
+            raise ValueError("side must be 'B' or 'S'")
+        return self._STRUCT.pack(
+            self.WIRE_BYTES,
+            self.TYPE,
+            self.time_offset_ns & 0xFFFFFFFF,
+            self.order_id,
+            self.side.encode(),
+            min(self.quantity, 0xFFFF),
+            _encode_symbol(self.symbol),
+            _to_short_price(self.price),
+            0,
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "AddOrder":
+        (_, _, t, oid, side, qty, sym, price, _flags) = cls._STRUCT.unpack(
+            buf[: cls.WIRE_BYTES]
+        )
+        return cls(
+            t, oid, side.decode(), qty, _decode_symbol(sym), _from_short_price(price)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteOrder:
+    """An order cancellation. 14 bytes on the wire (the paper's figure)."""
+
+    TYPE: ClassVar[int] = 0x29
+    _STRUCT: ClassVar[struct.Struct] = struct.Struct("<BBIQ")
+    WIRE_BYTES: ClassVar[int] = 14
+
+    time_offset_ns: int
+    order_id: int
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(
+            self.WIRE_BYTES, self.TYPE, self.time_offset_ns & 0xFFFFFFFF, self.order_id
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "DeleteOrder":
+        (_, _, t, oid) = cls._STRUCT.unpack(buf[: cls.WIRE_BYTES])
+        return cls(t, oid)
+
+
+@dataclass(frozen=True, slots=True)
+class OrderExecuted:
+    """An existing order traded. 26 bytes on the wire."""
+
+    TYPE: ClassVar[int] = 0x23
+    _STRUCT: ClassVar[struct.Struct] = struct.Struct("<BBIQIQ")
+    WIRE_BYTES: ClassVar[int] = 26
+
+    time_offset_ns: int
+    order_id: int
+    executed_quantity: int
+    execution_id: int
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(
+            self.WIRE_BYTES,
+            self.TYPE,
+            self.time_offset_ns & 0xFFFFFFFF,
+            self.order_id,
+            self.executed_quantity,
+            self.execution_id,
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "OrderExecuted":
+        (_, _, t, oid, qty, xid) = cls._STRUCT.unpack(buf[: cls.WIRE_BYTES])
+        return cls(t, oid, qty, xid)
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceSize:
+    """Partial cancel reducing an order's open quantity. 18 bytes."""
+
+    TYPE: ClassVar[int] = 0x26
+    _STRUCT: ClassVar[struct.Struct] = struct.Struct("<BBIQI")
+    WIRE_BYTES: ClassVar[int] = 18
+
+    time_offset_ns: int
+    order_id: int
+    canceled_quantity: int
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(
+            self.WIRE_BYTES,
+            self.TYPE,
+            self.time_offset_ns & 0xFFFFFFFF,
+            self.order_id,
+            self.canceled_quantity,
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "ReduceSize":
+        (_, _, t, oid, qty) = cls._STRUCT.unpack(buf[: cls.WIRE_BYTES])
+        return cls(t, oid, qty)
+
+
+@dataclass(frozen=True, slots=True)
+class ModifyOrder:
+    """Price/size modification of a resting order. 19 bytes."""
+
+    TYPE: ClassVar[int] = 0x27
+    _STRUCT: ClassVar[struct.Struct] = struct.Struct("<BBIQHHB")
+    WIRE_BYTES: ClassVar[int] = 19
+
+    time_offset_ns: int
+    order_id: int
+    quantity: int
+    price: int
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(
+            self.WIRE_BYTES,
+            self.TYPE,
+            self.time_offset_ns & 0xFFFFFFFF,
+            self.order_id,
+            min(self.quantity, 0xFFFF),
+            _to_short_price(self.price),
+            0,
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "ModifyOrder":
+        (_, _, t, oid, qty, price, _flags) = cls._STRUCT.unpack(
+            buf[: cls.WIRE_BYTES]
+        )
+        return cls(t, oid, qty, _from_short_price(price))
+
+
+@dataclass(frozen=True, slots=True)
+class Trade:
+    """A trade against a hidden or displayed order. 41 bytes."""
+
+    TYPE: ClassVar[int] = 0x2A
+    _STRUCT: ClassVar[struct.Struct] = struct.Struct("<BBIQcI6sQQ")
+    WIRE_BYTES: ClassVar[int] = 41
+
+    time_offset_ns: int
+    order_id: int
+    side: str
+    quantity: int
+    symbol: str
+    price: int
+    execution_id: int
+
+    def encode(self) -> bytes:
+        if self.side not in ("B", "S"):
+            raise ValueError("side must be 'B' or 'S'")
+        return self._STRUCT.pack(
+            self.WIRE_BYTES,
+            self.TYPE,
+            self.time_offset_ns & 0xFFFFFFFF,
+            self.order_id,
+            self.side.encode(),
+            self.quantity,
+            _encode_symbol(self.symbol),
+            self.price,
+            self.execution_id,
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "Trade":
+        (_, _, t, oid, side, qty, sym, price, xid) = cls._STRUCT.unpack(
+            buf[: cls.WIRE_BYTES]
+        )
+        return cls(t, oid, side.decode(), qty, _decode_symbol(sym), price, xid)
+
+
+@dataclass(frozen=True, slots=True)
+class Time:
+    """Per-second time anchor / heartbeat. 6 bytes.
+
+    Quiet feed partitions emit heartbeat-only frames; at 46 B of stack
+    overhead plus the 8 B unit header plus 6 B, these land below the
+    64 B Ethernet minimum and get padded — producing the 64 B minimum
+    frame lengths seen on one of Table 1's feeds.
+    """
+
+    TYPE: ClassVar[int] = 0x20
+    _STRUCT: ClassVar[struct.Struct] = struct.Struct("<BBI")
+    WIRE_BYTES: ClassVar[int] = 6
+
+    seconds: int
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(self.WIRE_BYTES, self.TYPE, self.seconds & 0xFFFFFFFF)
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "Time":
+        (_, _, seconds) = cls._STRUCT.unpack(buf[: cls.WIRE_BYTES])
+        return cls(seconds)
+
+
+@dataclass(frozen=True, slots=True)
+class TradingStatus:
+    """Halt/resume status for a symbol. 13 bytes."""
+
+    TYPE: ClassVar[int] = 0x31
+    _STRUCT: ClassVar[struct.Struct] = struct.Struct("<BBI6sc")
+    WIRE_BYTES: ClassVar[int] = 13
+
+    time_offset_ns: int
+    symbol: str
+    status: str  # 'T' trading, 'H' halted
+
+    def encode(self) -> bytes:
+        return self._STRUCT.pack(
+            self.WIRE_BYTES,
+            self.TYPE,
+            self.time_offset_ns & 0xFFFFFFFF,
+            _encode_symbol(self.symbol),
+            self.status.encode(),
+        )
+
+    @classmethod
+    def decode(cls, buf: bytes) -> "TradingStatus":
+        (_, _, t, sym, status) = cls._STRUCT.unpack(buf[: cls.WIRE_BYTES])
+        return cls(t, _decode_symbol(sym), status.decode())
+
+
+PitchMessage = (
+    AddOrder
+    | DeleteOrder
+    | OrderExecuted
+    | ReduceSize
+    | ModifyOrder
+    | Trade
+    | TradingStatus
+    | Time
+)
+
+_MESSAGE_TYPES: dict[int, type] = {
+    cls.TYPE: cls
+    for cls in (
+        AddOrder,
+        DeleteOrder,
+        OrderExecuted,
+        ReduceSize,
+        ModifyOrder,
+        Trade,
+        TradingStatus,
+        Time,
+    )
+}
+
+
+def encode_messages(messages: Iterable[PitchMessage]) -> bytes:
+    """Concatenate encoded messages (no unit header)."""
+    return b"".join(m.encode() for m in messages)
+
+
+def decode_messages(buf: bytes) -> list[PitchMessage]:
+    """Parse a run of length-prefixed messages."""
+    out: list[PitchMessage] = []
+    offset = 0
+    total = len(buf)
+    while offset < total:
+        if total - offset < 2:
+            raise PitchDecodeError("truncated message header")
+        length = buf[offset]
+        mtype = buf[offset + 1]
+        if length < 2 or offset + length > total:
+            raise PitchDecodeError(
+                f"bad message length {length} at offset {offset}"
+            )
+        cls = _MESSAGE_TYPES.get(mtype)
+        if cls is None:
+            raise PitchDecodeError(f"unknown message type 0x{mtype:02x}")
+        if length != cls.WIRE_BYTES:
+            raise PitchDecodeError(
+                f"{cls.__name__} length {length} != {cls.WIRE_BYTES}"
+            )
+        out.append(cls.decode(buf[offset : offset + length]))
+        offset += length
+    return out
+
+
+class PitchFrameCodec:
+    """Packs messages into sequenced UDP payloads and parses them back.
+
+    One codec instance corresponds to one feed *unit* (one multicast
+    partition): it owns that unit's sequence-number space. Packing greedily
+    fills each datagram up to ``max_payload`` — mirroring exchanges packing
+    "multiple individual update messages ... into each packet for
+    efficiency" (§2).
+    """
+
+    def __init__(self, unit: int = 1, max_payload: int = MAX_UDP_PAYLOAD_BYTES):
+        if not 0 <= unit <= 255:
+            raise ValueError("unit must fit in one byte")
+        if max_payload <= SEQUENCED_UNIT_HEADER_BYTES + 14:
+            raise ValueError("max_payload too small to carry any message")
+        self.unit = unit
+        self.max_payload = max_payload
+        self.next_sequence = 1
+
+    def pack(self, messages: list[PitchMessage]) -> list[bytes]:
+        """Encode ``messages`` into one or more sequenced payloads."""
+        payloads: list[bytes] = []
+        batch: list[bytes] = []
+        batch_bytes = SEQUENCED_UNIT_HEADER_BYTES
+        for message in messages:
+            encoded = message.encode()
+            if batch and batch_bytes + len(encoded) > self.max_payload:
+                payloads.append(self._finish(batch, batch_bytes))
+                batch = []
+                batch_bytes = SEQUENCED_UNIT_HEADER_BYTES
+            if batch_bytes + len(encoded) > self.max_payload:
+                raise ValueError("single message exceeds max payload")
+            batch.append(encoded)
+            batch_bytes += len(encoded)
+        if batch:
+            payloads.append(self._finish(batch, batch_bytes))
+        return payloads
+
+    def _finish(self, batch: list[bytes], total_bytes: int) -> bytes:
+        if len(batch) > 255:
+            raise ValueError("more than 255 messages in one unit payload")
+        header = SEQUENCED_UNIT_HEADER.pack(
+            total_bytes, len(batch), self.unit, self.next_sequence
+        )
+        self.next_sequence += len(batch)
+        return header + b"".join(batch)
+
+    @staticmethod
+    def unpack(payload: bytes) -> tuple[int, int, list[PitchMessage]]:
+        """Parse a sequenced payload → (unit, first_sequence, messages)."""
+        if len(payload) < SEQUENCED_UNIT_HEADER_BYTES:
+            raise PitchDecodeError("payload shorter than unit header")
+        length, count, unit, sequence = SEQUENCED_UNIT_HEADER.unpack(
+            payload[:SEQUENCED_UNIT_HEADER_BYTES]
+        )
+        if length != len(payload):
+            raise PitchDecodeError(
+                f"unit header length {length} != payload {len(payload)}"
+            )
+        messages = decode_messages(payload[SEQUENCED_UNIT_HEADER_BYTES:])
+        if len(messages) != count:
+            raise PitchDecodeError(
+                f"unit header count {count} != decoded {len(messages)}"
+            )
+        return unit, sequence, messages

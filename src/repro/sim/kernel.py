@@ -1,0 +1,191 @@
+"""The discrete-event simulator core.
+
+Virtual time is an integer count of nanoseconds since simulation start.
+The event queue is a binary heap keyed on ``(time, priority, sequence)``;
+the sequence number makes same-instant, same-priority events fire in the
+order they were scheduled, which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+# Unit helpers: all simulator times are integer nanoseconds.
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running twice, ...)."""
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    """Internal heap entry. Ordering fields first; payload excluded."""
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _QueuedEvent):
+        self._event = event
+
+    @property
+    def time(self) -> int:
+        """Scheduled firing time in nanoseconds."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A sequential discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator(seed=7)
+        sim.schedule(after=100, callback=lambda: print(sim.now))
+        sim.run(until=1 * SECOND)
+
+    The simulator exposes :attr:`rng` (see :class:`repro.sim.rng.RngStreams`)
+    so components can draw from named substreams without threading RNG
+    objects through every constructor.
+    """
+
+    def __init__(self, seed: int = 0):
+        from repro.sim.rng import RngStreams
+
+        self._now = 0
+        self._queue: list[_QueuedEvent] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+        self.rng = RngStreams(seed)
+        self._trace_hooks: list[Callable[[int, Callable], None]] = []
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        *,
+        at: int | None = None,
+        after: int | None = None,
+        callback: Callable[..., None],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``at`` or delay ``after``.
+
+        Exactly one of ``at`` / ``after`` must be given. Lower ``priority``
+        values fire earlier among same-time events; the default 0 is right
+        for nearly everything.
+        """
+        if (at is None) == (after is None):
+            raise SimulationError("specify exactly one of at= or after=")
+        when = at if at is not None else self._now + int(after)  # type: ignore[arg-type]
+        when = int(when)
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} (now is t={self._now})"
+            )
+        event = _QueuedEvent(when, priority, self._seq, callback, tuple(args))
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def add_trace_hook(self, hook: Callable[[int, Callable], None]) -> None:
+        """Register a hook called as ``hook(time, callback)`` before each event."""
+        self._trace_hooks.append(hook)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or stop().
+
+        Returns the number of events executed during this call. When
+        ``until`` is given, time is advanced to exactly ``until`` even if
+        the last event fired earlier, so back-to-back ``run`` calls tile
+        the timeline cleanly.
+        """
+        if self._running:
+            raise SimulationError("simulator is re-entrant: run() inside run()")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                for hook in self._trace_hooks:
+                    hook(event.time, event.callback)
+                event.callback(*event.args)
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        self.events_executed += executed
+        return executed
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run until no events remain. ``max_events`` guards runaway loops."""
+        executed = self.run(max_events=max_events)
+        if self._queue and not self._stopped:
+            live = sum(1 for e in self._queue if not e.cancelled)
+            if live:
+                raise SimulationError(
+                    f"run_until_idle exceeded {max_events} events "
+                    f"with {live} still pending"
+                )
+        return executed
+
+
+def format_ns(t: int) -> str:
+    """Render a nanosecond time compactly: 1500 -> '1.500us', 42 -> '42ns'."""
+    if t < MICROSECOND:
+        return f"{t}ns"
+    if t < MILLISECOND:
+        return f"{t / MICROSECOND:.3f}us"
+    if t < SECOND:
+        return f"{t / MILLISECOND:.3f}ms"
+    return f"{t / SECOND:.6f}s"

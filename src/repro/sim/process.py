@@ -1,0 +1,97 @@
+"""Component and timer abstractions on top of the event kernel.
+
+Components are the unit of structure in the simulation: every switch, NIC,
+normalizer, strategy, and exchange gateway is a :class:`Component`. The
+base class provides a uniform way to attach to a simulator, a stable
+hierarchical name (used in traces and latency attribution), and lifecycle
+hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.kernel import EventHandle, SimulationError, Simulator
+
+
+class Component:
+    """Base class for everything that lives inside a simulation.
+
+    Subclasses get ``self.sim`` and ``self.name`` and may override
+    :meth:`start` (called when the simulation is wired up) and
+    :meth:`finish` (called by teardown helpers to flush statistics).
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        if not name:
+            raise ValueError("component name must be non-empty")
+        self.sim = sim
+        self.name = name
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Hook invoked once before the simulation runs. Idempotent."""
+        self._started = True
+
+    def finish(self) -> None:
+        """Hook invoked after the simulation completes."""
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def call_after(
+        self, delay: int, callback: Callable[..., None], *args
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` nanoseconds."""
+        return self.sim.schedule(after=delay, callback=callback, args=args)
+
+    def call_at(self, when: int, callback: Callable[..., None], *args) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        return self.sim.schedule(at=when, callback=callback, args=args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    Used for protocol timeouts (e.g. gap-fill retransmit requests in the
+    sequenced-feed arbiter). ``restart`` cancels any pending expiry and
+    re-arms the timer, which is the dominant usage pattern for inactivity
+    timeouts.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]):
+        self.sim = sim
+        self.callback = callback
+        self._handle: EventHandle | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self, delay: int) -> None:
+        """Arm the timer to fire after ``delay`` ns. Errors if already armed."""
+        if self.armed:
+            raise SimulationError("timer already armed; use restart()")
+        self._handle = self.sim.schedule(after=delay, callback=self._fire)
+
+    def restart(self, delay: int) -> None:
+        """Cancel any pending expiry and arm for ``delay`` ns from now."""
+        self.cancel()
+        self._handle = self.sim.schedule(after=delay, callback=self._fire)
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.callback()

@@ -1,0 +1,89 @@
+"""Latency attribution: from timestamp trails to the paper's numbers.
+
+The paper's definition (§2): a strategy's latency is "the time at which
+the strategy sends an order" minus "the time at which the strategy's most
+recent input event arrived". :class:`LatencyRecorder` implements exactly
+that pairing, plus general summary statistics used across the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample set (all values in nanoseconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.0f}ns median={self.median:.0f}ns "
+            f"p99={self.p99:.0f}ns min={self.minimum:.0f}ns max={self.maximum:.0f}ns"
+        )
+
+
+def summarize(samples) -> LatencyStats:
+    """Compute :class:`LatencyStats` over a sequence of ns samples."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no latency samples to summarize")
+    return LatencyStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p99=float(np.percentile(arr, 99)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+class LatencyRecorder:
+    """Implements the input-event → order latency pairing.
+
+    Components report input events (market data arrivals) and order
+    sends, keyed by a context (e.g. strategy name). Each order send is
+    attributed to the most recent input event for that context.
+    """
+
+    def __init__(self):
+        self._last_input: dict[str, int] = {}
+        self._samples: dict[str, list[int]] = {}
+
+    def input_event(self, context: str, when_ns: int) -> None:
+        """Record that ``context`` received an input at ``when_ns``."""
+        self._last_input[context] = when_ns
+
+    def order_sent(self, context: str, when_ns: int) -> int | None:
+        """Record an order send; returns the attributed latency, if any."""
+        last = self._last_input.get(context)
+        if last is None:
+            return None
+        latency = when_ns - last
+        self._samples.setdefault(context, []).append(latency)
+        return latency
+
+    def samples(self, context: str) -> list[int]:
+        return list(self._samples.get(context, []))
+
+    def all_samples(self) -> list[int]:
+        out: list[int] = []
+        for values in self._samples.values():
+            out.extend(values)
+        return out
+
+    def stats(self, context: str | None = None) -> LatencyStats:
+        values = self.samples(context) if context else self.all_samples()
+        return summarize(values)
+
+    @property
+    def contexts(self) -> list[str]:
+        return list(self._samples)

@@ -1,0 +1,68 @@
+"""Market-data workload generation.
+
+The paper's quantitative workload facts (Table 1, Figure 2) come from
+proprietary captures; we substitute calibrated generators that reproduce
+the published statistics through the real codecs:
+
+* :mod:`repro.workload.symbols` — a symbol universe with Zipf-distributed
+  activity and instrument types;
+* :mod:`repro.workload.framesize` — per-exchange feed profiles whose
+  packed PITCH frames reproduce Table 1's min/avg/median/max lengths;
+* :mod:`repro.workload.bursts` — self-exciting (Hawkes cluster) event
+  timing with cross-feed correlation ("bursts across different feeds are
+  often correlated", §2);
+* :mod:`repro.workload.daily` — the intraday profile of Figure 2(b) and
+  the busy-second microstructure of Figure 2(c);
+* :mod:`repro.workload.growth` — the multi-year growth of Figure 2(a);
+* :mod:`repro.workload.orderflow` — ambient order-flow injection that
+  drives a simulated :class:`~repro.exchange.exchange.Exchange`.
+"""
+
+from repro.workload.symbols import Symbol, SymbolUniverse, make_universe
+from repro.workload.framesize import (
+    FEED_PROFILES,
+    FeedProfile,
+    sample_frame_lengths,
+    sample_frames,
+)
+from repro.workload.bursts import (
+    hawkes_timestamps,
+    correlated_feed_timestamps,
+    window_counts,
+)
+from repro.workload.daily import (
+    TRADING_SECONDS,
+    busy_second_event_times,
+    intraday_second_counts,
+)
+from repro.workload.growth import daily_event_counts, GrowthModel
+from repro.workload.orderflow import OrderFlowGenerator
+from repro.workload.options import (
+    OptionSeries,
+    amplification_factor,
+    build_chain,
+    chain_event_rate,
+)
+
+__all__ = [
+    "FEED_PROFILES",
+    "FeedProfile",
+    "GrowthModel",
+    "OptionSeries",
+    "OrderFlowGenerator",
+    "amplification_factor",
+    "build_chain",
+    "chain_event_rate",
+    "Symbol",
+    "SymbolUniverse",
+    "TRADING_SECONDS",
+    "busy_second_event_times",
+    "correlated_feed_timestamps",
+    "daily_event_counts",
+    "hawkes_timestamps",
+    "intraday_second_counts",
+    "make_universe",
+    "sample_frame_lengths",
+    "sample_frames",
+    "window_counts",
+]

@@ -1,0 +1,279 @@
+"""Feed profiles calibrated to Table 1's frame-length statistics.
+
+Table 1 of the paper (frame lengths, inclusive of Ethernet/IP/UDP
+headers, from the middle of a trading day):
+
+    ========== === === ====== ====
+    Feed       min avg median max
+    ========== === === ====== ====
+    Exchange A  73  92     89 1514
+    Exchange B  64 113     76 1067
+    Exchange C  81 151    101 1442
+    ========== === === ====== ====
+
+Each :class:`FeedProfile` describes one exchange's packing habits: the
+mix of message types, how many messages coalesce per frame, how often
+heartbeat-only frames appear, and the venue's datagram size cap. Frames
+are generated through the *real* PITCH codec, so the statistics emerge
+from actual encoded bytes:
+
+* the 64 B minimum on Exchange B is a padded heartbeat-only frame;
+* the 73 B minimum on Exchange A is a lone 19 B modify message;
+* the maxima are each venue's datagram cap (A fills a full 1500 B MTU);
+* the skew (median < avg) comes from occasional burst frames packed to
+  the cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.protocols.headers import UDP_STACK_OVERHEAD_BYTES, MIN_FRAME_BYTES
+from repro.protocols.pitch import (
+    AddOrder,
+    DeleteOrder,
+    ModifyOrder,
+    OrderExecuted,
+    PitchMessage,
+    ReduceSize,
+    SEQUENCED_UNIT_HEADER_BYTES,
+    Time,
+    Trade,
+    TradingStatus,
+)
+
+# Fixed per-frame overhead around the PITCH messages.
+FRAME_OVERHEAD = UDP_STACK_OVERHEAD_BYTES + SEQUENCED_UNIT_HEADER_BYTES  # 54
+
+_MESSAGE_SIZES = {
+    "add": AddOrder.WIRE_BYTES,  # 26
+    "delete": DeleteOrder.WIRE_BYTES,  # 14
+    "executed": OrderExecuted.WIRE_BYTES,  # 26
+    "reduce": ReduceSize.WIRE_BYTES,  # 18
+    "modify": ModifyOrder.WIRE_BYTES,  # 19
+    "trade": Trade.WIRE_BYTES,  # 41
+    "status": TradingStatus.WIRE_BYTES,  # 13
+}
+
+
+@dataclass(frozen=True)
+class FeedProfile:
+    """The packing/message-mix habits of one exchange's feed."""
+
+    name: str
+    max_frame_bytes: int  # venue datagram cap, as a wire frame length
+    message_mix: dict[str, float]  # type -> probability
+    extra_messages_mean: float  # Poisson mean for messages beyond the first
+    burst_frame_prob: float  # probability a frame is packed to the cap
+    burst_fill_fraction: tuple[float, float]  # uniform fill range for bursts
+    heartbeat_prob: float = 0.0  # probability of a heartbeat-only frame
+    min_message_bytes: int = 0  # venue never emits a smaller message batch
+    burst_full_prob: float = 0.3  # fraction of bursts packed exactly to cap
+
+    def __post_init__(self) -> None:
+        total = sum(self.message_mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"message mix sums to {total}, expected 1.0")
+        unknown = set(self.message_mix) - set(_MESSAGE_SIZES)
+        if unknown:
+            raise ValueError(f"unknown message types in mix: {unknown}")
+        if self.max_frame_bytes <= FRAME_OVERHEAD + max(_MESSAGE_SIZES.values()):
+            raise ValueError("max_frame_bytes too small")
+
+    @property
+    def max_message_bytes(self) -> int:
+        """Message bytes available under the cap."""
+        return self.max_frame_bytes - FRAME_OVERHEAD
+
+
+#: Profiles calibrated so generated statistics track Table 1.
+FEED_PROFILES: dict[str, FeedProfile] = {
+    "A": FeedProfile(
+        name="A",
+        max_frame_bytes=1514,
+        message_mix={
+            "delete": 0.27,
+            "add": 0.24,
+            "executed": 0.12,
+            "reduce": 0.09,
+            "modify": 0.26,
+            "trade": 0.02,
+        },
+        extra_messages_mean=0.70,
+        burst_frame_prob=0.0025,
+        burst_fill_fraction=(0.5, 1.0),
+        min_message_bytes=19,  # a lone 19 B modify => the 73 B minimum frame
+    ),
+    "B": FeedProfile(
+        name="B",
+        max_frame_bytes=1067,
+        message_mix={
+            "delete": 0.34,
+            "add": 0.28,
+            "executed": 0.14,
+            "reduce": 0.07,
+            "modify": 0.14,
+            "trade": 0.03,
+        },
+        extra_messages_mean=0.55,
+        burst_frame_prob=0.042,
+        burst_fill_fraction=(0.55, 1.0),
+        heartbeat_prob=0.30,  # padded heartbeats => the 64 B minimum frame
+    ),
+    "C": FeedProfile(
+        name="C",
+        max_frame_bytes=1442,
+        message_mix={
+            "delete": 0.22,
+            "add": 0.26,
+            "executed": 0.13,
+            "reduce": 0.06,
+            "modify": 0.18,
+            "trade": 0.14,
+            "status": 0.01,
+        },
+        extra_messages_mean=0.92,
+        burst_frame_prob=0.044,
+        burst_fill_fraction=(0.45, 1.0),
+        min_message_bytes=27,  # status+delete (13+14) => the 81 B minimum
+    ),
+}
+
+
+def _draw_message(kind: str, rng: np.random.Generator, time_ns: int) -> PitchMessage:
+    """Materialize one message of ``kind`` with plausible field values."""
+    oid = int(rng.integers(1, 2**40))
+    if kind == "add":
+        side = "B" if rng.random() < 0.5 else "S"
+        return AddOrder(time_ns, oid, side, int(rng.integers(1, 500)), "SYM", 10_000)
+    if kind == "delete":
+        return DeleteOrder(time_ns, oid)
+    if kind == "executed":
+        return OrderExecuted(time_ns, oid, int(rng.integers(1, 500)), oid + 1)
+    if kind == "reduce":
+        return ReduceSize(time_ns, oid, int(rng.integers(1, 200)))
+    if kind == "modify":
+        return ModifyOrder(time_ns, oid, int(rng.integers(1, 500)), 10_000)
+    if kind == "trade":
+        side = "B" if rng.random() < 0.5 else "S"
+        return Trade(time_ns, oid, side, int(rng.integers(1, 500)), "SYM", 10_000, oid + 1)
+    if kind == "status":
+        return TradingStatus(time_ns, "SYM", "T")
+    raise ValueError(f"unknown message kind {kind!r}")
+
+
+_tile_cache: dict[tuple[tuple[str, ...], int], list[str] | None] = {}
+
+
+def _tile_exact(gap: int, kinds: list[str]) -> list[str] | None:
+    """Message kinds whose sizes sum to exactly ``gap`` (coin-change DP)."""
+    if gap < 0:
+        return None
+    key = (tuple(sorted(set(kinds))), gap)
+    if key in _tile_cache:
+        return _tile_cache[key]
+    sizes = sorted({_MESSAGE_SIZES[k]: k for k in kinds}.items())
+    # reachable[g] = kind used last to reach sum g, or None.
+    reachable: list[str | None] = [None] * (gap + 1)
+    reachable_flag = [False] * (gap + 1)
+    reachable_flag[0] = True
+    for g in range(1, gap + 1):
+        for size, kind in sizes:
+            if size <= g and reachable_flag[g - size]:
+                reachable_flag[g] = True
+                reachable[g] = kind
+                break
+    if not reachable_flag[gap]:
+        _tile_cache[key] = None
+        return None
+    chosen: list[str] = []
+    g = gap
+    while g > 0:
+        kind = reachable[g]
+        assert kind is not None
+        chosen.append(kind)
+        g -= _MESSAGE_SIZES[kind]
+    _tile_cache[key] = chosen
+    return list(chosen)
+
+
+def _fill_to_exact(
+    target_bytes: int, kinds: list[str], probs: np.ndarray, rng: np.random.Generator
+) -> list[str]:
+    """Pick message kinds summing as close to ``target_bytes`` as possible,
+    landing exactly on it whenever the tail gap can be tiled."""
+    largest = max(_MESSAGE_SIZES[k] for k in kinds)
+    chosen: list[str] = []
+    remaining = target_bytes
+    # Greedy phase: draw from the mix until only a tileable tail remains
+    # (depth-4 tiling reaches any gap up to ~3 messages reliably).
+    while remaining > 3 * largest:
+        kind = rng.choice(kinds, p=probs)
+        size = _MESSAGE_SIZES[kind]
+        if size <= remaining:
+            chosen.append(kind)
+            remaining -= size
+    # Exact phase: tile the tail, backing off one message at a time if the
+    # current gap is untileable.
+    while True:
+        tail = _tile_exact(remaining, kinds)
+        if tail is not None:
+            chosen.extend(tail)
+            return chosen
+        if not chosen:
+            return chosen  # target itself untileable; return best effort
+        remaining += _MESSAGE_SIZES[chosen.pop()]
+
+
+def sample_frames(
+    profile: FeedProfile,
+    n_frames: int,
+    rng: np.random.Generator,
+    time_ns: int = 0,
+) -> list[list[PitchMessage]]:
+    """Draw the message contents of ``n_frames`` frames."""
+    kinds = list(profile.message_mix)
+    probs = np.array([profile.message_mix[k] for k in kinds])
+    frames: list[list[PitchMessage]] = []
+    for _ in range(n_frames):
+        roll = rng.random()
+        if roll < profile.heartbeat_prob:
+            frames.append([Time(int(time_ns // 1_000_000_000))])
+            continue
+        if roll < profile.heartbeat_prob + profile.burst_frame_prob:
+            if rng.random() < profile.burst_full_prob:
+                target = profile.max_message_bytes  # packed to the cap
+            else:
+                lo, hi = profile.burst_fill_fraction
+                target = int(profile.max_message_bytes * rng.uniform(lo, hi))
+            chosen = _fill_to_exact(target, kinds, probs, rng)
+            frames.append([_draw_message(k, rng, time_ns) for k in chosen])
+            continue
+        count = 1 + int(rng.poisson(profile.extra_messages_mean))
+        chosen = list(rng.choice(kinds, size=count, p=probs))
+        # Venues coalesce below their minimum batch and cap at the MTU.
+        while sum(_MESSAGE_SIZES[k] for k in chosen) < profile.min_message_bytes:
+            chosen.append(str(rng.choice(kinds, p=probs)))
+        while sum(_MESSAGE_SIZES[k] for k in chosen) > profile.max_message_bytes:
+            chosen.pop()
+        frames.append([_draw_message(k, rng, time_ns) for k in chosen])
+    return frames
+
+
+def frame_wire_length(messages: list[PitchMessage]) -> int:
+    """Wire frame length for a message batch, with runt padding."""
+    body = sum(len(m.encode()) for m in messages)
+    return max(MIN_FRAME_BYTES, FRAME_OVERHEAD + body)
+
+
+def sample_frame_lengths(
+    profile: FeedProfile,
+    n_frames: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Frame lengths (bytes on the wire, inclusive of headers) for
+    ``n_frames`` sampled frames — the quantity Table 1 tabulates."""
+    frames = sample_frames(profile, n_frames, rng)
+    return np.array([frame_wire_length(f) for f in frames], dtype=np.int64)

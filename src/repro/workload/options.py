@@ -1,0 +1,156 @@
+"""Options chains and quote amplification.
+
+Figure 2(b) shows >300k events per *median second* for the options of a
+single stock. That number only makes sense through the chain mechanism:
+one underlier lists hundreds of option series (strikes × expiries ×
+calls/puts), each quoted on up to 18 exchanges (§2), and market makers
+requote large swaths of the chain every time the underlying stock
+ticks. One underlier event therefore fans out into thousands of options
+events — this module models that fan-out, both to explain the paper's
+numbers and to generate chain-shaped workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+US_OPTIONS_EXCHANGES = 18  # §2: "18 options exchanges"
+
+
+@dataclass(frozen=True, slots=True)
+class OptionSeries:
+    """One listed option series."""
+
+    symbol: str  # short feed symbol (PITCH-compatible)
+    underlier: str
+    expiry_days: int
+    strike: int  # price units (1/100 cent), strike price
+    right: str  # 'C' or 'P'
+
+    def __post_init__(self) -> None:
+        if self.right not in ("C", "P"):
+            raise ValueError("right must be 'C' or 'P'")
+        if self.strike <= 0 or self.expiry_days <= 0:
+            raise ValueError("strike and expiry must be positive")
+
+    def moneyness(self, underlier_price: int) -> float:
+        """|strike − spot| / spot: 0 at the money."""
+        return abs(self.strike - underlier_price) / underlier_price
+
+
+def build_chain(
+    underlier: str,
+    underlier_price: int,
+    n_expiries: int = 8,
+    strikes_per_expiry: int = 40,
+    strike_spacing_frac: float = 0.01,
+) -> list[OptionSeries]:
+    """List an options chain around the current underlier price.
+
+    Strikes ladder symmetrically around spot at ``strike_spacing_frac``
+    intervals; every (expiry, strike) lists both a call and a put —
+    matching how real chains are struck. A typical large-cap chain:
+    8 expiries × 40 strikes × 2 rights = 640 series.
+    """
+    if underlier_price <= 0:
+        raise ValueError("underlier price must be positive")
+    if n_expiries < 1 or strikes_per_expiry < 1:
+        raise ValueError("need at least one expiry and strike")
+    expiries = [7 * (i + 1) + 23 * (i // 4) for i in range(n_expiries)]
+    half = strikes_per_expiry // 2
+    spacing = max(100, int(underlier_price * strike_spacing_frac))
+    counter = itertools.count()
+    chain = []
+    for expiry in expiries:
+        for k in range(-half, strikes_per_expiry - half):
+            strike = underlier_price + k * spacing
+            if strike <= 0:
+                continue
+            for right in ("C", "P"):
+                index = next(counter)
+                chain.append(
+                    OptionSeries(
+                        symbol=f"{underlier[:2]}{index:03X}{right}"[:6],
+                        underlier=underlier,
+                        expiry_days=expiry,
+                        strike=strike,
+                        right=right,
+                    )
+                )
+    return chain
+
+
+def requote_probability(
+    series: OptionSeries, underlier_price: int, scale: float = 0.05
+) -> float:
+    """How likely one underlier tick requotes this series.
+
+    Near-the-money series reprice on essentially every tick (their
+    deltas are large); far wings barely move. Exponential decay in
+    moneyness with ``scale`` ≈ 5% captures the empirical shape.
+    """
+    return float(np.exp(-series.moneyness(underlier_price) / scale))
+
+
+def expected_requotes_per_tick(
+    chain: list[OptionSeries],
+    underlier_price: int,
+    n_venues: int = US_OPTIONS_EXCHANGES,
+    scale: float = 0.05,
+) -> float:
+    """Expected options quote events caused by ONE underlier tick.
+
+    Sums requote probabilities across the chain, times the venues that
+    each quote the series — the §2 fan-out in one number.
+    """
+    per_venue = sum(
+        requote_probability(series, underlier_price, scale) for series in chain
+    )
+    return per_venue * n_venues
+
+
+def amplification_factor(
+    chain: list[OptionSeries],
+    underlier_price: int,
+    n_venues: int = US_OPTIONS_EXCHANGES,
+    scale: float = 0.05,
+) -> float:
+    """Options events per single underlier event (the headline ratio)."""
+    return expected_requotes_per_tick(chain, underlier_price, n_venues, scale)
+
+
+def chain_event_rate(
+    underlier_ticks_per_s: float,
+    chain: list[OptionSeries],
+    underlier_price: int,
+    n_venues: int = US_OPTIONS_EXCHANGES,
+    scale: float = 0.05,
+) -> float:
+    """Options events/s for the whole chain given the underlier tick rate.
+
+    This is the bridge to Figure 2(b): a liquid stock ticking ~50×/s
+    with a 640-series chain quoted on 18 venues produces hundreds of
+    thousands of BBO-affecting options events per second.
+    """
+    if underlier_ticks_per_s < 0:
+        raise ValueError("tick rate must be >= 0")
+    return underlier_ticks_per_s * expected_requotes_per_tick(
+        chain, underlier_price, n_venues, scale
+    )
+
+
+def sample_requotes(
+    chain: list[OptionSeries],
+    underlier_price: int,
+    rng: np.random.Generator,
+    scale: float = 0.05,
+) -> list[OptionSeries]:
+    """The subset of the chain that actually requotes on one tick."""
+    probs = np.array(
+        [requote_probability(series, underlier_price, scale) for series in chain]
+    )
+    draws = rng.random(len(chain))
+    return [series for series, p, d in zip(chain, probs, draws) if d < p]

@@ -1,0 +1,141 @@
+"""Chain-driven options order flow.
+
+Connects the :mod:`repro.workload.options` amplification model to the
+exchange: an underlier tick process (Hawkes-bursty) drives requotes
+across an options chain, each requote becoming real matching-engine
+activity. This is Figure 2(b) *as a simulation input*: one stock's
+chain producing hundreds of thousands of events per second of options
+market data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exchange.exchange import Exchange
+from repro.sim.kernel import MILLISECOND, Simulator
+from repro.sim.process import Component
+from repro.workload.options import OptionSeries, build_chain, requote_probability
+
+
+@dataclass
+class ChainFlowStats:
+    underlier_ticks: int = 0
+    requotes: int = 0
+    series_quoted: int = 0
+
+    @property
+    def amplification(self) -> float:
+        if not self.underlier_ticks:
+            return 0.0
+        return self.requotes / self.underlier_ticks
+
+
+class ChainFlowGenerator(Component):
+    """Drives an exchange with chain requotes off an underlier tick process.
+
+    Each series carries one two-sided quote (the market maker's); on an
+    underlier tick, series requote with probability decaying in
+    moneyness. A requote reprices both sides around the series' own
+    theoretical value (intrinsic-ish: linear in the underlier move).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        exchange: Exchange,
+        underlier: str,
+        underlier_price: int,
+        ticks_per_s: float,
+        n_expiries: int = 4,
+        strikes_per_expiry: int = 10,
+        quote_size: int = 10,
+        half_spread: int = 500,
+        batch_ns: int = MILLISECOND,
+    ):
+        super().__init__(sim, name)
+        self.exchange = exchange
+        self.underlier_price = int(underlier_price)
+        self.ticks_per_s = float(ticks_per_s)
+        self.quote_size = quote_size
+        self.half_spread = half_spread
+        self.batch_ns = int(batch_ns)
+        self.stats = ChainFlowStats()
+        self.chain = build_chain(
+            underlier, underlier_price, n_expiries, strikes_per_expiry
+        )
+        self.stats.series_quoted = len(self.chain)
+        for series in self.chain:
+            exchange.engine.list_symbol(series.symbol)
+        # series symbol -> (bid exchange id, ask exchange id)
+        self._live: dict[str, tuple[int, int]] = {}
+        self._rng = sim.rng.stream(f"chainflow.{name}")
+        self._running = False
+
+    # -- control ------------------------------------------------------------
+
+    def start(self) -> None:
+        super().start()
+        if not self._running:
+            self._running = True
+            self.call_after(self.batch_ns, self._batch)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- pricing ------------------------------------------------------------
+
+    def _series_value(self, series: OptionSeries) -> int:
+        """A toy theoretical value: intrinsic + time value floor."""
+        if series.right == "C":
+            intrinsic = max(0, self.underlier_price - series.strike)
+        else:
+            intrinsic = max(0, series.strike - self.underlier_price)
+        time_value = max(100, series.expiry_days * 20)
+        return intrinsic + time_value
+
+    # -- generation ------------------------------------------------------------
+
+    def _batch(self) -> None:
+        if not self._running:
+            return
+        expected = self.ticks_per_s * self.batch_ns / 1e9
+        ticks = int(self._rng.poisson(expected))
+        for _ in range(ticks):
+            self._tick()
+        self.call_after(self.batch_ns, self._batch)
+
+    def _tick(self) -> None:
+        self.stats.underlier_ticks += 1
+        # The underlier moves one cent either way.
+        self.underlier_price += int(self._rng.choice((-100, 100)))
+        probs = self._rng.random(len(self.chain))
+        for series, draw in zip(self.chain, probs):
+            if draw < requote_probability(series, self.underlier_price):
+                self._requote(series)
+
+    def _requote(self, series: OptionSeries) -> None:
+        self.stats.requotes += 1
+        value = self._series_value(series)
+        bid = max(100, value - self.half_spread)
+        ask = value + self.half_spread
+        live = self._live.get(series.symbol)
+        if live is not None:
+            bid_id, ask_id = live
+            self.exchange.inject_modify(bid_id, self.quote_size, bid, owner=self.name)
+            self.exchange.inject_modify(ask_id, self.quote_size, ask, owner=self.name)
+            return
+        bid_update = self.exchange.inject_order(
+            series.symbol, "B", bid, self.quote_size, owner=self.name
+        )
+        ask_update = self.exchange.inject_order(
+            series.symbol, "S", ask, self.quote_size, owner=self.name
+        )
+        if bid_update.accepted and ask_update.accepted:
+            self._live[series.symbol] = (
+                bid_update.exchange_order_id,
+                ask_update.exchange_order_id,
+            )

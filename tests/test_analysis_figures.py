@@ -1,0 +1,65 @@
+"""Tests for figure-series CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    write_all_figures,
+    write_fig2a_csv,
+    write_fig2b_csv,
+    write_fig2c_csv,
+)
+from repro.workload.daily import MARKET_OPEN_SECOND, TRADING_SECONDS
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    return rows[0], rows[1:]
+
+
+def test_fig2a_series(tmp_path):
+    path = write_fig2a_csv(tmp_path / "a.csv")
+    header, rows = _read(path)
+    assert header == ["year_fraction", "events_per_day"]
+    years = [float(r[0]) for r in rows]
+    counts = [int(r[1]) for r in rows]
+    assert years[0] == 2020.0
+    assert years == sorted(years)
+    assert max(counts) > 1e10  # tens of billions
+
+
+def test_fig2b_series(tmp_path):
+    path = write_fig2b_csv(tmp_path / "b.csv")
+    header, rows = _read(path)
+    assert header == ["second_of_day", "events"]
+    assert len(rows) == TRADING_SECONDS
+    assert int(rows[0][0]) == MARKET_OPEN_SECOND  # 9:30am
+    assert int(rows[-1][0]) == MARKET_OPEN_SECOND + TRADING_SECONDS - 1  # 4pm
+    counts = np.array([int(r[1]) for r in rows])
+    assert counts.max() == 1_500_000
+
+
+def test_fig2c_series(tmp_path):
+    path = write_fig2c_csv(tmp_path / "c.csv")
+    header, rows = _read(path)
+    assert header == ["window_start_ms", "events"]
+    assert len(rows) == 10_000
+    assert float(rows[0][0]) == 0.0
+    assert float(rows[-1][0]) == pytest.approx(999.9)
+    total = sum(int(r[1]) for r in rows)
+    assert total == pytest.approx(1_500_000, rel=0.1)
+
+
+def test_write_all(tmp_path):
+    paths = write_all_figures(tmp_path / "out")
+    assert len(paths) == 3
+    assert all(p.exists() and p.stat().st_size > 0 for p in paths)
+
+
+def test_deterministic_given_seed(tmp_path):
+    a = write_fig2c_csv(tmp_path / "s1.csv", seed=9)
+    b = write_fig2c_csv(tmp_path / "s2.csv", seed=9)
+    assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,78 @@
+"""Tests for the log-binned latency histogram."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import LatencyHistogram
+
+
+def test_streaming_counts_and_moments():
+    hist = LatencyHistogram()
+    hist.record_many([1_000, 2_000, 3_000])
+    assert hist.total == 3
+    assert hist.mean == pytest.approx(2_000)
+    assert hist.min_seen == 1_000
+    assert hist.max_seen == 3_000
+
+
+def test_percentiles_track_numpy_within_bin_resolution():
+    rng = np.random.default_rng(1)
+    samples = rng.lognormal(mean=9.0, sigma=0.8, size=50_000)  # ~8k ns scale
+    hist = LatencyHistogram(min_ns=10, max_ns=1e8, bins_per_decade=20)
+    hist.record_many(samples)
+    for p in (50, 90, 99):
+        exact = float(np.percentile(samples, p))
+        approx = hist.percentile(p)
+        # Geometric bins at 20/decade give ~12% worst-case bin width.
+        assert approx == pytest.approx(exact, rel=0.15)
+
+
+def test_under_and_overflow_buckets():
+    hist = LatencyHistogram(min_ns=100, max_ns=10_000)
+    hist.record(5)  # underflow
+    hist.record(1_000)
+    hist.record(1e9)  # overflow
+    assert hist.total == 3
+    assert "(<" in hist.render()
+    assert "(>=" in hist.render()
+    # Percentiles clamp at the bounds for out-of-range mass.
+    assert hist.percentile(1) == 100
+    assert hist.percentile(100) == 10_000
+
+
+def test_bins_are_geometric_and_contiguous():
+    hist = LatencyHistogram(min_ns=100, max_ns=100_000, bins_per_decade=5)
+    for value in (120, 500, 3_000, 50_000):
+        hist.record(value)
+    bins = hist.bins()
+    assert all(b.count == 1 for b in bins)
+    ratios = [b.high_ns / b.low_ns for b in bins]
+    assert all(r == pytest.approx(ratios[0]) for r in ratios)
+    for entry in bins:
+        assert entry.low_ns < entry.high_ns
+
+
+def test_render_bar_lengths_scale():
+    hist = LatencyHistogram()
+    hist.record_many([1_000] * 100)
+    hist.record_many([10_000] * 10)
+    text = hist.render(width=40)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].count("#") > lines[1].count("#")
+
+
+def test_empty_histogram():
+    hist = LatencyHistogram()
+    assert hist.render() == "(empty histogram)"
+    assert np.isnan(hist.mean)
+    assert np.isnan(hist.percentile(50))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_ns=0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_ns=100, max_ns=50)
+    with pytest.raises(ValueError):
+        LatencyHistogram().percentile(0)

@@ -1,0 +1,104 @@
+"""Tests for on-disk journals."""
+
+import pytest
+
+from repro.analysis.persistence import (
+    JournalFormatError,
+    RECORD_BYTES,
+    load_capture_journal,
+    load_update_journal,
+    save_capture_journal,
+    save_update_journal,
+)
+from repro.firm.replay import RecordedUpdate, ReplayDriver
+from repro.protocols.itf import NormalizedUpdate
+from repro.timing.capture import CaptureRecord
+
+
+def _journal(n=10):
+    return [
+        RecordedUpdate(
+            1_000 * i,
+            NormalizedUpdate(f"S{i % 3}", 1, "Q", 9_900 + i, 10, 10_100 + i, 20, 7 * i),
+        )
+        for i in range(n)
+    ]
+
+
+def test_update_journal_round_trip(tmp_path):
+    journal = _journal(25)
+    path = tmp_path / "day.jrn"
+    size = save_update_journal(path, journal)
+    assert size == 8 + 25 * RECORD_BYTES
+    loaded = load_update_journal(path)
+    assert loaded == journal
+
+
+def test_empty_journal_round_trip(tmp_path):
+    path = tmp_path / "empty.jrn"
+    save_update_journal(path, [])
+    assert load_update_journal(path) == []
+
+
+def test_journal_feeds_replay_across_processes(tmp_path):
+    """The workflow: record -> save -> (new process) -> load -> replay."""
+    path = tmp_path / "session.jrn"
+    save_update_journal(path, _journal(40))
+    loaded = load_update_journal(path)
+    seen = []
+    result = ReplayDriver(loaded).run(lambda u: seen.append(u.symbol) and None)
+    assert result.updates_processed == 40
+    assert len(seen) == 40
+
+
+def test_update_journal_validation(tmp_path):
+    path = tmp_path / "bad.jrn"
+    path.write_bytes(b"NOPE" + b"\x00" * 10)
+    with pytest.raises(JournalFormatError):
+        load_update_journal(path)
+    path.write_bytes(b"")
+    with pytest.raises(JournalFormatError):
+        load_update_journal(path)
+    # Truncated payload.
+    good = tmp_path / "good.jrn"
+    save_update_journal(good, _journal(3))
+    truncated = good.read_bytes()[:-10]
+    bad = tmp_path / "trunc.jrn"
+    bad.write_bytes(truncated)
+    with pytest.raises(JournalFormatError):
+        load_update_journal(bad)
+
+
+def _captures(n=5):
+    return [
+        CaptureRecord(
+            tap=f"tap{i % 2}", packet_id=i, timestamp_ns=100 * i,
+            wire_bytes=64 + i, src="a:eth0", dst="mcast:feed/0",
+        )
+        for i in range(n)
+    ]
+
+
+def test_capture_journal_round_trip(tmp_path):
+    records = _captures(12)
+    path = tmp_path / "capture.jsonl"
+    assert save_capture_journal(path, records) == 12
+    assert load_capture_journal(path) == records
+
+
+def test_capture_journal_is_line_oriented_text(tmp_path):
+    path = tmp_path / "capture.jsonl"
+    save_capture_journal(path, _captures(3))
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    assert all(line.startswith("{") for line in lines)
+
+
+def test_capture_journal_rejects_garbage(tmp_path):
+    path = tmp_path / "garbage.jsonl"
+    path.write_text('{"tap": "x"}\n')  # missing fields
+    with pytest.raises(JournalFormatError):
+        load_capture_journal(path)
+    path.write_text("not json\n")
+    with pytest.raises(JournalFormatError):
+        load_capture_journal(path)

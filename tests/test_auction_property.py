@@ -1,0 +1,74 @@
+"""Property tests for the opening-cross algorithm."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exchange.auction import (
+    _cumulative_demand,
+    _cumulative_supply,
+    compute_clearing_price,
+)
+
+
+class _O:
+    __slots__ = ("side", "price", "quantity")
+
+    def __init__(self, side, price, quantity):
+        self.side = side
+        self.price = price
+        self.quantity = quantity
+
+
+order_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["B", "S"]),
+        st.integers(min_value=90, max_value=110),
+        st.integers(min_value=1, max_value=500),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@given(raw=order_lists)
+@settings(max_examples=150)
+def test_clearing_price_maximizes_volume(raw):
+    """No price clears more volume than the chosen one (brute force)."""
+    orders = [_O(side, price * 100, quantity) for side, price, quantity in raw]
+    price, volume, imbalance = compute_clearing_price(orders)
+    all_prices = sorted({o.price for o in orders})
+    brute_best = 0
+    for candidate in all_prices:
+        candidate_volume = min(
+            _cumulative_demand(orders, candidate),
+            _cumulative_supply(orders, candidate),
+        )
+        brute_best = max(brute_best, candidate_volume)
+    assert volume == brute_best
+    if price is not None:
+        # The reported numbers are self-consistent at the chosen price.
+        demand = _cumulative_demand(orders, price)
+        supply = _cumulative_supply(orders, price)
+        assert volume == min(demand, supply)
+        assert imbalance == demand - supply
+    else:
+        assert brute_best == 0
+
+
+@given(raw=order_lists)
+@settings(max_examples=100)
+def test_clearing_is_deterministic(raw):
+    orders = [_O(side, price * 100, quantity) for side, price, quantity in raw]
+    assert compute_clearing_price(orders) == compute_clearing_price(list(orders))
+
+
+@given(
+    raw=order_lists,
+    reference=st.integers(min_value=90, max_value=110),
+)
+@settings(max_examples=100)
+def test_reference_price_never_changes_volume(raw, reference):
+    """The reference only breaks ties; executable volume is invariant."""
+    orders = [_O(side, price * 100, quantity) for side, price, quantity in raw]
+    _, volume_plain, _ = compute_clearing_price(orders)
+    _, volume_ref, _ = compute_clearing_price(orders, reference * 100)
+    assert volume_plain == volume_ref

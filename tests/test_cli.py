@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_designs_command(capsys):
+    assert main(["designs"]) == 0
+    out = capsys.readouterr().out
+    assert "design1-leaf-spine" in out
+    assert "50.0%" in out  # the paper's network share
+    assert "design3-l1s" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table1", "--frames", "4000", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Exchange A" in out and "Exchange C" in out
+    assert "1514" in out  # feed A's structural max
+    assert "paper:" in out
+
+
+def test_figure2_command(capsys):
+    assert main(["figure2", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 2(a)" in out and "Fig 2(b)" in out and "Fig 2(c)" in out
+    assert "1,500,000" in out  # busiest second
+
+
+def test_roundtrip_command(capsys):
+    assert main(["roundtrip", "--ms", "15", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "design1 (leaf-spine)" in out
+    assert "design3 (L1S)" in out
+    assert "median" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_command_is_required():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_run_command_with_config_file(tmp_path, capsys):
+    from repro.core.config import SystemSpec
+
+    spec = SystemSpec(design="design3", seed=5, run_ms=10,
+                      n_symbols=6, n_strategies=2)
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    assert main(["run", "--config", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "design3" in out
+    assert "round trip" in out
+
+
+def test_run_command_without_config(capsys):
+    assert main(["run", "--design", "design1", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "design1" in out and "fills" in out

@@ -1,0 +1,104 @@
+"""A compressed trading day: session machine + workload + chain, together.
+
+One integration scenario stitching the session edges to the workloads:
+pre-open auction interest, the bell, continuous chain-driven options
+flow scaled by the intraday profile, the closing cross, and the halt.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exchange.exchange import Exchange
+from repro.exchange.publisher import hashed_scheme
+from repro.exchange.session import Phase, TradingSession
+from repro.net.addressing import EndpointAddress
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.sim.kernel import MILLISECOND, Simulator
+from repro.workload.optionsflow import ChainFlowGenerator
+
+SPOT = 150 * 10_000
+
+
+class Sink:
+    name = "sink"
+
+    def __init__(self):
+        self.frames = 0
+
+    def handle_packet(self, packet, ingress):
+        self.frames += 1
+
+
+@pytest.fixture(scope="module")
+def day():
+    sim = Simulator(seed=13)
+    feed_sink = Sink()
+    feed = Nic(sim, "f", EndpointAddress("x", "feed"))
+    feed.attach(Link(sim, "lf", feed, feed_sink))
+    orders = Nic(sim, "o", EndpointAddress("x", "orders"))
+    orders.attach(Link(sim, "lo", orders, Sink()))
+    exchange = Exchange(
+        sim, "exch1", ["AAPL"], hashed_scheme(4),
+        feed_nic_a=feed, orders_nic=orders, coalesce_window_ns=500,
+    )
+    # Chain flow runs only while the session is OPEN.
+    flow = ChainFlowGenerator(
+        sim, "chain", exchange, "AAPL", SPOT, ticks_per_s=1_500,
+        n_expiries=2, strikes_per_expiry=6,
+    )
+    phases = []
+
+    def on_phase(phase):
+        phases.append((sim.now, phase))
+        if phase is Phase.OPEN:
+            flow.start()
+        else:
+            flow.stop()
+
+    session = TradingSession(
+        sim, "day", exchange,
+        open_at_ns=5 * MILLISECOND,
+        close_at_ns=45 * MILLISECOND,
+        closing_auction_ns=5 * MILLISECOND,
+        on_phase=on_phase,
+    )
+    # Pre-open interest on the underlier's chain symbols.
+    first = flow.chain[0].symbol
+    session.submit("early-bird", first, "B", 10_000, 100)
+    session.submit("early-bird", first, "S", 9_800, 100)
+    sim.run(until=60 * MILLISECOND)
+    return sim, exchange, session, flow, phases, feed_sink
+
+
+def test_phases_fired_in_order(day):
+    sim, exchange, session, flow, phases, _ = day
+    kinds = [p for _, p in phases]
+    assert kinds == [Phase.OPEN, Phase.CLOSING_AUCTION, Phase.CLOSED]
+    times = [t for t, _ in phases]
+    assert times == [5 * MILLISECOND, 40 * MILLISECOND, 45 * MILLISECOND]
+
+
+def test_opening_cross_executed_pre_open_interest(day):
+    sim, exchange, session, flow, phases, _ = day
+    assert session.stats.open_cross_volume == 100
+
+
+def test_flow_ran_only_while_open(day):
+    sim, exchange, session, flow, phases, _ = day
+    assert flow.stats.underlier_ticks > 0
+    # Ticks per wall-clock only accumulated during the open window:
+    # 1500/s x 35 ms ~ 52 expected.
+    assert 20 < flow.stats.underlier_ticks < 90
+
+
+def test_feed_carried_the_whole_day(day):
+    sim, exchange, session, flow, phases, feed_sink = day
+    # Auction prints + continuous updates + closing status all published.
+    assert feed_sink.frames > 50
+
+
+def test_market_dead_after_the_close(day):
+    sim, exchange, session, flow, phases, _ = day
+    first = flow.chain[0].symbol
+    assert not exchange.inject_order(first, "B", 10_000, 10).accepted

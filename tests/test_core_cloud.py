@@ -1,0 +1,138 @@
+"""Tests for the equalized cloud fabric and the Design 2 testbed."""
+
+import pytest
+
+from repro.core.cloud import (
+    CloudFabric,
+    DEFAULT_EQUALIZED_NS,
+    UnsupportedMulticast,
+    build_design2_system,
+)
+from repro.core.designs import Design2Cloud
+from repro.core.testbed import build_design1_system
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.nic import Nic
+from repro.net.packet import Packet
+from repro.sim.kernel import MILLISECOND, Simulator
+
+
+def _fabric(n_hosts=3, equalized_ns=10_000):
+    sim = Simulator(seed=1)
+    fabric = CloudFabric(sim, equalized_delivery_ns=equalized_ns)
+    nics = []
+    for i in range(n_hosts):
+        nic = Nic(sim, f"nic{i}", EndpointAddress(f"h{i}", "eth0"))
+        fabric.register(nic)
+        nics.append(nic)
+    return sim, fabric, nics
+
+
+class TestCloudFabric:
+    def test_unicast_delivery_at_the_equalized_bound(self):
+        sim, fabric, nics = _fabric()
+        got = []
+        nics[1].bind(lambda p: got.append(sim.now))
+        nics[0].send(
+            Packet(src=nics[0].address, dst=nics[1].address,
+                   wire_bytes=100, payload_bytes=50)
+        )
+        sim.run_until_idle()
+        assert len(got) == 1
+        # NIC tx + serialization + 10us equalization + NIC rx.
+        assert 10_000 < got[0] < 11_500
+
+    def test_every_sender_sees_the_same_bound(self):
+        """Equalization: delivery time is the bound, whoever talks.
+
+        Three different tenants send to a fourth at the same instant;
+        all three frames arrive within wire-serialization jitter of each
+        other — placement inside the provider's fabric buys nothing."""
+        sim, fabric, nics = _fabric(n_hosts=4)
+        arrivals = []
+        nics[0].bind(lambda p: arrivals.append(sim.now))
+        for i in (1, 2, 3):
+            nics[i].send(
+                Packet(src=nics[i].address, dst=nics[0].address,
+                       wire_bytes=100, payload_bytes=50)
+            )
+        sim.run_until_idle()
+        assert len(arrivals) == 3
+        jitter = max(arrivals) - min(arrivals)
+        serialization = fabric._links[nics[0].address].serialization_ns(100)
+        assert jitter <= 3 * serialization  # only receiver-wire jitter
+        assert jitter < 0.05 * fabric.equalized_delivery_ns
+
+    def test_exchange_multicast_supported(self):
+        sim, fabric, nics = _fabric()
+        group = MulticastGroup("exch1.PITCH", 0)
+        got = []
+        for nic in nics[1:]:
+            nic.bind(lambda p: got.append(1))
+            fabric.join(group, nic)
+        nics[0].send(
+            Packet(src=nics[0].address, dst=group, wire_bytes=100, payload_bytes=50)
+        )
+        sim.run_until_idle()
+        assert len(got) == 2
+        assert fabric.stats.exchange_multicast_copies == 2
+
+    def test_internal_multicast_rejected(self):
+        """§4.2: no tenant multicast — join fails, stray frames counted."""
+        sim, fabric, nics = _fabric()
+        internal = MulticastGroup("norm", 0)
+        with pytest.raises(UnsupportedMulticast):
+            fabric.join(internal, nics[1])
+        nics[0].send(
+            Packet(src=nics[0].address, dst=internal,
+                   wire_bytes=100, payload_bytes=50)
+        )
+        sim.run_until_idle()
+        assert fabric.stats.internal_multicast_rejected == 1
+
+    def test_duplicate_registration_rejected(self):
+        sim, fabric, nics = _fabric()
+        with pytest.raises(ValueError):
+            fabric.register(nics[0])
+
+    def test_unknown_destination_counted(self):
+        sim, fabric, nics = _fabric()
+        nics[0].send(
+            Packet(src=nics[0].address, dst=EndpointAddress("ghost", "x"),
+                   wire_bytes=100, payload_bytes=50)
+        )
+        sim.run_until_idle()
+        assert fabric.stats.unroutable == 1
+
+
+class TestDesign2System:
+    @pytest.fixture(scope="class")
+    def system(self):
+        system = build_design2_system(seed=3)
+        system.run(40 * MILLISECOND)
+        return system
+
+    def test_loop_completes_on_the_cloud(self, system):
+        assert len(system.roundtrip_samples()) > 10
+        assert sum(s.stats.fills for s in system.strategies) > 0
+
+    def test_round_trip_matches_the_analytic_model(self, system):
+        stats = system.roundtrip_stats()
+        model = Design2Cloud(
+            equalized_delivery_ns=DEFAULT_EQUALIZED_NS
+        ).round_trip_budget().total_ns
+        # Model + NIC/serialization/coalescing overheads.
+        assert model < stats.median < 1.05 * model + 10_000
+
+    def test_orders_of_magnitude_above_design1(self, system):
+        d1 = build_design1_system(seed=3)
+        d1.run(40 * MILLISECOND)
+        assert system.roundtrip_stats().median > 10 * d1.roundtrip_stats().median
+
+    def test_dissemination_cost_is_linear(self, system):
+        """Every normalized frame was sent once per strategy."""
+        normalizer = system.normalizers[0]
+        n_recipients = len(normalizer.unicast_recipients)
+        assert n_recipients == len(system.strategies)
+        assert normalizer.stats.frames_out % n_recipients == 0
+        # The multicast fan-out on-prem would have sent 1/N of this.
+        assert normalizer.stats.frames_out >= n_recipients

@@ -1,0 +1,65 @@
+"""Tests for config-driven system construction."""
+
+import pytest
+
+from repro.core.config import DESIGNS, SystemSpec
+from repro.core.testbed import TradingSystem
+
+
+def test_defaults_are_valid():
+    spec = SystemSpec()
+    assert spec.design in DESIGNS
+    assert spec.run_ms > 0
+
+
+def test_json_round_trip():
+    spec = SystemSpec(design="design3", seed=9, n_strategies=5, run_ms=25)
+    restored = SystemSpec.from_json(spec.to_json())
+    assert restored == spec
+
+
+def test_file_round_trip(tmp_path):
+    spec = SystemSpec(seed=4, flow_rate_per_s=12_345.0)
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    assert SystemSpec.from_file(path) == spec
+
+
+def test_unknown_fields_rejected():
+    with pytest.raises(ValueError):
+        SystemSpec.from_dict({"design": "design1", "warp_factor": 9})
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SystemSpec(design="design9")
+    with pytest.raises(ValueError):
+        SystemSpec(n_strategies=0)
+    with pytest.raises(ValueError):
+        SystemSpec(run_ms=0)
+    with pytest.raises(ValueError):
+        SystemSpec(function_latency_ns=-1)
+
+
+def test_build_and_run_both_designs():
+    for design in DESIGNS:
+        spec = SystemSpec(design=design, seed=2, run_ms=15,
+                          n_symbols=6, n_strategies=2)
+        system = spec.build_and_run()
+        assert isinstance(system, TradingSystem)
+        assert system.flow.stats.total > 0
+        assert len(system.roundtrip_samples()) > 0
+
+
+def test_same_spec_same_results():
+    spec = SystemSpec(seed=11, run_ms=15, n_symbols=6, n_strategies=2)
+    a = spec.build_and_run()
+    b = spec.build_and_run()
+    assert a.roundtrip_samples() == b.roundtrip_samples()
+
+
+def test_design4_buildable_from_spec():
+    spec = SystemSpec(design="design4", seed=2, run_ms=15,
+                      n_symbols=6, n_strategies=2)
+    system = spec.build_and_run()
+    assert len(system.roundtrip_samples()) > 0

@@ -1,0 +1,187 @@
+"""Tests for latency budgets and the three §4 designs."""
+
+import pytest
+
+from repro.core.compare import compare_designs
+from repro.core.designs import (
+    Design1LeafSpine,
+    Design2Cloud,
+    Design3L1S,
+    NicPlanVerdict,
+)
+from repro.core.latency import BudgetItem, Category, PathBudget
+
+
+class TestPathBudget:
+    def test_itemized_totals(self):
+        budget = PathBudget("x")
+        budget.add("switches", Category.SWITCH, 12, 500)
+        budget.add("software", Category.HOST, 3, 2_000)
+        assert budget.total_ns == 12_000
+        assert budget.category_ns(Category.SWITCH) == 6_000
+        assert budget.count(Category.SWITCH) == 12
+
+    def test_network_fraction_counts_switch_and_wire(self):
+        budget = PathBudget("x")
+        budget.add("switches", Category.SWITCH, 2, 500)
+        budget.add("fiber", Category.WIRE, 1, 1_000)
+        budget.add("software", Category.HOST, 1, 2_000)
+        assert budget.network_ns == 2_000
+        assert budget.network_fraction == pytest.approx(0.5)
+
+    def test_scaled_what_if(self):
+        budget = PathBudget("x")
+        budget.add("switches", Category.SWITCH, 12, 500)
+        budget.add("software", Category.HOST, 3, 2_000)
+        faster = budget.scaled("L1S swap", Category.SWITCH, 0.01)
+        assert faster.category_ns(Category.SWITCH) == pytest.approx(60)
+        assert faster.category_ns(Category.HOST) == 6_000
+
+    def test_item_validation(self):
+        with pytest.raises(ValueError):
+            BudgetItem("x", Category.HOST, -1, 10)
+
+    def test_render_is_readable(self):
+        budget = PathBudget("demo")
+        budget.add("switches", Category.SWITCH, 12, 500)
+        text = budget.render()
+        assert "demo" in text and "switch" in text and "network share" in text
+
+
+class TestDesign1:
+    def test_paper_round_trip_arithmetic(self):
+        """§4.1: 12 switch hops x 500 ns; half the time is network."""
+        design = Design1LeafSpine()
+        assert design.round_trip_switch_hops == 12
+        budget = design.round_trip_budget()
+        assert budget.total_ns == 12_000
+        assert budget.network_fraction == pytest.approx(0.5)
+        assert budget.category_ns(Category.SWITCH) == 6_000
+
+    def test_scale_target_1000_servers(self):
+        design = Design1LeafSpine(n_servers=1000, servers_per_rack=40)
+        assert design.n_racks == 25
+
+    def test_nic_inclusive_budget_larger(self):
+        design = Design1LeafSpine()
+        assert (
+            design.round_trip_budget(include_nics=True).total_ns
+            > design.round_trip_budget().total_ns
+        )
+
+    def test_group_capacity_bounded_by_switch_table(self):
+        design = Design1LeafSpine()
+        assert design.multicast_group_capacity == design.profile.mroute_capacity
+        assert design.reconfigurable
+
+
+class TestDesign2:
+    def test_equalized_legs_dominate(self):
+        design = Design2Cloud(equalized_delivery_ns=50_000)
+        budget = design.round_trip_budget()
+        assert budget.total_ns == 4 * 50_000 + 3 * 2_000
+        assert budget.network_fraction > 0.9
+
+    def test_dissemination_is_linear_without_multicast(self):
+        """§4.2: broad internal communication is the scaling obstacle."""
+        design = Design2Cloud()
+        assert design.dissemination_cost_messages(936) == 936
+        with_mcast = Design2Cloud(supports_native_multicast=True)
+        assert with_mcast.dissemination_cost_messages(936) == 1
+
+    def test_dissemination_validation(self):
+        with pytest.raises(ValueError):
+            Design2Cloud().dissemination_cost_messages(-1)
+
+
+class TestDesign3:
+    def test_round_trip_orders_of_magnitude_below_design1(self):
+        """§4.3: 'two orders of magnitude lower latency than commodity
+        switches' on the network component."""
+        d1 = Design1LeafSpine().round_trip_budget()
+        d3 = Design3L1S().round_trip_budget()
+        assert d1.network_ns / d3.network_ns >= 50
+        # Software time identical: only the network changed.
+        assert d3.category_ns(Category.HOST) == d1.category_ns(Category.HOST)
+        assert d3.network_fraction < 0.05
+
+    def test_merges_add_50ns_each(self):
+        d3 = Design3L1S()
+        none = d3.round_trip_budget(merges_on_path=0)
+        two = d3.round_trip_budget(merges_on_path=2)
+        assert two.total_ns - none.total_ns == pytest.approx(100)
+
+    def test_merge_count_validation(self):
+        with pytest.raises(ValueError):
+            Design3L1S().round_trip_budget(merges_on_path=9)
+
+    def test_nic_plan_direct_when_feeds_fit_slots(self):
+        design = Design3L1S(nic_slots_per_server=4)
+        verdict = design.nic_plan(2, per_feed_burst_bps=5e9, reserved_nics=2)
+        assert verdict is NicPlanVerdict.DIRECT_NICS
+
+    def test_nic_plan_merge_when_bandwidth_allows(self):
+        design = Design3L1S()
+        verdict = design.nic_plan(8, per_feed_burst_bps=1e9)
+        assert verdict is NicPlanVerdict.MERGED
+
+    def test_nic_plan_infeasible_when_bursts_exceed_line_rate(self):
+        """§4.3: 'merged feeds can easily exceed the available bandwidth'."""
+        design = Design3L1S()
+        verdict = design.nic_plan(8, per_feed_burst_bps=5e9)
+        assert verdict is NicPlanVerdict.INFEASIBLE
+
+    def test_filtering_and_compression_rescue_the_merge(self):
+        """§5: filtering + header compression make merges safe."""
+        design = Design3L1S()
+        naive = design.nic_plan(8, 5e9)
+        mitigated = design.nic_plan(
+            8, 5e9, compression_ratio=0.4, filter_pass_fraction=0.5
+        )
+        assert naive is NicPlanVerdict.INFEASIBLE
+        assert mitigated is NicPlanVerdict.MERGED
+
+    def test_max_safe_subscriptions_caps_partitioning(self):
+        """§4.3's workaround: cap subscriptions per strategy — which caps
+        how finely normalizers can partition."""
+        design = Design3L1S()
+        base = design.max_safe_subscriptions(per_feed_burst_bps=2e9)
+        assert base == 5
+        compressed = design.max_safe_subscriptions(2e9, compression_ratio=0.5)
+        assert compressed == 10  # compression doubles safe fan-in
+
+    def test_not_reconfigurable(self):
+        assert not Design3L1S().reconfigurable
+
+
+class TestComparison:
+    def test_rows_cover_all_designs(self):
+        rows = compare_designs()
+        assert [r.name for r in rows] == [
+            "design1-leaf-spine", "design2-cloud", "design3-l1s",
+        ]
+
+    def test_who_wins_on_latency(self):
+        rows = {r.name: r for r in compare_designs()}
+        assert (
+            rows["design3-l1s"].round_trip_ns
+            < rows["design1-leaf-spine"].round_trip_ns
+            < rows["design2-cloud"].round_trip_ns
+        )
+
+    def test_network_share_ordering(self):
+        rows = {r.name: r for r in compare_designs()}
+        assert rows["design1-leaf-spine"].network_fraction == pytest.approx(0.5)
+        assert rows["design3-l1s"].network_fraction < 0.05
+        assert rows["design2-cloud"].network_fraction > 0.9
+
+    def test_tradeoff_l1s_gives_up_reconfigurability(self):
+        rows = {r.name: r for r in compare_designs()}
+        assert rows["design1-leaf-spine"].reconfigurable
+        assert not rows["design3-l1s"].reconfigurable
+
+    def test_render(self):
+        from repro.core.compare import render_comparison
+
+        text = render_comparison(compare_designs())
+        assert "design1-leaf-spine" in text and "50.0%" in text

@@ -1,0 +1,91 @@
+"""Tests for the L1S merge-bottleneck analysis."""
+
+import pytest
+
+from repro.core.merge import analyze_merge, safe_merge_count
+from repro.sim.kernel import MILLISECOND
+
+
+class TestSafeMergeCount:
+    def test_worst_case_sizing(self):
+        assert safe_merge_count(1e9, 10e9) == 10
+        assert safe_merge_count(3e9, 10e9) == 3
+
+    def test_compression_raises_the_cap(self):
+        assert safe_merge_count(2e9, 10e9, compression_ratio=0.5) == 10
+
+    def test_filtering_raises_the_cap(self):
+        assert safe_merge_count(2e9, 10e9, filter_pass_fraction=0.25) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            safe_merge_count(0, 10e9)
+
+
+class TestAnalyzeMerge:
+    def test_light_merge_is_lossless(self):
+        analysis = analyze_merge(
+            n_feeds=2, events_per_feed_per_s=50_000,
+            duration_ns=10 * MILLISECOND, seed=1,
+        )
+        assert analysis.loss_rate == 0.0
+        assert analysis.delivered_frames == analysis.offered_frames
+        assert analysis.utilization < 0.1
+
+    def test_oversubscribed_merge_queues_and_drops(self):
+        """§4.3: bursty feeds merged beyond line rate => queueing + loss."""
+        analysis = analyze_merge(
+            n_feeds=12, events_per_feed_per_s=1_200_000,
+            duration_ns=10 * MILLISECOND,
+            frame_payload_bytes=900,
+            line_rate_bps=1e9,
+            seed=2,
+        )
+        assert analysis.loss_rate > 0.05
+        assert analysis.mean_queue_delay_ns > 1_000
+
+    def test_loss_grows_with_merged_feed_count(self):
+        results = [
+            analyze_merge(
+                n_feeds=n, events_per_feed_per_s=900_000,
+                duration_ns=10 * MILLISECOND,
+                frame_payload_bytes=900, line_rate_bps=1e9, seed=3,
+            )
+            for n in (2, 8, 16)
+        ]
+        losses = [r.loss_rate for r in results]
+        assert losses[0] <= losses[1] <= losses[2]
+        assert losses[2] > losses[0]
+
+    def test_filtering_mitigates_loss(self):
+        """§5: upstream filtering makes the same merge safe."""
+        naive = analyze_merge(
+            n_feeds=12, events_per_feed_per_s=1_200_000,
+            duration_ns=10 * MILLISECOND,
+            frame_payload_bytes=900, line_rate_bps=1e9, seed=4,
+        )
+        filtered = analyze_merge(
+            n_feeds=12, events_per_feed_per_s=1_200_000,
+            duration_ns=10 * MILLISECOND,
+            frame_payload_bytes=900, line_rate_bps=1e9, seed=4,
+            filter_pass_fraction=0.25,
+        )
+        assert filtered.loss_rate < naive.loss_rate
+
+    def test_compression_mitigates_loss(self):
+        """A merge oversubscribed by ~10% is fully rescued by header
+        compression (the §5 recipe): loss disappears, queueing collapses."""
+        kwargs = dict(
+            n_feeds=12, events_per_feed_per_s=12_000,
+            duration_ns=20 * MILLISECOND,
+            frame_payload_bytes=900, line_rate_bps=1e9, seed=5,
+        )
+        naive = analyze_merge(**kwargs)
+        compressed = analyze_merge(**kwargs, compression_ratio=0.3)
+        assert naive.loss_rate > 0.0
+        assert compressed.loss_rate == 0.0
+        assert compressed.mean_queue_delay_ns < naive.mean_queue_delay_ns
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_merge(n_feeds=0, events_per_feed_per_s=1)

@@ -1,0 +1,63 @@
+"""Docs-code consistency: the documentation's claims resolve to files.
+
+Documentation rot is a release-killer; these checks pin the load-bearing
+references (bench targets in DESIGN.md, example scripts in README.md,
+layout listing) to the actual tree.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_design_md_bench_targets_exist():
+    text = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+    targets = set(re.findall(r"`(benchmarks/[\w./]+\.py)`", text))
+    assert len(targets) >= 20  # one per experiment row
+    for target in targets:
+        assert (REPO / target).exists(), f"DESIGN.md references missing {target}"
+
+
+def test_readme_examples_exist():
+    text = (REPO / "README.md").read_text(encoding="utf-8")
+    scripts = set(re.findall(r"`(\w+\.py)` \|", text))
+    assert len(scripts) >= 8
+    for script in scripts:
+        assert (REPO / "examples" / script).exists(), f"missing examples/{script}"
+
+
+def test_design_md_layout_matches_tree():
+    text = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+    layout = text[text.index("src/repro/"):text.index("```", text.index("src/repro/"))]
+    layout = layout[: layout.index("tests/")]  # only the src tree listing
+    listed = set(re.findall(r"(\w+\.py)", layout))
+    actual = {
+        p.name
+        for p in (REPO / "src" / "repro").rglob("*.py")
+        if p.name != "__init__.py" and p.name != "__main__.py"
+    }
+    missing_from_docs = actual - listed
+    phantom_in_docs = listed - actual
+    assert not missing_from_docs, f"layout omits {sorted(missing_from_docs)}"
+    assert not phantom_in_docs, f"layout lists nonexistent {sorted(phantom_in_docs)}"
+
+
+def test_experiment_ids_consistent_between_docs():
+    design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+    experiments = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    design_ids = set(re.findall(r"\| (E\d+) \|", design))
+    experiment_ids = set(re.findall(r"\| (E\d+)/", experiments))
+    assert design_ids, "no experiment rows found in DESIGN.md"
+    # Every experiment measured in EXPERIMENTS.md is indexed in DESIGN.md.
+    assert experiment_ids <= design_ids, experiment_ids - design_ids
+
+
+def test_every_experiment_has_a_bench_file():
+    design = (REPO / "DESIGN.md").read_text(encoding="utf-8")
+    ids = set(re.findall(r"\| (E\d+) \|", design))
+    bench_files = {p.name for p in (REPO / "benchmarks").glob("test_e*.py")}
+    for experiment_id in ids:
+        number = int(experiment_id[1:])
+        matches = [f for f in bench_files if f.startswith(f"test_e{number:02d}_")]
+        assert matches, f"{experiment_id} has no bench file"

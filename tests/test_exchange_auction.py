@@ -1,0 +1,204 @@
+"""Tests for the opening auction."""
+
+import pytest
+
+from repro.exchange.auction import OpeningAuction, compute_clearing_price
+from repro.exchange.matching import MatchingEngine
+from repro.protocols.pitch import OrderExecuted, TradingStatus
+
+
+class _O:
+    def __init__(self, side, price, quantity):
+        self.side = side
+        self.price = price
+        self.quantity = quantity
+
+
+class TestClearingPrice:
+    def test_simple_cross(self):
+        orders = [_O("B", 10_100, 100), _O("S", 9_900, 100)]
+        price, volume, imbalance = compute_clearing_price(orders)
+        assert volume == 100
+        assert 9_900 <= price <= 10_100
+        assert imbalance == 0
+
+    def test_maximizes_volume(self):
+        orders = [
+            _O("B", 10_200, 50), _O("B", 10_000, 100),
+            _O("S", 9_900, 100), _O("S", 10_100, 100),
+        ]
+        price, volume, imbalance = compute_clearing_price(orders)
+        # Both 9_900 and 10_000 clear the maximal 100 shares (imbalance
+        # +50 at each); absent a reference price the lower one wins.
+        assert volume == 100
+        assert price == 9_900
+        # With a reference near the top, the tie resolves upward.
+        ref_price, ref_volume, _ = compute_clearing_price(
+            orders, reference_price=10_050
+        )
+        assert ref_volume == 100
+        assert ref_price == 10_000
+
+    def test_tie_breaks_toward_smaller_imbalance(self):
+        orders = [
+            _O("B", 10_000, 100),
+            _O("S", 9_800, 60), _O("S", 9_900, 40),
+        ]
+        price, volume, imbalance = compute_clearing_price(orders)
+        assert volume == 100
+        assert imbalance == 0
+
+    def test_no_cross_returns_none(self):
+        orders = [_O("B", 9_000, 100), _O("S", 11_000, 100)]
+        assert compute_clearing_price(orders) == (None, 0, 0)
+        assert compute_clearing_price([]) == (None, 0, 0)
+
+    def test_reference_price_breaks_remaining_ties(self):
+        orders = [_O("B", 10_200, 100), _O("S", 9_800, 100)]
+        # Any price in [9_800, 10_200] clears 100; the reference picks.
+        price, volume, _ = compute_clearing_price(orders, reference_price=10_200)
+        assert volume == 100
+        assert price == 10_200
+
+
+class TestOpeningAuction:
+    def _auction(self, symbols=("AA",)):
+        engine = MatchingEngine("X", list(symbols))
+        auction = OpeningAuction(engine)
+        auction.arm()
+        return engine, auction
+
+    def test_pre_open_halts_continuous_trading(self):
+        engine, auction = self._auction()
+        rejected = engine.submit("x", "AA", "B", 10_000, 100)
+        assert not rejected.accepted
+        assert rejected.reason == MatchingEngine.REJECT_HALTED
+
+    def test_cross_executes_and_publishes(self):
+        engine, auction = self._auction()
+        auction.submit("buyer", "AA", "B", 10_100, 100)
+        auction.submit("seller", "AA", "S", 9_900, 100)
+        updates = auction.open_market(now_ns=5)
+        result = auction.results["AA"]
+        assert result.crossed
+        assert result.matched_volume == 100
+        executions = [
+            m for m in updates["AA"].pitch_messages
+            if isinstance(m, OrderExecuted)
+        ]
+        assert len(executions) == 2  # both sides printed
+        assert any(
+            isinstance(m, TradingStatus) and m.status == "T"
+            for m in updates["AA"].pitch_messages
+        )
+
+    def test_residual_interest_seeds_the_book(self):
+        engine, auction = self._auction()
+        auction.submit("buyer", "AA", "B", 10_000, 150)
+        auction.submit("seller", "AA", "S", 10_000, 100)
+        auction.open_market()
+        # 100 crossed; 50 buy shares rest at 10_000.
+        bid, ask = engine.bbo("AA")
+        assert bid == (10_000, 50)
+        assert ask is None
+        assert auction.results["AA"].imbalance == 50
+
+    def test_uncrossed_orders_all_seed_the_book(self):
+        engine, auction = self._auction()
+        auction.submit("b", "AA", "B", 9_000, 100)
+        auction.submit("s", "AA", "S", 11_000, 100)
+        auction.open_market()
+        assert not auction.results["AA"].crossed
+        bid, ask = engine.bbo("AA")
+        assert bid == (9_000, 100)
+        assert ask == (11_000, 100)
+
+    def test_continuous_trading_resumes_after_open(self):
+        engine, auction = self._auction()
+        auction.open_market()
+        assert engine.submit("x", "AA", "B", 10_000, 100).accepted
+
+    def test_indicative_tracks_accumulating_interest(self):
+        engine, auction = self._auction()
+        assert auction.indicative("AA") == (None, 0, 0)
+        auction.submit("b", "AA", "B", 10_100, 100)
+        auction.submit("s", "AA", "S", 9_900, 60)
+        price, volume, imbalance = auction.indicative("AA")
+        assert volume == 60
+        assert imbalance == 40
+
+    def test_open_surge_many_symbols(self):
+        """Every symbol crossing at once: the 9:30 message burst."""
+        symbols = [f"S{i}" for i in range(20)]
+        engine, auction = self._auction(symbols)
+        for symbol in symbols:
+            auction.submit("b", symbol, "B", 10_100, 100)
+            auction.submit("s", symbol, "S", 9_900, 100)
+        updates = auction.open_market()
+        total_messages = sum(len(u.pitch_messages) for u in updates.values())
+        # >= 3 messages per symbol (2 executions + status) in one instant.
+        assert total_messages >= 3 * len(symbols)
+        assert all(auction.results[s].crossed for s in symbols)
+
+    def test_validation(self):
+        engine, auction = self._auction()
+        with pytest.raises(RuntimeError):
+            auction.arm()
+        with pytest.raises(KeyError):
+            auction.submit("x", "NOPE", "B", 100, 1)
+        with pytest.raises(ValueError):
+            auction.submit("x", "AA", "Q", 100, 1)
+        auction.open_market()
+        with pytest.raises(RuntimeError):
+            auction.submit("x", "AA", "B", 100, 1)
+        with pytest.raises(RuntimeError):
+            auction.open_market()
+
+
+class TestExchangeFacadeAuction:
+    def _exchange(self):
+        from repro.exchange.exchange import Exchange
+        from repro.exchange.publisher import alphabetical_scheme
+        from repro.net.addressing import EndpointAddress
+        from repro.net.link import Link
+        from repro.net.nic import Nic
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator(seed=1)
+        frames = []
+
+        class Sink:
+            name = "sink"
+
+            def handle_packet(self, packet, ingress):
+                frames.append(packet)
+
+        feed = Nic(sim, "f", EndpointAddress("x", "feed"))
+        feed.attach(Link(sim, "lf", feed, Sink()))
+        orders = Nic(sim, "o", EndpointAddress("x", "orders"))
+        orders.attach(Link(sim, "lo", orders, Sink()))
+        exchange = Exchange(
+            sim, "X", ["AA"], alphabetical_scheme(1),
+            feed_nic_a=feed, orders_nic=orders, coalesce_window_ns=100,
+        )
+        return sim, exchange, frames
+
+    def test_auction_prints_reach_the_feed(self):
+        sim, exchange, frames = self._exchange()
+        auction = exchange.arm_opening_auction()
+        auction.submit("b", "AA", "B", 10_100, 100)
+        auction.submit("s", "AA", "S", 9_900, 100)
+        results = exchange.open_market()
+        sim.run(until=1_000_000)
+        assert results["AA"].crossed
+        assert len(frames) >= 1  # the cross published onto the feed
+
+    def test_facade_guards(self):
+        sim, exchange, frames = self._exchange()
+        with pytest.raises(RuntimeError):
+            exchange.open_market()  # nothing armed
+        exchange.arm_opening_auction()
+        with pytest.raises(RuntimeError):
+            exchange.arm_opening_auction()  # double arm
+        exchange.open_market()
+        assert exchange.inject_order("AA", "B", 10_000, 10).accepted

@@ -1,0 +1,210 @@
+"""Tests for the limit order book, including matching invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exchange.book import OrderBook
+
+
+def _book():
+    return OrderBook("AAPL")
+
+
+def test_empty_book_has_no_bbo():
+    book = _book()
+    assert book.best_bid() is None
+    assert book.best_ask() is None
+    assert book.depth() == 0
+
+
+def test_resting_order_sets_bbo():
+    book = _book()
+    result = book.add_order(1, "B", 10_000, 100, "alice")
+    assert result.fills == []
+    assert result.resting_quantity == 100
+    assert book.best_bid() == (10_000, 100)
+
+
+def test_bbo_aggregates_level_size():
+    book = _book()
+    book.add_order(1, "B", 10_000, 100, "a")
+    book.add_order(2, "B", 10_000, 50, "b")
+    book.add_order(3, "B", 9_900, 75, "c")
+    assert book.best_bid() == (10_000, 150)
+
+
+def test_crossing_order_trades_at_maker_price():
+    book = _book()
+    book.add_order(1, "S", 10_000, 100, "maker")
+    result = book.add_order(2, "B", 10_500, 100, "taker")
+    assert len(result.fills) == 1
+    fill = result.fills[0]
+    assert fill.price == 10_000  # maker's price, not the taker's limit
+    assert fill.quantity == 100
+    assert (fill.maker_owner, fill.taker_owner) == ("maker", "taker")
+    assert book.best_ask() is None
+
+
+def test_price_priority_best_contra_first():
+    book = _book()
+    book.add_order(1, "S", 10_200, 100, "worse")
+    book.add_order(2, "S", 10_000, 100, "better")
+    result = book.add_order(3, "B", 10_500, 150, "taker")
+    assert [f.maker_order_id for f in result.fills] == [2, 1]
+    assert result.fills[0].price == 10_000
+    assert result.fills[1].price == 10_200
+
+
+def test_time_priority_within_level():
+    book = _book()
+    book.add_order(1, "S", 10_000, 100, "first")
+    book.add_order(2, "S", 10_000, 100, "second")
+    result = book.add_order(3, "B", 10_000, 100, "taker")
+    assert [f.maker_order_id for f in result.fills] == [1]
+
+
+def test_partial_fill_rests_remainder():
+    book = _book()
+    book.add_order(1, "S", 10_000, 60, "maker")
+    result = book.add_order(2, "B", 10_000, 100, "taker")
+    assert result.executed_quantity == 60
+    assert result.resting_quantity == 40
+    assert book.best_bid() == (10_000, 40)
+
+
+def test_non_crossing_prices_do_not_trade():
+    book = _book()
+    book.add_order(1, "S", 10_100, 100, "maker")
+    result = book.add_order(2, "B", 10_000, 100, "taker")
+    assert result.fills == []
+    assert book.best_bid() == (10_000, 100)
+    assert book.best_ask() == (10_100, 100)
+
+
+def test_immediate_or_cancel_never_rests():
+    book = _book()
+    book.add_order(1, "S", 10_000, 50, "maker")
+    result = book.add_order(
+        2, "B", 10_000, 100, "taker", immediate_or_cancel=True
+    )
+    assert result.executed_quantity == 50
+    assert result.resting_quantity == 0
+    assert book.best_bid() is None
+
+
+def test_cancel_removes_resting_quantity():
+    book = _book()
+    book.add_order(1, "B", 10_000, 100, "a")
+    assert book.cancel(1) == 100
+    assert book.best_bid() is None
+    assert book.cancel(1) is None  # already gone
+    assert 1 not in book
+
+
+def test_reduce_keeps_priority():
+    book = _book()
+    book.add_order(1, "S", 10_000, 100, "first")
+    book.add_order(2, "S", 10_000, 100, "second")
+    assert book.reduce(1, 40) == 60
+    result = book.add_order(3, "B", 10_000, 60, "taker")
+    # Order 1 kept time priority despite the size change.
+    assert result.fills[0].maker_order_id == 1
+
+
+def test_reduce_to_zero_cancels():
+    book = _book()
+    book.add_order(1, "B", 10_000, 100, "a")
+    assert book.reduce(1, 100) == 0
+    assert book.best_bid() is None
+
+
+def test_reduce_validation():
+    book = _book()
+    book.add_order(1, "B", 10_000, 100, "a")
+    with pytest.raises(ValueError):
+        book.reduce(1, 0)
+    assert book.reduce(99, 10) is None
+
+
+def test_modify_size_down_keeps_priority():
+    book = _book()
+    book.add_order(1, "S", 10_000, 100, "first")
+    book.add_order(2, "S", 10_000, 100, "second")
+    book.modify(1, 50, 10_000)
+    result = book.add_order(3, "B", 10_000, 50, "t")
+    assert result.fills[0].maker_order_id == 1
+
+
+def test_modify_price_loses_priority_and_can_trade():
+    book = _book()
+    book.add_order(1, "B", 9_900, 100, "a")
+    book.add_order(2, "S", 10_000, 100, "b")
+    # Repricing the bid up to the ask should trade immediately.
+    result = book.modify(1, 100, 10_000)
+    assert result is not None
+    assert result.executed_quantity == 100
+    assert book.best_ask() is None
+
+
+def test_modify_unknown_order_returns_none():
+    assert _book().modify(9, 10, 10_000) is None
+
+
+def test_add_validation():
+    book = _book()
+    with pytest.raises(ValueError):
+        book.add_order(1, "X", 100, 10, "a")
+    with pytest.raises(ValueError):
+        book.add_order(1, "B", 0, 10, "a")
+    with pytest.raises(ValueError):
+        book.add_order(1, "B", 100, 0, "a")
+    book.add_order(1, "B", 100, 10, "a")
+    with pytest.raises(ValueError):
+        book.add_order(1, "B", 100, 10, "a")  # duplicate id
+
+
+@given(
+    orders=st.lists(
+        st.tuples(
+            st.sampled_from(["B", "S"]),
+            st.integers(min_value=90, max_value=110),  # price
+            st.integers(min_value=1, max_value=500),  # quantity
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=60)
+def test_property_book_invariants(orders):
+    """After any order sequence: volume conserved, book never crossed."""
+    book = OrderBook("X")
+    total_in = 0
+    total_traded = 0
+    total_resting = 0
+    for i, (side, price, qty) in enumerate(orders, start=1):
+        result = book.add_order(i, side, price, qty, f"owner{i}")
+        total_in += qty
+        total_traded += 2 * result.executed_quantity  # both sides
+        # Conservation per order: executed + resting <= submitted.
+        assert result.executed_quantity + result.resting_quantity <= qty
+    bid, ask = book.best_bid(), book.best_ask()
+    if bid and ask:
+        # A matched book can never remain crossed or locked.
+        assert bid[0] < ask[0]
+    # All fills trade at a price between the two parties' limits.
+    # (Implicitly checked by the book never going crossed.)
+
+
+@given(
+    quantities=st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=20)
+)
+def test_property_taker_sweeps_exact_quantity(quantities):
+    """A buy for the total resting size sweeps the book exactly."""
+    book = OrderBook("X")
+    for i, qty in enumerate(quantities, start=1):
+        book.add_order(i, "S", 100, qty, "m")
+    total = sum(quantities)
+    result = book.add_order(10_000, "B", 100, total, "t")
+    assert result.executed_quantity == total
+    assert result.resting_quantity == 0
+    assert book.best_ask() is None

@@ -1,0 +1,87 @@
+"""Tests for the colo/metro model."""
+
+import pytest
+
+from repro.exchange.colo import ColoFacility, MetroRegion, default_nj_metro
+from repro.net.link import Link
+from repro.sim.kernel import Simulator
+
+
+class Sink:
+    def __init__(self, name):
+        self.name = name
+
+    def handle_packet(self, packet, ingress):
+        pass
+
+
+def test_default_metro_has_the_three_equity_colos():
+    metro = default_nj_metro()
+    assert set(metro.facilities) == {"mahwah", "secaucus", "carteret"}
+    assert metro.facility_of_exchange("NYSE").name == "mahwah"
+    assert metro.facility_of_exchange("NASDAQ").name == "carteret"
+    assert metro.facility_of_exchange("CBOE").name == "secaucus"
+
+
+def test_unknown_exchange_raises():
+    with pytest.raises(KeyError):
+        default_nj_metro().facility_of_exchange("LSE")
+
+
+def test_colos_are_tens_of_miles_apart():
+    """§2/Figure 1(a): the colos are 'tens of miles apart'."""
+    metro = default_nj_metro()
+    for a, b in (("mahwah", "secaucus"), ("secaucus", "carteret"),
+                 ("mahwah", "carteret")):
+        miles = metro.distance_m(a, b) / 1609.34
+        assert 10 <= miles <= 60
+
+
+def test_microwave_beats_fiber_on_every_pair():
+    """§2: microwave is used despite loss because it is faster."""
+    metro = default_nj_metro()
+    for a, b in (("mahwah", "secaucus"), ("secaucus", "carteret"),
+                 ("mahwah", "carteret")):
+        assert metro.microwave_latency_ns(a, b) < metro.fiber_latency_ns(a, b)
+        assert metro.microwave_advantage_ns(a, b) > 50_000  # >50 us saved
+
+
+def test_mahwah_carteret_one_way_fiber_in_expected_range():
+    # ~55 km geodesic * 1.4 stretch in glass => roughly 350-450 us.
+    metro = default_nj_metro()
+    assert 300_000 < metro.fiber_latency_ns("mahwah", "carteret") < 500_000
+
+
+def test_wan_link_fiber_vs_microwave_properties():
+    sim = Simulator()
+    metro = default_nj_metro()
+    fiber = metro.wan_link(sim, "mahwah", "carteret", Sink("a"), Sink("b"))
+    microwave = metro.wan_link(
+        sim, "mahwah", "carteret", Sink("c"), Sink("d"), medium="microwave"
+    )
+    assert isinstance(fiber, Link) and isinstance(microwave, Link)
+    assert microwave.propagation_delay_ns < fiber.propagation_delay_ns
+    assert microwave.loss_prob > fiber.loss_prob
+    assert microwave.bandwidth_bps < fiber.bandwidth_bps
+
+
+def test_wan_link_unknown_medium_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        default_nj_metro().wan_link(
+            sim, "mahwah", "carteret", Sink("a"), Sink("b"), medium="carrier-pigeon"
+        )
+
+
+def test_duplicate_facility_rejected():
+    metro = MetroRegion("m")
+    metro.add(ColoFacility("x", 0, 0))
+    with pytest.raises(ValueError):
+        metro.add(ColoFacility("x", 1, 1))
+
+
+def test_distance_symmetry():
+    metro = default_nj_metro()
+    assert metro.distance_m("mahwah", "carteret") == metro.distance_m(
+        "carteret", "mahwah"
+    )

@@ -1,0 +1,150 @@
+"""Tests for partition schemes and the coalescing feed publisher."""
+
+import pytest
+
+from repro.exchange.publisher import (
+    FeedPublisher,
+    alphabetical_scheme,
+    hashed_scheme,
+    instrument_type_scheme,
+)
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.protocols.pitch import DeleteOrder, PitchFrameCodec
+from repro.sim.kernel import Simulator
+
+
+class Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def handle_packet(self, packet, ingress):
+        self.received.append(packet)
+
+
+def test_alphabetical_scheme_buckets_by_first_letter():
+    scheme = alphabetical_scheme(26)
+    assert scheme.partition_of("AAPL") == 0
+    assert scheme.partition_of("ZZZ") == 25
+    coarse = alphabetical_scheme(2)
+    assert coarse.partition_of("AAPL") == 0
+    assert coarse.partition_of("ZION") == 1
+
+
+def test_alphabetical_scheme_nonalpha_goes_last():
+    scheme = alphabetical_scheme(26)
+    assert scheme.partition_of("9SPY") == 25
+
+
+def test_instrument_type_scheme():
+    types = {"SPY": "etf", "AAPL": "equity"}
+    scheme = instrument_type_scheme(lambda s: types.get(s, "other"), ["equity", "etf"])
+    assert scheme.partition_of("AAPL") == 0
+    assert scheme.partition_of("SPY") == 1
+    with pytest.raises(ValueError):
+        scheme.partition_of("???")  # unknown instrument type
+
+
+def test_hashed_scheme_deterministic_and_spread():
+    scheme = hashed_scheme(8)
+    symbols = [f"SYM{i}" for i in range(200)]
+    partitions = {s: scheme.partition_of(s) for s in symbols}
+    assert partitions == {s: scheme.partition_of(s) for s in symbols}
+    assert len(set(partitions.values())) == 8  # every bucket used
+
+
+def test_scheme_validation():
+    with pytest.raises(ValueError):
+        alphabetical_scheme(0)
+
+
+def _publisher(sim, n_partitions=2, coalesce=1_000, nic_b=False):
+    nic_a = Nic(sim, "nic.a", EndpointAddress("exch", "feedA"))
+    sink_a = Sink("net-a")
+    link_a = Link(sim, "la", nic_a, sink_a)
+    nic_a.attach(link_a)
+    second = None
+    sink_b = None
+    if nic_b:
+        second = Nic(sim, "nic.b", EndpointAddress("exch", "feedB"))
+        sink_b = Sink("net-b")
+        link_b = Link(sim, "lb", second, sink_b)
+        second.attach(link_b)
+    publisher = FeedPublisher(
+        sim, "pub", "X.PITCH", alphabetical_scheme(n_partitions),
+        nic_a, nic_b=second, coalesce_window_ns=coalesce,
+    )
+    return publisher, sink_a, sink_b
+
+
+def test_publish_routes_symbol_to_partition_group():
+    sim = Simulator()
+    publisher, sink, _ = _publisher(sim)
+    publisher.publish("AAPL", [DeleteOrder(0, 1)])
+    publisher.publish("ZION", [DeleteOrder(0, 2)])
+    sim.run()
+    groups = {p.dst for p in sink.received}
+    assert groups == {MulticastGroup("X.PITCH", 0), MulticastGroup("X.PITCH", 1)}
+
+
+def test_coalescing_packs_messages_into_one_frame():
+    sim = Simulator()
+    publisher, sink, _ = _publisher(sim, coalesce=5_000)
+    for i in range(5):
+        publisher.publish("AAPL", [DeleteOrder(0, i)])
+    sim.run()
+    assert len(sink.received) == 1
+    unit, seq, messages = PitchFrameCodec.unpack(sink.received[0].message)
+    assert len(messages) == 5
+    assert publisher.stats.messages_per_frame == 5.0
+
+
+def test_messages_split_across_flushes_when_frame_fills():
+    sim = Simulator()
+    publisher, sink, _ = _publisher(sim, coalesce=50_000)
+    # 200 x 14 B deletes = 2,800 B of messages: exceeds one 1400 B frame.
+    publisher.publish("AAPL", [DeleteOrder(0, i) for i in range(200)])
+    sim.run()
+    assert len(sink.received) >= 2
+    total = 0
+    expected_seq = 1
+    for packet in sorted(sink.received, key=lambda p: p.packet_id):
+        _, seq, messages = PitchFrameCodec.unpack(packet.message)
+        assert seq == expected_seq  # continuous sequencing across frames
+        expected_seq += len(messages)
+        total += len(messages)
+    assert total == 200
+
+
+def test_redundant_b_leg_mirrors_frames():
+    sim = Simulator()
+    publisher, sink_a, sink_b = _publisher(sim, nic_b=True)
+    publisher.publish("AAPL", [DeleteOrder(0, 1)])
+    sim.run()
+    assert len(sink_a.received) == 1
+    assert len(sink_b.received) == 1
+    a, b = sink_a.received[0], sink_b.received[0]
+    assert a.message == b.message  # identical payload on both legs
+    assert publisher.stats.frames == 1  # counted once, sent twice
+
+
+def test_flush_all_forces_pending_out():
+    sim = Simulator()
+    publisher, sink, _ = _publisher(sim, coalesce=10_000_000)
+    publisher.publish("AAPL", [DeleteOrder(0, 1)])
+    publisher.flush_all()
+    sim.run(until=100_000)
+    assert len(sink.received) == 1
+
+
+def test_wire_bytes_include_stack_overhead():
+    sim = Simulator()
+    publisher, sink, _ = _publisher(sim)
+    publisher.publish("AAPL", [DeleteOrder(0, 1)])
+    sim.run()
+    packet = sink.received[0]
+    # 46 stack + 8 unit header + 14 delete = 68.
+    assert packet.wire_bytes == 68
+    assert packet.payload_bytes == 22

@@ -1,0 +1,108 @@
+"""Tests for the trading-session state machine."""
+
+import pytest
+
+from repro.exchange.exchange import Exchange
+from repro.exchange.publisher import alphabetical_scheme
+from repro.exchange.session import Phase, TradingSession
+from repro.net.addressing import EndpointAddress
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.sim.kernel import MILLISECOND, Simulator
+
+
+class Sink:
+    name = "sink"
+
+    def handle_packet(self, packet, ingress):
+        pass
+
+
+def _session(open_ms=5, close_ms=30, closing_ms=5):
+    sim = Simulator(seed=1)
+    feed = Nic(sim, "f", EndpointAddress("x", "feed"))
+    feed.attach(Link(sim, "lf", feed, Sink()))
+    orders = Nic(sim, "o", EndpointAddress("x", "orders"))
+    orders.attach(Link(sim, "lo", orders, Sink()))
+    exchange = Exchange(
+        sim, "X", ["AA"], alphabetical_scheme(1),
+        feed_nic_a=feed, orders_nic=orders, coalesce_window_ns=100,
+    )
+    phases = []
+    session = TradingSession(
+        sim, "session", exchange,
+        open_at_ns=open_ms * MILLISECOND,
+        close_at_ns=close_ms * MILLISECOND,
+        closing_auction_ns=closing_ms * MILLISECOND,
+        on_phase=phases.append,
+    )
+    return sim, exchange, session, phases
+
+
+def test_phase_sequence():
+    sim, exchange, session, phases = _session()
+    assert session.phase is Phase.PRE_OPEN
+    sim.run(until=40 * MILLISECOND)
+    assert phases == [Phase.OPEN, Phase.CLOSING_AUCTION, Phase.CLOSED]
+    assert session.phase is Phase.CLOSED
+
+
+def test_pre_open_orders_cross_at_the_bell():
+    sim, exchange, session, phases = _session()
+    session.submit("b", "AA", "B", 10_100, 100)
+    session.submit("s", "AA", "S", 9_900, 100)
+    assert session.stats.auction_orders == 2
+    sim.run(until=6 * MILLISECOND)
+    assert session.phase is Phase.OPEN
+    assert session.stats.open_cross_volume == 100
+
+
+def test_continuous_orders_during_open():
+    sim, exchange, session, phases = _session()
+    sim.run(until=10 * MILLISECOND)
+    update = session.submit("x", "AA", "B", 10_000, 50)
+    assert update.accepted
+    assert session.stats.continuous_orders == 1
+    assert exchange.engine.bbo("AA")[0] == (10_000, 50)
+
+
+def test_closing_auction_collects_then_crosses():
+    sim, exchange, session, phases = _session()
+    sim.run(until=26 * MILLISECOND)  # inside the closing auction window
+    assert session.phase is Phase.CLOSING_AUCTION
+    session.submit("b", "AA", "B", 10_100, 70)
+    session.submit("s", "AA", "S", 9_900, 70)
+    sim.run(until=31 * MILLISECOND)
+    assert session.phase is Phase.CLOSED
+    assert session.stats.close_cross_volume == 70
+
+
+def test_closed_market_rejects_everything():
+    sim, exchange, session, phases = _session()
+    sim.run(until=35 * MILLISECOND)
+    assert session.submit("x", "AA", "B", 10_000, 10) is None
+    assert session.stats.rejected_closed == 1
+    # Direct engine access is halted too.
+    assert not exchange.inject_order("AA", "B", 10_000, 10).accepted
+
+
+def test_no_closing_auction_variant():
+    sim, exchange, session, phases = _session(closing_ms=0)
+    sim.run(until=40 * MILLISECOND)
+    assert phases == [Phase.OPEN, Phase.CLOSED]
+    assert session.stats.close_cross_volume == 0
+
+
+def test_validation():
+    sim, exchange, _, _ = _session()
+    with pytest.raises(ValueError):
+        TradingSession(sim, "bad", exchange, open_at_ns=100, close_at_ns=50)
+
+
+def test_is_trading_flag():
+    sim, exchange, session, phases = _session()
+    assert not session.is_trading
+    sim.run(until=10 * MILLISECOND)
+    assert session.is_trading
+    sim.run(until=40 * MILLISECOND)
+    assert not session.is_trading

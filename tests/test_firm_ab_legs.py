@@ -1,0 +1,93 @@
+"""A/B feed legs through the FeedHandler: one stream out of two groups."""
+
+from repro.firm.feedhandler import FeedHandler, _arbiter_key
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.nic import Nic
+from repro.protocols.pitch import DeleteOrder
+from repro.protocols.seqfeed import SequencedPublisher
+from repro.sim.kernel import Simulator
+
+
+class _FakeLink:
+    pass
+
+
+def _handler():
+    sim = Simulator(seed=1)
+    nic = Nic(sim, "nic", EndpointAddress("strat", "md"))
+    received = []
+    handler = FeedHandler(
+        sim, "fh", nic, sink=lambda g, m: received.append((g, m.order_id))
+    )
+    return sim, nic, handler, received
+
+
+def _payload_packet(group, payload):
+    from repro.net.packet import Packet
+
+    return Packet(
+        src=EndpointAddress("exch", "feed"), dst=group,
+        wire_bytes=64 + len(payload), payload_bytes=len(payload),
+        message=payload,
+    )
+
+
+def test_leg_suffixes_share_an_arbiter():
+    a = MulticastGroup("X.PITCH.A", 3)
+    b = MulticastGroup("X.PITCH.B", 3)
+    plain = MulticastGroup("X.PITCH", 3)
+    assert _arbiter_key(a) == _arbiter_key(b) == _arbiter_key(plain)
+    # Different partitions and feeds stay distinct.
+    assert _arbiter_key(MulticastGroup("X.PITCH.A", 4)) != _arbiter_key(a)
+    assert _arbiter_key(MulticastGroup("Y.PITCH.A", 3)) != _arbiter_key(a)
+
+
+def test_duplicate_across_legs_delivered_once():
+    sim, nic, handler, received = _handler()
+    leg_a = MulticastGroup("X.PITCH.A", 0)
+    leg_b = MulticastGroup("X.PITCH.B", 0)
+    handler.subscribe(leg_a)
+    handler.subscribe(leg_b)
+    publisher = SequencedPublisher(unit=1)
+    payload = publisher.publish([DeleteOrder(0, 1), DeleteOrder(0, 2)])[0]
+    # Both legs deliver the identical payload.
+    handler._on_packet(_payload_packet(leg_a, payload))
+    handler._on_packet(_payload_packet(leg_b, payload))
+    assert [oid for _, oid in received] == [1, 2]
+
+
+def test_b_leg_fills_a_leg_loss_across_groups():
+    sim, nic, handler, received = _handler()
+    leg_a = MulticastGroup("X.PITCH.A", 0)
+    leg_b = MulticastGroup("X.PITCH.B", 0)
+    handler.subscribe(leg_a)
+    handler.subscribe(leg_b)
+    publisher = SequencedPublisher(unit=1)
+    first = publisher.publish([DeleteOrder(0, 1)])[0]
+    second = publisher.publish([DeleteOrder(0, 2)])[0]
+    handler._on_packet(_payload_packet(leg_a, first))
+    # A leg loses `second`; only the B copy arrives.
+    handler._on_packet(_payload_packet(leg_b, second))
+    assert [oid for _, oid in received] == [1, 2]
+    assert handler.gaps() == {}
+
+
+def test_unsubscribing_one_leg_keeps_the_arbiter():
+    sim, nic, handler, received = _handler()
+    leg_a = MulticastGroup("X.PITCH.A", 0)
+    leg_b = MulticastGroup("X.PITCH.B", 0)
+    handler.subscribe(leg_a)
+    handler.subscribe(leg_b)
+    handler.unsubscribe(leg_a)
+    publisher = SequencedPublisher(unit=1)
+    handler._on_packet(
+        _payload_packet(leg_b, publisher.publish([DeleteOrder(0, 1)])[0])
+    )
+    assert [oid for _, oid in received] == [1]
+    handler.unsubscribe(leg_b)
+    assert handler.subscriptions == []
+    # Now the arbiter is gone: late traffic is ignored.
+    handler._on_packet(
+        _payload_packet(leg_b, publisher.publish([DeleteOrder(0, 2)])[0])
+    )
+    assert len(received) == 1

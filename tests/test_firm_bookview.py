@@ -1,0 +1,142 @@
+"""Tests for depth views and snapshot recovery."""
+
+import pytest
+
+from repro.exchange.exchange import Exchange
+from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
+from repro.firm.bookview import DepthView, SnapshotClient, SnapshotServer
+from repro.firm.normalizer import Normalizer
+from repro.net.multicast import MulticastFabric
+from repro.net.nic import HostStack
+from repro.net.routing import compute_unicast_routes
+from repro.net.topology import build_leaf_spine
+from repro.sim.kernel import MILLISECOND, Simulator
+
+
+def _rig():
+    sim = Simulator(seed=4)
+    topo = build_leaf_spine(sim, n_racks=2, servers_per_rack=1)
+    exch_host = HostStack("exch")
+    feed_nic = topo.attach_server(exch_host, topo.exchange_leaf, "feed")
+    orders_nic = topo.attach_server(exch_host, topo.exchange_leaf, "orders")
+    norm_host = HostStack("norm0")
+    norm_rx = topo.attach_server(norm_host, topo.leaves[1], "md")
+    norm_tx = topo.attach_server(norm_host, topo.leaves[1], "pub")
+    snap_nic = topo.attach_server(norm_host, topo.leaves[1], "snap")
+    client_host = HostStack("client")
+    client_nic = topo.attach_server(client_host, topo.leaves[2], "snap")
+    compute_unicast_routes(topo)
+    fabric = MulticastFabric(topo)
+    exchange = Exchange(
+        sim, "X", ["AAPL", "MSFT"], alphabetical_scheme(2),
+        feed_nic_a=feed_nic, orders_nic=orders_nic, coalesce_window_ns=500,
+    )
+    for group in exchange.publisher.groups:
+        fabric.announce_server_source(group, feed_nic)
+    normalizer = Normalizer(
+        sim, "norm0", 1, norm_rx, norm_tx, "norm", hashed_scheme(2)
+    )
+    for group in exchange.publisher.groups:
+        normalizer.feed.subscribe(group, fabric)
+    server = SnapshotServer(sim, "snapd", normalizer, snap_nic)
+    client = SnapshotClient(sim, "snapc", client_nic, snap_nic.address)
+    return sim, exchange, normalizer, server, client
+
+
+class TestDepthView:
+    def test_properties(self):
+        view = DepthView("AA", ((10_000, 100), (9_900, 50)), ((10_100, 70),), 5)
+        assert view.best_bid == (10_000, 100)
+        assert view.best_ask == (10_100, 70)
+        assert not view.crossed
+        assert view.wire_bytes() == 18 + 3 * 12
+
+    def test_empty_view(self):
+        view = DepthView("AA", (), (), 0)
+        assert view.best_bid is None and view.best_ask is None
+        assert not view.crossed
+
+
+class TestNormalizerDepth:
+    def test_depth_snapshot_orders_levels(self):
+        sim, exchange, normalizer, *_ = _rig()
+        for price, qty in ((9_900, 100), (9_800, 200), (9_700, 50)):
+            exchange.inject_order("AAPL", "B", price, qty)
+        for price, qty in ((10_100, 80), (10_200, 40)):
+            exchange.inject_order("AAPL", "S", price, qty)
+        sim.run(until=5 * MILLISECOND)
+        bids, asks = normalizer.depth_snapshot("AAPL")
+        assert bids == [(9_900, 100), (9_800, 200), (9_700, 50)]
+        assert asks == [(10_100, 80), (10_200, 40)]
+
+    def test_depth_truncates_to_requested_levels(self):
+        sim, exchange, normalizer, *_ = _rig()
+        for i in range(8):
+            exchange.inject_order("AAPL", "B", 9_900 - i * 100, 10)
+        sim.run(until=5 * MILLISECOND)
+        bids, _ = normalizer.depth_snapshot("AAPL", depth=3)
+        assert len(bids) == 3
+        assert bids[0][0] == 9_900
+
+    def test_unknown_symbol_empty(self):
+        sim, exchange, normalizer, *_ = _rig()
+        assert normalizer.depth_snapshot("NOPE") == ([], [])
+
+
+class TestSnapshotService:
+    def test_request_response_round_trip(self):
+        sim, exchange, normalizer, server, client = _rig()
+        exchange.inject_order("AAPL", "B", 9_900, 100)
+        exchange.inject_order("AAPL", "S", 10_100, 50)
+        sim.run(until=5 * MILLISECOND)
+        views = []
+        client.request("AAPL", views.append)
+        sim.run(until=10 * MILLISECOND)
+        assert len(views) == 1
+        view = views[0]
+        assert view.best_bid == (9_900, 100)
+        assert view.best_ask == (10_100, 50)
+        assert server.stats.requests == 1
+        assert client.outstanding == 0
+
+    def test_snapshot_matches_live_reconstruction(self):
+        """The recovery contract: snapshot state == feed-built state."""
+        from repro.workload.orderflow import OrderFlowGenerator
+        from repro.workload.symbols import make_universe
+
+        sim, exchange, normalizer, server, client = _rig()
+        universe = make_universe(2, seed=1)
+        flow = OrderFlowGenerator(sim, "flow", exchange, universe, 20_000)
+        flow.start()
+        sim.run(until=15 * MILLISECOND)
+        flow.stop()
+        sim.run(until=20 * MILLISECOND)
+        views = []
+        symbol = universe.names[0]
+        client.request(symbol, views.append)
+        sim.run(until=25 * MILLISECOND)
+        [view] = views
+        bids, asks = normalizer.depth_snapshot(symbol)
+        assert list(view.bids) == bids
+        assert list(view.asks) == asks
+
+    def test_unknown_symbol_yields_empty_view(self):
+        sim, exchange, normalizer, server, client = _rig()
+        views = []
+        client.request("GHOST", views.append)
+        sim.run(until=5 * MILLISECOND)
+        assert views[0].bids == () and views[0].asks == ()
+        assert server.stats.unknown_symbol == 1
+
+    def test_concurrent_requests_resolve_independently(self):
+        sim, exchange, normalizer, server, client = _rig()
+        exchange.inject_order("AAPL", "B", 9_900, 100)
+        exchange.inject_order("MSFT", "S", 10_100, 50)
+        sim.run(until=5 * MILLISECOND)
+        results = {}
+        client.request("AAPL", lambda v: results.setdefault("AAPL", v))
+        client.request("MSFT", lambda v: results.setdefault("MSFT", v))
+        assert client.outstanding == 2
+        sim.run(until=10 * MILLISECOND)
+        assert results["AAPL"].best_bid == (9_900, 100)
+        assert results["MSFT"].best_ask == (10_100, 50)

@@ -1,0 +1,74 @@
+"""Tests for the gateway-side market-access risk gate."""
+
+import pytest
+
+from repro.core.testbed import build_design1_system
+from repro.firm.nbbo import NbboBuilder
+from repro.firm.risk import PositionTracker, RiskChecker
+from repro.firm.strategy import InternalOrder
+from repro.sim.kernel import MILLISECOND
+
+
+def _gated_system(per_symbol_limit=10_000, firm_gross_limit=100_000):
+    system = build_design1_system(seed=44)
+    positions = PositionTracker()
+    checker = RiskChecker(
+        positions, NbboBuilder(),
+        per_symbol_limit=per_symbol_limit,
+        firm_gross_limit=firm_gross_limit,
+    )
+    system.gateway.risk_checker = checker
+    return system, checker
+
+
+def test_benign_flow_passes_the_gate():
+    system, checker = _gated_system()
+    system.run(30 * MILLISECOND)
+    assert system.gateway.stats.orders_in > 0
+    assert system.gateway.stats.risk_blocked == 0
+    assert checker.stats.checked == system.gateway.stats.orders_in
+
+
+def test_fills_accumulate_positions_at_the_gateway():
+    system, checker = _gated_system()
+    system.run(30 * MILLISECOND)
+    fills = sum(s.stats.fills for s in system.strategies)
+    assert fills > 0
+    # Momentum strategies only buy: the gross position equals shares bought.
+    filled_quantity = sum(s.stats.filled_quantity for s in system.strategies)
+    assert checker.positions.firm_gross == filled_quantity
+
+
+def test_tight_limit_blocks_at_the_gate():
+    system, checker = _gated_system(per_symbol_limit=150)
+    system.run(30 * MILLISECOND)
+    assert system.gateway.stats.risk_blocked > 0
+    # Blocked orders never left the firm: the exchange saw fewer requests
+    # than strategies proposed.
+    assert (
+        system.gateway.stats.orders_in
+        == system.gateway.stats.risk_blocked
+        + system.exchange.order_entry.stats.requests
+        - system.gateway.stats.cancels_in
+    )
+
+
+def test_positions_never_exceed_the_limit():
+    limit = 300
+    system, checker = _gated_system(per_symbol_limit=limit)
+    system.run(40 * MILLISECOND)
+    for symbol in checker.positions.symbols:
+        # Each strategy buys 100 at a time; the gate stops the order that
+        # would cross the limit, so positions stay at or under it.
+        assert abs(checker.positions.position(symbol)) <= limit
+
+
+def test_gate_is_per_order_not_per_intent():
+    """Direct check: the same checker object serves the gateway."""
+    system, checker = _gated_system(per_symbol_limit=100)
+    checker.positions.apply_fill("AA", "B", 100)
+    order = InternalOrder("s", 1, "exch1", "AA", "B", 10_000, 100)
+    before = checker.stats.checked
+    system.gateway._translate(order, system.strategies[0].order_nic.address)
+    assert checker.stats.checked == before + 1
+    assert system.gateway.stats.risk_blocked == 1

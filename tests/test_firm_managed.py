@@ -1,0 +1,100 @@
+"""Tests for the risk-managed strategy wrapper."""
+
+import pytest
+
+from repro.firm.managed import ManagedStrategy, _NullNic
+from repro.firm.risk import RiskVerdict
+from repro.firm.strategies import MarketMakerStrategy, MomentumStrategy
+from repro.net.addressing import EndpointAddress
+from repro.protocols.itf import NormalizedUpdate
+from repro.sim.kernel import Simulator
+
+
+def _update(symbol="AA", bid=9_900, ask=10_100, exchange_id=1):
+    return NormalizedUpdate(symbol, exchange_id, "Q", bid, 100, ask, 100, 0)
+
+
+def _managed(inner_cls, inner_kwargs, **kwargs):
+    sim = Simulator(seed=1)
+    return ManagedStrategy(
+        sim, "managed", _NullNic(), _NullNic(), EndpointAddress("gw", "s"),
+        inner_cls=inner_cls, inner_kwargs=inner_kwargs, **kwargs,
+    )
+
+
+def test_benign_orders_pass_through():
+    managed = _managed(
+        MarketMakerStrategy, {"symbols": ["AA"], "spread_ticks": 500}
+    )
+    released = managed.on_update(_update())
+    assert len(released) == 2  # both quotes released
+    assert managed.managed_stats.orders_released == 2
+    assert managed.managed_stats.orders_blocked == 0
+
+
+def test_nbbo_is_fed_before_alpha_logic():
+    managed = _managed(MarketMakerStrategy, {"symbols": ["AA"]})
+    managed.on_update(_update())
+    state = managed.nbbo.nbbo("AA")
+    assert state is not None and state.bid_price == 9_900
+
+
+def test_crossing_quotes_blocked():
+    """A market maker configured to quote *through* the market gets its
+    lock/cross orders stopped at the gate."""
+    managed = _managed(
+        MarketMakerStrategy, {"symbols": ["AA"], "spread_ticks": -500}
+    )
+    released = managed.on_update(_update())
+    assert released == []
+    assert managed.managed_stats.orders_blocked == 2
+    blocked = managed.managed_stats.blocks_by_verdict
+    assert RiskVerdict.REJECT_WOULD_CROSS in blocked
+
+
+def test_position_limit_gates_momentum():
+    managed = _managed(
+        MomentumStrategy, {"symbol": "AA", "trigger_ticks": 1, "take_size": 600},
+        per_symbol_limit=1_000,
+    )
+    # Build a position near the limit, then trigger the strategy.
+    managed.positions.apply_fill("AA", "B", 900)
+    managed.on_update(_update(bid=9_900))
+    released = managed.on_update(_update(bid=10_000))
+    assert released == []
+    assert (
+        managed.managed_stats.blocks_by_verdict.get(RiskVerdict.REJECT_POSITION_LIMIT)
+        == 1
+    )
+
+
+def test_fills_update_positions():
+    from repro.protocols.boe import OrderFill
+
+    managed = _managed(
+        MomentumStrategy, {"symbol": "AA", "trigger_ticks": 1}
+    )
+    managed.on_update(_update(bid=9_900))
+    released = managed.on_update(_update(bid=10_000))
+    assert len(released) == 1
+    managed.on_fill(OrderFill(1, 1, 100, 10_100, 0, 0))
+    assert managed.positions.position("AA") == 100
+
+
+def test_momentum_ioc_within_nbbo_released():
+    managed = _managed(MomentumStrategy, {"symbol": "AA", "trigger_ticks": 1})
+    managed.on_update(_update(bid=9_900))
+    released = managed.on_update(_update(bid=10_000))
+    # Momentum lifts the offer at exactly the NBBO ask: IOC, not a
+    # trade-through — released.
+    assert len(released) == 1
+    assert released[0].immediate_or_cancel
+
+
+def test_stats_account_for_everything():
+    managed = _managed(
+        MarketMakerStrategy, {"symbols": ["AA"], "spread_ticks": -500}
+    )
+    managed.on_update(_update())
+    stats = managed.managed_stats
+    assert stats.orders_proposed == stats.orders_released + stats.orders_blocked

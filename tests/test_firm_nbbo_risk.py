@@ -1,0 +1,163 @@
+"""Tests for NBBO aggregation and the SEC risk checks (§4.2)."""
+
+import pytest
+
+from repro.firm.nbbo import NbboBuilder
+from repro.firm.risk import PositionTracker, RiskChecker, RiskVerdict
+from repro.firm.strategy import InternalOrder
+from repro.protocols.itf import NormalizedUpdate
+
+
+def _quote(exchange_id, bid, ask, symbol="AA"):
+    return NormalizedUpdate(symbol, exchange_id, "Q", bid, 100, ask, 100, 0)
+
+
+def _order(side="B", price=10_000, qty=100, symbol="AA", ioc=False, action="new"):
+    return InternalOrder(
+        "s", 1, "exch1", symbol, side, price, qty,
+        action=action, immediate_or_cancel=ioc,
+    )
+
+
+class TestNbbo:
+    def test_single_venue_nbbo(self):
+        nbbo = NbboBuilder()
+        state = nbbo.on_update(_quote(1, 9_900, 10_100))
+        assert state is not None
+        assert (state.bid_price, state.ask_price) == (9_900, 10_100)
+        assert state.spread == 200
+        assert not state.locked and not state.crossed
+
+    def test_best_of_each_side_across_venues(self):
+        nbbo = NbboBuilder()
+        nbbo.on_update(_quote(1, 9_900, 10_100))
+        state = nbbo.on_update(_quote(2, 9_950, 10_200))
+        assert state.bid_price == 9_950 and state.bid_venue == 2
+        assert state.ask_price == 10_100 and state.ask_venue == 1
+
+    def test_locked_market_detected(self):
+        """§4.2: a bid on one exchange equals the ask on another."""
+        nbbo = NbboBuilder()
+        nbbo.on_update(_quote(1, 9_900, 10_000))
+        state = nbbo.on_update(_quote(2, 10_000, 10_200))
+        assert state.locked and not state.crossed
+        assert nbbo.stats.locked_events == 1
+
+    def test_crossed_market_detected(self):
+        """§4.2: a bid on one exchange higher than another's ask."""
+        nbbo = NbboBuilder()
+        nbbo.on_update(_quote(1, 9_900, 10_000))
+        state = nbbo.on_update(_quote(2, 10_100, 10_300))
+        assert state.crossed and not state.locked
+        assert nbbo.stats.crossed_events == 1
+
+    def test_unchanged_nbbo_returns_none(self):
+        nbbo = NbboBuilder()
+        nbbo.on_update(_quote(1, 9_900, 10_100))
+        # A worse quote on another venue does not move the NBBO.
+        assert nbbo.on_update(_quote(2, 9_800, 10_200)) is None
+
+    def test_trades_ignored(self):
+        nbbo = NbboBuilder()
+        trade = NormalizedUpdate("AA", 1, "T", 10_000, 5, 0, 0, 0)
+        assert nbbo.on_update(trade) is None
+
+    def test_one_sided_quotes(self):
+        nbbo = NbboBuilder()
+        state = nbbo.on_update(_quote(1, 9_900, 0))
+        assert not state.valid
+        assert state.spread is None
+
+    def test_symbols_tracked_independently(self):
+        nbbo = NbboBuilder()
+        nbbo.on_update(_quote(1, 9_900, 10_100, symbol="AA"))
+        nbbo.on_update(_quote(1, 500, 600, symbol="BB"))
+        assert nbbo.nbbo("AA").bid_price == 9_900
+        assert nbbo.nbbo("BB").bid_price == 500
+        assert sorted(nbbo.symbols) == ["AA", "BB"]
+
+
+class TestPositions:
+    def test_signed_positions(self):
+        positions = PositionTracker()
+        positions.apply_fill("AA", "B", 300)
+        positions.apply_fill("AA", "S", 100)
+        assert positions.position("AA") == 200
+        positions.apply_fill("BB", "S", 500)
+        assert positions.firm_net == -300
+        assert positions.firm_gross == 700
+        assert sorted(positions.symbols) == ["AA", "BB"]
+
+    def test_invalid_fill_rejected(self):
+        with pytest.raises(ValueError):
+            PositionTracker().apply_fill("AA", "B", 0)
+
+
+class TestRiskChecker:
+    def _checker(self, with_nbbo=True, **kwargs):
+        positions = PositionTracker()
+        nbbo = NbboBuilder() if with_nbbo else None
+        if nbbo is not None:
+            nbbo.on_update(_quote(1, 9_900, 10_100))
+        return RiskChecker(positions, nbbo, **kwargs), positions, nbbo
+
+    def test_accepts_benign_order(self):
+        checker, *_ = self._checker()
+        assert checker.check(_order(price=9_800)).accepted
+
+    def test_cancels_always_accepted(self):
+        checker, *_ = self._checker()
+        assert checker.check(_order(action="cancel", price=99_999_999)).accepted
+
+    def test_per_symbol_position_limit(self):
+        checker, positions, _ = self._checker(per_symbol_limit=500)
+        positions.apply_fill("AA", "B", 450)
+        verdict = checker.check(_order(qty=100, price=9_800))
+        assert verdict is RiskVerdict.REJECT_POSITION_LIMIT
+
+    def test_firm_gross_limit(self):
+        checker, positions, _ = self._checker(
+            per_symbol_limit=10_000, firm_gross_limit=1_000
+        )
+        positions.apply_fill("BB", "B", 950)
+        verdict = checker.check(_order(qty=100, price=9_800))
+        assert verdict is RiskVerdict.REJECT_FIRM_LIMIT
+
+    def test_resting_buy_at_ask_would_lock(self):
+        checker, *_ = self._checker()
+        assert checker.check(_order(price=10_100)) is RiskVerdict.REJECT_WOULD_LOCK
+
+    def test_resting_buy_through_ask_would_cross(self):
+        checker, *_ = self._checker()
+        assert checker.check(_order(price=10_200)) is RiskVerdict.REJECT_WOULD_CROSS
+
+    def test_resting_sell_at_bid_would_lock(self):
+        checker, *_ = self._checker()
+        verdict = checker.check(_order(side="S", price=9_900))
+        assert verdict is RiskVerdict.REJECT_WOULD_LOCK
+
+    def test_ioc_through_far_side_is_trade_through(self):
+        """A marketable buy priced above the national ask would execute
+        at a worse price than advertised elsewhere: trade-through."""
+        checker, *_ = self._checker()
+        verdict = checker.check(_order(price=10_200, ioc=True))
+        assert verdict is RiskVerdict.REJECT_TRADE_THROUGH
+
+    def test_ioc_at_ask_is_fine(self):
+        checker, *_ = self._checker()
+        assert checker.check(_order(price=10_100, ioc=True)).accepted
+
+    def test_no_nbbo_skips_price_checks(self):
+        checker, *_ = self._checker(with_nbbo=False)
+        assert checker.check(_order(price=99_999_999)).accepted
+
+    def test_stats_accumulate(self):
+        checker, *_ = self._checker()
+        checker.check(_order(price=9_800))
+        checker.check(_order(price=10_200))
+        assert checker.stats.checked == 2
+        assert checker.stats.rejected == 1
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            RiskChecker(PositionTracker(), None, per_symbol_limit=0)

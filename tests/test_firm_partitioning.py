@@ -1,0 +1,105 @@
+"""Tests for partition sizing and the filter-placement break-even (§3)."""
+
+import pytest
+
+from repro.firm.partitioning import (
+    FilterPlacement,
+    filter_placement,
+    middlebox_cores_saved,
+    partition_growth_trajectory,
+    required_partitions,
+)
+
+
+def test_required_partitions_scales_with_rate():
+    assert required_partitions(1_000_000, 1_000_000, headroom=1.0) == 1
+    assert required_partitions(2_000_000, 1_000_000, headroom=1.0) == 2
+    assert required_partitions(2_000_001, 1_000_000, headroom=1.0) == 3
+
+
+def test_headroom_inflates_partition_count():
+    """Bursts are 10x averages (§3): headroom buys burst absorption."""
+    base = required_partitions(10_000_000, 1_000_000, headroom=1.0)
+    padded = required_partitions(10_000_000, 1_000_000, headroom=0.5)
+    assert padded == 2 * base
+
+
+def test_required_partitions_minimum_one():
+    assert required_partitions(0, 1_000_000) == 1
+
+
+def test_required_partitions_validation():
+    with pytest.raises(ValueError):
+        required_partitions(-1, 100)
+    with pytest.raises(ValueError):
+        required_partitions(100, 0)
+    with pytest.raises(ValueError):
+        required_partitions(100, 100, headroom=0)
+
+
+def test_filter_placement_inline_when_core_keeps_up():
+    # 100k events/s, 50 ns to discard, 500 ns to process 10% of them:
+    # inline cost = 0.9*50 + 0.1*500 = 95 ns << 10 us inter-arrival.
+    analysis = filter_placement(100_000, 0.1, 50, 500)
+    assert analysis.placement is FilterPlacement.INLINE
+    assert analysis.inline_busy_fraction < 0.05
+
+
+def test_filter_placement_moves_out_when_overloaded():
+    """The §3 criterion verbatim: combined discard+process time larger
+    than the arrival interval => filter outside the trading system."""
+    # 10M events/s => 100 ns interval; discard alone costs 120 ns.
+    analysis = filter_placement(10_000_000, 0.01, 120, 500)
+    assert analysis.placement is FilterPlacement.SEPARATE
+    assert analysis.overloaded_inline
+
+
+def test_filter_placement_boundary():
+    # Exactly at capacity stays inline (busy == 1.0 is the break-even).
+    analysis = filter_placement(1_000_000, 0.0, 1_000, 0)
+    assert analysis.inline_busy_fraction == pytest.approx(1.0)
+    assert analysis.placement is FilterPlacement.INLINE
+
+
+def test_filter_placement_validation():
+    with pytest.raises(ValueError):
+        filter_placement(0, 0.1, 10, 10)
+    with pytest.raises(ValueError):
+        filter_placement(100, 1.5, 10, 10)
+    with pytest.raises(ValueError):
+        filter_placement(100, 0.5, -1, 10)
+
+
+def test_middlebox_saves_cores_with_many_consumers():
+    """§3: 'When several systems employ the same partitioning scheme,
+    middleboxes can be more efficient in terms of the number of cores'."""
+    few = middlebox_cores_saved(2, 5_000_000, 100, 0.1)
+    many = middlebox_cores_saved(50, 5_000_000, 100, 0.1)
+    assert many > few
+    assert many > 0
+
+
+def test_middlebox_not_worth_it_for_one_consumer():
+    saved = middlebox_cores_saved(1, 5_000_000, 100, 0.1)
+    assert saved <= 0  # the middlebox filters everything; one consumer
+    # filtering only its own irrelevant traffic is cheaper.
+
+
+def test_partition_growth_matches_paper_trajectory():
+    """§3: 'the number of partitions roughly doubled from around 600 to
+    over 1300 over the past two years' — i.e. ~2.2x volume growth with
+    flat per-partition capacity."""
+    grown = partition_growth_trajectory(600, volume_growth_factor=2.2)
+    assert 1_300 <= grown <= 1_350
+
+
+def test_partition_growth_offset_by_software_speedup():
+    grown = partition_growth_trajectory(
+        600, volume_growth_factor=2.0, per_partition_capacity_growth=2.0
+    )
+    assert grown == 600
+
+
+def test_partition_growth_validation():
+    with pytest.raises(ValueError):
+        partition_growth_trajectory(0, 2.0)

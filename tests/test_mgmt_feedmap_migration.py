@@ -1,0 +1,136 @@
+"""Tests for interest-aware feed mapping and migration planning (§5)."""
+
+import pytest
+
+from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
+from repro.mgmt.feedmap import (
+    evaluate_mapping,
+    interest_clustered_mapping,
+    mapping_from_scheme,
+    scheme_from_mapping,
+)
+from repro.mgmt.migration import (
+    MigrationParams,
+    break_before_make,
+    make_before_break,
+    plan_migration,
+)
+
+
+def _workload():
+    """Three subscriber cliques with disjoint interests + noise symbols."""
+    interests = {
+        "tech-strat-1": {"AAPL", "MSFT", "GOOG"},
+        "tech-strat-2": {"AAPL", "MSFT", "GOOG"},
+        "energy-strat": {"XOM", "CVX"},
+        "etf-strat": {"SPY", "QQQ"},
+    }
+    rates = {
+        "AAPL": 900.0, "MSFT": 700.0, "GOOG": 400.0,
+        "XOM": 300.0, "CVX": 200.0,
+        "SPY": 1_500.0, "QQQ": 1_000.0,
+        # Unwanted-by-anyone symbols that pollute shared groups:
+        "JUNK1": 2_000.0, "JUNK2": 1_800.0, "ZZZ": 900.0,
+    }
+    return interests, rates
+
+
+class TestFeedMap:
+    def test_clustered_mapping_is_waste_free_with_budget(self):
+        interests, rates = _workload()
+        mapping = interest_clustered_mapping(interests, rates, n_groups=4)
+        report = evaluate_mapping(mapping, interests, rates)
+        assert report.waste_fraction == 0.0
+        assert report.efficiency == 1.0
+        assert report.n_groups_used <= 4
+
+    def test_clustered_beats_alphabetical_and_hashed(self):
+        """The §5 co-design question, answered quantitatively."""
+        interests, rates = _workload()
+        symbols = list(rates)
+        clustered = interest_clustered_mapping(interests, rates, n_groups=4)
+        alpha = mapping_from_scheme(alphabetical_scheme(4), symbols)
+        hashed = mapping_from_scheme(hashed_scheme(4), symbols)
+        waste = {
+            "clustered": evaluate_mapping(clustered, interests, rates).wasted_rate,
+            "alpha": evaluate_mapping(alpha, interests, rates).wasted_rate,
+            "hashed": evaluate_mapping(hashed, interests, rates).wasted_rate,
+        }
+        assert waste["clustered"] < waste["alpha"]
+        assert waste["clustered"] < waste["hashed"]
+
+    def test_tight_budget_merges_by_similarity(self):
+        interests, rates = _workload()
+        # Budget of 2: interest cliques must share; junk should merge
+        # with junk-adjacent signatures, not split the cliques.
+        mapping = interest_clustered_mapping(interests, rates, n_groups=2)
+        report = evaluate_mapping(mapping, interests, rates)
+        assert report.n_groups_used <= 2
+        # Still no subscriber joins *everything*: some isolation remains.
+        assert report.joins_total < len(interests) * report.n_groups_used
+
+    def test_single_group_degenerates_gracefully(self):
+        interests, rates = _workload()
+        mapping = interest_clustered_mapping(interests, rates, n_groups=1)
+        report = evaluate_mapping(mapping, interests, rates)
+        assert report.n_groups_used == 1
+        # Everyone receives everything: maximal but well-defined waste.
+        assert report.waste_fraction > 0.5
+
+    def test_rate_balancing_splits_heavy_signatures(self):
+        interests = {"s": {"A", "B", "C", "D"}}
+        rates = {"A": 100.0, "B": 100.0, "C": 100.0, "D": 100.0}
+        mapping = interest_clustered_mapping(interests, rates, n_groups=2)
+        groups = set(mapping.values())
+        assert len(groups) == 2  # same signature split for rate balance
+        report = evaluate_mapping(mapping, interests, rates)
+        assert report.waste_fraction == 0.0  # splitting adds no waste
+
+    def test_evaluate_rejects_unmapped_interest(self):
+        with pytest.raises(ValueError):
+            evaluate_mapping({"A": 0}, {"s": {"A", "MISSING"}}, {"A": 1.0})
+
+    def test_scheme_from_mapping_round_trip(self):
+        interests, rates = _workload()
+        mapping = interest_clustered_mapping(interests, rates, n_groups=4)
+        scheme = scheme_from_mapping("clustered", mapping)
+        for symbol, group in mapping.items():
+            assert scheme.partition_of(symbol) == group
+        with pytest.raises(ValueError):
+            scheme.partition_of("UNKNOWN")
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            interest_clustered_mapping({}, {}, n_groups=0)
+
+
+class TestMigration:
+    def test_make_before_break_eliminates_md_gap(self):
+        params = MigrationParams()
+        dual = make_before_break(params)
+        single = break_before_make(params)
+        assert dual.market_data_gap_ns == 0
+        assert single.market_data_gap_ns > 0
+        assert dual.order_gap_ns < single.order_gap_ns
+        assert dual.peak_servers == 2
+        assert single.peak_servers == 1
+
+    def test_order_gap_is_pure_handoff_when_dual_running(self):
+        params = MigrationParams(order_handoff_ns=3_000_000)
+        dual = make_before_break(params)
+        assert dual.order_gap_ns == 3_000_000
+
+    def test_break_before_make_gap_scales_with_subscriptions(self):
+        few = break_before_make(MigrationParams(subscriptions=4))
+        many = break_before_make(MigrationParams(subscriptions=400))
+        assert many.market_data_gap_ns > few.market_data_gap_ns
+
+    def test_planner_uses_capacity_when_available(self):
+        assert plan_migration(spare_capacity=True).strategy == "make-before-break"
+        assert plan_migration(spare_capacity=False).strategy == "break-before-make"
+
+    def test_state_transfer_time_arithmetic(self):
+        params = MigrationParams(
+            state_bytes=125_000_000, transfer_bandwidth_bps=1e9
+        )
+        assert params.state_transfer_ns == pytest.approx(1e9)  # 1 s

@@ -1,0 +1,182 @@
+"""Tests for the FPGA-enhanced L1S (§5 hardware direction)."""
+
+import pytest
+
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.fpga_l1s import (
+    DEFAULT_TABLE_ENTRIES,
+    FPGA_L1S_LATENCY_NS,
+    FilteringL1Switch,
+    TableFull,
+    symbol_prefix_filter,
+)
+from repro.net.l1switch import L1S_FANOUT_LATENCY_NS
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.switch import CURRENT_GENERATION
+from repro.protocols.pitch import AddOrder, DeleteOrder
+from repro.sim.kernel import Simulator
+
+
+class Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def handle_packet(self, packet, ingress):
+        self.received.append(packet)
+
+
+def _fabric(sim, n_hosts=3, **kwargs):
+    fpga = FilteringL1Switch(sim, "fpga", **kwargs)
+    hosts, links = [], []
+    for i in range(n_hosts):
+        host = Sink(f"h{i}")
+        link = Link(sim, f"l{i}", host, fpga, propagation_delay_ns=1)
+        fpga.attach_link(link)
+        hosts.append(host)
+        links.append(link)
+    return fpga, hosts, links
+
+
+def _packet(group, message=None):
+    return Packet(
+        src=EndpointAddress("h0"), dst=group,
+        wire_bytes=100, payload_bytes=50, message=message,
+    )
+
+
+def test_sits_between_l1s_and_commodity_on_latency():
+    """The §5 positioning: 100 ns — above a pure L1S, far below an ASIC."""
+    assert L1S_FANOUT_LATENCY_NS < FPGA_L1S_LATENCY_NS
+    assert FPGA_L1S_LATENCY_NS < CURRENT_GENERATION.hop_latency_ns
+    assert CURRENT_GENERATION.hop_latency_ns / FPGA_L1S_LATENCY_NS == 5
+
+
+def test_multicast_forwarding_by_group():
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim)
+    group = MulticastGroup("feed", 0)
+    fpga.add_egress(group, links[1])
+    fpga.add_egress(group, links[2])
+    links[0].send(_packet(group), hosts[0])
+    sim.run()
+    assert len(hosts[1].received) == 1
+    assert len(hosts[2].received) == 1
+    assert hosts[0].received == []  # no hairpin
+
+
+def test_forwarding_latency_is_100ns():
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim)
+    group = MulticastGroup("feed", 0)
+    fpga.add_egress(group, links[1])
+    arrival = []
+    hosts[1].handle_packet = lambda p, i: arrival.append(sim.now)
+    links[0].send(_packet(group), hosts[0])
+    sim.run()
+    ser = links[0].serialization_ns(100)
+    assert arrival == [ser + 1 + FPGA_L1S_LATENCY_NS + ser + 1]
+
+
+def test_unknown_group_dropped():
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim)
+    links[0].send(_packet(MulticastGroup("nope", 0)), hosts[0])
+    sim.run()
+    assert fpga.stats.no_route == 1
+
+
+def test_unicast_unsupported():
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim)
+    packet = Packet(
+        src=EndpointAddress("h0"), dst=EndpointAddress("h1"),
+        wire_bytes=100, payload_bytes=50,
+    )
+    links[0].send(packet, hosts[0])
+    sim.run()
+    assert fpga.stats.no_route == 1
+
+
+def test_small_table_fails_hard():
+    """FPGA tables are small and have no software fallback (§5)."""
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim, table_entries=2)
+    fpga.add_egress(MulticastGroup("f", 0), links[1])
+    fpga.add_egress(MulticastGroup("f", 1), links[1])
+    assert fpga.table_headroom == 0
+    with pytest.raises(TableFull):
+        fpga.add_egress(MulticastGroup("f", 2), links[1])
+    fpga.remove_group(MulticastGroup("f", 0))
+    fpga.add_egress(MulticastGroup("f", 2), links[1])  # now fits
+    assert fpga.groups_installed == 2
+    assert DEFAULT_TABLE_ENTRIES < CURRENT_GENERATION.mroute_capacity
+
+
+def test_per_egress_filtering_thins_the_feed():
+    """In-fabric filtering (§5): each receiver gets only matching frames."""
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim)
+    group = MulticastGroup("feed", 0)
+    fpga.add_egress(group, links[1], symbol_prefix_filter(("A",)))
+    fpga.add_egress(group, links[2], symbol_prefix_filter(("Z",)))
+    a_frame = _packet(group, message=[AddOrder(0, 1, "B", 1, "AAPL", 100)])
+    z_frame = _packet(group, message=[AddOrder(0, 2, "B", 1, "ZION", 100)])
+    links[0].send(a_frame, hosts[0])
+    links[0].send(z_frame, hosts[0])
+    sim.run()
+    assert len(hosts[1].received) == 1
+    assert hosts[1].received[0].message[0].symbol == "AAPL"
+    assert len(hosts[2].received) == 1
+    assert hosts[2].received[0].message[0].symbol == "ZION"
+    assert fpga.stats.filtered_out == 2
+
+
+def test_filter_passes_unparseable_payloads():
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim)
+    group = MulticastGroup("feed", 0)
+    fpga.add_egress(group, links[1], symbol_prefix_filter(("A",)))
+    links[0].send(_packet(group, message=b"opaque"), hosts[0])
+    sim.run()
+    assert len(hosts[1].received) == 1  # cannot parse => cannot filter
+
+
+def test_filter_drops_symbolless_message_lists():
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim)
+    group = MulticastGroup("feed", 0)
+    fpga.add_egress(group, links[1], symbol_prefix_filter(("A",)))
+    links[0].send(_packet(group, message=[DeleteOrder(0, 1)]), hosts[0])
+    sim.run()
+    assert hosts[1].received == []  # deletes carry no symbol: filtered
+
+
+def test_load_balancing_sprays_across_links():
+    """§5: 'load balancing across multiple forwarding paths'."""
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim, n_hosts=4)
+    group = MulticastGroup("feed", 0)
+    fpga.add_balanced_egress(group, [links[1], links[2], links[3]])
+    for _ in range(300):
+        links[0].send(_packet(group), hosts[0])
+    sim.run()
+    counts = [len(hosts[i].received) for i in (1, 2, 3)]
+    assert sum(counts) == 300  # each packet went to exactly one path
+    assert all(count > 50 for count in counts)  # reasonably spread
+
+
+def test_balance_set_needs_two_links():
+    sim = Simulator()
+    fpga, hosts, links = _fabric(sim)
+    with pytest.raises(ValueError):
+        fpga.add_balanced_egress(MulticastGroup("f", 0), [links[1]])
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FilteringL1Switch(sim, "bad", latency_ns=0)
+    with pytest.raises(ValueError):
+        FilteringL1Switch(sim, "bad", table_entries=0)

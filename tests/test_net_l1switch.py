@@ -1,0 +1,177 @@
+"""Tests for layer-1 switches and merge units."""
+
+import pytest
+
+from repro.net.addressing import EndpointAddress
+from repro.net.l1switch import (
+    L1S_FANOUT_LATENCY_NS,
+    L1S_MERGE_LATENCY_NS,
+    Layer1Switch,
+    MergeUnit,
+)
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.switch import CURRENT_GENERATION
+from repro.sim.kernel import Simulator
+
+
+class Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def handle_packet(self, packet, ingress):
+        self.received.append((sim_now[0], packet))
+
+
+sim_now = [0]
+
+
+def _track(sim):
+    sim.add_trace_hook(lambda t, cb: sim_now.__setitem__(0, t))
+
+
+def _packet(wire=100):
+    return Packet(
+        src=EndpointAddress("src"), dst=EndpointAddress("dst"),
+        wire_bytes=wire, payload_bytes=50,
+    )
+
+
+def test_fanout_replicates_to_all_configured_outputs():
+    sim = Simulator()
+    l1s = Layer1Switch(sim, "x")
+    src = Sink("src")
+    outs = [Sink(f"o{i}") for i in range(3)]
+    in_link = Link(sim, "in", src, l1s, propagation_delay_ns=1)
+    out_links = [Link(sim, f"out{i}", l1s, o, propagation_delay_ns=1) for i, o in enumerate(outs)]
+    l1s.set_fanout(in_link, out_links)
+    in_link.send(_packet(), src)
+    sim.run()
+    assert all(len(o.received) == 1 for o in outs)
+    assert l1s.stats.copies_out == 3
+
+
+def test_fanout_latency_is_nanoseconds():
+    """§4.3(i): 5-6 ns port-to-port — two orders of magnitude below a
+    commodity switch hop."""
+    assert L1S_FANOUT_LATENCY_NS <= 6
+    assert CURRENT_GENERATION.hop_latency_ns / L1S_FANOUT_LATENCY_NS >= 80
+
+
+def test_fanout_timing_measured():
+    sim = Simulator()
+    l1s = Layer1Switch(sim, "x")
+    src, dst = Sink("src"), Sink("dst")
+    in_link = Link(sim, "in", src, l1s, propagation_delay_ns=0)
+    out_link = Link(sim, "out", l1s, dst, propagation_delay_ns=0)
+    l1s.set_fanout(in_link, [out_link])
+    arrivals = []
+    dst.handle_packet = lambda p, i: arrivals.append(sim.now)
+    in_link.send(_packet(), src)
+    sim.run()
+    ser = in_link.serialization_ns(100)
+    assert arrivals == [ser + L1S_FANOUT_LATENCY_NS + ser]
+
+
+def test_unconfigured_input_drops():
+    sim = Simulator()
+    l1s = Layer1Switch(sim, "x")
+    src = Sink("src")
+    in_link = Link(sim, "in", src, l1s)
+    l1s.attach_link(in_link)
+    in_link.send(_packet(), src)
+    sim.run()
+    assert l1s.stats.unconfigured_drops == 1
+
+
+def test_fanout_loop_rejected():
+    sim = Simulator()
+    l1s = Layer1Switch(sim, "x")
+    src = Sink("src")
+    in_link = Link(sim, "in", src, l1s)
+    with pytest.raises(ValueError):
+        l1s.set_fanout(in_link, [in_link])
+
+
+def test_merge_latency_constant():
+    """§4.3(iii): merging costs ~50 ns extra."""
+    assert L1S_MERGE_LATENCY_NS == 50
+    assert L1S_MERGE_LATENCY_NS > L1S_FANOUT_LATENCY_NS
+
+
+def test_merge_combines_inputs_onto_one_output():
+    sim = Simulator()
+    merge = MergeUnit(sim, "m")
+    consumer = Sink("consumer")
+    out = Link(sim, "out", merge, consumer, propagation_delay_ns=1)
+    merge.set_output(out)
+    sources = [Sink(f"s{i}") for i in range(3)]
+    in_links = []
+    for i, s in enumerate(sources):
+        link = Link(sim, f"in{i}", s, merge, propagation_delay_ns=1)
+        merge.add_input(link)
+        in_links.append(link)
+    for link, s in zip(in_links, sources):
+        link.send(_packet(), s)
+    sim.run()
+    assert len(consumer.received) == 3
+    assert merge.stats.packets_in == 3
+
+
+def test_merge_contention_queues_then_drops():
+    """§4.3: merged feeds exceeding line rate queue, then lose frames."""
+    sim = Simulator()
+    merge = MergeUnit(sim, "m")
+    consumer = Sink("consumer")
+    out = Link(
+        sim, "out", merge, consumer,
+        bandwidth_bps=1e9, propagation_delay_ns=1,
+        queue_limit_bytes=4_000,
+    )
+    merge.set_output(out)
+    source = Sink("s")
+    in_link = Link(sim, "in", source, merge, bandwidth_bps=100e9)
+    merge.add_input(in_link)
+    for _ in range(100):
+        in_link.send(_packet(wire=1500), source)
+    sim.run()
+    stats = out.stats_from(merge)
+    assert stats.packets_dropped_queue > 0
+    assert stats.queue_delay_max_ns > 0
+    assert len(consumer.received) < 100
+
+
+def test_merge_without_output_raises():
+    sim = Simulator()
+    merge = MergeUnit(sim, "m")
+    src = Sink("s")
+    link = Link(sim, "in", src, merge)
+    merge.add_input(link)
+    link.send(_packet(), src)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_merge_reverse_path_broadcasts_to_inputs():
+    """Fills flowing consumer -> strategies traverse the reverse path."""
+    sim = Simulator()
+    merge = MergeUnit(sim, "m")
+    consumer = Sink("consumer")
+    out = Link(sim, "out", merge, consumer, propagation_delay_ns=1)
+    merge.set_output(out)
+    sources = [Sink(f"s{i}") for i in range(2)]
+    for i, s in enumerate(sources):
+        link = Link(sim, f"in{i}", s, merge, propagation_delay_ns=1)
+        merge.add_input(link)
+    out.send(_packet(), consumer)
+    sim.run()
+    assert all(len(s.received) == 1 for s in sources)
+
+
+def test_invalid_latencies_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Layer1Switch(sim, "x", fanout_latency_ns=0)
+    with pytest.raises(ValueError):
+        MergeUnit(sim, "m", merge_latency_ns=0)

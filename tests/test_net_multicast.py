@@ -1,0 +1,150 @@
+"""Tests for multicast membership management and tree installation."""
+
+import pytest
+
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.multicast import MulticastFabric
+from repro.net.packet import Packet
+from repro.net.switch import SwitchProfile
+from repro.net.topology import build_leaf_spine
+from repro.sim.kernel import Simulator
+
+
+def _built(profile=None, n_racks=3, servers_per_rack=3):
+    sim = Simulator(seed=1)
+    kwargs = {}
+    if profile is not None:
+        kwargs["profile"] = profile
+    topo = build_leaf_spine(sim, n_racks, servers_per_rack, **kwargs)
+    return sim, topo, MulticastFabric(topo)
+
+
+def _nic(topo, host):
+    return topo.hosts[host].nic()
+
+
+def test_join_delivers_traffic_leave_stops_it():
+    sim, topo, fabric = _built()
+    group = MulticastGroup("feed", 0)
+    source = _nic(topo, "rack0-s0")
+    receiver = _nic(topo, "rack1-s0")
+    got = []
+    receiver.bind(got.append)
+    fabric.announce_server_source(group, source)
+    fabric.join(group, receiver)
+
+    def blast():
+        source.send(
+            Packet(src=source.address, dst=group, wire_bytes=100, payload_bytes=50)
+        )
+
+    blast()
+    sim.run()
+    assert len(got) == 1
+    fabric.leave(group, receiver)
+    blast()
+    sim.run()
+    assert len(got) == 1  # no more deliveries after leaving
+
+
+def test_local_receiver_skips_spine():
+    sim, topo, fabric = _built()
+    group = MulticastGroup("feed", 0)
+    source = _nic(topo, "rack0-s0")
+    local = _nic(topo, "rack0-s1")
+    local.bind(lambda p: None)
+    fabric.announce_server_source(group, source)
+    fabric.join(group, local)
+    # Only the source leaf should hold an mroute; no spine involvement.
+    source_leaf = topo.leaf_of(source.address)
+    assert source_leaf.mroute_egress(group)
+    for spine in topo.spines:
+        assert spine.mroute_egress(group) is None
+
+
+def test_remote_receivers_share_one_spine_tree():
+    sim, topo, fabric = _built()
+    group = MulticastGroup("feed", 0)
+    source = _nic(topo, "rack0-s0")
+    fabric.announce_server_source(group, source)
+    for host in ("rack1-s0", "rack1-s1", "rack2-s0"):
+        nic = _nic(topo, host)
+        nic.bind(lambda p: None)
+        fabric.join(group, nic)
+    spines_used = [s for s in topo.spines if s.mroute_egress(group)]
+    assert len(spines_used) == 1
+    spine = spines_used[0]
+    # The spine fans out to both receiver leaves.
+    assert len(spine.mroute_egress(group)) == 2
+
+
+def test_multicast_delivery_to_multiple_racks():
+    sim, topo, fabric = _built()
+    group = MulticastGroup("feed", 0)
+    source = _nic(topo, "rack0-s0")
+    fabric.announce_server_source(group, source)
+    deliveries = []
+    for host in ("rack0-s1", "rack1-s0", "rack2-s2"):
+        nic = _nic(topo, host)
+        nic.bind(lambda p, h=host: deliveries.append(h))
+        fabric.join(group, nic)
+    source.send(
+        Packet(src=source.address, dst=group, wire_bytes=100, payload_bytes=50)
+    )
+    sim.run()
+    assert sorted(deliveries) == ["rack0-s1", "rack1-s0", "rack2-s2"]
+
+
+def test_receivers_list_and_groups():
+    sim, topo, fabric = _built()
+    group = MulticastGroup("feed", 1)
+    receiver = _nic(topo, "rack1-s0")
+    fabric.join(group, receiver)
+    assert fabric.receivers_of(group) == [receiver]
+    assert fabric.groups == [group]
+
+
+def test_join_before_source_announcement_still_works():
+    sim, topo, fabric = _built()
+    group = MulticastGroup("feed", 0)
+    receiver = _nic(topo, "rack1-s0")
+    got = []
+    receiver.bind(got.append)
+    fabric.join(group, receiver)  # join first
+    source = _nic(topo, "rack0-s0")
+    fabric.announce_server_source(group, source)  # source later
+    source.send(
+        Packet(src=source.address, dst=group, wire_bytes=100, payload_bytes=50)
+    )
+    sim.run()
+    assert len(got) == 1
+
+
+def test_pressure_reports_overflow():
+    """Drive more groups than the hardware table holds: the §3 overflow."""
+    tiny = SwitchProfile("tiny", 2024, 10e9, 500, mroute_capacity=5, fib_capacity=10_000)
+    sim, topo, fabric = _built(profile=tiny)
+    source = _nic(topo, "rack0-s0")
+    receiver = _nic(topo, "rack1-s0")
+    receiver.bind(lambda p: None)
+    for partition in range(9):
+        group = MulticastGroup("feed", partition)
+        fabric.announce_server_source(group, source)
+        fabric.join(group, receiver)
+    pressure = fabric.pressure()
+    assert pressure.groups == 9
+    assert pressure.max_hw_entries == 5
+    assert pressure.max_sw_entries == 4
+    assert pressure.switches_overflowed >= 1
+
+
+def test_no_overflow_below_capacity():
+    sim, topo, fabric = _built()
+    source = _nic(topo, "rack0-s0")
+    receiver = _nic(topo, "rack1-s0")
+    receiver.bind(lambda p: None)
+    for partition in range(10):
+        group = MulticastGroup("feed", partition)
+        fabric.announce_server_source(group, source)
+        fabric.join(group, receiver)
+    assert fabric.pressure().switches_overflowed == 0

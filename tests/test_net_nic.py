@@ -1,0 +1,155 @@
+"""Tests for NICs and host stacks."""
+
+import pytest
+
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.link import Link
+from repro.net.nic import HostStack, Nic
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+
+
+def _pair(sim, rx_latency=250, tx_latency=250):
+    a = Nic(sim, "nic.a", EndpointAddress("a"), rx_latency, tx_latency)
+    b = Nic(sim, "nic.b", EndpointAddress("b"), rx_latency, tx_latency)
+    link = Link(sim, "l", a, b, propagation_delay_ns=10)
+    a.attach(link)
+    b.attach(link)
+    return a, b, link
+
+
+def _packet(dst, src="a"):
+    return Packet(
+        src=EndpointAddress(src), dst=dst, wire_bytes=100, payload_bytes=50
+    )
+
+
+def test_unicast_delivery_to_bound_handler():
+    sim = Simulator()
+    a, b, _ = _pair(sim)
+    got = []
+    b.bind(lambda p: got.append((sim.now, p)))
+    a.send(_packet(EndpointAddress("b")))
+    sim.run()
+    assert len(got) == 1
+    # tx latency + serialization + propagation + rx latency all elapsed.
+    assert got[0][0] > 500
+
+
+def test_unicast_for_other_host_filtered():
+    sim = Simulator()
+    a, b, _ = _pair(sim)
+    got = []
+    b.bind(got.append)
+    a.send(_packet(EndpointAddress("someone-else")))
+    sim.run()
+    assert got == []
+    assert b.stats.packets_filtered == 1
+
+
+def test_multicast_requires_group_membership():
+    sim = Simulator()
+    a, b, _ = _pair(sim)
+    got = []
+    b.bind(got.append)
+    group = MulticastGroup("feed", 1)
+    a.send(_packet(group))
+    sim.run()
+    assert got == []  # not joined yet
+    b.join_group(group)
+    a.send(_packet(group))
+    sim.run()
+    assert len(got) == 1
+    b.leave_group(group)
+    a.send(_packet(group))
+    sim.run()
+    assert len(got) == 1
+    assert b.stats.packets_filtered == 2
+
+
+def test_promiscuous_mode_accepts_everything():
+    sim = Simulator()
+    a, b, _ = _pair(sim)
+    b.promiscuous = True
+    got = []
+    b.bind(got.append)
+    a.send(_packet(EndpointAddress("not-b")))
+    a.send(_packet(MulticastGroup("any", 0)))
+    sim.run()
+    assert len(got) == 2
+
+
+def test_rx_timestamp_stamped_on_trail():
+    sim = Simulator()
+    a, b, _ = _pair(sim)
+    got = []
+    b.bind(got.append)
+    a.send(_packet(EndpointAddress("b")))
+    sim.run()
+    assert got[0].first_stamp("nic.rx.nic.b") is not None
+    assert got[0].first_stamp("nic.tx.nic.a") == 0
+
+
+def test_rx_latency_applied_before_delivery():
+    sim = Simulator()
+    a, b, link = _pair(sim, rx_latency=1_000)
+    got = []
+    b.bind(lambda p: got.append(sim.now))
+    a.send(_packet(EndpointAddress("b")))
+    sim.run()
+    rx_stamp_time = None
+    # Reconstruct: delivery should be exactly rx_latency after the rx stamp.
+    assert got[0] >= 1_000
+
+
+def test_send_without_link_raises():
+    sim = Simulator()
+    nic = Nic(sim, "lonely", EndpointAddress("x"))
+    with pytest.raises(RuntimeError):
+        nic.send(_packet(EndpointAddress("y")))
+
+
+def test_double_attach_rejected():
+    sim = Simulator()
+    a, b, link = _pair(sim)
+    with pytest.raises(RuntimeError):
+        a.attach(link)
+
+
+def test_stats_counters():
+    sim = Simulator()
+    a, b, _ = _pair(sim)
+    b.bind(lambda p: None)
+    group = MulticastGroup("g", 0)
+    b.join_group(group)
+    a.send(_packet(EndpointAddress("b")))
+    a.send(_packet(group))
+    a.send(_packet(EndpointAddress("nobody")))
+    sim.run()
+    assert a.stats.packets_sent == 3
+    assert b.stats.packets_received == 3
+    assert b.stats.packets_delivered == 2
+    assert b.stats.packets_filtered == 1
+    assert a.stats.bytes_sent == 300
+
+
+def test_host_stack_nic_registry():
+    sim = Simulator()
+    host = HostStack("server1", function_latency_ns=1_500)
+    md = Nic(sim, "nic.md", EndpointAddress("server1", "md"))
+    host.add_nic(md)
+    assert host.nic("md") is md
+    with pytest.raises(ValueError):
+        host.add_nic(Nic(sim, "dup", EndpointAddress("server1", "md")))
+    with pytest.raises(ValueError):
+        host.add_nic(Nic(sim, "alien", EndpointAddress("other", "md")))
+    assert host.function_latency_ns == 1_500
+
+
+def test_separate_nics_per_function_like_figure_1d():
+    """A server can carry management, market data, and orders NICs."""
+    sim = Simulator()
+    host = HostStack("server1")
+    for role in ("mgmt", "md", "orders"):
+        host.add_nic(Nic(sim, f"nic.{role}", EndpointAddress("server1", role)))
+    assert sorted(host.nics) == ["md", "mgmt", "orders"]

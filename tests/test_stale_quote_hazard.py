@@ -1,0 +1,76 @@
+"""The §2 repricing hazard, demonstrated.
+
+"Repricing orders as quickly as possible is also critical because
+exchanges will continue matching with an old order's price until it is
+updated, making trades that are no longer desired."
+
+Two market makers quote the same symbol; the market moves; the faster
+one reprices first. The aggressor that follows the move trades with
+whoever is still resting at the stale price — adverse selection as a
+function of repricing latency.
+"""
+
+import pytest
+
+from repro.exchange.matching import MatchingEngine
+
+
+def _market_move_scenario(fast_reprices_first: bool):
+    """The market's fair value jumps from $1.00 to $1.05; both makers
+    have stale offers at $1.01 and want to lift them to $1.06."""
+    engine = MatchingEngine("X", ["AA"])
+    fast = engine.submit("fast-mm", "AA", "S", 10_100, 100)
+    slow = engine.submit("slow-mm", "AA", "S", 10_100, 100)
+
+    if fast_reprices_first:
+        engine.modify("fast-mm", fast.exchange_order_id, 100, 10_600)
+    # The informed aggressor arrives, happy to pay up to the new value.
+    aggression = engine.submit("taker", "AA", "B", 10_500, 100)
+    return engine, fast, slow, aggression
+
+
+def test_fast_maker_escapes_slow_maker_is_picked_off():
+    engine, fast, slow, aggression = _market_move_scenario(
+        fast_reprices_first=True
+    )
+    # Exactly one fill: against the maker still resting at the old price.
+    assert aggression.executed_quantity == 100
+    [fill] = aggression.fills
+    assert fill.maker_owner == "slow-mm"
+    assert fill.price == 10_100  # traded 5 cents through the new value
+    # The fast maker's repriced offer survives, correctly above value.
+    assert engine.bbo("AA")[1] == (10_600, 100)
+
+
+def test_without_repricing_time_priority_picks_the_first_quote():
+    engine, fast, slow, aggression = _market_move_scenario(
+        fast_reprices_first=False
+    )
+    # Neither escaped; the earlier quote (fast-mm's) trades first.
+    [fill] = aggression.fills
+    assert fill.maker_owner == "fast-mm"
+    assert fill.price == 10_100
+
+
+def test_adverse_selection_cost_scales_with_stale_quantity():
+    """Every share left at the stale price is sold 500 ticks under the
+    new fair value: the cost of latency, in price terms."""
+    engine = MatchingEngine("X", ["AA"])
+    resting = engine.submit("slow-mm", "AA", "S", 10_100, 300)
+    aggression = engine.submit("taker", "AA", "B", 10_500, 300)
+    assert aggression.executed_quantity == 300
+    new_value = 10_500
+    loss_per_share = new_value - aggression.fills[0].price
+    assert loss_per_share == 400
+    assert loss_per_share * 300 == 120_000  # 1/100-cent units of regret
+
+
+def test_cancel_races_the_pickoff():
+    """The §2 races compound: the slow maker's cancel arrives after the
+    fill and is rejected too-late."""
+    engine = MatchingEngine("X", ["AA"])
+    quote = engine.submit("slow-mm", "AA", "S", 10_100, 100)
+    engine.submit("taker", "AA", "B", 10_500, 100)  # picked off
+    cancel = engine.cancel("slow-mm", quote.exchange_order_id)
+    assert not cancel.accepted
+    assert cancel.reason == MatchingEngine.CANCEL_TOO_LATE

@@ -1,0 +1,52 @@
+"""Tests for the tick-to-trade hardware pipeline (§1's fastest firms)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ticktotrade import (
+    FPGA_COMPUTE_NS,
+    build_tick_to_trade_system,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_tick_to_trade_system(seed=77, run_ms=5)
+
+
+def test_tick_to_trade_is_hundreds_of_nanoseconds(system):
+    sim, exchange, strategy = system
+    samples = exchange.order_entry.roundtrip_samples
+    assert len(samples) > 20
+    median = float(np.median(samples))
+    # "10s to 100s of nanoseconds": sub-microsecond, serialization-bound.
+    assert 100 <= median < 1_000
+    # And it is wire-dominated: the compute is a small fraction.
+    assert FPGA_COMPUTE_NS / median < 0.2
+
+
+def test_pipeline_consumed_raw_feed_without_a_normalizer(system):
+    sim, exchange, strategy = system
+    assert strategy.orders_sent == len(exchange.order_entry.roundtrip_samples)
+    assert strategy.feed.stats.messages > 40  # raw PITCH parsed in-line
+
+
+def test_software_stack_cannot_reach_this_floor(system):
+    """The same trigger through the full software stack (normalizer +
+    strategy + gateway at 2 us each) is bounded below by its function
+    latencies alone — an order of magnitude above the hardware path."""
+    sim, exchange, strategy = system
+    hardware_median = float(np.median(exchange.order_entry.roundtrip_samples))
+    software_floor = 3 * 2_000  # three 2 us software hops, nothing else
+    assert software_floor > 10 * hardware_median
+
+
+def test_determinism(system):
+    sim, exchange, strategy = system
+    again_sim, again_exchange, again_strategy = build_tick_to_trade_system(
+        seed=77, run_ms=5
+    )
+    assert (
+        again_exchange.order_entry.roundtrip_samples
+        == exchange.order_entry.roundtrip_samples
+    )

@@ -1,0 +1,165 @@
+"""Tests for capture taps and latency accounting."""
+
+import pytest
+
+from repro.net.addressing import EndpointAddress
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.timing.capture import CaptureAppliance, CaptureTap
+from repro.timing.clock import DriftingClock
+from repro.timing.latency import LatencyRecorder, summarize
+
+
+class Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def handle_packet(self, packet, ingress):
+        self.received.append(packet)
+
+
+def _tapped_path(sim, appliance, clock_a=None, clock_b=None):
+    """src --link-- tapA --link-- tapB --link-- dst."""
+    src, dst = Sink("src"), Sink("dst")
+    tap_a = CaptureTap(sim, "tapA", appliance, clock=clock_a)
+    tap_b = CaptureTap(sim, "tapB", appliance, clock=clock_b)
+    l1 = Link(sim, "l1", src, tap_a, propagation_delay_ns=10)
+    l2 = Link(sim, "l2", tap_a, tap_b, propagation_delay_ns=1_000)
+    l3 = Link(sim, "l3", tap_b, dst, propagation_delay_ns=10)
+    tap_a.set_through(l1, l2)
+    tap_b.set_through(l2, l3)
+    return src, dst, l1
+
+
+def _packet():
+    return Packet(
+        src=EndpointAddress("src"), dst=EndpointAddress("dst"),
+        wire_bytes=100, payload_bytes=50,
+    )
+
+
+def test_tap_records_and_forwards():
+    sim = Simulator()
+    appliance = CaptureAppliance()
+    src, dst, entry = _tapped_path(sim, appliance)
+    entry.send(_packet(), src)
+    sim.run()
+    assert len(dst.received) == 1
+    assert len(appliance.records) == 2  # one per tap
+    assert {r.tap for r in appliance.records} == {"tapA", "tapB"}
+
+
+def test_one_way_delay_between_taps():
+    sim = Simulator()
+    appliance = CaptureAppliance()
+    src, dst, entry = _tapped_path(sim, appliance)
+    for _ in range(3):
+        entry.send(_packet(), src)
+    sim.run()
+    delays = appliance.one_way_delays("tapA", "tapB")
+    assert len(delays) == 3
+    # Dominated by the 1 us middle link plus serialization + tap latency.
+    assert all(1_000 < d < 2_000 for d in delays)
+
+
+def test_clock_error_contaminates_measured_delays():
+    """Why capture needs synchronized clocks: a skewed tap clock shifts
+    every measured one-way delay by its offset."""
+    sim = Simulator()
+    appliance = CaptureAppliance()
+    skewed = DriftingClock(sim, "skewed", initial_offset_ns=500.0)
+    src, dst, entry = _tapped_path(sim, appliance, clock_b=skewed)
+    entry.send(_packet(), src)
+    sim.run()
+    [delay] = appliance.one_way_delays("tapA", "tapB")
+
+    sim2 = Simulator()
+    appliance2 = CaptureAppliance()
+    src2, dst2, entry2 = _tapped_path(sim2, appliance2)
+    entry2.send(_packet(), src2)
+    sim2.run()
+    [true_delay] = appliance2.one_way_delays("tapA", "tapB")
+    assert delay == true_delay + 500
+
+
+def test_ordering_reconstruction_can_be_fooled_by_bad_clocks():
+    sim = Simulator()
+    appliance = CaptureAppliance()
+    # tapB's clock runs 2 us behind: events it sees later can appear earlier.
+    behind = DriftingClock(sim, "behind", initial_offset_ns=-2_000.0)
+    src, dst, entry = _tapped_path(sim, appliance, clock_b=behind)
+    entry.send(_packet(), src)
+    sim.run()
+    ordered = appliance.ordering()
+    # The true order is tapA then tapB; claimed timestamps invert it.
+    assert [r.tap for r in ordered] == ["tapB", "tapA"]
+
+
+def test_capture_only_port():
+    sim = Simulator()
+    appliance = CaptureAppliance()
+    tap = CaptureTap(sim, "mirror", appliance)
+    src = Sink("src")
+    feed = Link(sim, "feed", src, tap, propagation_delay_ns=1)
+    # No set_through: the tap is a pure mirror sink.
+    feed.send(_packet(), src)
+    sim.run()
+    assert tap.frames_seen == 1
+    assert len(appliance.records) == 1
+
+
+class TestLatencyRecorder:
+    def test_paper_definition_pairing(self):
+        recorder = LatencyRecorder()
+        recorder.input_event("s1", 100)
+        assert recorder.order_sent("s1", 150) == 50
+        # A newer input re-anchors the next order.
+        recorder.input_event("s1", 400)
+        recorder.input_event("s1", 420)
+        assert recorder.order_sent("s1", 500) == 80
+
+    def test_order_without_input_is_unattributed(self):
+        recorder = LatencyRecorder()
+        assert recorder.order_sent("s1", 100) is None
+        assert recorder.samples("s1") == []
+
+    def test_contexts_are_independent(self):
+        recorder = LatencyRecorder()
+        recorder.input_event("a", 100)
+        recorder.input_event("b", 900)
+        recorder.order_sent("a", 150)
+        recorder.order_sent("b", 1_000)
+        assert recorder.samples("a") == [50]
+        assert recorder.samples("b") == [100]
+        assert sorted(recorder.contexts) == ["a", "b"]
+        assert sorted(recorder.all_samples()) == [50, 100]
+
+    def test_stats_summary(self):
+        recorder = LatencyRecorder()
+        recorder.input_event("a", 0)
+        for t in (100, 200, 300):
+            recorder.input_event("a", 0)
+            recorder.order_sent("a", t)
+        stats = recorder.stats("a")
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(200)
+        assert stats.median == 200
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+def test_ordering_filters_by_tap():
+    sim = Simulator()
+    appliance = CaptureAppliance()
+    src, dst, entry = _tapped_path(sim, appliance)
+    entry.send(_packet(), src)
+    sim.run()
+    only_a = appliance.ordering(taps=["tapA"])
+    assert [r.tap for r in only_a] == ["tapA"]
+    both = appliance.ordering()
+    assert len(both) == 2
+    assert appliance.by_tap("tapB")[0].tap == "tapB"

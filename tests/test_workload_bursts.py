@@ -1,0 +1,89 @@
+"""Tests for Hawkes burst generation and cross-feed correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.windows import burstiness_ratio
+from repro.workload.bursts import (
+    burst_correlation,
+    correlated_feed_timestamps,
+    hawkes_timestamps,
+    window_counts,
+)
+
+SECOND = 1_000_000_000
+
+
+def test_mean_rate_honored_regardless_of_branching():
+    rng = np.random.default_rng(1)
+    for branching in (0.0, 0.3, 0.7):
+        times = hawkes_timestamps(50_000, branching, 100_000, SECOND, rng)
+        assert times.size == pytest.approx(50_000, rel=0.15)
+
+
+def test_zero_branching_is_poisson_like():
+    rng = np.random.default_rng(2)
+    times = hawkes_timestamps(20_000, 0.0, 100_000, SECOND, rng)
+    counts = window_counts(times, 1_000_000, SECOND)
+    assert burstiness_ratio(counts) == pytest.approx(1.0, abs=0.3)
+
+
+def test_branching_increases_burstiness():
+    rng = np.random.default_rng(3)
+    calm = hawkes_timestamps(50_000, 0.0, 50_000, SECOND, rng)
+    bursty = hawkes_timestamps(50_000, 0.8, 50_000, SECOND, rng)
+    calm_ratio = burstiness_ratio(window_counts(calm, 100_000, SECOND))
+    bursty_ratio = burstiness_ratio(window_counts(bursty, 100_000, SECOND))
+    assert bursty_ratio > 3 * calm_ratio
+
+
+def test_timestamps_sorted_and_in_range():
+    rng = np.random.default_rng(4)
+    times = hawkes_timestamps(10_000, 0.5, 100_000, SECOND, rng)
+    assert np.all(np.diff(times) >= 0)
+    assert times.min() >= 0
+    assert times.max() < SECOND
+
+
+def test_invalid_parameters_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        hawkes_timestamps(1_000, 1.0, 100, SECOND, rng)  # critical branching
+    with pytest.raises(ValueError):
+        hawkes_timestamps(-1, 0.5, 100, SECOND, rng)
+    with pytest.raises(ValueError):
+        hawkes_timestamps(1_000, 0.5, 0, SECOND, rng)
+
+
+def test_window_counts_partition_all_events():
+    rng = np.random.default_rng(5)
+    times = hawkes_timestamps(5_000, 0.4, 100_000, SECOND, rng)
+    counts = window_counts(times, 100_000, SECOND)
+    assert counts.sum() == times.size
+    assert counts.size == 10_000
+
+
+def test_correlated_feeds_share_bursts():
+    """§2: 'Bursts across different feeds are often correlated'."""
+    rng = np.random.default_rng(6)
+    feeds = correlated_feed_timestamps(
+        2, 20_000, SECOND, rng,
+        shared_shock_rate_per_s=20.0, shock_children_per_feed=500.0,
+    )
+    correlated = burst_correlation(feeds[0], feeds[1], 10_000_000, SECOND)
+
+    rng2 = np.random.default_rng(7)
+    independent = [
+        hawkes_timestamps(20_000, 0.5, 200_000, SECOND, rng2) for _ in range(2)
+    ]
+    uncorrelated = burst_correlation(
+        independent[0], independent[1], 10_000_000, SECOND
+    )
+    assert correlated > 0.3
+    assert correlated > uncorrelated + 0.2
+
+
+def test_correlated_feeds_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        correlated_feed_timestamps(0, 1_000, SECOND, rng)

@@ -1,0 +1,118 @@
+"""Tests for the Figure 2 workload generators (daily profile + growth)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.windows import summarize_windows
+from repro.workload.bursts import window_counts
+from repro.workload.daily import (
+    TRADING_SECONDS,
+    busy_second_event_times,
+    busy_second_window_counts,
+    intraday_intensity,
+    intraday_second_counts,
+    processing_budget_ns,
+)
+from repro.workload.growth import (
+    GrowthModel,
+    average_events_per_second,
+    daily_event_counts,
+    measured_growth_factor,
+)
+
+
+class TestFig2b:
+    def test_session_length(self):
+        counts = intraday_second_counts()
+        assert counts.size == TRADING_SECONDS == 23_400
+
+    def test_median_and_peak_targets(self):
+        """Paper: 'The median second has over 300k events, and the
+        busiest second contains 1.5M events.'"""
+        counts = intraday_second_counts()
+        assert np.median(counts) > 300_000
+        assert counts.max() == pytest.approx(1_500_000, rel=0.01)
+
+    def test_u_shape_open_heavier_than_midday(self):
+        intensity = intraday_intensity(np.arange(TRADING_SECONDS))
+        first_half_hour = intensity[:1_800].mean()
+        midday = intensity[10_000:13_000].mean()
+        close_hour = intensity[-1_800:].mean()
+        assert first_half_hour > 1.5 * midday
+        assert close_hour > midday
+
+    def test_busiest_must_exceed_median(self):
+        with pytest.raises(ValueError):
+            intraday_second_counts(median_per_second=100, busiest_second=50)
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(
+            intraday_second_counts(seed=5), intraday_second_counts(seed=5)
+        )
+
+
+class TestFig2c:
+    def test_median_and_max_shape(self):
+        """Paper: median 100 us window has 129 events; busiest has 1066."""
+        counts = busy_second_window_counts()
+        summary = summarize_windows(counts, 100_000)
+        assert summary.median == pytest.approx(129, rel=0.15)
+        assert summary.maximum == pytest.approx(1_066, rel=0.30)
+        assert summary.n_windows == 10_000
+
+    def test_total_events_near_busy_second_volume(self):
+        times = busy_second_event_times()
+        assert times.size == pytest.approx(1_500_000, rel=0.1)
+
+    def test_peak_processing_budget_near_100ns(self):
+        """§3: 1066 events/100 us leaves ~100 ns per event."""
+        assert processing_budget_ns(1_066) == pytest.approx(94, abs=2)
+        counts = busy_second_window_counts()
+        summary = summarize_windows(counts, 100_000)
+        assert 60 <= summary.budget_at_peak_ns <= 130
+
+    def test_whole_second_budget_650ns(self):
+        """§3: 1.5M events/s leaves ~650 ns per event."""
+        assert processing_budget_ns(1_500_000, 1_000_000_000) == pytest.approx(
+            666, abs=20
+        )
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            processing_budget_ns(0)
+
+
+class TestFig2a:
+    def test_growth_factor_near_500_percent(self):
+        """Paper: 'market data has increased 500% over the last 5 years'."""
+        _, counts = daily_event_counts()
+        factor = measured_growth_factor(counts)
+        assert factor == pytest.approx(5.0, rel=0.25)
+
+    def test_daily_volumes_tens_of_billions(self):
+        _, counts = daily_event_counts()
+        final_year = counts[-252:]
+        assert 1e10 < np.median(final_year) < 1e11
+
+    def test_average_rate_exceeds_500k_per_second(self):
+        """Paper: 'an average rate of more than 500k events per second'."""
+        _, counts = daily_event_counts()
+        rate = average_events_per_second(float(np.median(counts[-252:])), 86_400)
+        assert rate > 500_000
+
+    def test_spike_days_exist(self):
+        _, counts = daily_event_counts()
+        trend = GrowthModel().trend(np.arange(counts.size))
+        assert (counts > 2.5 * trend).any()
+
+    def test_year_axis_spans_window(self):
+        years, counts = daily_event_counts()
+        assert years[0] == pytest.approx(2020.0)
+        assert years[-1] == pytest.approx(2025.0, abs=0.01)
+        assert counts.size == GrowthModel().n_days
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_events_per_second(1e9, 0)
+        with pytest.raises(ValueError):
+            measured_growth_factor(np.ones(5), window_days=10)

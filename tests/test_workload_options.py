@@ -1,0 +1,95 @@
+"""Tests for options chains and the Fig 2(b) amplification mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.workload.options import (
+    US_OPTIONS_EXCHANGES,
+    OptionSeries,
+    amplification_factor,
+    build_chain,
+    chain_event_rate,
+    expected_requotes_per_tick,
+    requote_probability,
+    sample_requotes,
+)
+
+SPOT = 150 * 10_000  # $150 in 1/100-cent units
+
+
+def test_chain_shape():
+    chain = build_chain("AAPL", SPOT, n_expiries=8, strikes_per_expiry=40)
+    assert len(chain) == 8 * 40 * 2
+    assert {s.right for s in chain} == {"C", "P"}
+    assert all(s.underlier == "AAPL" for s in chain)
+    # Symbols fit the 6-character PITCH field and are unique.
+    assert all(len(s.symbol) <= 6 for s in chain)
+    assert len({s.symbol for s in chain}) == len(chain)
+
+
+def test_strikes_ladder_around_spot():
+    chain = build_chain("AAPL", SPOT, n_expiries=1, strikes_per_expiry=10)
+    strikes = sorted({s.strike for s in chain})
+    assert min(strikes) < SPOT < max(strikes)
+    gaps = {b - a for a, b in zip(strikes, strikes[1:])}
+    assert len(gaps) == 1  # even spacing
+
+
+def test_series_validation():
+    with pytest.raises(ValueError):
+        OptionSeries("X", "AA", 7, 100, "X")
+    with pytest.raises(ValueError):
+        OptionSeries("X", "AA", 0, 100, "C")
+    with pytest.raises(ValueError):
+        build_chain("AA", 0)
+
+
+def test_requote_probability_peaks_at_the_money():
+    atm = OptionSeries("A", "AA", 7, SPOT, "C")
+    wing = OptionSeries("B", "AA", 7, int(SPOT * 1.3), "C")
+    assert requote_probability(atm, SPOT) == pytest.approx(1.0)
+    assert requote_probability(wing, SPOT) < 0.01
+    assert atm.moneyness(SPOT) == 0.0
+
+
+def test_amplification_is_hundreds_per_tick():
+    """One underlier tick -> thousands of options events across venues."""
+    chain = build_chain("AAPL", SPOT)
+    per_tick = expected_requotes_per_tick(chain, SPOT)
+    # 640 series, ~40% near enough to requote, x18 venues: O(1000s).
+    assert 1_000 < per_tick < 10_000
+    assert amplification_factor(chain, SPOT) == per_tick
+
+
+def test_fig2b_rate_is_explained_by_the_chain():
+    """The paper's >300k options events/s for ONE stock emerges from a
+    liquid underlier ticking ~10s of times per second."""
+    chain = build_chain("AAPL", SPOT)
+    rate = chain_event_rate(
+        underlier_ticks_per_s=75, chain=chain, underlier_price=SPOT
+    )
+    assert 200_000 < rate < 600_000  # brackets the paper's median second
+    # And the busiest second (1.5M) is a ~5x underlier tick burst, not a
+    # different mechanism.
+    burst = chain_event_rate(75 * 5, chain, SPOT)
+    assert burst > 1_000_000
+
+
+def test_single_venue_rate_is_18x_smaller():
+    chain = build_chain("AAPL", SPOT)
+    all_venues = chain_event_rate(50, chain, SPOT)
+    one_venue = chain_event_rate(50, chain, SPOT, n_venues=1)
+    assert all_venues == pytest.approx(US_OPTIONS_EXCHANGES * one_venue)
+
+
+def test_sampled_requotes_match_expectation():
+    chain = build_chain("AAPL", SPOT)
+    rng = np.random.default_rng(5)
+    counts = [len(sample_requotes(chain, SPOT, rng)) for _ in range(200)]
+    expected = expected_requotes_per_tick(chain, SPOT, n_venues=1)
+    assert np.mean(counts) == pytest.approx(expected, rel=0.05)
+    # Requoting is concentrated near the money.
+    sampled = sample_requotes(chain, SPOT, rng)
+    mean_moneyness = np.mean([s.moneyness(SPOT) for s in sampled])
+    chain_moneyness = np.mean([s.moneyness(SPOT) for s in chain])
+    assert mean_moneyness < chain_moneyness

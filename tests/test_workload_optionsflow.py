@@ -1,0 +1,104 @@
+"""Tests for chain-driven options order flow."""
+
+import pytest
+
+from repro.exchange.exchange import Exchange
+from repro.exchange.publisher import hashed_scheme
+from repro.net.addressing import EndpointAddress
+from repro.net.link import Link
+from repro.net.nic import Nic
+from repro.sim.kernel import MILLISECOND, Simulator
+from repro.workload.optionsflow import ChainFlowGenerator
+
+SPOT = 150 * 10_000
+
+
+class _Drop:
+    name = "drop"
+
+    def handle_packet(self, packet, ingress):
+        pass
+
+
+def _exchange(sim):
+    feed = Nic(sim, "f", EndpointAddress("x", "feed"))
+    orders = Nic(sim, "o", EndpointAddress("x", "orders"))
+    for nic in (feed, orders):
+        nic.attach(Link(sim, f"l.{nic.name}", nic, _Drop()))
+    return Exchange(
+        sim, "exch1", [], hashed_scheme(4), feed_nic_a=feed, orders_nic=orders
+    )
+
+
+def _run(ticks_per_s=2_000, ms=50, seed=2, **kwargs):
+    sim = Simulator(seed=seed)
+    exchange = _exchange(sim)
+    flow = ChainFlowGenerator(
+        sim, "chain", exchange, "AAPL", SPOT, ticks_per_s=ticks_per_s, **kwargs
+    )
+    flow.start()
+    sim.run(until=ms * MILLISECOND)
+    return sim, exchange, flow
+
+
+def test_chain_symbols_listed_on_the_exchange():
+    sim, exchange, flow = _run(ms=1)
+    assert flow.stats.series_quoted == 4 * 10 * 2
+    assert len(exchange.engine.symbols) == flow.stats.series_quoted
+
+
+def test_amplification_matches_the_model():
+    """~50x requotes per tick for a 4x10x2 chain near the money."""
+    sim, exchange, flow = _run()
+    assert flow.stats.underlier_ticks > 50
+    assert 30 < flow.stats.amplification < 70
+
+
+def test_requotes_become_real_engine_activity():
+    sim, exchange, flow = _run()
+    activity = exchange.engine.stats.orders_accepted + exchange.engine.stats.modifies
+    # Each requote touches both sides of the series' quote.
+    assert activity == 2 * flow.stats.requotes
+    assert exchange.engine.stats.cancel_rejects == 0
+
+
+def test_quotes_stay_two_sided_and_uncrossed():
+    sim, exchange, flow = _run()
+    checked = 0
+    for symbol in exchange.engine.symbols:
+        bid, ask = exchange.engine.bbo(symbol)
+        if bid and ask:
+            checked += 1
+            assert bid[0] < ask[0]
+    assert checked > 20  # most of the chain ended the run quoted
+
+
+def test_feed_volume_scales_with_tick_rate():
+    _, exchange_slow, flow_slow = _run(ticks_per_s=500, seed=4)
+    _, exchange_fast, flow_fast = _run(ticks_per_s=4_000, seed=4)
+    assert flow_fast.stats.requotes > 4 * flow_slow.stats.requotes
+
+
+def test_event_rate_reaches_fig2b_scale():
+    """Scaled to a full-size chain on one venue, the implied all-venue
+    rate lands in Figure 2(b)'s regime."""
+    sim, exchange, flow = _run(
+        ticks_per_s=2_000, ms=50, n_expiries=8, strikes_per_expiry=40
+    )
+    seconds = 0.05
+    events_per_s_one_venue = (2 * flow.stats.requotes) / seconds
+    implied_all_venues = events_per_s_one_venue  # chain already per venue
+    # One venue of 18: the full market is ~18x this.
+    assert implied_all_venues * 18 > 300_000
+
+
+def test_stop_halts_generation():
+    sim = Simulator(seed=2)
+    exchange = _exchange(sim)
+    flow = ChainFlowGenerator(sim, "chain", exchange, "AAPL", SPOT, 1_000)
+    flow.start()
+    sim.run(until=10 * MILLISECOND)
+    flow.stop()
+    at_stop = flow.stats.requotes
+    sim.run(until=20 * MILLISECOND)
+    assert flow.stats.requotes == at_stop
