@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.designs import Design1LeafSpine
 from repro.core.latency import Category
-from repro.core.testbed import build_design1_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 PAPER_SWITCH_HOPS = 12
@@ -42,7 +42,7 @@ def test_design1_budget_arithmetic(benchmark, experiment_log):
 
 
 def _simulated_round_trip():
-    system = build_design1_system(seed=31)
+    system = build_system(design="design1", seed=31)
     system.run(40 * MILLISECOND)
     return system
 

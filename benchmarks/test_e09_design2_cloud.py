@@ -50,11 +50,11 @@ def test_cloud_round_trip_measured(benchmark, experiment_log):
     """The cloud round trip, *measured* on the simulated equalized
     fabric (provider multicast from the exchange, unicast fan-out
     inside the tenant), next to the analytic model."""
-    from repro.core.cloud import build_design2_system
+    from repro.core import build_system
     from repro.sim.kernel import MILLISECOND
 
     def run():
-        system = build_design2_system(seed=31)
+        system = build_system(design="design2", seed=31)
         system.run(40 * MILLISECOND)
         return system
 

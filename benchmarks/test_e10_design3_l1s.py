@@ -13,7 +13,7 @@ import pytest
 
 from repro.core.designs import Design1LeafSpine, Design3L1S, NicPlanVerdict
 from repro.core.merge import analyze_merge
-from repro.core.testbed import build_design3_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 PAPER_FANOUT_NS = 5.5  # "5-6 nanoseconds"
@@ -120,7 +120,7 @@ def test_tick_to_trade_hardware_measured(benchmark, experiment_log):
 
 def test_design3_simulated_round_trip(benchmark, experiment_log):
     def run():
-        system = build_design3_system(seed=31)
+        system = build_system(design="design3", seed=31)
         system.run(40 * MILLISECOND)
         return system
 

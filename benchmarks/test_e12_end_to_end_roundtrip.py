@@ -11,7 +11,9 @@ import pytest
 
 from repro.core.designs import Design1LeafSpine
 from repro.core.latency import Category
-from repro.core.testbed import build_design1_system, build_design3_system
+from functools import partial
+
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 RUN_NS = 40 * MILLISECOND
@@ -19,9 +21,9 @@ SEED = 77
 
 
 def _run_both():
-    d1 = build_design1_system(seed=SEED)
+    d1 = build_system(design="design1", seed=SEED)
     d1.run(RUN_NS)
-    d3 = build_design3_system(seed=SEED)
+    d3 = build_system(design="design3", seed=SEED)
     d3.run(RUN_NS)
     return d1, d3
 
@@ -53,14 +55,13 @@ def test_all_three_designs_measured(benchmark, experiment_log):
     """The full §4 comparison, measured: the same trading activity on
     all three fabrics. The ordering and the ratios are the paper's
     conclusion in one table."""
-    from repro.core.cloud import build_design2_system
 
     def run_all():
         medians = {}
         for label, builder in (
-            ("design1", build_design1_system),
-            ("design2", build_design2_system),
-            ("design3", build_design3_system),
+            ("design1", partial(build_system, design="design1")),
+            ("design2", partial(build_system, design="design2")),
+            ("design3", partial(build_system, design="design3")),
         ):
             system = builder(seed=SEED + 2)
             system.run(RUN_NS)
@@ -80,7 +81,7 @@ def test_all_three_designs_measured(benchmark, experiment_log):
 
 def test_tail_behavior(benchmark, experiment_log):
     def run():
-        system = build_design1_system(seed=SEED + 1, flow_rate_per_s=80_000)
+        system = build_system(design="design1", seed=SEED + 1, flow_rate_per_s=80_000)
         system.run(RUN_NS)
         return system
 

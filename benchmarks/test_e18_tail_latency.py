@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.histogram import LatencyHistogram
-from repro.core.testbed import build_design1_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 SERVICE_NS = 650  # §3's per-event budget as the normalizer's capacity
@@ -39,7 +39,7 @@ def _bursty_rate(now_ns: int) -> float:
 
 
 def _run(rate) -> list[int]:
-    system = build_design1_system(seed=18, n_symbols=6, n_strategies=2)
+    system = build_system(design="design1", seed=18, n_symbols=6, n_strategies=2)
     for normalizer in system.normalizers:
         normalizer.service_time_ns = SERVICE_NS
     system.flow.rate_per_s = rate

@@ -11,14 +11,16 @@ microwave) and decomposes it against the colo geometry.
 import numpy as np
 import pytest
 
-from repro.core.testbed import build_design1_system
-from repro.core.wan_testbed import build_cross_colo_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 
 def test_cross_colo_round_trip(benchmark, experiment_log):
     def run():
-        system = build_cross_colo_system(seed=20)
+        system = build_system(
+            design="wan", seed=20, n_strategies=2,
+            flow_rate_per_s=30_000.0, firm_partitions=4,
+        )
         system.run(40 * MILLISECOND)
         return system
 
@@ -26,7 +28,7 @@ def test_cross_colo_round_trip(benchmark, experiment_log):
     stats = system.roundtrip_stats()
     one_way = system.metro.microwave_latency_ns("carteret", "mahwah")
 
-    local = build_design1_system(seed=20)
+    local = build_system(design="design1", seed=20)
     local.run(40 * MILLISECOND)
     local_median = local.roundtrip_stats().median
 
@@ -44,7 +46,10 @@ def test_cross_colo_round_trip(benchmark, experiment_log):
 
 def test_microwave_loss_tail(benchmark, experiment_log):
     def run():
-        system = build_cross_colo_system(seed=21, microwave_loss=0.05)
+        system = build_system(
+            design="wan", seed=21, microwave_loss=0.05, n_strategies=2,
+            flow_rate_per_s=30_000.0, firm_partitions=4,
+        )
         system.run(60 * MILLISECOND)
         return system
 

@@ -11,12 +11,12 @@ measures both sides of the trade.
 import numpy as np
 import pytest
 
-from repro.core.testbed import build_design1_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 
 def _run(coalesce_ns: int):
-    system = build_design1_system(seed=21)
+    system = build_system(design="design1", seed=21)
     publisher = system.exchange.publisher
     publisher.coalesce_window_ns = coalesce_ns
     system.run(30 * MILLISECOND)

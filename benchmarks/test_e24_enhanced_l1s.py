@@ -14,8 +14,9 @@ overflow the FPGA).
 import pytest
 
 from repro.core.designs import Design4EnhancedL1S
-from repro.core.testbed import build_design1_system, build_design3_system
-from repro.core.testbed4 import build_design4_system
+from functools import partial
+
+from repro.core import build_system
 from repro.net.addressing import MulticastGroup
 from repro.net.fpga_l1s import FilteringL1Switch, TableFull
 from repro.sim.kernel import MILLISECOND, Simulator
@@ -28,9 +29,9 @@ def test_four_design_round_trips(benchmark, experiment_log):
     def run_all():
         medians = {}
         for label, builder in (
-            ("design1", build_design1_system),
-            ("design3", build_design3_system),
-            ("design4", build_design4_system),
+            ("design1", partial(build_system, design="design1")),
+            ("design3", partial(build_system, design="design3")),
+            ("design4", partial(build_system, design="design4")),
         ):
             system = builder(seed=SEED)
             system.run(RUN_NS)
@@ -50,12 +51,12 @@ def test_four_design_round_trips(benchmark, experiment_log):
 
 def test_in_fabric_filtering_offloads_the_nic(benchmark, experiment_log):
     def run_thin():
-        system = build_design4_system(seed=SEED, subscriptions_per_strategy=2)
+        system = build_system(design="design4", seed=SEED, subscriptions_per_strategy=2)
         system.run(RUN_NS)
         return system
 
     thin = benchmark.pedantic(run_thin, rounds=1, iterations=1)
-    full = build_design4_system(seed=SEED)
+    full = build_system(design="design4", seed=SEED)
     full.run(RUN_NS)
 
     thin_updates = thin.strategies[0].stats.updates_in

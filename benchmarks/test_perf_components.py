@@ -80,11 +80,11 @@ def test_perf_order_book_matching(benchmark):
 
 def test_perf_end_to_end_simulation_rate(benchmark):
     """Wall-clock cost of one Design 1 testbed millisecond."""
-    from repro.core.testbed import build_design1_system
+    from repro.core import build_system
     from repro.sim.kernel import MILLISECOND
 
     def run():
-        system = build_design1_system(seed=1)
+        system = build_system(design="design1", seed=1)
         system.run(10 * MILLISECOND)
         return system.sim.events_executed
 

@@ -12,14 +12,16 @@ Run:  python examples/cross_colo.py
 
 import numpy as np
 
-from repro.core.testbed import build_design1_system
-from repro.core.wan_testbed import build_cross_colo_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND, format_ns
 
 
 def main() -> None:
     print("Building: exchange in Carteret, firm stack in Mahwah...")
-    system = build_cross_colo_system(seed=8, microwave_loss=0.03)
+    system = build_system(
+        design="wan", seed=8, microwave_loss=0.03, n_strategies=2,
+        flow_rate_per_s=30_000.0, firm_partitions=4,
+    )
     metro = system.metro
     mw = metro.microwave_latency_ns("carteret", "mahwah")
     fiber = metro.fiber_latency_ns("carteret", "mahwah")
@@ -50,7 +52,7 @@ def main() -> None:
     print(f"  everything else          : {format_ns(int(local_processing))} "
           f"(normalize, decide, translate, match)")
 
-    local = build_design1_system(seed=8)
+    local = build_system(design="design1", seed=8)
     local.run(50 * MILLISECOND)
     local_median = local.roundtrip_stats().median
     print(f"\nthe same loop with servers *in* Carteret: "

@@ -9,13 +9,13 @@ prints where the time went.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import Design1LeafSpine, build_design1_system
+from repro.core import Design1LeafSpine, build_system
 from repro.sim.kernel import MILLISECOND, format_ns
 
 
 def main() -> None:
     print("Building Design 1 (leaf-spine) trading system...")
-    system = build_design1_system(seed=7)
+    system = build_system(design="design1", seed=7)
 
     print("Running 50 simulated milliseconds of market activity...")
     system.run(50 * MILLISECOND)

@@ -14,9 +14,9 @@ Run:  python examples/replay_research.py
 """
 
 from repro.analysis.tables import render_table
-from repro.core.testbed import build_design1_system
+from repro.core import build_system
 from repro.firm.replay import ReplayDriver, UpdateRecorder, compare_decisions
-from repro.firm.strategies import MomentumStrategy
+from repro.firm import MomentumStrategy
 from repro.net.addressing import MulticastGroup
 from repro.net.routing import compute_unicast_routes
 from repro.sim.kernel import MILLISECOND
@@ -61,7 +61,7 @@ class OfflineMomentum:
 
 def main() -> None:
     print("Running the live session (Design 1, 40 simulated ms)...")
-    system = build_design1_system(seed=33)
+    system = build_system(design="design1", seed=33)
     tap_nic = system.topology.attach_server(
         system.topology.hosts["strat0"], system.topology.leaves[2], "tap"
     )

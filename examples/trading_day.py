@@ -16,7 +16,7 @@ from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
 from repro.firm.gateway import OrderGateway
 from repro.firm.nbbo import NbboBuilder
 from repro.firm.normalizer import Normalizer
-from repro.firm.strategies import ArbitrageStrategy
+from repro.firm import ArbitrageStrategy
 from repro.net.addressing import MulticastGroup
 from repro.net.multicast import MulticastFabric
 from repro.net.nic import HostStack

@@ -12,8 +12,8 @@ layer-1 switch fabrics).
 
 Quick start::
 
-    from repro.core import build_design1_system
-    system = build_design1_system(seed=1)
+    from repro.core import build_system
+    system = build_system(design="design1", seed=1)
     system.run(30_000_000)  # 30 simulated milliseconds
     print(system.roundtrip_stats())
 
@@ -28,6 +28,7 @@ Subpackages
 ``repro.timing``     clocks, PTP sync, capture taps, latency accounting
 ``repro.mgmt``       inventory, placement, partition & capacity planning
 ``repro.core``       the three designs, budgets, merge analysis, testbeds
+``repro.telemetry``  opt-in tracing + metrics (per-hop round-trip spans)
 ``repro.analysis``   window statistics, tables, experiment records
 """
 
@@ -42,6 +43,7 @@ __all__ = [
     "net",
     "protocols",
     "sim",
+    "telemetry",
     "timing",
     "workload",
 ]

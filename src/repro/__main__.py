@@ -7,6 +7,7 @@ Commands
 ``figure2``     regenerate Figure 2's headline statistics
 ``roundtrip``   run the Design 1 and Design 3 testbeds and compare
 ``run``         build and run a system from a SystemSpec JSON file
+``trace``       run with telemetry and print the per-hop decomposition
 ``scoreboard``  run every reproduction bench (the full scoreboard)
 """
 
@@ -83,14 +84,14 @@ def _cmd_figure2(args) -> int:
 
 
 def _cmd_roundtrip(args) -> int:
-    from repro.core.testbed import build_design1_system, build_design3_system
+    from repro.core import build_system
     from repro.sim.kernel import MILLISECOND, format_ns
 
-    for label, builder in (
-        ("design1 (leaf-spine)", build_design1_system),
-        ("design3 (L1S)", build_design3_system),
+    for label, design in (
+        ("design1 (leaf-spine)", "design1"),
+        ("design3 (L1S)", "design3"),
     ):
-        system = builder(seed=args.seed)
+        system = build_system(design=design, seed=args.seed)
         system.run(args.ms * MILLISECOND)
         stats = system.roundtrip_stats()
         print(f"{label:<22}: median {format_ns(int(stats.median))}, "
@@ -118,6 +119,40 @@ def _cmd_run(args) -> int:
           f"orders: {system.gateway.stats.orders_in}; "
           f"fills: {sum(s.stats.fills for s in system.strategies)}")
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core import build_system
+    from repro.sim.kernel import MILLISECOND, format_ns
+    from repro.telemetry import decompose, render_decomposition, write_traces_jsonl
+
+    design = args.design if args.design.startswith(("design", "wan")) else f"design{args.design}"
+    system = build_system(design=design, seed=args.seed, telemetry=True)
+    system.run(args.ms * MILLISECOND)
+    telemetry = system.sim.telemetry
+    if not telemetry.traces:
+        if design == "wan":
+            # The cross-colo feed rides a ReliableChannel, which re-frames
+            # payloads; trace contexts do not survive the WAN crossing.
+            print("the wan deployment does not propagate trace contexts "
+                  "across the reliable metro channel; use run --design wan "
+                  "for round-trip stats, or trace designs 1-4")
+        else:
+            print(f"no round trips completed in {args.ms} simulated ms; "
+                  "try a longer --ms or another --seed")
+        return 1
+    deco = decompose(telemetry.traces)
+    print(render_decomposition(deco, title=f"{design} round-trip decomposition"))
+    stats = system.roundtrip_stats()
+    print(f"\nmeasured round trip: median {format_ns(int(stats.median))}, "
+          f"p99 {format_ns(int(stats.p99))} (n={stats.count})")
+    verdict = "OK" if deco.max_residual_ns <= 1 else "MISMATCH"
+    print(f"span-sum check: every trace's spans sum to its measured round "
+          f"trip within {deco.max_residual_ns} ns [{verdict}]")
+    if args.jsonl:
+        write_traces_jsonl(telemetry.traces, args.jsonl)
+        print(f"wrote {len(telemetry.traces)} traces to {args.jsonl}")
+    return 0 if deco.max_residual_ns <= 1 else 1
 
 
 def _cmd_scoreboard(args) -> int:
@@ -151,8 +186,23 @@ def main(argv: list[str] | None = None) -> int:
 
     run = sub.add_parser("run", help="build and run a system from a spec")
     run.add_argument("--config", help="path to a SystemSpec JSON file")
-    run.add_argument("--design", choices=["design1", "design2", "design3", "design4"], default="design1")
+    run.add_argument(
+        "--design",
+        choices=["design1", "design2", "design3", "design4", "wan"],
+        default="design1",
+    )
     run.add_argument("--seed", type=int, default=1)
+
+    tr = sub.add_parser(
+        "trace", help="per-hop round-trip decomposition (telemetry on)"
+    )
+    tr.add_argument(
+        "--design", default="design1",
+        help='design name or number: "1"/"design1", "3", "4", "wan", ...',
+    )
+    tr.add_argument("--seed", type=int, default=7)
+    tr.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
+    tr.add_argument("--jsonl", help="also dump every trace to this JSONL file")
 
     sub.add_parser("scoreboard", help="run all reproduction benches")
 
@@ -163,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure2": _cmd_figure2,
         "roundtrip": _cmd_roundtrip,
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "scoreboard": _cmd_scoreboard,
     }[args.command]
     return handler(args)

@@ -11,9 +11,13 @@
 * :mod:`repro.core.testbed` — fully-simulated end-to-end builds of
   Designs 1 and 3 (exchange → normalizer → strategy → gateway →
   exchange), used by the round-trip experiments;
+* :mod:`repro.core.api` — the :func:`build_system` facade: every
+  testbed (Designs 1–4 plus the cross-colo WAN build) constructed from
+  one :class:`SystemSpec`;
 * :mod:`repro.core.compare` — the cross-design comparison table.
 """
 
+from repro.core.api import available_designs, build_system, register_builder
 from repro.core.latency import BudgetItem, Category, PathBudget
 from repro.core.designs import (
     Design1LeafSpine,
@@ -24,7 +28,13 @@ from repro.core.designs import (
 )
 from repro.core.merge import MergeAnalysis, analyze_merge, safe_merge_count
 from repro.core.compare import DesignComparison, compare_designs
-from repro.core.testbed import TradingSystem, build_design1_system, build_design3_system
+from repro.core.testbed import (
+    TradingSystem,
+    build_design1_system,
+    build_design3_system,
+    momentum_strategies,
+    standalone_nic,
+)
 from repro.core.cloud import CloudFabric, build_design2_system
 from repro.core.config import SystemSpec
 from repro.core.wan_testbed import CrossColoSystem, build_cross_colo_system
@@ -35,6 +45,11 @@ from repro.core.ticktotrade import HardwareStrategy, build_tick_to_trade_system
 __all__ = [
     "BudgetItem",
     "Category",
+    "available_designs",
+    "build_system",
+    "register_builder",
+    "momentum_strategies",
+    "standalone_nic",
     "CloudFabric",
     "CrossColoSystem",
     "MultiVenueSystem",

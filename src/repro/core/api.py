@@ -1,0 +1,127 @@
+"""The public construction facade: one entry point for every testbed.
+
+Five fully-wired systems live in this package — Design 1 (leaf-spine),
+Design 2 (equalized cloud), Design 3 (L1S), Design 4 (FPGA-enhanced
+L1S), and the cross-colo WAN deployment. Historically each had its own
+``build_*`` function with a slightly different signature; downstream
+code had to know which module to import and which knobs each builder
+accepts. :func:`build_system` replaces that: every system is described
+by a :class:`~repro.core.config.SystemSpec` and built the same way::
+
+    from repro.core import build_system
+    from repro.core.config import SystemSpec
+
+    system = build_system(SystemSpec(design="design3", seed=7))
+    # or, equivalently:
+    system = build_system(design="design3", seed=7)
+
+Builder modules register themselves against a design name with
+:func:`register_builder`; the registry is populated lazily on the first
+:func:`build_system` call so importing this module stays cheap and free
+of circular imports.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.config import DESIGNS, SystemSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TradingSystem
+
+# design name -> spec adapter. Builder modules append to this via
+# register_builder at import time; build_system imports them on first use.
+_BUILDERS: dict[str, Callable[[SystemSpec], "TradingSystem"]] = {}
+
+_BUILDER_MODULES = (
+    "repro.core.testbed",
+    "repro.core.cloud",
+    "repro.core.testbed4",
+    "repro.core.wan_testbed",
+)
+
+
+def register_builder(design: str):
+    """Register the decorated ``spec -> system`` adapter as ``design``'s builder.
+
+    Used by the testbed modules themselves; the adapter receives a
+    validated :class:`SystemSpec` and returns the built system.
+    """
+    if design not in DESIGNS:
+        raise ValueError(f"unknown design {design!r}; expected one of {DESIGNS}")
+
+    def decorate(adapter: Callable[[SystemSpec], "TradingSystem"]):
+        _BUILDERS[design] = adapter
+        return adapter
+
+    return decorate
+
+
+def _load_builders() -> None:
+    import importlib
+
+    for module in _BUILDER_MODULES:
+        importlib.import_module(module)
+
+
+def available_designs() -> tuple[str, ...]:
+    """The design names :func:`build_system` accepts."""
+    return DESIGNS
+
+
+def deprecated_builder(old_name: str, design: str, impl: Callable):
+    """Wrap a builder implementation as a deprecated public alias.
+
+    The legacy per-design entry points (``build_design1_system`` and
+    friends) are kept for source compatibility but steer callers to
+    :func:`build_system`.
+    """
+
+    def shim(*args, **kwargs):
+        warnings.warn(
+            f"{old_name}() is deprecated; use "
+            f'repro.core.build_system(design="{design}", ...) instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return impl(*args, **kwargs)
+
+    shim.__name__ = old_name
+    shim.__qualname__ = old_name
+    shim.__doc__ = (
+        f"Deprecated alias for ``build_system(design={design!r}, ...)``.\n\n"
+        f"{impl.__doc__ or ''}"
+    )
+    return shim
+
+
+def build_system(spec: SystemSpec | None = None, **overrides):
+    """Build any of the five testbeds from one spec.
+
+    ``spec`` may be omitted and the system described entirely by keyword
+    overrides (``build_system(design="design4", seed=3)``); when both
+    are given, overrides are applied on top of the spec with
+    :func:`dataclasses.replace`, re-running validation.
+
+    Returns the built (not yet run) system: a
+    :class:`~repro.core.testbed.TradingSystem` for the four colo
+    designs, a :class:`~repro.core.wan_testbed.CrossColoSystem` for
+    ``design="wan"``.
+    """
+    if spec is None:
+        spec = SystemSpec(**overrides)
+    elif overrides:
+        spec = replace(spec, **overrides)
+    if not _BUILDERS:
+        _load_builders()
+    try:
+        adapter = _BUILDERS[spec.design]
+    except KeyError:
+        raise ValueError(
+            f"no builder registered for design {spec.design!r}; "
+            f"known: {sorted(_BUILDERS)}"
+        ) from None
+    return adapter(spec)

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.api import deprecated_builder, register_builder
 from repro.core.testbed import (
     EXCHANGE_ID,
     EXCHANGE_KEY,
     TradingSystem,
-    _momentum_strategies,
-    _standalone_nic,
+    momentum_strategies,
+    standalone_nic,
 )
 from repro.exchange.exchange import Exchange
 from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
@@ -118,6 +119,8 @@ class CloudFabric(Component):
 
     def handle_packet(self, packet: Packet, ingress: Link) -> None:
         self.stats.frames_in += 1
+        if packet.trace is not None:
+            packet.trace.record(f"cloud.{self.name}", "wire", self.now)
         self.call_after(self.equalized_delivery_ns, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
@@ -141,10 +144,12 @@ class CloudFabric(Component):
             return
         self.stats.delivered += 1
         packet.stamp(f"cloud.{self.name}", self.now)
+        if packet.trace is not None:
+            packet.trace.record(f"cloud.{self.name}", "cloud", self.now)
         link.send(packet, self)
 
 
-def build_design2_system(
+def _build_design2(
     seed: int = 1,
     n_symbols: int = 12,
     n_strategies: int = 3,
@@ -153,6 +158,7 @@ def build_design2_system(
     equalized_delivery_ns: int = DEFAULT_EQUALIZED_NS,
     function_latency_ns: int = 2_000,
     matching_latency_ns: int = 10_000,
+    telemetry: bool = False,
 ) -> TradingSystem:
     """A complete Design 2 system on the equalized cloud fabric.
 
@@ -160,21 +166,21 @@ def build_design2_system(
     strategies is *unicast per recipient* (the §4.2 dissemination cost);
     orders flow unicast. Every leg pays the equalization bound.
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     universe = make_universe(n_symbols, seed=seed)
     recorder = LatencyRecorder()
     fabric = CloudFabric(sim, equalized_delivery_ns=equalized_delivery_ns)
 
-    exchange_feed_nic = _standalone_nic(sim, "exchange", "feed")
-    exchange_orders_nic = _standalone_nic(sim, "exchange", "orders")
-    norm_rx = _standalone_nic(sim, "norm0", "md")
-    norm_tx = _standalone_nic(sim, "norm0", "pub")
-    strat_md = [_standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
+    exchange_feed_nic = standalone_nic(sim, "exchange", "feed")
+    exchange_orders_nic = standalone_nic(sim, "exchange", "orders")
+    norm_rx = standalone_nic(sim, "norm0", "md")
+    norm_tx = standalone_nic(sim, "norm0", "pub")
+    strat_md = [standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
     strat_orders = [
-        _standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
+        standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
     ]
-    gw_strat_nic = _standalone_nic(sim, "gw0", "strat")
-    gw_exch_nic = _standalone_nic(sim, "gw0", "exch")
+    gw_strat_nic = standalone_nic(sim, "gw0", "strat")
+    gw_exch_nic = standalone_nic(sim, "gw0", "exch")
     for nic in (
         exchange_feed_nic, exchange_orders_nic, norm_rx, norm_tx,
         *strat_md, *strat_orders, gw_strat_nic, gw_exch_nic,
@@ -209,7 +215,7 @@ def build_design2_system(
     )
     gateway.connect_exchange(EXCHANGE_KEY, exchange_orders_nic.address)
 
-    strategies = _momentum_strategies(
+    strategies = momentum_strategies(
         sim, universe, strat_md, strat_orders, gw_strat_nic.address,
         recorder, function_latency_ns,
     )
@@ -222,3 +228,23 @@ def build_design2_system(
     )
     system.cloud = fabric  # type: ignore[attr-defined]
     return system
+
+
+@register_builder("design2")
+def _design2_from_spec(spec) -> TradingSystem:
+    return _build_design2(
+        seed=spec.seed,
+        n_symbols=spec.n_symbols,
+        n_strategies=spec.n_strategies,
+        flow_rate_per_s=spec.flow_rate_per_s,
+        exchange_partitions=spec.exchange_partitions,
+        equalized_delivery_ns=spec.equalized_delivery_ns,
+        function_latency_ns=spec.function_latency_ns,
+        matching_latency_ns=spec.matching_latency_ns,
+        telemetry=spec.telemetry,
+    )
+
+
+build_design2_system = deprecated_builder(
+    "build_design2_system", "design2", _build_design2
+)

@@ -3,28 +3,36 @@
 A downstream user shouldn't need to know the wiring internals to stand
 up an experiment: :class:`SystemSpec` captures every knob the testbed
 builders expose, validates it, round-trips through JSON, and builds the
-system. This is also what the CLI's ``run`` command consumes.
+system through the :mod:`repro.core.api` facade. This is also what the
+CLI's ``run`` and ``trace`` commands consume.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.core.testbed import (
-    TradingSystem,
-    build_design1_system,
-    build_design3_system,
-)
 from repro.sim.kernel import MILLISECOND
 
-DESIGNS = ("design1", "design2", "design3", "design4")
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.testbed import TradingSystem
+
+DESIGNS = ("design1", "design2", "design3", "design4", "wan")
 
 
 @dataclass(frozen=True)
 class SystemSpec:
-    """Everything needed to build and run one simulated trading system."""
+    """Everything needed to build and run one simulated trading system.
+
+    Not every design consumes every knob: ``n_normalizers`` applies to
+    designs 1 and 3 only, ``equalized_delivery_ns`` to design 2,
+    ``subscriptions_per_strategy`` to design 4, and ``microwave_loss``
+    to the cross-colo WAN build (which also fixes its own exchange-side
+    latencies). Unused knobs are ignored, never rejected, so one spec
+    can sweep across designs.
+    """
 
     design: str = "design1"
     seed: int = 1
@@ -37,6 +45,14 @@ class SystemSpec:
     function_latency_ns: int = 2_000
     matching_latency_ns: int = 10_000
     run_ms: int = 40
+    # Telemetry (repro.telemetry): False keeps the zero-overhead path.
+    telemetry: bool = False
+    # design4: limit each strategy to its first N firm partitions.
+    subscriptions_per_strategy: int | None = None
+    # design2: the cloud fabric's equalized delivery guarantee.
+    equalized_delivery_ns: int = 50_000
+    # wan: loss probability on the microwave legs.
+    microwave_loss: float = 0.02
 
     def __post_init__(self) -> None:
         if self.design not in DESIGNS:
@@ -49,6 +65,14 @@ class SystemSpec:
             raise ValueError("partition counts must be >= 1")
         if self.function_latency_ns < 0 or self.matching_latency_ns < 0:
             raise ValueError("latencies must be >= 0")
+        if self.subscriptions_per_strategy is not None and (
+            self.subscriptions_per_strategy < 1
+        ):
+            raise ValueError("subscriptions_per_strategy must be >= 1 or None")
+        if self.equalized_delivery_ns < 0:
+            raise ValueError("equalized_delivery_ns must be >= 0")
+        if not 0.0 <= self.microwave_loss < 1.0:
+            raise ValueError("microwave_loss must be in [0, 1)")
 
     # -- (de)serialization ------------------------------------------------------
 
@@ -75,48 +99,12 @@ class SystemSpec:
 
     # -- building ------------------------------------------------------------
 
-    def build(self) -> TradingSystem:
-        if self.design == "design4":
-            from repro.core.testbed4 import build_design4_system
+    def build(self) -> "TradingSystem":
+        from repro.core.api import build_system
 
-            return build_design4_system(
-                seed=self.seed,
-                n_symbols=self.n_symbols,
-                n_strategies=self.n_strategies,
-                flow_rate_per_s=self.flow_rate_per_s,
-                exchange_partitions=self.exchange_partitions,
-                firm_partitions=self.firm_partitions,
-                function_latency_ns=self.function_latency_ns,
-                matching_latency_ns=self.matching_latency_ns,
-            )
-        if self.design == "design2":
-            from repro.core.cloud import build_design2_system
+        return build_system(self)
 
-            return build_design2_system(
-                seed=self.seed,
-                n_symbols=self.n_symbols,
-                n_strategies=self.n_strategies,
-                flow_rate_per_s=self.flow_rate_per_s,
-                exchange_partitions=self.exchange_partitions,
-                function_latency_ns=self.function_latency_ns,
-                matching_latency_ns=self.matching_latency_ns,
-            )
-        builder = (
-            build_design1_system if self.design == "design1" else build_design3_system
-        )
-        return builder(
-            seed=self.seed,
-            n_symbols=self.n_symbols,
-            n_strategies=self.n_strategies,
-            n_normalizers=self.n_normalizers,
-            flow_rate_per_s=self.flow_rate_per_s,
-            exchange_partitions=self.exchange_partitions,
-            firm_partitions=self.firm_partitions,
-            function_latency_ns=self.function_latency_ns,
-            matching_latency_ns=self.matching_latency_ns,
-        )
-
-    def build_and_run(self) -> TradingSystem:
+    def build_and_run(self) -> "TradingSystem":
         system = self.build()
         system.run(self.run_ms * MILLISECOND)
         return system

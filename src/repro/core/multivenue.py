@@ -19,7 +19,7 @@ from repro.firm.gateway import OrderGateway
 from repro.firm.nbbo import NbboBuilder
 from repro.firm.normalizer import Normalizer
 from repro.firm.risk import PositionTracker, RiskChecker
-from repro.firm.strategies import ArbitrageStrategy
+from repro.firm.strategy import ArbitrageStrategy
 from repro.net.addressing import MulticastGroup
 from repro.net.multicast import MulticastFabric
 from repro.net.nic import HostStack

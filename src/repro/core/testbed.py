@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.api import deprecated_builder, register_builder
 from repro.exchange.exchange import Exchange
 from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
 from repro.firm.gateway import OrderGateway
 from repro.firm.normalizer import Normalizer
-from repro.firm.strategies import MomentumStrategy
-from repro.firm.strategy import Strategy
+from repro.firm.strategy import MomentumStrategy, Strategy
 from repro.net.addressing import EndpointAddress, MulticastGroup
 from repro.net.l1switch import Layer1Switch, MergeUnit
 from repro.net.link import Link
@@ -64,7 +64,7 @@ class TradingSystem:
         return summarize(self.roundtrip_samples())
 
 
-def _momentum_strategies(
+def momentum_strategies(
     sim: Simulator,
     universe: SymbolUniverse,
     md_nics: list[Nic],
@@ -73,7 +73,11 @@ def _momentum_strategies(
     recorder: LatencyRecorder,
     decision_latency_ns: int,
 ) -> list[Strategy]:
-    """One momentum strategy per server, each on a hot symbol."""
+    """One momentum strategy per server, each on a hot symbol.
+
+    Shared by every testbed builder in this package (leaf-spine, cloud,
+    L1S, FPGA-L1S, and cross-colo WAN).
+    """
     hot = universe.most_active(len(md_nics))
     strategies: list[Strategy] = []
     for i, (md, orders) in enumerate(zip(md_nics, order_nics)):
@@ -94,7 +98,7 @@ def _momentum_strategies(
     return strategies
 
 
-def build_design1_system(
+def _build_design1(
     seed: int = 1,
     n_symbols: int = 12,
     n_strategies: int = 3,
@@ -104,6 +108,7 @@ def build_design1_system(
     firm_partitions: int = 8,
     function_latency_ns: int = 2_000,
     matching_latency_ns: int = 10_000,
+    telemetry: bool = False,
 ) -> TradingSystem:
     """A complete Design 1 system on a leaf-spine fabric.
 
@@ -111,7 +116,7 @@ def build_design1_system(
     leaf, strategies on another, gateways on a third, with the exchange
     on its dedicated ToR — so every leg crosses 3 switch hops.
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     universe = make_universe(n_symbols, seed=seed)
     topo = build_leaf_spine(sim, n_racks=3, servers_per_rack=0, n_spines=2)
     norm_leaf, strat_leaf, gw_leaf = topo.leaves[1], topo.leaves[2], topo.leaves[3]
@@ -180,7 +185,7 @@ def build_design1_system(
     gateway.connect_exchange(EXCHANGE_KEY, orders_nic.address)
 
     recorder = LatencyRecorder()
-    strategies = _momentum_strategies(
+    strategies = momentum_strategies(
         sim, universe, strat_md, strat_orders, gw_strat_nic.address,
         recorder, function_latency_ns,
     )
@@ -196,11 +201,13 @@ def build_design1_system(
     )
 
 
-def _standalone_nic(sim: Simulator, host: str, nic_name: str) -> Nic:
+def standalone_nic(sim: Simulator, host: str, nic_name: str) -> Nic:
+    """A NIC with no routed fabric behind it — L1S/cloud builders attach
+    links (or fabric registrations) to it directly."""
     return Nic(sim, f"nic.{host}:{nic_name}", EndpointAddress(host, nic_name))
 
 
-def build_design3_system(
+def _build_design3(
     seed: int = 1,
     n_symbols: int = 12,
     n_strategies: int = 3,
@@ -210,6 +217,7 @@ def build_design3_system(
     firm_partitions: int = 8,
     function_latency_ns: int = 2_000,
     matching_latency_ns: int = 10_000,
+    telemetry: bool = False,
 ) -> TradingSystem:
     """A complete Design 3 system on four L1S networks.
 
@@ -220,23 +228,23 @@ def build_design3_system(
     * net C: strategies → gateway (merge), fills fan back out;
     * net D: gateway ↔ exchange order port (1:1 cross-connect).
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     universe = make_universe(n_symbols, seed=seed)
     recorder = LatencyRecorder()
 
-    exchange_feed_nic = _standalone_nic(sim, "exchange", "feed")
-    exchange_orders_nic = _standalone_nic(sim, "exchange", "orders")
+    exchange_feed_nic = standalone_nic(sim, "exchange", "feed")
+    exchange_orders_nic = standalone_nic(sim, "exchange", "orders")
 
     norm_nics = [
-        (_standalone_nic(sim, f"norm{i}", "md"), _standalone_nic(sim, f"norm{i}", "pub"))
+        (standalone_nic(sim, f"norm{i}", "md"), standalone_nic(sim, f"norm{i}", "pub"))
         for i in range(n_normalizers)
     ]
-    strat_md = [_standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
+    strat_md = [standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
     strat_orders = [
-        _standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
+        standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
     ]
-    gw_strat_nic = _standalone_nic(sim, "gw0", "strat")
-    gw_exch_nic = _standalone_nic(sim, "gw0", "exch")
+    gw_strat_nic = standalone_nic(sim, "gw0", "strat")
+    gw_exch_nic = standalone_nic(sim, "gw0", "exch")
 
     l1s: list[Layer1Switch] = []
     merges: list[MergeUnit] = []
@@ -338,7 +346,7 @@ def build_design3_system(
     )
     gateway.connect_exchange(EXCHANGE_KEY, exchange_orders_nic.address)
 
-    strategies = _momentum_strategies(
+    strategies = momentum_strategies(
         sim, universe, strat_md, strat_orders, gw_strat_nic.address,
         recorder, function_latency_ns,
     )
@@ -352,3 +360,43 @@ def build_design3_system(
         strategies=strategies, gateway=gateway, flow=flow, recorder=recorder,
         universe=universe, l1_switches=l1s, merge_units=merges,
     )
+
+
+@register_builder("design1")
+def _design1_from_spec(spec) -> TradingSystem:
+    return _build_design1(
+        seed=spec.seed,
+        n_symbols=spec.n_symbols,
+        n_strategies=spec.n_strategies,
+        n_normalizers=spec.n_normalizers,
+        flow_rate_per_s=spec.flow_rate_per_s,
+        exchange_partitions=spec.exchange_partitions,
+        firm_partitions=spec.firm_partitions,
+        function_latency_ns=spec.function_latency_ns,
+        matching_latency_ns=spec.matching_latency_ns,
+        telemetry=spec.telemetry,
+    )
+
+
+@register_builder("design3")
+def _design3_from_spec(spec) -> TradingSystem:
+    return _build_design3(
+        seed=spec.seed,
+        n_symbols=spec.n_symbols,
+        n_strategies=spec.n_strategies,
+        n_normalizers=spec.n_normalizers,
+        flow_rate_per_s=spec.flow_rate_per_s,
+        exchange_partitions=spec.exchange_partitions,
+        firm_partitions=spec.firm_partitions,
+        function_latency_ns=spec.function_latency_ns,
+        matching_latency_ns=spec.matching_latency_ns,
+        telemetry=spec.telemetry,
+    )
+
+
+build_design1_system = deprecated_builder(
+    "build_design1_system", "design1", _build_design1
+)
+build_design3_system = deprecated_builder(
+    "build_design3_system", "design3", _build_design3
+)

@@ -11,12 +11,13 @@ models multicast forwarding only).
 
 from __future__ import annotations
 
+from repro.core.api import deprecated_builder, register_builder
 from repro.core.testbed import (
     EXCHANGE_ID,
     EXCHANGE_KEY,
     TradingSystem,
-    _momentum_strategies,
-    _standalone_nic,
+    momentum_strategies,
+    standalone_nic,
 )
 from repro.exchange.exchange import Exchange
 from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
@@ -32,7 +33,7 @@ from repro.workload.orderflow import OrderFlowGenerator
 from repro.workload.symbols import make_universe
 
 
-def build_design4_system(
+def _build_design4(
     seed: int = 1,
     n_symbols: int = 12,
     n_strategies: int = 3,
@@ -42,6 +43,7 @@ def build_design4_system(
     function_latency_ns: int = 2_000,
     matching_latency_ns: int = 10_000,
     subscriptions_per_strategy: int | None = None,
+    telemetry: bool = False,
 ) -> TradingSystem:
     """A complete Design 4 system on FPGA-enhanced L1S fabrics.
 
@@ -49,20 +51,20 @@ def build_design4_system(
     firm partitions (None = all): the fabric then demonstrably delivers
     only subscribed traffic to each link.
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     universe = make_universe(n_symbols, seed=seed)
     recorder = LatencyRecorder()
 
-    exchange_feed_nic = _standalone_nic(sim, "exchange", "feed")
-    exchange_orders_nic = _standalone_nic(sim, "exchange", "orders")
-    norm_rx = _standalone_nic(sim, "norm0", "md")
-    norm_tx = _standalone_nic(sim, "norm0", "pub")
-    strat_md = [_standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
+    exchange_feed_nic = standalone_nic(sim, "exchange", "feed")
+    exchange_orders_nic = standalone_nic(sim, "exchange", "orders")
+    norm_rx = standalone_nic(sim, "norm0", "md")
+    norm_tx = standalone_nic(sim, "norm0", "pub")
+    strat_md = [standalone_nic(sim, f"strat{i}", "md") for i in range(n_strategies)]
     strat_orders = [
-        _standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
+        standalone_nic(sim, f"strat{i}", "orders") for i in range(n_strategies)
     ]
-    gw_strat_nic = _standalone_nic(sim, "gw0", "strat")
-    gw_exch_nic = _standalone_nic(sim, "gw0", "exch")
+    gw_strat_nic = standalone_nic(sim, "gw0", "strat")
+    gw_exch_nic = standalone_nic(sim, "gw0", "exch")
 
     exchange = Exchange(
         sim, EXCHANGE_KEY, list(universe.names),
@@ -105,7 +107,7 @@ def build_design4_system(
     )
     gateway.connect_exchange(EXCHANGE_KEY, exchange_orders_nic.address)
 
-    strategies = _momentum_strategies(
+    strategies = momentum_strategies(
         sim, universe, strat_md, strat_orders, gw_strat_nic.address,
         recorder, function_latency_ns,
     )
@@ -145,3 +147,24 @@ def build_design4_system(
     )
     system.fpga_switches = [fpga_a, fpga_b]  # type: ignore[attr-defined]
     return system
+
+
+@register_builder("design4")
+def _design4_from_spec(spec) -> TradingSystem:
+    return _build_design4(
+        seed=spec.seed,
+        n_symbols=spec.n_symbols,
+        n_strategies=spec.n_strategies,
+        flow_rate_per_s=spec.flow_rate_per_s,
+        exchange_partitions=spec.exchange_partitions,
+        firm_partitions=spec.firm_partitions,
+        function_latency_ns=spec.function_latency_ns,
+        matching_latency_ns=spec.matching_latency_ns,
+        subscriptions_per_strategy=spec.subscriptions_per_strategy,
+        telemetry=spec.telemetry,
+    )
+
+
+build_design4_system = deprecated_builder(
+    "build_design4_system", "design4", _build_design4
+)

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.api import deprecated_builder, register_builder
 from repro.core.testbed import (
     EXCHANGE_ID,
     EXCHANGE_KEY,
-    _momentum_strategies,
-    _standalone_nic,
+    momentum_strategies,
+    standalone_nic,
 )
 from repro.exchange.colo import MetroRegion, default_nj_metro
 from repro.exchange.exchange import Exchange
@@ -89,7 +90,7 @@ class _WanOrderBridge:
                                   payload_bytes=packet.payload_bytes)
 
 
-def build_cross_colo_system(
+def _build_cross_colo(
     seed: int = 1,
     n_symbols: int = 12,
     n_strategies: int = 2,
@@ -97,16 +98,17 @@ def build_cross_colo_system(
     microwave_loss: float = 0.02,
     firm_partitions: int = 4,
     function_latency_ns: int = 2_000,
+    telemetry: bool = False,
 ) -> CrossColoSystem:
     """Exchange in Carteret; normalizer, strategies, gateway in Mahwah."""
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     metro = default_nj_metro()
     universe = make_universe(n_symbols, seed=seed)
     recorder = LatencyRecorder()
 
     # --- Carteret: the exchange ------------------------------------------------
-    exchange_feed_nic = _standalone_nic(sim, "carteret-exch", "feed")
-    exchange_orders_nic = _standalone_nic(sim, "carteret-exch", "orders")
+    exchange_feed_nic = standalone_nic(sim, "carteret-exch", "feed")
+    exchange_orders_nic = standalone_nic(sim, "carteret-exch", "orders")
     exchange = Exchange(
         sim, EXCHANGE_KEY, list(universe.names),
         alphabetical_scheme(2),
@@ -119,7 +121,7 @@ def build_cross_colo_system(
     tap = Layer1Switch(sim, "carteret-tap")
     feed_in = Link(sim, "feed-in", exchange_feed_nic, tap)
     exchange_feed_nic.attach(feed_in)
-    norm_rx = _standalone_nic(sim, "mahwah-norm", "md")
+    norm_rx = standalone_nic(sim, "mahwah-norm", "md")
     norm_rx.promiscuous = True  # WAN legs carry everything; filter in software
     microwave = metro.wan_link(
         sim, "carteret", "mahwah", tap, norm_rx,
@@ -129,7 +131,7 @@ def build_cross_colo_system(
     tap.set_fanout(feed_in, [microwave, fiber])
 
     # --- Mahwah: normalizer -> strategies over a local L1S ---------------------
-    norm_tx = _standalone_nic(sim, "mahwah-norm", "pub")
+    norm_tx = standalone_nic(sim, "mahwah-norm", "pub")
     normalizer = Normalizer(
         sim, "norm0", EXCHANGE_ID, norm_rx, norm_tx, "norm",
         hashed_scheme(firm_partitions), function_latency_ns=function_latency_ns,
@@ -144,18 +146,18 @@ def build_cross_colo_system(
     strat_orders = []
     strat_legs = []
     for i in range(n_strategies):
-        md = _standalone_nic(sim, f"mahwah-strat{i}", "md")
+        md = standalone_nic(sim, f"mahwah-strat{i}", "md")
         leg = Link(sim, f"md{i}", local_l1s, md)
         md.attach(leg)
         strat_legs.append(leg)
         strat_md.append(md)
-        strat_orders.append(_standalone_nic(sim, f"mahwah-strat{i}", "orders"))
+        strat_orders.append(standalone_nic(sim, f"mahwah-strat{i}", "orders"))
     local_l1s.set_fanout(pub_in, strat_legs)
 
     # --- orders: strategies -> gateway locally, then the WAN bridge ------------
     from repro.net.l1switch import MergeUnit
 
-    gw_strat_nic = _standalone_nic(sim, "mahwah-gw", "strat")
+    gw_strat_nic = standalone_nic(sim, "mahwah-gw", "strat")
     merge = MergeUnit(sim, "mahwah-merge")
     gw_in = Link(sim, "gw-in", merge, gw_strat_nic)
     gw_strat_nic.attach(gw_in)
@@ -166,7 +168,7 @@ def build_cross_colo_system(
         merge.add_input(leg)
 
     gateway = OrderGateway(
-        sim, "gw0", gw_strat_nic, _standalone_nic(sim, "mahwah-gw", "exch"),
+        sim, "gw0", gw_strat_nic, standalone_nic(sim, "mahwah-gw", "exch"),
         function_latency_ns=function_latency_ns,
     )
     gateway.connect_exchange(EXCHANGE_KEY, exchange_orders_nic.address)
@@ -236,7 +238,7 @@ def build_cross_colo_system(
             firm_bridge,
         )
 
-    strategies = _momentum_strategies(
+    strategies = momentum_strategies(
         sim, universe, strat_md, strat_orders, gw_strat_nic.address,
         recorder, function_latency_ns,
     )
@@ -253,3 +255,24 @@ def build_cross_colo_system(
         microwave=microwave, fiber=fiber,
         order_channel_firm=channel_firm, order_channel_exchange=channel_exch,
     )
+
+
+@register_builder("wan")
+def _wan_from_spec(spec) -> CrossColoSystem:
+    # The WAN build fixes its own exchange-side latencies and normalizer
+    # count; the remaining spec knobs map directly.
+    return _build_cross_colo(
+        seed=spec.seed,
+        n_symbols=spec.n_symbols,
+        n_strategies=spec.n_strategies,
+        flow_rate_per_s=spec.flow_rate_per_s,
+        microwave_loss=spec.microwave_loss,
+        firm_partitions=spec.firm_partitions,
+        function_latency_ns=spec.function_latency_ns,
+        telemetry=spec.telemetry,
+    )
+
+
+build_cross_colo_system = deprecated_builder(
+    "build_cross_colo_system", "wan", _build_cross_colo
+)

@@ -108,9 +108,15 @@ class OrderEntryPort(Component):
             offset += consumed
             self.stats.requests += 1
             if isinstance(message, NewOrderRequest) and message.client_timestamp_ns:
-                self.roundtrip_samples.append(
-                    self.now - message.client_timestamp_ns
-                )
+                sample = self.now - message.client_timestamp_ns
+                self.roundtrip_samples.append(sample)
+                telemetry = self.sim.telemetry
+                if telemetry is not None:
+                    telemetry.metrics.histogram(f"{self.name}.roundtrip_ns").observe(
+                        sample
+                    )
+                    if packet.trace is not None:
+                        telemetry.finish_trace(packet.trace, self.now)
             self.call_after(
                 self.matching_latency_ns, self._process, session, message
             )

@@ -210,6 +210,7 @@ class FeedPublisher(Component):
         self.stats.frames += 1
         wire = frame_bytes_udp(len(payload))
         self.stats.bytes_on_wire += wire
+        telemetry = self.sim.telemetry
         for leg, nic in (("A", self.nic_a), ("B", self.nic_b)):
             if nic is None:
                 continue
@@ -218,6 +219,15 @@ class FeedPublisher(Component):
                 if self.distinct_leg_groups
                 else group
             )
+            # Trace origin: one context per emitted feed frame (per leg).
+            # begin_ns is provisional — the strategy rebases it onto the
+            # triggering event's exchange timestamp so spans sum to the
+            # measured round trip.
+            trace = None
+            if telemetry is not None:
+                trace = telemetry.start_trace(
+                    f"exchange.feed.{self.name}", "exchange", self.now
+                )
             packet = Packet(
                 src=nic.address,
                 dst=dst,
@@ -225,5 +235,6 @@ class FeedPublisher(Component):
                 payload_bytes=len(payload),
                 message=payload,
                 created_at=self.now,
+                trace=trace,
             )
             nic.send(packet)

@@ -8,8 +8,9 @@ plus the shared infrastructure they rely on:
   arbitration, PITCH decoding;
 * :mod:`repro.firm.normalizer` — exchange format → internal format (ITF),
   book state reconstruction, re-partitioned multicast publication;
-* :mod:`repro.firm.strategy` / :mod:`repro.firm.strategies` — the
-  strategy framework and reference strategies;
+* :mod:`repro.firm.strategy` — the strategy framework and the three
+  reference strategies (:mod:`repro.firm.strategies` is a compatibility
+  re-export shim);
 * :mod:`repro.firm.gateway` — internal order format → exchange BOE
   translation over long-lived sessions;
 * :mod:`repro.firm.partitioning` — partition-count planning and the
@@ -21,8 +22,13 @@ plus the shared infrastructure they rely on:
 
 from repro.firm.feedhandler import FeedHandler
 from repro.firm.normalizer import Normalizer
-from repro.firm.strategy import InternalOrder, Strategy
-from repro.firm.strategies import ArbitrageStrategy, MarketMakerStrategy, MomentumStrategy
+from repro.firm.strategy import (
+    ArbitrageStrategy,
+    InternalOrder,
+    MarketMakerStrategy,
+    MomentumStrategy,
+    Strategy,
+)
 from repro.firm.gateway import OrderGateway
 from repro.firm.partitioning import (
     FilterPlacement,

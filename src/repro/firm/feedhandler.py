@@ -28,7 +28,7 @@ class FeedHandlerStats:
     decode_errors: int = 0
 
 
-def _arbiter_key(group: MulticastGroup) -> tuple[str, int]:
+def arbiter_key(group: MulticastGroup) -> tuple[str, int]:
     """Collapse redundant feed legs onto one arbitration stream.
 
     Exchanges publish each partition on two groups — conventionally the
@@ -64,6 +64,11 @@ class FeedHandler(Component):
         self.nic = nic
         self.sink = sink
         self.stats = FeedHandlerStats()
+        # Telemetry context of the packet currently being decoded, so the
+        # sink can continue the trace across the packet → message
+        # boundary. Messages the arbiter buffered earlier (gap fills)
+        # are attributed to the packet that released them.
+        self.current_trace = None
         self._arbiters: dict[tuple[str, int], FeedArbiter] = {}
         self._subscriptions: set[MulticastGroup] = set()
         nic.bind(self._on_packet)
@@ -79,7 +84,7 @@ class FeedHandler(Component):
         else:
             self.nic.join_group(group)
         self._subscriptions.add(group)
-        self._arbiters.setdefault(_arbiter_key(group), self._make_arbiter(group))
+        self._arbiters.setdefault(arbiter_key(group), self._make_arbiter(group))
 
     def unsubscribe(
         self, group: MulticastGroup, fabric: MulticastFabric | None = None
@@ -89,8 +94,8 @@ class FeedHandler(Component):
         else:
             self.nic.leave_group(group)
         self._subscriptions.discard(group)
-        key = _arbiter_key(group)
-        if not any(_arbiter_key(g) == key for g in self._subscriptions):
+        key = arbiter_key(group)
+        if not any(arbiter_key(g) == key for g in self._subscriptions):
             self._arbiters.pop(key, None)
 
     @property
@@ -110,28 +115,31 @@ class FeedHandler(Component):
         group = packet.dst
         if not isinstance(group, MulticastGroup):
             return
-        arbiter = self._arbiters.get(_arbiter_key(group))
+        arbiter = self._arbiters.get(arbiter_key(group))
         if arbiter is None:
             return  # stale traffic for a group we just left
         payload = packet.message
         if not isinstance(payload, (bytes, bytearray)):
             return
         self.stats.payloads += 1
+        self.current_trace = packet.trace
         try:
             arbiter.on_payload(bytes(payload))
         except ValueError:
             self.stats.decode_errors += 1
+        finally:
+            self.current_trace = None
 
     def gaps(self) -> dict[MulticastGroup, tuple[int, int]]:
         """Open sequence gaps per group."""
         out = {}
         for group in self._subscriptions:
-            arbiter = self._arbiters.get(_arbiter_key(group))
+            arbiter = self._arbiters.get(arbiter_key(group))
             if arbiter is not None and arbiter.gap is not None:
                 out[group] = arbiter.gap
         return out
 
     def declare_loss(self, group: MulticastGroup) -> int:
         """Give up on ``group``'s open gap (returns seqnos written off)."""
-        arbiter = self._arbiters.get(_arbiter_key(group))
+        arbiter = self._arbiters.get(arbiter_key(group))
         return arbiter.declare_loss() if arbiter else 0

@@ -98,9 +98,16 @@ class OrderGateway(Component):
         order = packet.message
         if not isinstance(order, InternalOrder):
             return
-        self.call_after(self.function_latency_ns, self._translate, order, packet.src)
+        self.call_after(
+            self.function_latency_ns, self._translate, order, packet.src, packet.trace
+        )
 
-    def _translate(self, order: InternalOrder, strategy_address: EndpointAddress) -> None:
+    def _translate(
+        self,
+        order: InternalOrder,
+        strategy_address: EndpointAddress,
+        trace=None,
+    ) -> None:
         session = self._sessions.get(order.exchange)
         endpoint = self._exchange_endpoints.get(order.exchange)
         if session is None or endpoint is None:
@@ -135,6 +142,8 @@ class OrderGateway(Component):
                 )
             )
         self.stats.orders_out += 1
+        if trace is not None:
+            trace.record(f"gateway.{self.name}", "gateway", self.now)
         self.exchange_nic.send(
             Packet(
                 src=self.exchange_nic.address,
@@ -143,6 +152,7 @@ class OrderGateway(Component):
                 payload_bytes=len(data),
                 message=data,
                 created_at=self.now,
+                trace=trace,
             )
         )
 

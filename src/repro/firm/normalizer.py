@@ -100,7 +100,7 @@ class Normalizer(Component):
         self._levels: dict[str, dict[str, dict[int, int]]] = {}
         self._bbo: dict[str, tuple[tuple[int, int], tuple[int, int]]] = {}
         self._out_seq: dict[int, int] = {}
-        self._work_queue: list[PitchMessage] = []
+        self._work_queue: list[tuple[PitchMessage, object]] = []
         self._busy = False
 
     # -- book state ---------------------------------------------------------------
@@ -203,30 +203,36 @@ class Normalizer(Component):
 
     def _on_message(self, group: MulticastGroup, message: PitchMessage) -> None:
         self.stats.messages_in += 1
+        trace = self.feed.current_trace
         if self.service_time_ns <= 0:
-            self._process(message)
+            self._process(message, trace)
             return
         # Serial-server mode: one message in service at a time.
-        self._work_queue.append(message)
+        self._work_queue.append((message, trace))
         self.stats.queue_peak = max(self.stats.queue_peak, len(self._work_queue))
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.metrics.histogram(f"normalizer.{self.name}.queue_depth").observe(
+                len(self._work_queue)
+            )
         if not self._busy:
             self._busy = True
             self.call_after(self.service_time_ns, self._service)
 
     def _service(self) -> None:
-        message = self._work_queue.pop(0)
-        self._process(message)
+        message, trace = self._work_queue.pop(0)
+        self._process(message, trace)
         if self._work_queue:
             self.call_after(self.service_time_ns, self._service)
         else:
             self._busy = False
 
-    def _process(self, message: PitchMessage) -> None:
+    def _process(self, message: PitchMessage, trace=None) -> None:
         updates = self._apply(message)
         if updates:
-            self.call_after(self.function_latency_ns, self._publish, updates)
+            self.call_after(self.function_latency_ns, self._publish, updates, trace)
 
-    def _publish(self, updates: list[NormalizedUpdate]) -> None:
+    def _publish(self, updates: list[NormalizedUpdate], trace=None) -> None:
         by_partition: dict[int, list[NormalizedUpdate]] = {}
         for update in updates:
             partition = self.out_scheme.partition_of(update.symbol)
@@ -243,6 +249,12 @@ class Normalizer(Component):
             if self.unicast_recipients:
                 # No tenant multicast: one full copy per subscriber.
                 for recipient in self.unicast_recipients:
+                    out_trace = None
+                    if trace is not None:
+                        out_trace = trace.fork()
+                        out_trace.record(
+                            f"normalizer.{self.name}", "normalizer", self.now
+                        )
                     self.publish_nic.send(
                         Packet(
                             src=self.publish_nic.address,
@@ -252,10 +264,15 @@ class Normalizer(Component):
                             message=message,
                             seqno=seq,
                             created_at=self.now,
+                            trace=out_trace,
                         )
                     )
                     self.stats.frames_out += 1
             else:
+                out_trace = None
+                if trace is not None:
+                    out_trace = trace.fork()
+                    out_trace.record(f"normalizer.{self.name}", "normalizer", self.now)
                 self.publish_nic.send(
                     Packet(
                         src=self.publish_nic.address,
@@ -265,6 +282,7 @@ class Normalizer(Component):
                         message=message,
                         seqno=seq,
                         created_at=self.now,
+                        trace=out_trace,
                     )
                 )
                 self.stats.frames_out += 1

@@ -1,149 +1,23 @@
-"""Reference strategies.
-
-The paper treats strategies as opaque consumers with a compute budget;
-these three reference implementations exercise the three communication
-patterns that matter to network design:
-
-* :class:`MarketMakerStrategy` — single-feed, quote-reprice heavy
-  (the "repricing orders as quickly as possible" workload of §2);
-* :class:`ArbitrageStrategy` — multi-exchange, fires on locked/crossed
-  books across venues (needs merged/normalized feeds, the §4.2 use case);
-* :class:`MomentumStrategy` — single-symbol trigger logic, the simplest
-  latency-critical shape.
+"""Deprecated module: the reference strategies now live in
+:mod:`repro.firm.strategy` alongside the :class:`Strategy` base class, so
+there is a single import surface for the strategy framework. This module
+remains as a re-export shim; prefer ``from repro.firm import ...``.
 """
 
 from __future__ import annotations
 
-from repro.firm.strategy import InternalOrder, Strategy
-from repro.protocols.itf import NormalizedUpdate
+from repro.firm.strategy import (
+    ArbitrageStrategy,
+    InternalOrder,
+    MarketMakerStrategy,
+    MomentumStrategy,
+    Strategy,
+)
 
-
-class MarketMakerStrategy(Strategy):
-    """Quotes both sides of its symbols, repricing as the BBO moves.
-
-    Joins the market ``spread_ticks`` behind the touch; whenever the
-    observed BBO moves, cancels and replaces its stale quote — generating
-    the cancel/replace-dominated order flow real feeds exhibit.
-    """
-
-    def __init__(self, *args, symbols: list[str], spread_ticks: int = 500,
-                 quote_size: int = 100, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.symbols = set(symbols)
-        self.spread_ticks = spread_ticks
-        self.quote_size = quote_size
-        self._live_quotes: dict[tuple[str, str], InternalOrder] = {}
-
-    def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
-        if update.symbol not in self.symbols or not update.is_quote:
-            return None
-        if not (update.bid_price and update.ask_price):
-            return None
-        orders: list[InternalOrder] = []
-        my_bid = update.bid_price - self.spread_ticks
-        my_ask = update.ask_price + self.spread_ticks
-        for side, price in (("B", my_bid), ("S", my_ask)):
-            key = (update.symbol, side)
-            live = self._live_quotes.get(key)
-            if live is not None and live.price == price:
-                continue  # quote still correct
-            if live is not None:
-                orders.append(self.cancel_order(live))
-            fresh = self.new_order(
-                exchange=f"exch{update.exchange_id}",
-                symbol=update.symbol,
-                side=side,
-                price=price,
-                quantity=self.quote_size,
-            )
-            self._live_quotes[key] = fresh
-            orders.append(fresh)
-        return orders
-
-
-class ArbitrageStrategy(Strategy):
-    """Fires when one venue's bid crosses another venue's ask.
-
-    Tracks per-(symbol, exchange) BBOs from the normalized feed; when
-    best-bid(symbol) > best-ask(symbol) across venues, sends an IOC buy
-    at the cheap venue and an IOC sell at the rich one. This is the
-    aggregation workload that §4.2 argues keeps large-scale trading out
-    of per-tenant-isolated clouds.
-    """
-
-    def __init__(self, *args, min_edge_ticks: int = 100, take_size: int = 100, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.min_edge_ticks = min_edge_ticks
-        self.take_size = take_size
-        # (symbol, exchange_id) -> (bid_px, ask_px)
-        self._bbos: dict[tuple[str, int], tuple[int, int]] = {}
-        self.opportunities = 0
-
-    def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
-        if not update.is_quote:
-            return None
-        self._bbos[(update.symbol, update.exchange_id)] = (
-            update.bid_price, update.ask_price,
-        )
-        best_bid, bid_venue = 0, None
-        best_ask, ask_venue = 0, None
-        for (symbol, venue), (bid, ask) in self._bbos.items():
-            if symbol != update.symbol:
-                continue
-            if bid and bid > best_bid:
-                best_bid, bid_venue = bid, venue
-            if ask and (best_ask == 0 or ask < best_ask):
-                best_ask, ask_venue = ask, venue
-        if (
-            bid_venue is None or ask_venue is None or bid_venue == ask_venue
-            or best_bid - best_ask < self.min_edge_ticks
-        ):
-            return None
-        self.opportunities += 1
-        return [
-            self.new_order(
-                f"exch{ask_venue}", update.symbol, "B", best_ask,
-                self.take_size, immediate_or_cancel=True,
-            ),
-            self.new_order(
-                f"exch{bid_venue}", update.symbol, "S", best_bid,
-                self.take_size, immediate_or_cancel=True,
-            ),
-        ]
-
-
-class MomentumStrategy(Strategy):
-    """Buys after ``trigger_ticks`` consecutive bid upticks on one symbol.
-
-    The minimal latency-sensitive shape: one input stream, one trigger,
-    one order — the kind of strategy §2 says competes in nanoseconds.
-    """
-
-    def __init__(self, *args, symbol: str, trigger_ticks: int = 3,
-                 take_size: int = 100, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.symbol = symbol
-        self.trigger_ticks = trigger_ticks
-        self.take_size = take_size
-        self._last_bid = 0
-        self._streak = 0
-
-    def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
-        if update.symbol != self.symbol or not update.is_quote:
-            return None
-        if not update.bid_price:
-            return None
-        if update.bid_price > self._last_bid and self._last_bid:
-            self._streak += 1
-        elif update.bid_price < self._last_bid:
-            self._streak = 0
-        self._last_bid = update.bid_price
-        if self._streak >= self.trigger_ticks and update.ask_price:
-            self._streak = 0
-            return [
-                self.new_order(
-                    f"exch{update.exchange_id}", self.symbol, "B",
-                    update.ask_price, self.take_size, immediate_or_cancel=True,
-                )
-            ]
-        return None
+__all__ = [
+    "ArbitrageStrategy",
+    "InternalOrder",
+    "MarketMakerStrategy",
+    "MomentumStrategy",
+    "Strategy",
+]

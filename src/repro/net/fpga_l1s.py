@@ -149,6 +149,8 @@ class FilteringL1Switch(Component):
 
     def handle_packet(self, packet: Packet, ingress: Link) -> None:
         self.stats.packets_in += 1
+        if packet.trace is not None:
+            packet.trace.record(f"fpga.{self.name}", "wire", self.now)
         if not is_multicast(packet.dst):
             # Unicast cut-through: deliver out every other attached link's
             # filter-free path is not meaningful for an FPGA mux; treat
@@ -183,6 +185,8 @@ class FilteringL1Switch(Component):
     def _send_copy(self, packet: Packet, link: Link) -> None:
         copy = packet.clone()
         copy.stamp(f"fpga.{self.name}", self.now)
+        if copy.trace is not None:
+            copy.trace.record(f"fpga.{self.name}", "fpga", self.now)
         self.stats.copies_out += 1
         if not link.send(copy, self):
             self.stats.egress_send_failures += 1

@@ -78,6 +78,8 @@ class Layer1Switch(Component):
 
     def handle_packet(self, packet: Packet, ingress: Link) -> None:
         self.stats.packets_in += 1
+        if packet.trace is not None:
+            packet.trace.record(f"l1s.{self.name}", "wire", self.now)
         egress = self._fanout.get(id(ingress))
         if not egress:
             self.stats.unconfigured_drops += 1
@@ -88,6 +90,8 @@ class Layer1Switch(Component):
         for link in egress:
             copy = packet.clone() if len(egress) > 1 else packet
             copy.stamp(f"l1s.{self.name}", self.now)
+            if copy.trace is not None:
+                copy.trace.record(f"l1s.{self.name}", "l1s", self.now)
             self.stats.copies_out += 1
             if not link.send(copy, self):
                 self.stats.egress_send_failures += 1
@@ -126,6 +130,8 @@ class MergeUnit(Component):
     def handle_packet(self, packet: Packet, ingress: Link) -> None:
         if self.output is None:
             raise RuntimeError(f"merge unit {self.name} has no output configured")
+        if packet.trace is not None:
+            packet.trace.record(f"merge.{self.name}", "wire", self.now)
         if ingress is self.output:
             # Downstream direction: frames from the consumer side are
             # broadcast back to every input (the companion fan-out path
@@ -133,18 +139,29 @@ class MergeUnit(Component):
             self.call_after(L1S_FANOUT_LATENCY_NS, self._emit_reverse, packet)
             return
         self.stats.packets_in += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            # Merge contention: bytes already queued on the serial output
+            # when this frame arrives (§4.3's bursty-merge failure mode).
+            telemetry.metrics.histogram(f"merge.{self.name}.contention_bytes").observe(
+                self.output.queued_bytes_from(self)
+            )
         self.call_after(self.merge_latency_ns, self._emit, packet)
 
     def _emit_reverse(self, packet: Packet) -> None:
         for link in self.inputs:
             copy = packet.clone() if len(self.inputs) > 1 else packet
             copy.stamp(f"merge.rev.{self.name}", self.now)
+            if copy.trace is not None:
+                copy.trace.record(f"merge.rev.{self.name}", "merge", self.now)
             if not link.send(copy, self):
                 self.stats.egress_send_failures += 1
 
     def _emit(self, packet: Packet) -> None:
         assert self.output is not None
         packet.stamp(f"merge.{self.name}", self.now)
+        if packet.trace is not None:
+            packet.trace.record(f"merge.{self.name}", "merge", self.now)
         self.stats.copies_out += 1
         if not self.output.send(packet, self):
             self.stats.egress_send_failures += 1

@@ -86,6 +86,9 @@ class _Direction:
         limit = self.link.queue_limit_bytes
         if limit is not None and self.queued_bytes + packet.wire_bytes > limit:
             self.stats.packets_dropped_queue += 1
+            telemetry = self.link.sim.telemetry
+            if telemetry is not None:
+                telemetry.metrics.counter(f"link.{self.link.name}.queue_drops").inc()
             return False
         self.queue.append((packet, self.link.sim.now))
         self.queued_bytes += packet.wire_bytes
@@ -116,6 +119,9 @@ class _Direction:
             lost = rng.random() < self.link.loss_prob
         if lost:
             self.stats.packets_lost += 1
+            telemetry = self.link.sim.telemetry
+            if telemetry is not None:
+                telemetry.metrics.counter(f"link.{self.link.name}.wire_losses").inc()
         else:
             self.link.sim.schedule(
                 after=self.link.propagation_delay_ns,
@@ -185,6 +191,14 @@ class Link:
             return self._a_to_b.send(packet)
         if sender is self.end_b:
             return self._b_to_a.send(packet)
+        raise ValueError(f"{sender!r} is not attached to link {self.name}")
+
+    def queued_bytes_from(self, sender: PacketSink) -> int:
+        """Bytes currently waiting in ``sender``'s transmit queue."""
+        if sender is self.end_a:
+            return self._a_to_b.queued_bytes
+        if sender is self.end_b:
+            return self._b_to_a.queued_bytes
         raise ValueError(f"{sender!r} is not attached to link {self.name}")
 
     def stats_from(self, sender: PacketSink) -> LinkStats:

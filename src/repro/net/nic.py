@@ -97,6 +97,8 @@ class Nic(Component):
             self.stats.packets_filtered += 1
             return
         packet.stamp(f"nic.rx.{self.name}", self.now)
+        if packet.trace is not None:
+            packet.trace.record(f"nic.rx.{self.name}", "wire", self.now)
         self.call_after(self.rx_latency_ns, self._deliver, packet)
 
     def _accepts(self, packet: Packet) -> bool:
@@ -108,6 +110,8 @@ class Nic(Component):
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.packets_delivered += 1
+        if packet.trace is not None:
+            packet.trace.record(f"nic.{self.name}", "nic", self.now)
         if self._handler is not None:
             self._handler(packet)
 
@@ -129,6 +133,8 @@ class Nic(Component):
 
     def _transmit(self, packet: Packet) -> None:
         assert self.link is not None
+        if packet.trace is not None:
+            packet.trace.record(f"nic.{self.name}", "nic", self.now)
         ok = self.link.send(packet, self)
         if not ok:
             self.stats.send_failures += 1

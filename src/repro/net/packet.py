@@ -45,6 +45,10 @@ class Packet:
     # Timestamp trail: list of (where, when_ns) pairs appended by NICs,
     # switches, and capture taps as the packet traverses them.
     trail: list[tuple[str, int]] = field(default_factory=list)
+    # Telemetry trace context (repro.telemetry.TraceContext) or None.
+    # None whenever telemetry is disabled, so the per-device hooks cost
+    # one attribute check on the hot path.
+    trace: Any = None
 
     def __post_init__(self) -> None:
         if self.wire_bytes < MIN_FRAME_BYTES:
@@ -88,7 +92,7 @@ class Packet:
         return found
 
     def clone(self) -> "Packet":
-        """Copy for multicast fan-out: fresh id, copied trail."""
+        """Copy for multicast fan-out: fresh id, copied trail, forked trace."""
         return Packet(
             src=self.src,
             dst=self.dst,
@@ -98,6 +102,7 @@ class Packet:
             seqno=self.seqno,
             created_at=self.created_at,
             trail=list(self.trail),
+            trace=self.trace.fork() if self.trace is not None else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

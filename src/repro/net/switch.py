@@ -175,6 +175,8 @@ class CommoditySwitch(Component):
             self.stats.blackholed += 1
             return
         self.stats.packets_forwarded += 1
+        if packet.trace is not None:
+            packet.trace.record(f"switch.{self.name}", "wire", self.now)
         if is_multicast(packet.dst):
             self._forward_multicast(packet, ingress)
         else:
@@ -208,6 +210,9 @@ class CommoditySwitch(Component):
         # Software path: one slow service queue shared by all spilled groups.
         if len(self._sw_queue) >= self.profile.software_queue_packets:
             self.stats.software_dropped += 1
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.metrics.counter(f"switch.{self.name}.software_drops").inc()
             return
         self._sw_queue.append((packet, ingress))
         if not self._sw_busy:
@@ -239,6 +244,8 @@ class CommoditySwitch(Component):
 
     def _emit(self, packet: Packet, egress: Link) -> None:
         packet.stamp(f"switch.{self.name}", self.now)
+        if packet.trace is not None:
+            packet.trace.record(f"switch.{self.name}", "switch", self.now)
         ok = egress.send(packet, self)
         if not ok:
             self.stats.egress_send_failures += 1

@@ -199,12 +199,12 @@ class GapFillClient(Component):
 
     def poll(self) -> None:
         """Check gaps; request ranges whose grace period has expired."""
-        from repro.firm.feedhandler import _arbiter_key
+        from repro.firm.feedhandler import arbiter_key
 
         gaps = self.handler.gaps()
         open_keys = set()
         for group, (missing_from, missing_to) in gaps.items():
-            key = _arbiter_key(group)
+            key = arbiter_key(group)
             open_keys.add(key)
             first_seen = self._gap_seen_at.setdefault(key, self.now)
             if self.now - first_seen < self.grace_ns or key in self._outstanding:

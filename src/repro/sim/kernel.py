@@ -71,7 +71,7 @@ class Simulator:
     objects through every constructor.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, telemetry: bool | object = False):
         from repro.sim.rng import RngStreams
 
         self._now = 0
@@ -82,6 +82,15 @@ class Simulator:
         self.events_executed = 0
         self.rng = RngStreams(seed)
         self._trace_hooks: list[Callable[[int, Callable], None]] = []
+        # Telemetry is opt-in: None keeps every instrumentation point in
+        # the stack down to a single `is not None` check. Pass True for a
+        # default session or a preconfigured TelemetrySession instance.
+        if telemetry is True:
+            from repro.telemetry.session import TelemetrySession
+
+            self.telemetry = TelemetrySession()
+        else:
+            self.telemetry = telemetry or None
 
     @property
     def now(self) -> int:

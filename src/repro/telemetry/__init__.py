@@ -1,0 +1,53 @@
+"""Tracing and metrics for the simulated trading stack.
+
+The paper's §4.1 claim — at 500 ns per hop, the network is *half* of a
+12-switch-hop, 3-software-hop round trip — is only checkable hop by hop
+if every device on the path can say when a given market-data event passed
+through it. This package provides that instrumentation, in the style
+production feed infrastructures use:
+
+* :class:`TraceContext` — a per-event context carried on
+  :class:`~repro.net.packet.Packet` objects. Each device records a
+  timestamped point event as the packet passes; consecutive events become
+  spans, so the per-hop decomposition sums to the measured round trip
+  *by construction*.
+* :class:`MetricsRegistry` — named counters and ns-resolution histograms
+  (drops, queue depths, merge contention, round-trip times) that
+  components register into when telemetry is enabled.
+* :mod:`repro.telemetry.export` — JSON/JSONL round-trip of completed
+  traces plus the per-hop decomposition table behind
+  ``python -m repro trace``.
+
+Telemetry is **zero-overhead when disabled**: ``Simulator.telemetry`` is
+``None`` by default, packets carry ``trace=None``, and every
+instrumentation point is guarded by a single ``is not None`` check.
+"""
+
+from repro.telemetry.context import Span, Trace, TraceContext, TraceEvent
+from repro.telemetry.export import (
+    HopDecomposition,
+    NETWORK_KINDS,
+    decompose,
+    read_traces_jsonl,
+    render_decomposition,
+    write_traces_jsonl,
+)
+from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
+from repro.telemetry.session import TelemetrySession
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "HopDecomposition",
+    "MetricsRegistry",
+    "NETWORK_KINDS",
+    "Span",
+    "TelemetrySession",
+    "Trace",
+    "TraceContext",
+    "TraceEvent",
+    "decompose",
+    "read_traces_jsonl",
+    "render_decomposition",
+    "write_traces_jsonl",
+]

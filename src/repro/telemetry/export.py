@@ -1,0 +1,144 @@
+"""Exporters: JSONL trace round-trip and the per-hop decomposition.
+
+The decomposition groups completed traces by their hop signature (the
+sequence of devices traversed), takes the dominant path, and averages
+each hop's span across its traces. Because each trace's spans sum to its
+round trip exactly, the table's total equals the mean measured round
+trip to within rounding — the verification ``python -m repro trace``
+performs per trace before printing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.telemetry.context import Trace
+
+#: Span kinds that count as time spent *in the network* for the §4.1
+#: share computation. Software (normalizer/strategy/gateway), NIC, and
+#: the exchange-side coalescing are the non-network remainder.
+NETWORK_KINDS = frozenset({"wire", "switch", "l1s", "merge", "fpga", "cloud"})
+
+
+@dataclass(frozen=True, slots=True)
+class HopRow:
+    """One hop of the dominant path, averaged over its traces."""
+
+    where: str
+    kind: str
+    mean_ns: float
+    share: float
+
+
+@dataclass(frozen=True, slots=True)
+class HopDecomposition:
+    """The per-hop latency decomposition of one system's round trip."""
+
+    rows: tuple[HopRow, ...]
+    trace_count: int
+    mean_rtt_ns: float
+    network_ns: float
+    max_residual_ns: int  # max |sum(spans) - rtt| across traces
+
+    @property
+    def network_share(self) -> float:
+        """Fraction of the round trip spent in the network (§4.1)."""
+        return self.network_ns / self.mean_rtt_ns if self.mean_rtt_ns else 0.0
+
+
+def decompose(traces: list[Trace]) -> HopDecomposition:
+    """Average per-hop spans over the dominant path among ``traces``."""
+    if not traces:
+        raise ValueError("no completed traces to decompose")
+    by_path = TallyCounter(trace.signature() for trace in traces)
+    dominant, _count = by_path.most_common(1)[0]
+    matching = [t for t in traces if t.signature() == dominant]
+
+    n = len(matching)
+    totals = [0] * (len(dominant) + 1)  # +1 for a possible trailing delivery span
+    max_len = 0
+    max_residual = 0
+    rtt_total = 0
+    for trace in matching:
+        spans = trace.spans()
+        max_len = max(max_len, len(spans))
+        for i, span in enumerate(spans):
+            totals[i] += span.duration_ns
+        residual = abs(sum(s.duration_ns for s in spans) - trace.rtt_ns)
+        max_residual = max(max_residual, residual)
+        rtt_total += trace.rtt_ns
+
+    mean_rtt = rtt_total / n
+    labels = list(dominant)
+    if max_len > len(dominant):
+        labels.append(("delivery", "wire"))
+    rows = tuple(
+        HopRow(
+            where=where,
+            kind=kind,
+            mean_ns=totals[i] / n,
+            share=(totals[i] / n) / mean_rtt if mean_rtt else 0.0,
+        )
+        for i, (where, kind) in enumerate(labels)
+    )
+    network_ns = sum(row.mean_ns for row in rows if row.kind in NETWORK_KINDS)
+    return HopDecomposition(
+        rows=rows,
+        trace_count=n,
+        mean_rtt_ns=mean_rtt,
+        network_ns=network_ns,
+        max_residual_ns=max_residual,
+    )
+
+
+def render_decomposition(deco: HopDecomposition, title: str = "") -> str:
+    """A fixed-width per-hop table with the network-share footer."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'hop':<28} {'kind':<10} {'mean ns':>12} {'share':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in deco.rows:
+        lines.append(
+            f"{row.where:<28} {row.kind:<10} {row.mean_ns:>12,.1f} {row.share:>6.1%}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total (= measured round trip)':<39} {deco.mean_rtt_ns:>12,.1f} {1:>6.0%}"
+    )
+    lines.append(
+        f"network share (wire+switch+l1s+merge+fpga+cloud): "
+        f"{deco.network_share:.1%} of end-to-end"
+    )
+    lines.append(
+        f"traces: {deco.trace_count}; max |spans - rtt| = {deco.max_residual_ns} ns"
+    )
+    return "\n".join(lines)
+
+
+# -- JSONL round trip -------------------------------------------------------
+
+
+def write_traces_jsonl(traces: list[Trace], path: str | Path) -> Path:
+    """One completed trace per line; returns the written path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for trace in traces:
+            fh.write(json.dumps(trace.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def read_traces_jsonl(path: str | Path) -> list[Trace]:
+    """Reload traces written by :func:`write_traces_jsonl`."""
+    out: list[Trace] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(Trace.from_dict(json.loads(line)))
+    return out

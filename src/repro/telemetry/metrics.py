@@ -1,0 +1,159 @@
+"""Counters and ns-resolution histograms, registered by name.
+
+The registry replaces ad-hoc latency plumbing with one shared sink:
+components ask the session's registry for a named instrument once, at
+construction, and update it on the hot path only when telemetry is on.
+Registries export to plain dicts for the JSON dump.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramSummary:
+    """Summary statistics of one histogram at export time."""
+
+    count: int
+    min: int
+    max: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+
+
+class Histogram:
+    """Integer-valued (ns-resolution) sample sink with quantile export.
+
+    Samples are kept raw up to ``max_samples`` and then reservoir-thinned
+    by simple striding (every run is deterministic, so no RNG): this
+    bounds memory on long runs while keeping quantiles representative.
+    """
+
+    __slots__ = ("name", "samples", "count", "total", "min", "max", "max_samples", "_stride")
+
+    def __init__(self, name: str, max_samples: int = 100_000):
+        self.name = name
+        self.samples: list[int] = []
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+        self.max_samples = max_samples
+        self._stride = 1
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.count % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self.max_samples:
+                # Thin by half and double the stride; extrema are exact
+                # regardless, and quantiles stay representative.
+                self.samples = self.samples[::2]
+                self._stride *= 2
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile over the retained samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (len(ordered) - 1) * q
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return float(ordered[low])
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> HistogramSummary:
+        return HistogramSummary(
+            count=self.count,
+            min=self.min or 0,
+            max=self.max or 0,
+            mean=self.mean,
+            p50=self.percentile(0.50),
+            p90=self.percentile(0.90),
+            p99=self.percentile(0.99),
+        )
+
+    def to_dict(self) -> dict:
+        s = self.summary()
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "count": s.count,
+            "min": s.min,
+            "max": s.max,
+            "mean": s.mean,
+            "p50": s.p50,
+            "p90": s.p90,
+            "p99": s.p99,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first request and shared after."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def histogram(self, name: str, max_samples: int = 100_000) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name, max_samples=max_samples)
+            self._histograms[name] = instrument
+        return instrument
+
+    @property
+    def counters(self) -> dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            },
+        }

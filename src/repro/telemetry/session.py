@@ -1,0 +1,81 @@
+"""The per-simulation telemetry session.
+
+``Simulator(seed, telemetry=True)`` attaches one of these as
+``sim.telemetry``; it owns trace creation/sampling, the completed-trace
+store, and the metrics registry. When telemetry is off, ``sim.telemetry``
+is ``None`` and no instrumentation point does any work beyond one
+``is not None`` check.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.context import Trace, TraceContext
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TelemetrySession:
+    """Trace + metrics state for one simulation run.
+
+    ``sample_interval`` traces every Nth feed frame (1 = all);
+    ``max_traces`` caps the completed-trace store so an unbounded run
+    cannot exhaust memory — the cap counts *finished* traces, and
+    arrivals past it are counted in the ``telemetry.traces_dropped``
+    counter instead of stored.
+    """
+
+    def __init__(self, sample_interval: int = 1, max_traces: int = 100_000):
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1")
+        self.sample_interval = int(sample_interval)
+        self.max_traces = int(max_traces)
+        self.metrics = MetricsRegistry()
+        self.traces: list[Trace] = []
+        self._started = 0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def start_trace(self, where: str, kind: str, now: int) -> TraceContext | None:
+        """Create a context for a new feed frame, honoring sampling."""
+        self._started += 1
+        if (self._started - 1) % self.sample_interval:
+            return None
+        context = TraceContext(begin_ns=now)
+        context.record(where, kind, now)
+        return context
+
+    def finish_trace(self, context: TraceContext, end_ns: int) -> Trace | None:
+        """Complete ``context``; stores and returns the frozen trace."""
+        if context.done:
+            return None  # already finished (e.g. batched order frames)
+        trace = context.finish(end_ns)
+        if len(self.traces) >= self.max_traces:
+            self.metrics.counter("telemetry.traces_dropped").inc()
+            return trace
+        self.traces.append(trace)
+        return trace
+
+    # -- component-stats harvest ------------------------------------------------
+
+    def harvest_stats(self, name: str, stats: object) -> None:
+        """Merge a component's dataclass-style stats into the registry.
+
+        Every public integer attribute becomes a counter named
+        ``<name>.<field>``; called at end of run so the JSON export
+        carries the same counters the in-object stats expose.
+        """
+        for field in vars(stats):
+            if field.startswith("_"):
+                continue
+            value = getattr(stats, field)
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            counter = self.metrics.counter(f"{name}.{field}")
+            counter.value = value
+
+    def to_dict(self) -> dict:
+        return {
+            "traces": [trace.to_dict() for trace in self.traces],
+            "metrics": self.metrics.to_dict(),
+        }

@@ -1,0 +1,106 @@
+"""The build_system() facade: one construction path for every testbed."""
+
+import warnings
+
+import pytest
+
+from repro.core import available_designs, build_system
+from repro.core.config import DESIGNS, SystemSpec
+
+
+def test_available_designs_matches_config():
+    assert available_designs() == DESIGNS
+    assert set(DESIGNS) == {"design1", "design2", "design3", "design4", "wan"}
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_every_design_builds_and_runs(design):
+    system = build_system(design=design, seed=3, n_symbols=6, n_strategies=2)
+    system.run(3_000_000)
+    assert system.sim.now >= 3_000_000
+    assert system.exchange.publisher.stats.frames > 0
+
+
+def test_spec_and_overrides_compose():
+    spec = SystemSpec(design="design3", seed=5, n_strategies=2)
+    system = build_system(spec, n_symbols=6)
+    assert len(system.strategies) == 2
+    assert len(system.universe.names) == 6
+
+
+def test_unknown_design_rejected():
+    with pytest.raises(ValueError):
+        build_system(design="design9")
+
+
+@pytest.mark.parametrize(
+    "design,legacy",
+    [
+        ("design1", "build_design1_system"),
+        ("design2", "build_design2_system"),
+        ("design3", "build_design3_system"),
+        ("design4", "build_design4_system"),
+    ],
+)
+def test_facade_matches_direct_builder(design, legacy):
+    """Same spec, same seed -> bit-identical round-trip samples."""
+    import repro.core as core
+
+    via_facade = build_system(design=design, seed=9, n_symbols=6, n_strategies=2)
+    via_facade.run(15_000_000)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        direct = getattr(core, legacy)(seed=9, n_symbols=6, n_strategies=2)
+    direct.run(15_000_000)
+
+    assert via_facade.roundtrip_samples() == direct.roundtrip_samples()
+    assert (
+        via_facade.exchange.publisher.stats.frames
+        == direct.exchange.publisher.stats.frames
+    )
+
+
+def test_facade_matches_direct_wan_builder():
+    from repro.core import build_cross_colo_system
+
+    via_facade = build_system(
+        design="wan", seed=4, n_strategies=2,
+        flow_rate_per_s=30_000.0, firm_partitions=4,
+    )
+    via_facade.run(15_000_000)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        direct = build_cross_colo_system(seed=4)
+    direct.run(15_000_000)
+    assert via_facade.roundtrip_samples() == direct.roundtrip_samples()
+
+
+def test_legacy_builders_warn():
+    from repro.core import build_design1_system
+
+    with pytest.warns(DeprecationWarning, match="build_system"):
+        build_design1_system(seed=1, n_symbols=6, n_strategies=1)
+
+
+def test_spec_build_routes_through_facade():
+    spec = SystemSpec(design="design4", seed=2, n_symbols=6,
+                      subscriptions_per_strategy=2)
+    system = spec.build()
+    assert len(system.normalizers) == 1
+
+
+def test_spec_json_roundtrip_with_new_fields():
+    spec = SystemSpec(design="wan", telemetry=True, microwave_loss=0.05,
+                      equalized_delivery_ns=60_000, subscriptions_per_strategy=3)
+    again = SystemSpec.from_json(spec.to_json())
+    assert again == spec
+
+
+def test_spec_validates_new_fields():
+    with pytest.raises(ValueError):
+        SystemSpec(microwave_loss=1.5)
+    with pytest.raises(ValueError):
+        SystemSpec(equalized_delivery_ns=-1)
+    with pytest.raises(ValueError):
+        SystemSpec(subscriptions_per_strategy=0)

@@ -1,6 +1,6 @@
 """A/B feed legs through the FeedHandler: one stream out of two groups."""
 
-from repro.firm.feedhandler import FeedHandler, _arbiter_key
+from repro.firm.feedhandler import FeedHandler, arbiter_key
 from repro.net.addressing import EndpointAddress, MulticastGroup
 from repro.net.nic import Nic
 from repro.protocols.pitch import DeleteOrder
@@ -36,10 +36,10 @@ def test_leg_suffixes_share_an_arbiter():
     a = MulticastGroup("X.PITCH.A", 3)
     b = MulticastGroup("X.PITCH.B", 3)
     plain = MulticastGroup("X.PITCH", 3)
-    assert _arbiter_key(a) == _arbiter_key(b) == _arbiter_key(plain)
+    assert arbiter_key(a) == arbiter_key(b) == arbiter_key(plain)
     # Different partitions and feeds stay distinct.
-    assert _arbiter_key(MulticastGroup("X.PITCH.A", 4)) != _arbiter_key(a)
-    assert _arbiter_key(MulticastGroup("Y.PITCH.A", 3)) != _arbiter_key(a)
+    assert arbiter_key(MulticastGroup("X.PITCH.A", 4)) != arbiter_key(a)
+    assert arbiter_key(MulticastGroup("Y.PITCH.A", 3)) != arbiter_key(a)
 
 
 def test_duplicate_across_legs_delivered_once():

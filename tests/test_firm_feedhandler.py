@@ -92,9 +92,9 @@ def test_gap_reporting_and_declare_loss():
     group = MulticastGroup("X.PITCH", 0)
     handler.subscribe(group, fabric)
     # Feed the arbiter out-of-band to create a gap (seq starts at 4).
-    from repro.firm.feedhandler import _arbiter_key
+    from repro.firm.feedhandler import arbiter_key
 
-    arbiter = handler._arbiters[_arbiter_key(group)]
+    arbiter = handler._arbiters[arbiter_key(group)]
     arbiter.on_messages(4, [DeleteOrder(0, 9)])
     assert group in handler.gaps()
     assert handler.gaps()[group] == (1, 4)

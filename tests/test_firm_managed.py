@@ -4,7 +4,7 @@ import pytest
 
 from repro.firm.managed import ManagedStrategy, _NullNic
 from repro.firm.risk import RiskVerdict
-from repro.firm.strategies import MarketMakerStrategy, MomentumStrategy
+from repro.firm import MarketMakerStrategy, MomentumStrategy
 from repro.net.addressing import EndpointAddress
 from repro.protocols.itf import NormalizedUpdate
 from repro.sim.kernel import Simulator

@@ -9,7 +9,7 @@ from repro.firm.replay import (
     UpdateRecorder,
     compare_decisions,
 )
-from repro.firm.strategies import MomentumStrategy
+from repro.firm import MomentumStrategy
 from repro.net.addressing import MulticastGroup
 from repro.protocols.itf import NormalizedUpdate
 from repro.sim.kernel import MILLISECOND

@@ -3,8 +3,12 @@
 import pytest
 
 from repro.core.testbed import build_design1_system
-from repro.firm.strategies import ArbitrageStrategy, MarketMakerStrategy, MomentumStrategy
-from repro.firm.strategy import InternalOrder
+from repro.firm import (
+    ArbitrageStrategy,
+    InternalOrder,
+    MarketMakerStrategy,
+    MomentumStrategy,
+)
 from repro.protocols.itf import NormalizedUpdate
 from repro.sim.kernel import MILLISECOND, Simulator
 

@@ -10,7 +10,7 @@ exchange delete → feed delete.
 import pytest
 
 from repro.core.testbed import build_design1_system
-from repro.firm.strategies import MarketMakerStrategy
+from repro.firm import MarketMakerStrategy
 from repro.net.addressing import MulticastGroup
 from repro.sim.kernel import MILLISECOND
 

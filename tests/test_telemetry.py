@@ -1,0 +1,165 @@
+"""Telemetry: tracing + metrics, exactly accounted and zero-cost when off."""
+
+import pytest
+
+from repro.core import build_system
+from repro.telemetry import (
+    NETWORK_KINDS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    TelemetrySession,
+    decompose,
+    read_traces_jsonl,
+    render_decomposition,
+    write_traces_jsonl,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_design1():
+    system = build_system(design="design1", seed=7, telemetry=True)
+    system.run(20_000_000)
+    return system
+
+
+# -- tracing ---------------------------------------------------------------
+
+
+def test_spans_sum_to_measured_roundtrip(traced_design1):
+    """The headline invariant: per-hop spans decompose the measured RTT
+    with zero residual — nothing double-counted, nothing missing."""
+    telemetry = traced_design1.sim.telemetry
+    assert telemetry.traces, "no round trips completed"
+    samples = set(traced_design1.roundtrip_samples())
+    for trace in telemetry.traces:
+        spans = trace.spans()
+        assert sum(s.duration_ns for s in spans) == trace.rtt_ns
+        assert trace.rtt_ns in samples
+        # Every span is attributed to a real place with a real kind.
+        for span in spans:
+            assert span.duration_ns >= 0
+            assert span.where
+            assert span.kind
+
+
+def test_trace_covers_the_whole_chain(traced_design1):
+    """exchange -> switches -> nic -> normalizer -> strategy -> gateway
+    -> exchange: every stage of §2's loop appears in the trace."""
+    trace = traced_design1.sim.telemetry.traces[0]
+    kinds = [s.kind for s in trace.spans()]
+    for expected in ("exchange", "wire", "switch", "nic",
+                     "normalizer", "strategy", "gateway"):
+        assert expected in kinds, f"missing {expected} in {kinds}"
+    # The decision chain appears in causal order.
+    order = [kinds.index(k) for k in ("exchange", "normalizer", "strategy",
+                                      "gateway")]
+    assert order == sorted(order)
+
+
+def test_decomposition_network_share(traced_design1):
+    """§4.1: with 500 ns commodity switches, the network is roughly half
+    the end-to-end time on Design 1."""
+    deco = decompose(traced_design1.sim.telemetry.traces)
+    assert deco.max_residual_ns == 0
+    assert 0.35 <= deco.network_share <= 0.6
+    rendered = render_decomposition(deco, title="t")
+    assert "network share" in rendered
+    # Shares sum to ~1 over the dominant path.
+    assert abs(sum(r.share for r in deco.rows) - 1.0) < 1e-6
+    assert NETWORK_KINDS >= {"wire", "switch"}
+
+
+def test_jsonl_roundtrip(tmp_path, traced_design1):
+    traces = traced_design1.sim.telemetry.traces
+    path = write_traces_jsonl(traces, tmp_path / "traces.jsonl")
+    reloaded = read_traces_jsonl(path)
+    assert len(reloaded) == len(traces)
+    for a, b in zip(traces, reloaded):
+        assert a.to_dict() == b.to_dict()
+        assert [s.duration_ns for s in a.spans()] == [
+            s.duration_ns for s in b.spans()
+        ]
+
+
+def test_design3_and_design4_also_decompose():
+    for design, device_kind in (("design3", "l1s"), ("design4", "fpga")):
+        system = build_system(design=design, seed=7, telemetry=True)
+        system.run(10_000_000)
+        deco = decompose(system.sim.telemetry.traces)
+        assert deco.max_residual_ns == 0
+        assert any(r.kind == device_kind for r in deco.rows), design
+
+
+# -- disabled path ---------------------------------------------------------
+
+
+def test_disabled_by_default_no_traces_no_metrics():
+    system = build_system(design="design1", seed=7)
+    system.run(5_000_000)
+    assert system.sim.telemetry is None
+
+
+def test_telemetry_does_not_perturb_the_simulation(traced_design1):
+    """Observation must not change the experiment: identical seeds give
+    identical round trips with telemetry on and off."""
+    plain = build_system(design="design1", seed=7)
+    plain.run(20_000_000)
+    assert plain.roundtrip_samples() == traced_design1.roundtrip_samples()
+
+
+# -- metrics ---------------------------------------------------------------
+
+
+def test_counter_and_histogram_basics():
+    c = Counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+    h = Histogram("lat")
+    for v in range(1, 101):
+        h.observe(v)
+    s = h.summary()
+    assert s.count == 100
+    assert s.min == 1 and s.max == 100
+    assert abs(s.mean - 50.5) < 1e-9
+    assert 49 <= s.p50 <= 52
+    assert 89 <= s.p90 <= 92
+    assert 98 <= s.p99 <= 100
+
+
+def test_registry_creates_on_first_use():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.counter("a").inc()
+    reg.histogram("b").observe(7)
+    assert reg.counters["a"].value == 2
+    snap = reg.to_dict()
+    assert snap["counters"]["a"] == 2
+    assert snap["histograms"]["b"]["count"] == 1
+
+
+def test_session_sampling_and_cap():
+    session = TelemetrySession(sample_interval=2)
+    t0 = session.start_trace("here", "exchange", now=0)
+    t1 = session.start_trace("here", "exchange", now=0)
+    t2 = session.start_trace("here", "exchange", now=0)
+    assert t0 is not None and t2 is not None
+    assert t1 is None  # sampled out
+
+    small = TelemetrySession(max_traces=1)
+    a = small.start_trace("x", "exchange", now=0)
+    b = small.start_trace("x", "exchange", now=0)
+    small.finish_trace(a, 10)
+    small.finish_trace(b, 10)
+    assert len(small.traces) == 1
+    assert small.metrics.counters["telemetry.traces_dropped"].value == 1
+
+
+def test_system_metrics_populated(traced_design1):
+    metrics = traced_design1.sim.telemetry.metrics
+    histos = metrics.histograms
+    assert any(name.endswith(".roundtrip_ns") for name in histos)
+    rtt = next(h for n, h in histos.items() if n.endswith(".roundtrip_ns"))
+    assert rtt.summary().count == len(traced_design1.roundtrip_samples())
