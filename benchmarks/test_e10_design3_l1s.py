@@ -109,7 +109,7 @@ def test_tick_to_trade_hardware_measured(benchmark, experiment_log):
     from repro.core.ticktotrade import build_tick_to_trade_system
 
     sim, exchange, strategy = benchmark.pedantic(
-        build_tick_to_trade_system, kwargs=dict(seed=77, run_ms=5),
+        build_tick_to_trade_system, kwargs=dict(seed=77, run_ns=5_000_000),
         rounds=1, iterations=1,
     )
     median = float(np.median(exchange.order_entry.roundtrip_samples))

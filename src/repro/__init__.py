@@ -30,6 +30,7 @@ Subpackages
 ``repro.core``       the three designs, budgets, merge analysis, testbeds
 ``repro.telemetry``  opt-in tracing + metrics (per-hop round-trip spans)
 ``repro.analysis``   window statistics, tables, experiment records
+``repro.lint``       AST static analysis: determinism + unit-safety gates
 """
 
 __version__ = "1.0.0"
@@ -39,6 +40,7 @@ __all__ = [
     "core",
     "exchange",
     "firm",
+    "lint",
     "mgmt",
     "net",
     "protocols",

@@ -9,6 +9,7 @@ Commands
 ``run``         build and run a system from a SystemSpec JSON file
 ``trace``       run with telemetry and print the per-hop decomposition
 ``scoreboard``  run every reproduction bench (the full scoreboard)
+``lint``        run the repro.lint static-analysis rules over the tree
 """
 
 from __future__ import annotations
@@ -109,8 +110,10 @@ def _cmd_run(args) -> int:
         spec = SystemSpec.from_file(args.config)
     else:
         spec = SystemSpec(design=args.design, seed=args.seed)
+    from repro.sim.kernel import MILLISECOND
+
     print(f"building {spec.design} (seed={spec.seed}, "
-          f"{spec.n_strategies} strategies, {spec.run_ms} ms)...")
+          f"{spec.n_strategies} strategies, {spec.run_ns / MILLISECOND:g} ms)...")
     system = spec.build_and_run()
     stats = system.roundtrip_stats()
     print(f"round trip: median {format_ns(int(stats.median))}, "
@@ -153,6 +156,12 @@ def _cmd_trace(args) -> int:
         write_traces_jsonl(telemetry.traces, args.jsonl)
         print(f"wrote {len(telemetry.traces)} traces to {args.jsonl}")
     return 0 if deco.max_residual_ns <= 1 else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run as lint_run
+
+    return lint_run(args)
 
 
 def _cmd_scoreboard(args) -> int:
@@ -206,6 +215,13 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("scoreboard", help="run all reproduction benches")
 
+    lint = sub.add_parser(
+        "lint", help="run the static-analysis rules (repro.lint)"
+    )
+    from repro.lint.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
+
     args = parser.parse_args(argv)
     handler = {
         "designs": _cmd_designs,
@@ -215,6 +231,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "trace": _cmd_trace,
         "scoreboard": _cmd_scoreboard,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

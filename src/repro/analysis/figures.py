@@ -46,15 +46,15 @@ def write_fig2b_csv(path: str | Path, seed: int = 7) -> Path:
 
 def write_fig2c_csv(path: str | Path, seed: int = 11, window_ns: int = 100_000) -> Path:
     """Figure 2(c): events per 100 µs window inside the busiest second.
-    Columns: window start (ms within the second), events."""
+    Columns: window start (integer ns within the second), events."""
     path = Path(path)
     times = busy_second_event_times(seed=seed)
     counts = window_counts(times, window_ns, 1_000_000_000)
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["window_start_ms", "events"])
+        writer.writerow(["window_start_ns", "events"])
         for index, count in enumerate(counts):
-            writer.writerow([f"{index * window_ns / 1e6:.1f}", int(count)])
+            writer.writerow([index * window_ns, int(count)])
     return path
 
 

@@ -1,8 +1,10 @@
 """The public construction facade: one entry point for every testbed.
 
-Five fully-wired systems live in this package — Design 1 (leaf-spine),
+Seven fully-wired systems live in this package — Design 1 (leaf-spine),
 Design 2 (equalized cloud), Design 3 (L1S), Design 4 (FPGA-enhanced
-L1S), and the cross-colo WAN deployment. Historically each had its own
+L1S), the cross-colo WAN deployment, and two auxiliary testbeds (the
+multi-venue aggregation build and the hardware tick-to-trade pipeline).
+Historically each had its own
 ``build_*`` function with a slightly different signature; downstream
 code had to know which module to import and which knobs each builder
 accepts. :func:`build_system` replaces that: every system is described
@@ -27,7 +29,7 @@ import warnings
 from dataclasses import replace
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.config import DESIGNS, SystemSpec
+from repro.core.config import ALL_DESIGNS, SystemSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.testbed import TradingSystem
@@ -41,6 +43,8 @@ _BUILDER_MODULES = (
     "repro.core.cloud",
     "repro.core.testbed4",
     "repro.core.wan_testbed",
+    "repro.core.multivenue",
+    "repro.core.ticktotrade",
 )
 
 
@@ -50,8 +54,10 @@ def register_builder(design: str):
     Used by the testbed modules themselves; the adapter receives a
     validated :class:`SystemSpec` and returns the built system.
     """
-    if design not in DESIGNS:
-        raise ValueError(f"unknown design {design!r}; expected one of {DESIGNS}")
+    if design not in ALL_DESIGNS:
+        raise ValueError(
+            f"unknown design {design!r}; expected one of {ALL_DESIGNS}"
+        )
 
     def decorate(adapter: Callable[[SystemSpec], "TradingSystem"]):
         _BUILDERS[design] = adapter
@@ -69,7 +75,7 @@ def _load_builders() -> None:
 
 def available_designs() -> tuple[str, ...]:
     """The design names :func:`build_system` accepts."""
-    return DESIGNS
+    return ALL_DESIGNS
 
 
 def deprecated_builder(old_name: str, design: str, impl: Callable):
@@ -109,7 +115,10 @@ def build_system(spec: SystemSpec | None = None, **overrides):
     Returns the built (not yet run) system: a
     :class:`~repro.core.testbed.TradingSystem` for the four colo
     designs, a :class:`~repro.core.wan_testbed.CrossColoSystem` for
-    ``design="wan"``.
+    ``design="wan"``, a :class:`~repro.core.multivenue.MultiVenueSystem`
+    for ``design="multivenue"``, and a
+    :class:`~repro.core.ticktotrade.TickToTradeSystem` for
+    ``design="ticktotrade"``.
     """
     if spec is None:
         spec = SystemSpec(**overrides)

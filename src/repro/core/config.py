@@ -10,16 +10,23 @@ CLI's ``run`` and ``trace`` commands consume.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.sim.kernel import MILLISECOND
+from repro.sim.kernel import MILLISECOND, ms_to_ns
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.testbed import TradingSystem
 
+# The paper's §4 designs plus the cross-colo WAN deployment: the specs
+# the CLI sweeps and the comparison tables cover.
 DESIGNS = ("design1", "design2", "design3", "design4", "wan")
+# Auxiliary testbeds: fully spec-buildable, but not part of the design
+# comparison (different handle types / workloads).
+AUX_DESIGNS = ("multivenue", "ticktotrade")
+ALL_DESIGNS = DESIGNS + AUX_DESIGNS
 
 
 @dataclass(frozen=True)
@@ -28,10 +35,11 @@ class SystemSpec:
 
     Not every design consumes every knob: ``n_normalizers`` applies to
     designs 1 and 3 only, ``equalized_delivery_ns`` to design 2,
-    ``subscriptions_per_strategy`` to design 4, and ``microwave_loss``
-    to the cross-colo WAN build (which also fixes its own exchange-side
-    latencies). Unused knobs are ignored, never rejected, so one spec
-    can sweep across designs.
+    ``subscriptions_per_strategy`` to design 4, ``microwave_loss`` to
+    the cross-colo WAN build (which also fixes its own exchange-side
+    latencies), and ``min_edge_ticks``/``with_risk_gate`` to the
+    multi-venue aggregation testbed. Unused knobs are ignored, never
+    rejected, so one spec can sweep across designs.
     """
 
     design: str = "design1"
@@ -44,7 +52,7 @@ class SystemSpec:
     firm_partitions: int = 8
     function_latency_ns: int = 2_000
     matching_latency_ns: int = 10_000
-    run_ms: int = 40
+    run_ns: int = 40 * MILLISECOND
     # Telemetry (repro.telemetry): False keeps the zero-overhead path.
     telemetry: bool = False
     # design4: limit each strategy to its first N firm partitions.
@@ -53,13 +61,18 @@ class SystemSpec:
     equalized_delivery_ns: int = 50_000
     # wan: loss probability on the microwave legs.
     microwave_loss: float = 0.02
+    # multivenue: arbitrage edge threshold and optional NBBO risk gate.
+    min_edge_ticks: int = 100
+    with_risk_gate: bool = False
 
     def __post_init__(self) -> None:
-        if self.design not in DESIGNS:
-            raise ValueError(f"design must be one of {DESIGNS}, got {self.design!r}")
+        if self.design not in ALL_DESIGNS:
+            raise ValueError(
+                f"design must be one of {ALL_DESIGNS}, got {self.design!r}"
+            )
         if self.n_symbols < 1 or self.n_strategies < 1 or self.n_normalizers < 1:
             raise ValueError("system needs at least one of each component")
-        if self.flow_rate_per_s < 0 or self.run_ms <= 0:
+        if self.flow_rate_per_s < 0 or self.run_ns <= 0:
             raise ValueError("rates and durations must be positive")
         if self.exchange_partitions < 1 or self.firm_partitions < 1:
             raise ValueError("partition counts must be >= 1")
@@ -73,6 +86,8 @@ class SystemSpec:
             raise ValueError("equalized_delivery_ns must be >= 0")
         if not 0.0 <= self.microwave_loss < 1.0:
             raise ValueError("microwave_loss must be in [0, 1)")
+        if self.min_edge_ticks < 0:
+            raise ValueError("min_edge_ticks must be >= 0")
 
     # -- (de)serialization ------------------------------------------------------
 
@@ -81,6 +96,15 @@ class SystemSpec:
 
     @classmethod
     def from_dict(cls, raw: dict) -> "SystemSpec":
+        if "run_ms" in raw:  # pre-1.1 spec files carried milliseconds
+            raw = dict(raw)
+            warnings.warn(
+                "SystemSpec field 'run_ms' is deprecated; use 'run_ns' "
+                "(integer nanoseconds)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            raw.setdefault("run_ns", ms_to_ns(raw.pop("run_ms")))
         unknown = set(raw) - set(cls.__dataclass_fields__)
         if unknown:
             raise ValueError(f"unknown spec fields: {sorted(unknown)}")
@@ -106,5 +130,5 @@ class SystemSpec:
 
     def build_and_run(self) -> "TradingSystem":
         system = self.build()
-        system.run(self.run_ms * MILLISECOND)
+        system.run(self.run_ns)
         return system

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.api import register_builder
 from repro.exchange.exchange import Exchange
 from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
 from repro.firm.gateway import OrderGateway
@@ -163,4 +164,16 @@ def build_multi_venue_system(
         sim=sim, topology=topo, fabric=fabric, exchanges=exchanges,
         normalizers=normalizers, arbitrage=arbitrage, gateway=gateway,
         nbbo=nbbo, risk=risk, flows=flows, recorder=recorder, universe=universe,
+    )
+
+
+@register_builder("multivenue")
+def _multivenue_from_spec(spec) -> MultiVenueSystem:
+    return build_multi_venue_system(
+        seed=spec.seed,
+        n_symbols=spec.n_symbols,
+        firm_partitions=spec.firm_partitions,
+        flow_rate_per_s=spec.flow_rate_per_s,
+        min_edge_ticks=spec.min_edge_ticks,
+        with_risk_gate=spec.with_risk_gate,
     )

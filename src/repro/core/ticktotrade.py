@@ -14,6 +14,8 @@ hundreds of nanoseconds, serialization-dominated.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 from repro.exchange.exchange import Exchange
 from repro.exchange.publisher import alphabetical_scheme
 from repro.firm.feedhandler import FeedHandler
@@ -22,6 +24,7 @@ from repro.net.l1switch import Layer1Switch
 from repro.net.link import Link
 from repro.net.nic import Nic
 from repro.net.packet import Packet
+from repro.core.api import register_builder
 from repro.protocols.boe import BoeSession, NewOrderRequest
 from repro.protocols.headers import frame_bytes_tcp
 from repro.protocols.pitch import AddOrder
@@ -84,15 +87,36 @@ def _hardware_nic(sim: Simulator, host: str, name: str) -> Nic:
     )
 
 
+class TickToTradeSystem(NamedTuple):
+    """Handles for the hardware pipeline.
+
+    A named tuple so existing ``sim, exchange, strategy = ...`` callers
+    keep working, with the ``run``/``roundtrip_samples`` methods the
+    :func:`~repro.core.api.build_system` facade expects.
+    """
+
+    sim: Simulator
+    exchange: Exchange
+    strategy: HardwareStrategy
+
+    def run(self, duration_ns: int = 5 * MILLISECOND) -> None:
+        self.sim.run(until=self.sim.now + duration_ns)
+
+    def roundtrip_samples(self) -> list[int]:
+        return list(self.exchange.order_entry.roundtrip_samples)
+
+
 def build_tick_to_trade_system(
-    seed: int = 77, run_ms: int = 5
-) -> tuple[Simulator, Exchange, HardwareStrategy]:
+    seed: int = 77, run_ns: int | None = 5 * MILLISECOND
+) -> TickToTradeSystem:
     """Wire the hardware pipeline, drive it, and return the handles.
 
     The ambient workload walks the best bid upward in 1-cent steps (the
     far-away resting ask never crosses, so every step prints a real
     AddOrder for the strategy to react to). Round-trip samples accumulate
-    in ``exchange.order_entry.roundtrip_samples``.
+    in ``exchange.order_entry.roundtrip_samples``. Pass ``run_ns=None``
+    to get the wired-but-unrun system (what the facade's spec adapter
+    does; drive it with :meth:`TickToTradeSystem.run`).
     """
     sim = Simulator(seed=seed)
     exchange_feed = _hardware_nic(sim, "exchange", "feed")
@@ -140,5 +164,14 @@ def build_tick_to_trade_system(
         sim.schedule(after=int(rng.integers(30_000, 80_000)), callback=improve_bid)
 
     sim.schedule(after=1_000, callback=improve_bid)
-    sim.run(until=run_ms * MILLISECOND)
-    return sim, exchange, strategy
+    system = TickToTradeSystem(sim, exchange, strategy)
+    if run_ns is not None:
+        system.run(run_ns)
+    return system
+
+
+@register_builder("ticktotrade")
+def _ticktotrade_from_spec(spec) -> TickToTradeSystem:
+    # The hardware pipeline fixes its own topology and workload; only
+    # the seed maps. Returned unrun, like every facade builder.
+    return build_tick_to_trade_system(seed=spec.seed, run_ns=None)

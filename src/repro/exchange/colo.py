@@ -96,11 +96,11 @@ class MetroRegion:
         (1 Gb/s, lossy, faster propagation).
         """
         if medium == "fiber":
-            delay = self.fiber_latency_ns(a, b)
+            delay_ns = self.fiber_latency_ns(a, b)
             bandwidth = bandwidth_bps if bandwidth_bps is not None else 10e9
             loss = loss_prob if loss_prob is not None else 0.0
         elif medium == "microwave":
-            delay = self.microwave_latency_ns(a, b)
+            delay_ns = self.microwave_latency_ns(a, b)
             bandwidth = bandwidth_bps if bandwidth_bps is not None else 1e9
             loss = loss_prob if loss_prob is not None else 1e-4
         else:
@@ -111,7 +111,7 @@ class MetroRegion:
             end_a,
             end_b,
             bandwidth_bps=bandwidth,
-            propagation_delay_ns=delay,
+            propagation_delay_ns=delay_ns,
             loss_prob=loss,
         )
 

@@ -1,0 +1,53 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+A baseline is a JSON document holding the :meth:`Finding.baseline_key`
+of every accepted finding. Keys omit line numbers on purpose: unrelated
+edits move code around without un-suppressing old findings, while any
+genuinely new violation (new rule, new file, new message) is not in the
+set and fails the gate. Regenerate with ``python -m repro lint
+--write-baseline <file>`` when intentionally accepting debt — the diff
+of the baseline file then documents exactly what was accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+_FORMAT_VERSION = 1
+
+
+def write_baseline(findings: Iterable[Finding], path: Path | str) -> Path:
+    """Write the baseline for ``findings``; returns the path written."""
+    path = Path(path)
+    document = {
+        "version": _FORMAT_VERSION,
+        "findings": sorted({f.baseline_key() for f in findings}),
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_baseline(path: Path | str) -> set[str]:
+    """Load the set of grandfathered baseline keys from ``path``."""
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: not a repro.lint baseline (version 1) file")
+    keys = raw.get("findings", [])
+    if not all(isinstance(k, str) for k in keys):
+        raise ValueError(f"{path}: baseline findings must be strings")
+    return set(keys)
+
+
+def filter_baselined(
+    findings: Sequence[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into (new, grandfathered) against ``baseline``."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.baseline_key() in baseline else new).append(finding)
+    return new, old

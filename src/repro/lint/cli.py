@@ -1,0 +1,124 @@
+"""The ``python -m repro lint`` subcommand.
+
+Exit status: 0 when no non-baselined findings, 1 when new findings
+exist, 2 on usage errors (unknown rule ids, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import filter_baselined, load_baseline, write_baseline
+from repro.lint.engine import default_root, load_modules, run_rules
+from repro.lint.findings import findings_to_json, render_findings
+from repro.lint.registry import all_rules, get_rules
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro source tree)",
+    )
+    parser.add_argument(
+        "--root",
+        help="scan root used to derive module names (default: the directory "
+        "containing the repro package, or the single directory argument)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="report format",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file of grandfathered findings; only new ones fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+
+
+def _resolve_scan(args) -> tuple[Path, list[Path] | None]:
+    paths = [Path(p).resolve() for p in args.paths]
+    if args.root:
+        return Path(args.root).resolve(), paths or None
+    if len(paths) == 1 and paths[0].is_dir():
+        # A single directory argument is its own scan root: fixture trees
+        # and vendored code lint without a --root flag.
+        return paths[0], None
+    if paths:
+        return default_root(), paths
+    return default_root(), None
+
+
+def run(args) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id:<32} {rule.description}")
+        return 0
+
+    try:
+        rules = get_rules(args.rules.split(",") if args.rules else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    root, paths = _resolve_scan(args)
+    findings = run_rules(load_modules(root, paths), rules)
+
+    if args.write_baseline:
+        path = write_baseline(findings, args.write_baseline)
+        print(f"wrote baseline with {len(findings)} finding(s) to {path}")
+        return 0
+
+    grandfathered: list = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, grandfathered = filter_baselined(findings, baseline)
+
+    if args.format == "json":
+        print(findings_to_json(findings))
+    elif findings:
+        print(render_findings(findings))
+
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"\n{len(findings)} {noun}", file=sys.stderr)
+        return 1
+    if args.format != "json":
+        suffix = (
+            f" ({len(grandfathered)} grandfathered by baseline)"
+            if grandfathered
+            else ""
+        )
+        print(f"clean: {len(all_rules())} rules, 0 findings{suffix}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description="repro.lint static-analysis gate"
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""The lint engine: parse every module once, run every rule over it.
+
+The engine is deliberately simple — no caching, no parallelism — because
+the whole tree parses in well under a second and determinism matters
+more than speed here (the gate runs in CI on every commit). Each file is
+parsed exactly once into a :class:`Module`; every selected rule then
+walks that shared tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, get_rules
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed source file, as handed to every rule."""
+
+    path: Path  # absolute filesystem path
+    relpath: str  # posix-style path relative to the scan root
+    name: str  # dotted module name ("repro.net.switch")
+    tree: ast.Module = field(repr=False)
+    source: str = field(repr=False)
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.path.name == "__init__.py"
+
+    def sibling_submodules(self) -> set[str]:
+        """Importable names living next to a package ``__init__.py``."""
+        if not self.is_package_init:
+            return set()
+        names: set[str] = set()
+        for entry in self.path.parent.iterdir():
+            if entry.is_dir() and (entry / "__init__.py").exists():
+                names.add(entry.name)
+            elif entry.suffix == ".py" and entry.name != "__init__.py":
+                names.add(entry.stem)
+        return names
+
+
+def _rel_to_root(path: Path, root: Path) -> Path:
+    """``path`` relative to ``root``, or the bare filename when the file
+    lives outside the scan root (explicit file arguments may)."""
+    try:
+        return path.relative_to(root)
+    except ValueError:
+        return Path(path.name)
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the scan ``root``."""
+    rel = _rel_to_root(path, root).with_suffix("")
+    parts = list(rel.parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def load_module(path: Path, root: Path) -> Module:
+    source = path.read_text(encoding="utf-8")
+    return Module(
+        path=path,
+        relpath=_rel_to_root(path, root).as_posix(),
+        name=module_name_for(path, root),
+        tree=ast.parse(source, filename=str(path)),
+        source=source,
+    )
+
+
+def iter_source_files(root: Path, paths: Sequence[Path] | None = None):
+    """Every ``*.py`` under ``root`` (or under the explicit ``paths``)."""
+    if paths:
+        for path in paths:
+            if path.is_dir():
+                yield from sorted(path.rglob("*.py"))
+            else:
+                yield path
+    else:
+        yield from sorted(root.rglob("*.py"))
+
+
+def default_root() -> Path:
+    """The directory containing the installed ``repro`` package (``src/``)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def load_modules(root: Path, paths: Sequence[Path] | None = None) -> list[Module]:
+    return [load_module(p, root) for p in iter_source_files(root, paths)]
+
+
+def run_rules(modules: Iterable[Module], rules: Sequence[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            findings.extend(rule.check(module))
+    return sorted(findings)
+
+
+def run_lint(
+    root: Path | str | None = None,
+    paths: Sequence[Path | str] | None = None,
+    rule_ids: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint the tree under ``root`` and return sorted findings.
+
+    ``root`` defaults to the directory holding the ``repro`` package, so
+    ``run_lint()`` with no arguments lints the installed source tree.
+    ``paths`` optionally restricts the scan to specific files or
+    directories (module names are still derived relative to ``root``);
+    ``rule_ids`` restricts which rules run.
+    """
+    root = Path(root).resolve() if root is not None else default_root()
+    resolved = [Path(p).resolve() for p in paths] if paths else None
+    modules = load_modules(root, resolved)
+    return run_rules(modules, get_rules(rule_ids))

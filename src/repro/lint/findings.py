@@ -1,0 +1,42 @@
+"""The unit of lint output: one :class:`Finding` per rule violation.
+
+A finding pins a rule to a file position and carries a human-readable
+message. Findings sort by (path, line, rule) so reports are stable
+across runs, and expose a :meth:`Finding.baseline_key` that is
+deliberately *line-insensitive*: grandfathered findings stay suppressed
+as unrelated edits shift line numbers, but any new violation — even an
+identical message in a different file — surfaces immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # posix-style, relative to the scan root
+    line: int
+    rule_id: str
+    message: str
+
+    def baseline_key(self) -> str:
+        """Identity used for baseline matching (no line number)."""
+        return f"{self.rule_id}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+def render_findings(findings: Iterable[Finding]) -> str:
+    """Human-readable report, one finding per line, stably sorted."""
+    return "\n".join(f.render() for f in sorted(findings))
+
+
+def findings_to_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report: a JSON array of finding objects."""
+    return json.dumps([asdict(f) for f in sorted(findings)], indent=2)

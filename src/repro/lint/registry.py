@@ -1,0 +1,75 @@
+"""Rule base class and registry.
+
+A rule is a stateless object with a ``rule_id``, a one-line
+``description``, and a ``check(module)`` generator yielding
+:class:`~repro.lint.findings.Finding` records. Rules self-register at
+import time via the :func:`register_rule` decorator; the engine pulls
+the registry through :func:`all_rules`, which imports
+:mod:`repro.lint.rules` on first use so adding a rule module is enough
+to activate it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class for AST lint rules.
+
+    Subclasses set ``rule_id`` and ``description`` and implement
+    :meth:`check`. The :meth:`finding` helper builds a
+    :class:`Finding` from an AST node (or explicit line number).
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module, where: ast.AST | int, message: str) -> Finding:
+        line = where if isinstance(where, int) else getattr(where, "lineno", 0)
+        return Finding(
+            path=module.relpath, line=line, rule_id=self.rule_id, message=message
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must set rule_id")
+    if cls.rule_id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _RULES[cls.rule_id] = cls()
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    import repro.lint.rules  # noqa: F401  (import populates the registry)
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id."""
+    if not _RULES:
+        _load_builtin_rules()
+    return tuple(_RULES[k] for k in sorted(_RULES))
+
+
+def get_rules(rule_ids: Iterable[str] | None = None) -> tuple[Rule, ...]:
+    """The selected rules (all of them when ``rule_ids`` is None)."""
+    rules = all_rules()
+    if rule_ids is None:
+        return rules
+    wanted = list(rule_ids)
+    known = {r.rule_id for r in rules}
+    unknown = sorted(set(wanted) - known)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {unknown}; known: {sorted(known)}")
+    return tuple(r for r in rules if r.rule_id in set(wanted))

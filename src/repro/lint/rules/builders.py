@@ -1,0 +1,80 @@
+"""Builder-registry rule: every system builder is facade-reachable.
+
+``repro.core.build_system`` is the one construction path; a
+``build_*_system`` function that is not wired into its registry is a
+second, undiscoverable way to stand up a testbed (exactly how the
+multi-venue and tick-to-trade builders drifted out of the facade before
+this rule landed). A builder counts as registered when it is decorated
+with ``@register_builder`` itself, when a ``@register_builder``-decorated
+adapter in the same module calls it, or when it is a
+``deprecated_builder(...)`` compatibility shim.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+_BUILDER_PATTERN = "build_*_system"
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _referenced_names(node: ast.AST) -> set[str]:
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+@register_rule
+class BuilderRegistry(Rule):
+    """``build_*_system`` functions must be reachable from
+    ``build_system()`` via ``@register_builder``."""
+
+    rule_id = "builder-registry"
+    description = (
+        "every build_*_system function must be registered with "
+        "@register_builder (directly or via an adapter in its module)"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        builders: list[ast.FunctionDef] = []
+        adapter_refs: set[str] = set()
+        shim_names: set[str] = set()
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                names = [_decorator_name(d) for d in node.decorator_list]
+                if "register_builder" in names:
+                    adapter_refs |= _referenced_names(node)
+                elif fnmatch.fnmatch(node.name, _BUILDER_PATTERN):
+                    builders.append(node)
+            elif isinstance(node, ast.Assign):
+                # build_foo_system = deprecated_builder("...", design, impl)
+                value = node.value
+                if (
+                    isinstance(value, ast.Call)
+                    and _decorator_name(value.func) == "deprecated_builder"
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            shim_names.add(target.id)
+        for builder in builders:
+            if builder.name in adapter_refs or builder.name in shim_names:
+                continue
+            yield self.finding(
+                module,
+                builder,
+                f"{builder.name}() is not reachable from build_system(): "
+                "decorate it (or a spec adapter calling it) with "
+                "@register_builder",
+            )

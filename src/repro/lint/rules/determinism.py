@@ -1,0 +1,154 @@
+"""Determinism rules: no wall clocks, no ambient randomness.
+
+Bit-for-bit reproducibility is the load-bearing invariant of the whole
+simulation (§5 of the paper's measurement methodology depends on runs
+being replayable): virtual time is the integer-nanosecond simulator
+clock, and every random draw flows from an explicitly seeded generator
+(:mod:`repro.sim.rng` streams, or a ``default_rng(seed)`` local to a
+workload generator). These rules make both properties machine-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+# Functions that read the host's wall clock (or a host-monotonic clock —
+# equally nondeterministic across runs).
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+@register_rule
+class NoWallClock(Rule):
+    """Ban host-clock reads: simulated time is ``sim.now``, never real time."""
+
+    rule_id = "no-wall-clock"
+    description = (
+        "sim code must use virtual time (sim.now), never time.time()/"
+        "perf_counter()/datetime.now()"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_TIME_ATTRS:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"wall-clock import: from time import {alias.name}",
+                            )
+            elif isinstance(node, ast.Attribute):
+                base = node.value
+                if not isinstance(base, (ast.Name, ast.Attribute)):
+                    continue
+                base_name = base.id if isinstance(base, ast.Name) else base.attr
+                if base_name == "time" and node.attr in _WALL_CLOCK_TIME_ATTRS:
+                    yield self.finding(
+                        module, node, f"wall-clock read: time.{node.attr}"
+                    )
+                elif (
+                    base_name in ("datetime", "date")
+                    and node.attr in _WALL_CLOCK_DATETIME_ATTRS
+                ):
+                    yield self.finding(
+                        module, node, f"wall-clock read: {base_name}.{node.attr}"
+                    )
+
+
+# numpy.random module-level functions draw from hidden global state; the
+# Generator API names below are the explicitly seeded replacements.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    """True for the expression ``np.random`` / ``numpy.random``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+@register_rule
+class NoGlobalRandom(Rule):
+    """All randomness must be explicitly seeded (sim.rng streams or
+    ``default_rng(seed)``) — never the stdlib ``random`` module or
+    numpy's hidden global state."""
+
+    rule_id = "no-global-random"
+    description = (
+        "randomness must flow from seeded generators (sim.rng / "
+        "default_rng(seed)), not global random state"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            module,
+                            node,
+                            "stdlib random uses hidden global state; "
+                            "use sim.rng streams",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        module,
+                        node,
+                        "stdlib random uses hidden global state; "
+                        "use sim.rng streams",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if _is_np_random(node.value) and node.attr not in _NP_RANDOM_ALLOWED:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.random.{node.attr} draws from global state; "
+                        "use default_rng(seed) or a sim.rng stream",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_default_rng = (
+                    isinstance(func, ast.Attribute) and func.attr == "default_rng"
+                ) or (isinstance(func, ast.Name) and func.id == "default_rng")
+                if is_default_rng and not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "default_rng() without a seed is entropy-seeded and "
+                        "nondeterministic; pass an explicit seed",
+                    )

@@ -1,0 +1,121 @@
+"""API hygiene rules: mutable defaults and honest ``__all__`` exports."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register_rule
+class NoMutableDefaultArgs(Rule):
+    """Mutable default arguments are shared across calls; default to
+    ``None`` and construct inside the function."""
+
+    rule_id = "no-mutable-default-args"
+    description = "no list/dict/set (or constructor-call) default arguments"
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "use None and construct inside the body",
+                    )
+
+
+def _collect_defined(body: list[ast.stmt], defined: set[str]) -> None:
+    """Top-level bindings, descending into if/try blocks (TYPE_CHECKING
+    guards, optional-dependency imports) but not into function bodies."""
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            defined.add(element.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            defined.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                defined.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.If):
+            _collect_defined(node.body, defined)
+            _collect_defined(node.orelse, defined)
+        elif isinstance(node, ast.Try):
+            _collect_defined(node.body, defined)
+            _collect_defined(node.orelse, defined)
+            _collect_defined(node.finalbody, defined)
+            for handler in node.handlers:
+                _collect_defined(handler.body, defined)
+
+
+@register_rule
+class AllExportsExist(Rule):
+    """Every name in ``__all__`` must resolve to something the module
+    actually defines (or, for a package ``__init__``, a submodule)."""
+
+    rule_id = "all-exports-exist"
+    description = "__all__ names must resolve to module-level definitions"
+
+    def check(self, module) -> Iterator[Finding]:
+        exports: ast.expr | None = None
+        export_line = 0
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        exports = node.value
+                        export_line = node.lineno
+        if exports is None or not isinstance(exports, (ast.List, ast.Tuple)):
+            return
+        defined: set[str] = set()
+        _collect_defined(module.tree.body, defined)
+        defined |= module.sibling_submodules()
+        for element in exports.elts:
+            if not isinstance(element, ast.Constant) or not isinstance(
+                element.value, str
+            ):
+                yield self.finding(
+                    module, export_line, "__all__ must hold string literals"
+                )
+                continue
+            if element.value not in defined:
+                yield self.finding(
+                    module,
+                    getattr(element, "lineno", export_line),
+                    f"__all__ exports {element.value!r} but the module never "
+                    "defines it",
+                )

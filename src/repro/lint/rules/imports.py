@@ -1,0 +1,55 @@
+"""Import-boundary rule: private names stay inside their module.
+
+Migrated from the original ad-hoc ``tests/test_no_private_cross_imports``
+AST walk — this is the engine-native version, and the old test is now a
+thin gate over this rule. The motivating incident: ``_momentum_strategies``
+leaked from the testbed into three other builders before being promoted
+to a public name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not (
+        name.startswith("__") and name.endswith("__")
+    )
+
+
+@register_rule
+class NoCrossModulePrivateImport(Rule):
+    """No ``from repro.x import _name`` across module boundaries."""
+
+    rule_id = "no-cross-module-private-import"
+    description = (
+        "no module may import another repro module's underscore-private names"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module is None:
+                continue
+            if node.level:  # relative import: resolve against the importer
+                base = module.name.split(".")
+                source = ".".join(base[: len(base) - node.level] + [node.module])
+            else:
+                source = node.module
+            if not source.startswith("repro"):
+                continue
+            if source == module.name:
+                continue
+            for alias in node.names:
+                if _is_private(alias.name):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"from {source} import {alias.name}: private names are "
+                        "internal to their module; promote it or add a public "
+                        "wrapper",
+                    )

@@ -188,8 +188,8 @@ class CommoditySwitch(Component):
             self.stats.unroutable += 1
             return
         self.stats.unicast_forwarded += 1
-        delay = self._forward_latency(packet)
-        self.call_after(delay, self._emit, packet, egress)
+        delay_ns = self._forward_latency_ns(packet)
+        self.call_after(delay_ns, self._emit, packet, egress)
 
     def _forward_multicast(self, packet: Packet, ingress: Link) -> None:
         group = packet.dst
@@ -197,11 +197,11 @@ class CommoditySwitch(Component):
         hw_entry = self._mroute_hw.get(group)
         if hw_entry is not None:
             self.stats.multicast_forwarded += 1
-            delay = self._forward_latency(packet)
+            delay_ns = self._forward_latency_ns(packet)
             for egress in hw_entry:
                 if egress is ingress:
                     continue
-                self.call_after(delay, self._emit, packet.clone(), egress)
+                self.call_after(delay_ns, self._emit, packet.clone(), egress)
             return
         sw_entry = self._mroute_sw.get(group)
         if sw_entry is None:
@@ -234,13 +234,13 @@ class CommoditySwitch(Component):
         else:
             self._sw_busy = False
 
-    def _forward_latency(self, packet: Packet) -> int:
-        latency = self.profile.hop_latency_ns
+    def _forward_latency_ns(self, packet: Packet) -> int:
+        latency_ns = self.profile.hop_latency_ns
         if self.profile.store_and_forward:
             # Must buffer the full frame before the forwarding decision.
             bits = packet.wire_bytes * 8
-            latency += int(round(bits / self.profile.port_bandwidth_bps * 1e9))
-        return latency
+            latency_ns += int(round(bits / self.profile.port_bandwidth_bps * 1e9))
+        return latency_ns
 
     def _emit(self, packet: Packet, egress: Link) -> None:
         packet.stamp(f"switch.{self.name}", self.now)

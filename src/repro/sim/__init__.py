@@ -16,6 +16,9 @@ from repro.sim.kernel import (
     MILLISECOND,
     NANOSECOND,
     SECOND,
+    ms_to_ns,
+    s_to_ns,
+    us_to_ns,
 )
 from repro.sim.process import Component, Timer
 from repro.sim.rng import RngStreams
@@ -31,4 +34,7 @@ __all__ = [
     "MICROSECOND",
     "MILLISECOND",
     "SECOND",
+    "ms_to_ns",
+    "s_to_ns",
+    "us_to_ns",
 ]

@@ -19,6 +19,24 @@ MILLISECOND = 1_000_000
 SECOND = 1_000_000_000
 
 
+# The explicit unit-conversion boundary. repro.lint's unit-suffix rule
+# bans _us/_ms names everywhere else; values arriving in other units
+# convert to integer nanoseconds through these helpers, at the edge.
+def us_to_ns(us: float) -> int:
+    """Microseconds -> integer nanoseconds."""
+    return int(round(us * MICROSECOND))
+
+
+def ms_to_ns(ms: float) -> int:
+    """Milliseconds -> integer nanoseconds."""
+    return int(round(ms * MILLISECOND))
+
+
+def s_to_ns(s: float) -> int:
+    """Seconds -> integer nanoseconds."""
+    return int(round(s * SECOND))
+
+
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, running twice, ...)."""
 

@@ -45,10 +45,10 @@ class Component:
         return self.sim.now
 
     def call_after(
-        self, delay: int, callback: Callable[..., None], *args
+        self, delay_ns: int, callback: Callable[..., None], *args
     ) -> EventHandle:
-        """Schedule ``callback(*args)`` after ``delay`` nanoseconds."""
-        return self.sim.schedule(after=delay, callback=callback, args=args)
+        """Schedule ``callback(*args)`` after ``delay_ns`` nanoseconds."""
+        return self.sim.schedule(after=delay_ns, callback=callback, args=args)
 
     def call_at(self, when: int, callback: Callable[..., None], *args) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
@@ -76,16 +76,16 @@ class Timer:
     def armed(self) -> bool:
         return self._handle is not None and not self._handle.cancelled
 
-    def start(self, delay: int) -> None:
-        """Arm the timer to fire after ``delay`` ns. Errors if already armed."""
+    def start(self, delay_ns: int) -> None:
+        """Arm the timer to fire after ``delay_ns`` ns. Errors if already armed."""
         if self.armed:
             raise SimulationError("timer already armed; use restart()")
-        self._handle = self.sim.schedule(after=delay, callback=self._fire)
+        self._handle = self.sim.schedule(after=delay_ns, callback=self._fire)
 
-    def restart(self, delay: int) -> None:
-        """Cancel any pending expiry and arm for ``delay`` ns from now."""
+    def restart(self, delay_ns: int) -> None:
+        """Cancel any pending expiry and arm for ``delay_ns`` ns from now."""
         self.cancel()
-        self._handle = self.sim.schedule(after=delay, callback=self._fire)
+        self._handle = self.sim.schedule(after=delay_ns, callback=self._fire)
 
     def cancel(self) -> None:
         if self._handle is not None:

@@ -67,9 +67,9 @@ class LatencyRecorder:
         last = self._last_input.get(context)
         if last is None:
             return None
-        latency = when_ns - last
-        self._samples.setdefault(context, []).append(latency)
-        return latency
+        latency_ns = when_ns - last
+        self._samples.setdefault(context, []).append(latency_ns)
+        return latency_ns
 
     def samples(self, context: str) -> list[int]:
         return list(self._samples.get(context, []))

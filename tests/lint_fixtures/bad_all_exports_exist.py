@@ -1,0 +1,11 @@
+"""BAD: __all__ promises a name the module never defines."""
+
+__all__ = ["Widget", "make_widget", "MISSING_NAME"]  # lint: MISSING_NAME
+
+
+class Widget:
+    pass
+
+
+def make_widget():
+    return Widget()

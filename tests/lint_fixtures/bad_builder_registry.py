@@ -1,0 +1,5 @@
+"""BAD: a builder that build_system() cannot reach."""
+
+
+def build_shadow_system(seed: int = 1):  # lint: not registered
+    return object()

@@ -1,0 +1,8 @@
+"""BAD: imports another module's underscore-private names."""
+
+from repro.core.testbed import _build_design1  # lint: private cross-import
+from repro.net.switch import _forward  # lint: private cross-import
+
+
+def build():
+    return _build_design1(seed=_forward)

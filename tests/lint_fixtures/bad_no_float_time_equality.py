@@ -1,0 +1,9 @@
+"""BAD: comparing times for equality after float arithmetic."""
+
+
+def spans_match(span_ns: int, total_ns: int) -> bool:
+    return span_ns / 1_000 == total_ns / 1_000  # lint: float time equality
+
+
+def deadline_hit(sim, deadline_ns: int) -> bool:
+    return float(sim.now) == deadline_ns  # lint: float time equality

@@ -1,0 +1,12 @@
+"""BAD: global random state — irreproducible across runs."""
+
+import random  # lint: stdlib random is global state
+
+import numpy as np
+
+
+def jitter(values):
+    np.random.seed(0)  # lint: hidden global state
+    noise = np.random.normal(size=len(values))  # lint: hidden global state
+    rng = np.random.default_rng()  # lint: entropy-seeded, nondeterministic
+    return values + noise + rng.normal() + random.random()

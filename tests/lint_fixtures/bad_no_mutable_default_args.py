@@ -1,0 +1,16 @@
+"""BAD: mutable default arguments are shared across calls."""
+
+
+def collect(sample, into=[]):  # lint: mutable default
+    into.append(sample)
+    return into
+
+
+def index(key, table={}, *, groups=set()):  # lint: two mutable defaults
+    table[key] = groups
+    return table
+
+
+def batch(items, queue=list()):  # lint: constructor-call default
+    queue.extend(items)
+    return queue

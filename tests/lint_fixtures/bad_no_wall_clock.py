@@ -1,0 +1,12 @@
+"""BAD: reads the host clock; sim code must use virtual time."""
+
+import time
+from datetime import datetime
+
+
+def stamp_events(events):
+    started = time.perf_counter()  # lint: wall-clock read
+    for event in events:
+        event.wall_time = time.time()  # lint: wall-clock read
+        event.day = datetime.now()  # lint: wall-clock read
+    return time.perf_counter() - started

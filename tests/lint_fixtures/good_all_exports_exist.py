@@ -1,0 +1,20 @@
+"""GOOD: every __all__ name resolves, including conditional imports."""
+
+from typing import TYPE_CHECKING
+
+__all__ = ["Widget", "make_widget", "np", "Hint"]
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from typing import Any as Hint
+else:
+    Hint = object
+
+
+class Widget:
+    pass
+
+
+def make_widget():
+    return Widget()

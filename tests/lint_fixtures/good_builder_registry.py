@@ -1,0 +1,22 @@
+"""GOOD: builders are facade-reachable via @register_builder."""
+
+from repro.core.api import deprecated_builder, register_builder
+
+
+@register_builder("design1")
+def build_direct_system(spec):  # registered directly
+    return object()
+
+
+def build_adapted_system(seed: int = 1):  # reached through the adapter
+    return object()
+
+
+@register_builder("design2")
+def _adapted_from_spec(spec):
+    return build_adapted_system(seed=spec.seed)
+
+
+build_legacy_system = deprecated_builder(
+    "build_legacy_system", "design2", build_adapted_system
+)

@@ -1,0 +1,8 @@
+"""GOOD: only public names cross module boundaries."""
+
+from repro.core import build_system
+from repro.net.packet import Packet
+
+
+def build(seed: int):
+    return build_system(design="design1", seed=seed), Packet

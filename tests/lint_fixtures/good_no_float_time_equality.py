@@ -1,0 +1,13 @@
+"""GOOD: time equality stays in exact integer nanoseconds."""
+
+
+def spans_match(span_ns: int, total_ns: int) -> bool:
+    return span_ns == total_ns
+
+
+def deadline_hit(sim, deadline_ns: int) -> bool:
+    return sim.now == deadline_ns
+
+
+def close_enough(a_ns: int, b_ns: int, tolerance_ns: int = 1) -> bool:
+    return abs(a_ns - b_ns) <= tolerance_ns

@@ -1,0 +1,13 @@
+"""GOOD: explicitly seeded generators only."""
+
+import numpy as np
+
+
+def jitter(values, seed: int):
+    rng = np.random.default_rng(seed)
+    return values + rng.normal(size=len(values))
+
+
+def jitter_stream(sim, values):
+    rng: np.random.Generator = sim.rng.stream("jitter")
+    return values + rng.normal(size=len(values))

@@ -1,0 +1,13 @@
+"""GOOD: default to None, construct inside the body."""
+
+
+def collect(sample, into=None):
+    into = [] if into is None else into
+    into.append(sample)
+    return into
+
+
+def index(key, table=None, *, groups=()):
+    table = {} if table is None else table
+    table[key] = set(groups)
+    return table

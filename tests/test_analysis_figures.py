@@ -45,10 +45,10 @@ def test_fig2b_series(tmp_path):
 def test_fig2c_series(tmp_path):
     path = write_fig2c_csv(tmp_path / "c.csv")
     header, rows = _read(path)
-    assert header == ["window_start_ms", "events"]
+    assert header == ["window_start_ns", "events"]
     assert len(rows) == 10_000
-    assert float(rows[0][0]) == 0.0
-    assert float(rows[-1][0]) == pytest.approx(999.9)
+    assert int(rows[0][0]) == 0
+    assert int(rows[-1][0]) == 999_900_000  # last 100 µs window start
     total = sum(int(r[1]) for r in rows)
     assert total == pytest.approx(1_500_000, rel=0.1)
 

@@ -49,7 +49,7 @@ def test_command_is_required():
 def test_run_command_with_config_file(tmp_path, capsys):
     from repro.core.config import SystemSpec
 
-    spec = SystemSpec(design="design3", seed=5, run_ms=10,
+    spec = SystemSpec(design="design3", seed=5, run_ns=10_000_000,
                       n_symbols=6, n_strategies=2)
     path = tmp_path / "spec.json"
     path.write_text(spec.to_json())

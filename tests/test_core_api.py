@@ -5,12 +5,13 @@ import warnings
 import pytest
 
 from repro.core import available_designs, build_system
-from repro.core.config import DESIGNS, SystemSpec
+from repro.core.config import ALL_DESIGNS, AUX_DESIGNS, DESIGNS, SystemSpec
 
 
 def test_available_designs_matches_config():
-    assert available_designs() == DESIGNS
+    assert available_designs() == ALL_DESIGNS
     assert set(DESIGNS) == {"design1", "design2", "design3", "design4", "wan"}
+    assert set(AUX_DESIGNS) == {"multivenue", "ticktotrade"}
 
 
 @pytest.mark.parametrize("design", DESIGNS)
@@ -19,6 +20,19 @@ def test_every_design_builds_and_runs(design):
     system.run(3_000_000)
     assert system.sim.now >= 3_000_000
     assert system.exchange.publisher.stats.frames > 0
+
+
+def test_aux_designs_build_through_facade():
+    multivenue = build_system(design="multivenue", seed=4, n_symbols=6,
+                              with_risk_gate=True)
+    multivenue.run(3_000_000)
+    assert multivenue.fills() >= 0
+    assert multivenue.risk is not None
+    assert all(e.publisher.stats.frames > 0 for e in multivenue.exchanges)
+
+    ticktotrade = build_system(design="ticktotrade", seed=77)
+    ticktotrade.run(3_000_000)
+    assert len(ticktotrade.roundtrip_samples()) > 0
 
 
 def test_spec_and_overrides_compose():

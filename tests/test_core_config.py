@@ -9,11 +9,11 @@ from repro.core.testbed import TradingSystem
 def test_defaults_are_valid():
     spec = SystemSpec()
     assert spec.design in DESIGNS
-    assert spec.run_ms > 0
+    assert spec.run_ns > 0
 
 
 def test_json_round_trip():
-    spec = SystemSpec(design="design3", seed=9, n_strategies=5, run_ms=25)
+    spec = SystemSpec(design="design3", seed=9, n_strategies=5, run_ns=25_000_000)
     restored = SystemSpec.from_json(spec.to_json())
     assert restored == spec
 
@@ -30,20 +30,27 @@ def test_unknown_fields_rejected():
         SystemSpec.from_dict({"design": "design1", "warp_factor": 9})
 
 
+def test_legacy_run_ms_field_converts_with_warning():
+    """Pre-1.1 spec files carried milliseconds; they still load."""
+    with pytest.warns(DeprecationWarning, match="run_ms"):
+        spec = SystemSpec.from_dict({"design": "design1", "run_ms": 10})
+    assert spec.run_ns == 10_000_000
+
+
 def test_validation():
     with pytest.raises(ValueError):
         SystemSpec(design="design9")
     with pytest.raises(ValueError):
         SystemSpec(n_strategies=0)
     with pytest.raises(ValueError):
-        SystemSpec(run_ms=0)
+        SystemSpec(run_ns=0)
     with pytest.raises(ValueError):
         SystemSpec(function_latency_ns=-1)
 
 
 def test_build_and_run_both_designs():
     for design in DESIGNS:
-        spec = SystemSpec(design=design, seed=2, run_ms=15,
+        spec = SystemSpec(design=design, seed=2, run_ns=15_000_000,
                           n_symbols=6, n_strategies=2)
         system = spec.build_and_run()
         if design == "wan":
@@ -58,14 +65,14 @@ def test_build_and_run_both_designs():
 
 
 def test_same_spec_same_results():
-    spec = SystemSpec(seed=11, run_ms=15, n_symbols=6, n_strategies=2)
+    spec = SystemSpec(seed=11, run_ns=15_000_000, n_symbols=6, n_strategies=2)
     a = spec.build_and_run()
     b = spec.build_and_run()
     assert a.roundtrip_samples() == b.roundtrip_samples()
 
 
 def test_design4_buildable_from_spec():
-    spec = SystemSpec(design="design4", seed=2, run_ms=15,
+    spec = SystemSpec(design="design4", seed=2, run_ns=15_000_000,
                       n_symbols=6, n_strategies=2)
     system = spec.build_and_run()
     assert len(system.roundtrip_samples()) > 0

@@ -1,0 +1,82 @@
+"""Baseline semantics: grandfathered findings are suppressed, new ones
+still fail — including through the CLI."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.lint import (
+    filter_baselined,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+BAD_SNIPPET = "def collect(sample, into=[]):\n    return into\n"
+SECOND_BAD_SNIPPET = "def index(key, table={}):\n    return table\n"
+
+
+def _write_tree(root: Path) -> Path:
+    module = root / "legacy.py"
+    module.write_text(BAD_SNIPPET)
+    return module
+
+
+def test_baseline_suppresses_old_but_fails_new(tmp_path):
+    _write_tree(tmp_path)
+    first = run_lint(root=tmp_path)
+    assert len(first) == 1
+
+    baseline_path = write_baseline(first, tmp_path / "baseline.json")
+    baseline = load_baseline(baseline_path)
+    new, grandfathered = filter_baselined(run_lint(root=tmp_path), baseline)
+    assert not new
+    assert len(grandfathered) == 1
+
+    # A new violation in the same tree is NOT suppressed.
+    (tmp_path / "fresh.py").write_text(SECOND_BAD_SNIPPET)
+    new, grandfathered = filter_baselined(run_lint(root=tmp_path), baseline)
+    assert len(new) == 1
+    assert new[0].path == "fresh.py"
+    assert len(grandfathered) == 1
+
+
+def test_baseline_keys_survive_line_drift(tmp_path):
+    module = _write_tree(tmp_path)
+    baseline = load_baseline(
+        write_baseline(run_lint(root=tmp_path), tmp_path / "baseline.json")
+    )
+    # Prepend lines: the finding moves but its identity does not.
+    module.write_text("# moved\n# down\n" + BAD_SNIPPET)
+    new, grandfathered = filter_baselined(run_lint(root=tmp_path), baseline)
+    assert not new
+    assert grandfathered[0].line == 3
+
+
+def test_cli_baseline_round_trip(tmp_path, capsys):
+    _write_tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+
+    assert main(["lint", str(tmp_path)]) == 1
+    capsys.readouterr()
+
+    assert main(["lint", str(tmp_path), "--write-baseline", str(baseline_path)]) == 0
+    document = json.loads(baseline_path.read_text())
+    assert document["version"] == 1 and len(document["findings"]) == 1
+    capsys.readouterr()
+
+    assert main(["lint", str(tmp_path), "--baseline", str(baseline_path)]) == 0
+    out = capsys.readouterr().out
+    assert "grandfathered" in out
+
+    (tmp_path / "fresh.py").write_text(SECOND_BAD_SNIPPET)
+    assert main(["lint", str(tmp_path), "--baseline", str(baseline_path)]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out and "legacy.py" not in out
+
+
+def test_corrupt_baseline_is_a_usage_error(tmp_path, capsys):
+    _write_tree(tmp_path)
+    bad = tmp_path / "baseline.json"
+    bad.write_text('{"not": "a baseline"}')
+    assert main(["lint", str(tmp_path), "--baseline", str(bad)]) == 2

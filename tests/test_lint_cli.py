@@ -1,0 +1,68 @@
+"""The ``python -m repro lint`` subcommand end to end."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def test_shipped_tree_is_clean(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_bad_fixtures_fail_with_rule_path_line(capsys):
+    assert main(["lint", str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "[unit-suffix]" in out
+    assert "[no-wall-clock]" in out
+    assert "bad_unit_suffix.py:" in out
+    # every reported line is path:line: [rule-id] message
+    for line in out.strip().splitlines():
+        path, line_no, rest = line.split(":", 2)
+        assert path.endswith(".py") and int(line_no) > 0
+        assert rest.lstrip().startswith("[")
+
+
+def test_json_format(capsys):
+    assert main(["lint", str(FIXTURES), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and payload
+    record = payload[0]
+    assert set(record) == {"path", "line", "rule_id", "message"}
+
+
+def test_rule_selection(capsys):
+    bad = FIXTURES / "bad_no_mutable_default_args.py"
+    assert main(["lint", str(bad), "--root", str(FIXTURES),
+                 "--rules", "no-mutable-default-args"]) == 1
+    out = capsys.readouterr().out
+    assert "no-mutable-default-args" in out
+    assert main(["lint", str(bad), "--root", str(FIXTURES),
+                 "--rules", "no-wall-clock"]) == 0
+
+
+def test_single_file_outside_default_root(capsys):
+    # File arguments live outside src/; the engine must not require them
+    # to be relative to the scan root.
+    bad = FIXTURES / "bad_no_wall_clock.py"
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "bad_no_wall_clock.py:" in out and "[no-wall-clock]" in out
+    good = FIXTURES / "good_no_wall_clock.py"
+    assert main(["lint", str(good)]) == 0
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main(["lint", "--rules", "no-such-rule"]) == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "unit-suffix" in out and "builder-registry" in out
+    assert len(out.strip().splitlines()) == 8

@@ -1,0 +1,44 @@
+"""Tier-1 gate: the shipped tree is lint-clean, with no baseline.
+
+This is the test-suite face of ``python -m repro lint``: every rule runs
+over every module under ``src/`` and must produce zero findings. There
+is deliberately no baseline file in the repository — new debt fails
+here, visibly, instead of accreting.
+"""
+
+from pathlib import Path
+
+from repro.lint import all_rules, render_findings, run_lint
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def test_rule_registry_is_complete():
+    rule_ids = {rule.rule_id for rule in all_rules()}
+    assert rule_ids == {
+        "all-exports-exist",
+        "builder-registry",
+        "no-cross-module-private-import",
+        "no-float-time-equality",
+        "no-global-random",
+        "no-mutable-default-args",
+        "no-wall-clock",
+        "unit-suffix",
+    }
+    for rule in all_rules():
+        assert rule.description, f"{rule.rule_id} has no description"
+
+
+def test_source_tree_is_lint_clean():
+    findings = run_lint(root=SRC)
+    assert not findings, "\n" + render_findings(findings)
+
+
+def test_gate_scans_the_whole_tree():
+    """Guard against the gate silently scanning nothing."""
+    from repro.lint import load_modules
+
+    modules = load_modules(SRC)
+    assert len(modules) > 90
+    assert any(m.name == "repro.sim.kernel" for m in modules)
+    assert any(m.name == "repro.lint" for m in modules)

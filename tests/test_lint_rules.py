@@ -1,0 +1,74 @@
+"""Per-rule fixture tests: every rule fires on its bad fixture and
+stays quiet on its good twin (``tests/lint_fixtures/``)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+RULE_IDS = sorted(rule.rule_id for rule in all_rules())
+
+
+def _fixture(kind: str, rule_id: str) -> Path:
+    return FIXTURES / f"{kind}_{rule_id.replace('-', '_')}.py"
+
+
+def _run_rule(rule_id: str, path: Path):
+    return run_lint(root=FIXTURES, paths=[path], rule_ids=[rule_id])
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_every_rule_has_fixture_pair(rule_id):
+    assert _fixture("bad", rule_id).exists()
+    assert _fixture("good", rule_id).exists()
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_fires_on_bad_fixture(rule_id):
+    findings = _run_rule(rule_id, _fixture("bad", rule_id))
+    assert findings, f"{rule_id} did not fire on its bad fixture"
+    for finding in findings:
+        assert finding.rule_id == rule_id
+        assert finding.path == _fixture("bad", rule_id).name
+        assert finding.line > 0
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_quiet_on_good_fixture(rule_id):
+    findings = _run_rule(rule_id, _fixture("good", rule_id))
+    assert not findings, f"{rule_id} false-positived: {findings}"
+
+
+def test_unit_suffix_counts():
+    findings = _run_rule("unit-suffix", _fixture("bad", "unit-suffix"))
+    # two params, two bare locals, one annotated field, one attribute store
+    assert len(findings) == 6
+
+
+def test_conversion_helpers_are_allowlisted():
+    """The real ms_to_ns/us_to_ns helpers pass the unit-suffix rule."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    kernel = src / "repro" / "sim" / "kernel.py"
+    assert not run_lint(root=src, paths=[kernel], rule_ids=["unit-suffix"])
+
+
+def test_selecting_unknown_rule_raises():
+    with pytest.raises(ValueError, match="unknown rule ids"):
+        run_lint(root=FIXTURES, rule_ids=["no-such-rule"])
+
+
+def test_private_import_resolves_relative_imports(tmp_path):
+    """A relative ``from . import _name`` resolves against the importer
+    package, so intra-package private sharing is still flagged."""
+    package = tmp_path / "repro" / "sub"
+    package.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (package / "__init__.py").write_text("")
+    (package / "user.py").write_text("from .helper import _secret\n")
+    findings = run_lint(root=tmp_path, rule_ids=["no-cross-module-private-import"])
+    assert len(findings) == 1
+    assert "_secret" in findings[0].message

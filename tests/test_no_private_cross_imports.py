@@ -1,57 +1,23 @@
-"""Lint: no module may import another module's underscore-private names.
+"""Lint gate: no module may import another module's underscore-private
+names.
 
-A leading underscore marks a name as internal to its module; importing
-one across module boundaries couples callers to implementation details
-(this is exactly how ``_momentum_strategies`` leaked from the testbed
-into three other builders before it was promoted to a public name).
-This test walks every module under ``src/`` and fails on
-``from repro.x import _name`` where the importer is a different module.
+Historically this test carried its own AST walk; that logic now lives in
+the engine as the ``no-cross-module-private-import`` rule (see
+``repro.lint.rules.imports``), and this file is the thin gate that keeps
+the original failure mode — ``_momentum_strategies`` leaking across
+builder modules — pinned by name in the suite.
 """
 
-import ast
 from pathlib import Path
+
+from repro.lint import render_findings, run_lint
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 
 
-def _module_name(path: Path) -> str:
-    rel = path.relative_to(SRC).with_suffix("")
-    parts = list(rel.parts)
-    if parts[-1] == "__init__":
-        parts = parts[:-1]
-    return ".".join(parts)
-
-
-def _is_private(name: str) -> bool:
-    return name.startswith("_") and not (
-        name.startswith("__") and name.endswith("__")
-    )
-
-
 def test_no_cross_module_private_imports():
-    offenders = []
-    for path in sorted(SRC.rglob("*.py")):
-        importer = _module_name(path)
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        for node in ast.walk(tree):
-            if not isinstance(node, ast.ImportFrom) or node.module is None:
-                continue
-            if node.level:  # relative import: resolve against the importer
-                base = importer.split(".")
-                source = ".".join(base[: len(base) - node.level] + [node.module])
-            else:
-                source = node.module
-            if not source.startswith("repro"):
-                continue
-            if source == importer:
-                continue
-            for alias in node.names:
-                if _is_private(alias.name):
-                    offenders.append(
-                        f"{path.relative_to(SRC)}:{node.lineno}: "
-                        f"from {source} import {alias.name}"
-                    )
-    assert not offenders, (
-        "cross-module imports of underscore-private names:\n  "
-        + "\n  ".join(offenders)
+    findings = run_lint(root=SRC, rule_ids=["no-cross-module-private-import"])
+    assert not findings, (
+        "cross-module imports of underscore-private names:\n"
+        + render_findings(findings)
     )

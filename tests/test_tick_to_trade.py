@@ -11,7 +11,7 @@ from repro.core.ticktotrade import (
 
 @pytest.fixture(scope="module")
 def system():
-    return build_tick_to_trade_system(seed=77, run_ms=5)
+    return build_tick_to_trade_system(seed=77, run_ns=5_000_000)
 
 
 def test_tick_to_trade_is_hundreds_of_nanoseconds(system):
@@ -44,9 +44,24 @@ def test_software_stack_cannot_reach_this_floor(system):
 def test_determinism(system):
     sim, exchange, strategy = system
     again_sim, again_exchange, again_strategy = build_tick_to_trade_system(
-        seed=77, run_ms=5
+        seed=77, run_ns=5_000_000
     )
     assert (
         again_exchange.order_entry.roundtrip_samples
         == exchange.order_entry.roundtrip_samples
+    )
+
+
+def test_facade_build_is_unrun_then_matches(system):
+    """build_system(design="ticktotrade") returns the wired-but-unrun
+    pipeline; driving it reproduces the direct builder bit-for-bit."""
+    from repro.core import build_system
+
+    via_facade = build_system(design="ticktotrade", seed=77)
+    assert via_facade.sim.now == 0
+    assert via_facade.roundtrip_samples() == []
+    via_facade.run(5_000_000)
+    _sim, exchange, _strategy = system
+    assert via_facade.roundtrip_samples() == list(
+        exchange.order_entry.roundtrip_samples
     )
