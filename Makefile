@@ -1,0 +1,20 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: verify lint test bench report
+
+# The one gate: repro lint + ruff (when installed) + tier-1 pytest.
+verify:
+	$(PYTHON) -m repro verify
+
+lint:
+	$(PYTHON) -m repro lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+report:
+	$(PYTHON) -m repro report --design design1

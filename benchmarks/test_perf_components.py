@@ -4,13 +4,43 @@ Unlike the E-series (which reproduce the paper), these time the hot
 paths of the library with pytest-benchmark's statistics — the numbers a
 downstream user needs to size their own experiments. No paper claims;
 just throughput.
+
+Besides pytest-benchmark's own storage, this module writes a
+machine-readable ``BENCH_perf.json`` next to the repo root at the end
+of the run: one entry per bench (median seconds and the bench's result
+value), plus the telemetry-overhead ratio measured by the kernel
+profiler — the cost of observing a run relative to running it dark.
 """
 
+import json
+from pathlib import Path
+
 import numpy as np
+import pytest
 
 from repro.exchange.book import OrderBook
 from repro.protocols.pitch import AddOrder, DeleteOrder, PitchFrameCodec
 from repro.sim.kernel import Simulator
+
+_RESULTS: dict[str, dict] = {}
+_OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    """Collect every bench's numbers and dump them once, at module end."""
+    yield
+    if _RESULTS:
+        _OUT_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def _record(name: str, benchmark, result, **extra) -> None:
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    _RESULTS[name] = {
+        "median_s": stats.median if stats is not None else None,
+        "result": result,
+        **extra,
+    }
 
 
 def test_perf_kernel_event_throughput(benchmark):
@@ -25,6 +55,7 @@ def test_perf_kernel_event_throughput(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result == 100_000
+    _record("kernel_event_throughput", benchmark, result)
 
 
 def _noop():
@@ -48,6 +79,7 @@ def test_perf_pitch_encode_decode(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result == 10_000
+    _record("pitch_encode_decode", benchmark, result)
 
 
 def test_perf_order_book_matching(benchmark):
@@ -76,6 +108,7 @@ def test_perf_order_book_matching(benchmark):
 
     trades = benchmark.pedantic(run, rounds=3, iterations=1)
     assert trades > 1_000
+    _record("order_book_matching", benchmark, trades)
 
 
 def test_perf_end_to_end_simulation_rate(benchmark):
@@ -90,3 +123,55 @@ def test_perf_end_to_end_simulation_rate(benchmark):
 
     events = benchmark.pedantic(run, rounds=3, iterations=1)
     assert events > 1_000
+    _record("end_to_end_simulation_rate", benchmark, events)
+
+
+def test_perf_telemetry_overhead_ratio(benchmark):
+    """The price of the flight recorder, measured by the kernel profiler.
+
+    Runs the same Design 1 testbed dark and instrumented, both under
+    the profiler. The dark run must register *zero* telemetry wall time
+    (instrumented hot paths do nothing beyond one ``is not None``
+    check); the instrumented run's overhead ratio is written to
+    ``BENCH_perf.json`` so regressions in recording cost are visible
+    run over run.
+    """
+    from repro.core import build_system
+    from repro.sim.kernel import MILLISECOND
+
+    def run_pair():
+        dark = build_system(design="design1", seed=1)
+        dark_profiler = dark.sim.attach_profiler()
+        dark.run(10 * MILLISECOND)
+
+        lit = build_system(design="design1", seed=1, telemetry=True)
+        lit_profiler = lit.sim.attach_profiler()
+        lit.run(10 * MILLISECOND)
+
+        return dark_profiler.report(), lit_profiler.report()
+
+    dark_report, lit_report = benchmark.pedantic(run_pair, rounds=3, iterations=1)
+
+    # Telemetry off: literally no recording work was measured.
+    assert dark_report.telemetry_events == 0
+    assert dark_report.telemetry_wall_ns == 0
+
+    # Telemetry on: recording happened, and stayed a fraction of the run.
+    assert lit_report.telemetry_events > 0
+    assert lit_report.telemetry_wall_ns > 0
+    assert 0.0 < lit_report.telemetry_share < 0.9
+
+    wall_ratio = (
+        lit_report.total_wall_ns / dark_report.total_wall_ns
+        if dark_report.total_wall_ns
+        else None
+    )
+    _record(
+        "telemetry_overhead",
+        benchmark,
+        lit_report.telemetry_events,
+        telemetry_share=lit_report.telemetry_share,
+        telemetry_wall_ns=lit_report.telemetry_wall_ns,
+        dark_telemetry_wall_ns=dark_report.telemetry_wall_ns,
+        on_vs_off_wall_ratio=wall_ratio,
+    )

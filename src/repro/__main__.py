@@ -8,8 +8,10 @@ Commands
 ``roundtrip``   run the Design 1 and Design 3 testbeds and compare
 ``run``         build and run a system from a SystemSpec JSON file
 ``trace``       run with telemetry and print the per-hop decomposition
+``report``      one self-contained run report: hops, series, queues, profile
 ``scoreboard``  run every reproduction bench (the full scoreboard)
 ``lint``        run the repro.lint static-analysis rules over the tree
+``verify``      run all three gates (lint, ruff, tier-1 pytest) as one
 """
 
 from __future__ import annotations
@@ -158,6 +160,65 @@ def _cmd_trace(args) -> int:
     return 0 if deco.max_residual_ns <= 1 else 1
 
 
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.analysis.report import build_report, render_report
+    from repro.core.config import ALL_DESIGNS, resolve_design
+    from repro.sim.kernel import MILLISECOND
+    from repro.telemetry import write_series_jsonl
+
+    design = resolve_design(args.design)
+    if design not in ALL_DESIGNS:
+        print(f"unknown design {args.design!r}; known: {ALL_DESIGNS}")
+        return 2
+    report = build_report(
+        design=design, seed=args.seed, run_ns=args.ms * MILLISECOND
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    if args.series_jsonl:
+        write_series_jsonl(report.series, args.series_jsonl)
+        print(f"wrote windowed series to {args.series_jsonl}", file=sys.stderr)
+    return 0 if report.sum_check.ok else 1
+
+
+def _cmd_verify(args) -> int:
+    """Chain the three gates: repro lint, ruff (if present), tier-1 pytest."""
+    import os
+    import shutil
+    import subprocess
+    from pathlib import Path
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1])  # the src/ directory
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    steps: list[tuple[str, list[str]]] = [
+        ("repro lint", [sys.executable, "-m", "repro", "lint"]),
+    ]
+    if shutil.which("ruff"):
+        steps.append(("ruff", ["ruff", "check", "src", "tests", "benchmarks"]))
+    else:
+        print("verify: ruff not installed; skipping the style gate")
+    steps.append(("pytest (tier 1)", [sys.executable, "-m", "pytest", "-x", "-q"]))
+
+    failed: list[str] = []
+    for label, cmd in steps:
+        print(f"== {label}: {' '.join(cmd)}")
+        if subprocess.call(cmd, env=env) != 0:
+            failed.append(label)
+            if not args.keep_going:
+                break
+    if failed:
+        print(f"verify: FAILED ({', '.join(failed)})")
+        return 1
+    print("verify: all gates passed")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run as lint_run
 
@@ -213,7 +274,29 @@ def main(argv: list[str] | None = None) -> int:
     tr.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
     tr.add_argument("--jsonl", help="also dump every trace to this JSONL file")
 
+    rp = sub.add_parser(
+        "report", help="one self-contained run report (telemetry + profiler on)"
+    )
+    rp.add_argument(
+        "--design", default="design1",
+        help='design name or alias: "design1"/"leaf_spine", "l1s", "wan", ...',
+    )
+    rp.add_argument("--seed", type=int, default=7)
+    rp.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
+    rp.add_argument("--format", choices=["text", "json"], default="text")
+    rp.add_argument(
+        "--series-jsonl", help="also dump the windowed series to this JSONL file"
+    )
+
     sub.add_parser("scoreboard", help="run all reproduction benches")
+
+    verify = sub.add_parser(
+        "verify", help="run lint + ruff + tier-1 pytest as one gate"
+    )
+    verify.add_argument(
+        "--keep-going", action="store_true",
+        help="run every gate even after a failure",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the static-analysis rules (repro.lint)"
@@ -230,8 +313,10 @@ def main(argv: list[str] | None = None) -> int:
         "roundtrip": _cmd_roundtrip,
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "report": _cmd_report,
         "scoreboard": _cmd_scoreboard,
         "lint": _cmd_lint,
+        "verify": _cmd_verify,
     }[args.command]
     return handler(args)
 

@@ -1,0 +1,307 @@
+"""The unified run report behind ``python -m repro report``.
+
+One invocation builds a system from a :class:`~repro.core.config.
+SystemSpec`, runs it with telemetry and the kernel profiler attached,
+and assembles everything the other observability pieces produce into a
+single self-contained report:
+
+* round-trip statistics and the per-hop decomposition (§4.1);
+* instrument summaries — counters, gauge high-watermarks, histograms;
+* the Fig. 2-style windowed event series with busiest-window callouts;
+* the §4.3 merge-bottleneck analysis, including the merge-backlog
+  gauge's high-watermark;
+* the kernel profile, with telemetry self-overhead split out;
+* an internal consistency check: every count series' per-window values
+  must sum exactly to the matching counter (they are fed by the same
+  :meth:`~repro.telemetry.session.TelemetrySession.count` call, so a
+  mismatch means the recording layer itself is broken).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SystemSpec
+from repro.core.merge import MergeAnalysis, analyze_merge
+from repro.sim.kernel import MILLISECOND, format_ns
+from repro.telemetry import (
+    HopDecomposition,
+    ProfileReport,
+    decompose,
+    render_decomposition,
+    render_profile,
+)
+
+
+@dataclass(frozen=True)
+class SumCheck:
+    """Did every count series sum exactly to its counter?"""
+
+    checked: int
+    mismatches: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked": self.checked,
+            "mismatches": list(self.mismatches),
+        }
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything one instrumented run produced, ready to render."""
+
+    spec: SystemSpec
+    events_executed: int
+    roundtrip: dict | None
+    decomposition: HopDecomposition | None
+    metrics: dict
+    series: dict
+    busiest_windows: tuple[dict, ...]
+    merge: MergeAnalysis
+    profile: ProfileReport
+    sum_check: SumCheck
+    trace_count: int = 0
+    notes: tuple[str, ...] = field(default=())
+
+    def to_dict(self) -> dict:
+        deco = None
+        if self.decomposition is not None:
+            deco = {
+                "trace_count": self.decomposition.trace_count,
+                "mean_rtt_ns": self.decomposition.mean_rtt_ns,
+                "network_share": self.decomposition.network_share,
+                "max_residual_ns": self.decomposition.max_residual_ns,
+                "hops": [
+                    {
+                        "where": row.where,
+                        "kind": row.kind,
+                        "mean_ns": row.mean_ns,
+                        "share": row.share,
+                    }
+                    for row in self.decomposition.rows
+                ],
+            }
+        return {
+            "spec": self.spec.to_dict(),
+            "events_executed": self.events_executed,
+            "roundtrip": self.roundtrip,
+            "decomposition": deco,
+            "metrics": self.metrics,
+            "series": self.series,
+            "busiest_windows": list(self.busiest_windows),
+            "merge": {
+                "n_feeds": self.merge.n_feeds,
+                "offered_frames": self.merge.offered_frames,
+                "delivered_frames": self.merge.delivered_frames,
+                "dropped_frames": self.merge.dropped_frames,
+                "loss_rate": self.merge.loss_rate,
+                "mean_queue_delay_ns": self.merge.mean_queue_delay_ns,
+                "max_queue_delay_ns": self.merge.max_queue_delay_ns,
+                "utilization": self.merge.utilization,
+                "backlog_high_watermark_bytes": (
+                    self.merge.backlog_high_watermark_bytes
+                ),
+            },
+            "profile": self.profile.to_dict(),
+            "sum_check": self.sum_check.to_dict(),
+            "trace_count": self.trace_count,
+            "notes": list(self.notes),
+        }
+
+
+def _check_sums(recorder, counters: dict) -> SumCheck:
+    """Verify per-window counts sum to the matching counters exactly."""
+    checked = 0
+    mismatches: list[str] = []
+    for name in recorder.series_names:
+        if recorder.kind(name) != "count":
+            continue
+        checked += 1
+        window_sum = sum(recorder.counts_array(name))
+        total = recorder.total(name)
+        counter = counters.get(name)
+        if window_sum != total:
+            mismatches.append(
+                f"{name}: windows sum to {window_sum}, series total {total}"
+            )
+        elif counter != total:
+            mismatches.append(
+                f"{name}: series total {total}, counter {counter}"
+            )
+    return SumCheck(checked=checked, mismatches=tuple(mismatches))
+
+
+def build_report(
+    spec: SystemSpec | None = None,
+    merge_feeds: int = 12,
+    **overrides,
+) -> RunReport:
+    """Run ``spec`` (telemetry + profiler on) and assemble the report.
+
+    Keyword overrides are applied to the spec as in
+    :func:`~repro.core.api.build_system`; telemetry is always forced on.
+    ``merge_feeds`` sizes the companion §4.3 merge-bottleneck run.
+    """
+    from repro.core.api import build_system
+
+    if spec is None:
+        spec = SystemSpec(**{**overrides, "telemetry": True})
+    else:
+        from dataclasses import replace
+
+        spec = replace(spec, **{**overrides, "telemetry": True})
+
+    system = build_system(spec)
+    sim = system.sim
+    profiler = sim.attach_profiler()
+    system.run(spec.run_ns)
+
+    telemetry = sim.telemetry
+    notes: list[str] = []
+
+    roundtrip = None
+    if hasattr(system, "roundtrip_stats"):
+        stats = system.roundtrip_stats()
+        if stats.count:
+            roundtrip = {
+                "count": stats.count,
+                "mean_ns": stats.mean,
+                "median_ns": stats.median,
+                "p99_ns": stats.p99,
+                "min_ns": stats.minimum,
+                "max_ns": stats.maximum,
+            }
+        else:
+            notes.append("no round trips completed; try a longer run_ns")
+    else:
+        notes.append(f"design {spec.design} does not expose round-trip stats")
+
+    decomposition = None
+    if telemetry.traces:
+        decomposition = decompose(telemetry.traces)
+    else:
+        notes.append("no completed traces; hop decomposition omitted")
+
+    recorder = telemetry.series
+    metrics = telemetry.metrics.to_dict()
+    busiest = []
+    for name in recorder.series_names:
+        if recorder.kind(name) != "count":
+            continue
+        peak = recorder.busiest(name)
+        if peak is None or peak.value == 0:
+            continue
+        busiest.append(
+            {
+                "series": name,
+                "window_start_ns": peak.start_ns,
+                "window_ns": recorder.window_ns,
+                "events": peak.value,
+                "total": recorder.total(name),
+            }
+        )
+    busiest.sort(key=lambda row: (-row["events"], row["series"]))
+
+    sum_check = _check_sums(recorder, metrics["counters"])
+
+    # The §4.3 companion run: merge bursty feeds through a MergeUnit and
+    # report how deep the backlog got (the merge.merge.backlog_bytes
+    # gauge high-watermark).
+    merge = analyze_merge(
+        n_feeds=merge_feeds,
+        events_per_feed_per_s=60_000.0,
+        duration_ns=10 * MILLISECOND,
+        seed=spec.seed,
+        telemetry=True,
+    )
+
+    return RunReport(
+        spec=spec,
+        events_executed=sim.events_executed,
+        roundtrip=roundtrip,
+        decomposition=decomposition,
+        metrics=metrics,
+        series=recorder.to_dict(),
+        busiest_windows=tuple(busiest),
+        merge=merge,
+        profile=profiler.report(),
+        sum_check=sum_check,
+        trace_count=len(telemetry.traces),
+        notes=tuple(notes),
+    )
+
+
+def render_report(report: RunReport, top_series: int = 8) -> str:
+    """Human-readable multi-section text rendering of ``report``."""
+    spec = report.spec
+    lines = [
+        f"run report: {spec.design} seed={spec.seed} "
+        f"({format_ns(spec.run_ns)} simulated, "
+        f"{report.events_executed:,} events)",
+        "=" * 72,
+    ]
+
+    if report.roundtrip is not None:
+        rt = report.roundtrip
+        lines.append(
+            f"round trip: median {format_ns(int(rt['median_ns']))}, "
+            f"p99 {format_ns(int(rt['p99_ns']))} (n={rt['count']})"
+        )
+    if report.decomposition is not None:
+        lines.append("")
+        lines.append(
+            render_decomposition(report.decomposition, title="hop decomposition")
+        )
+
+    lines.append("")
+    lines.append(f"busiest windows ({format_ns(report.series['window_ns'])} wide):")
+    header = f"  {'series':<40} {'window start':>14} {'events':>8} {'total':>10}"
+    lines.append(header)
+    for row in report.busiest_windows[:top_series]:
+        lines.append(
+            f"  {row['series']:<40} {format_ns(row['window_start_ns']):>14} "
+            f"{row['events']:>8} {row['total']:>10}"
+        )
+    if not report.busiest_windows:
+        lines.append("  (no windowed count series recorded)")
+
+    gauges = report.metrics.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("queue high-watermarks:")
+        ranked = sorted(
+            gauges.items(), key=lambda item: -item[1]["high_watermark"]
+        )
+        for name, values in ranked[:top_series]:
+            lines.append(f"  {name:<48} {values['high_watermark']:>10}")
+
+    merge = report.merge
+    lines.append("")
+    lines.append(
+        f"merge bottleneck (§4.3, {merge.n_feeds} bursty feeds): "
+        f"loss {merge.loss_rate:.2%}, max queue delay "
+        f"{format_ns(merge.max_queue_delay_ns)}, backlog high-watermark "
+        f"{merge.backlog_high_watermark_bytes} bytes"
+    )
+
+    lines.append("")
+    lines.append(render_profile(report.profile))
+
+    lines.append("")
+    check = report.sum_check
+    verdict = "OK" if check.ok else "MISMATCH"
+    lines.append(
+        f"window-sum check: {check.checked} count series sum exactly to "
+        f"their counters [{verdict}]"
+    )
+    for mismatch in check.mismatches:
+        lines.append(f"  !! {mismatch}")
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

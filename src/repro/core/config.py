@@ -28,6 +28,22 @@ DESIGNS = ("design1", "design2", "design3", "design4", "wan")
 AUX_DESIGNS = ("multivenue", "ticktotrade")
 ALL_DESIGNS = DESIGNS + AUX_DESIGNS
 
+# Descriptive aliases accepted anywhere a design name is (CLI flags,
+# spec files): the paper's §4 vocabulary mapped onto registry names.
+DESIGN_ALIASES = {
+    "leaf_spine": "design1",
+    "cloud": "design2",
+    "l1s": "design3",
+    "fpga_l1s": "design4",
+}
+
+
+def resolve_design(name: str) -> str:
+    """Canonical design name for ``name`` (alias, bare number, or canonical)."""
+    if name.isdigit():
+        return f"design{name}"
+    return DESIGN_ALIASES.get(name, name)
+
 
 @dataclass(frozen=True)
 class SystemSpec:
@@ -66,6 +82,7 @@ class SystemSpec:
     with_risk_gate: bool = False
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "design", resolve_design(self.design))
         if self.design not in ALL_DESIGNS:
             raise ValueError(
                 f"design must be one of {ALL_DESIGNS}, got {self.design!r}"

@@ -53,6 +53,9 @@ class MergeAnalysis:
     mean_queue_delay_ns: float
     max_queue_delay_ns: int
     utilization: float
+    # Deepest the merge's output queue ever got, from the
+    # merge.merge.backlog_bytes gauge; None when run without telemetry.
+    backlog_high_watermark_bytes: int | None = None
 
     @property
     def loss_rate(self) -> float:
@@ -92,16 +95,19 @@ def analyze_merge(
     line_rate_bps: float = 10e9,
     queue_limit_bytes: int = 64 * 1024,
     seed: int = 0,
+    telemetry: bool = False,
 ) -> MergeAnalysis:
     """Simulate N Hawkes-bursty feeds through a merge unit onto one link.
 
     ``compression_ratio`` shrinks frame payloads (header compression);
     ``filter_pass_fraction`` thins the event streams (upstream
     filtering) — the two §5 levers, applied before the merge.
+    With ``telemetry=True`` the run records the merge-backlog gauge and
+    the analysis carries its high-watermark (§4.3's sizing answer).
     """
     if n_feeds < 1:
         raise ValueError("need at least one feed")
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     merge = MergeUnit(sim, "merge")
     sink = _CountingSink("strategy-nic")
     out_link = Link(
@@ -151,6 +157,11 @@ def analyze_merge(
     stats = out_link.stats_from(merge)
     delivered = sink.frames
     sent = stats.packets_sent
+    backlog_hw = None
+    if sim.telemetry is not None:
+        backlog_hw = sim.telemetry.metrics.gauge(
+            "merge.merge.backlog_bytes"
+        ).high_watermark
     return MergeAnalysis(
         n_feeds=n_feeds,
         offered_frames=offered,
@@ -159,6 +170,7 @@ def analyze_merge(
         mean_queue_delay_ns=(stats.queue_delay_total_ns / sent) if sent else 0.0,
         max_queue_delay_ns=stats.queue_delay_max_ns,
         utilization=stats.utilization(duration_ns),
+        backlog_high_watermark_bytes=backlog_hw,
     )
 
 

@@ -145,6 +145,10 @@ class FeedPublisher(Component):
         ]
         self._pending_bytes = [SEQUENCED_UNIT_HEADER_BYTES] * scheme.n_partitions
         self._flush_scheduled = [False] * scheme.n_partitions
+        # Precomputed instrument names: emitted frames and the messages
+        # coalesced into them, both windowed for the Fig. 2 event series.
+        self._frames_series = f"exchange.{name}.frames"
+        self._messages_series = f"exchange.{name}.messages"
 
     def group(self, partition: int) -> MulticastGroup:
         return MulticastGroup(self.feed_name, partition)
@@ -195,6 +199,9 @@ class FeedPublisher(Component):
         self._pending[partition] = []
         self._pending_bytes[partition] = SEQUENCED_UNIT_HEADER_BYTES
         self.stats.flushes += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.count(self._messages_series, self.now, len(messages))
         payloads = self._units[partition].publish(messages)
         group = self.group(partition)
         for payload in payloads:
@@ -211,6 +218,8 @@ class FeedPublisher(Component):
         wire = frame_bytes_udp(len(payload))
         self.stats.bytes_on_wire += wire
         telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.count(self._frames_series, self.now)
         for leg, nic in (("A", self.nic_a), ("B", self.nic_b)):
             if nic is None:
                 continue

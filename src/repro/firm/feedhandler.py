@@ -71,6 +71,11 @@ class FeedHandler(Component):
         self.current_trace = None
         self._arbiters: dict[tuple[str, int], FeedArbiter] = {}
         self._subscriptions: set[MulticastGroup] = set()
+        # Precomputed instrument names for the telemetry-on fast path.
+        # arbiter_backlog is the total of messages buffered out-of-order
+        # across arbiters — the gap-fill queue depth.
+        self._payloads_series = f"feed.{name}.payloads"
+        self._backlog_series = f"feed.{name}.arbiter_backlog"
         nic.bind(self._on_packet)
 
     def subscribe(
@@ -123,12 +128,17 @@ class FeedHandler(Component):
             return
         self.stats.payloads += 1
         self.current_trace = packet.trace
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.count(self._payloads_series, self.now)
         try:
             arbiter.on_payload(bytes(payload))
         except ValueError:
             self.stats.decode_errors += 1
         finally:
             self.current_trace = None
+        if telemetry is not None:
+            telemetry.gauge_set(self._backlog_series, self.now, arbiter.buffered)
 
     def gaps(self) -> dict[MulticastGroup, tuple[int, int]]:
         """Open sequence gaps per group."""

@@ -12,7 +12,15 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     determinism,
     hygiene,
     imports,
+    instrument_names,
     units,
 )
 
-__all__ = ["builders", "determinism", "hygiene", "imports", "units"]
+__all__ = [
+    "builders",
+    "determinism",
+    "hygiene",
+    "imports",
+    "instrument_names",
+    "units",
+]

@@ -34,6 +34,11 @@ _WALL_CLOCK_TIME_ATTRS = frozenset(
 )
 _WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 
+# The kernel profiler's whole job is measuring the *real* cost of the
+# simulation; it is the one sanctioned wall-clock consumer, and it never
+# feeds wall time back into simulation state.
+_WALL_CLOCK_ALLOWED_MODULES = frozenset({"repro.telemetry.profile"})
+
 
 @register_rule
 class NoWallClock(Rule):
@@ -46,6 +51,8 @@ class NoWallClock(Rule):
     )
 
     def check(self, module) -> Iterator[Finding]:
+        if module.name in _WALL_CLOCK_ALLOWED_MODULES:
+            return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ImportFrom):
                 if node.module == "time":

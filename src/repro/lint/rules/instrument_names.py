@@ -1,0 +1,111 @@
+"""Instrument naming: dotted lowercase ``component.metric`` paths.
+
+Exports group by prefix and the report CLI filters on it, so instrument
+names must be machine-sortable: lowercase words joined by dots, at least
+one dot (``link.a.exchange.queue_drops``). The rule checks every
+registration and recording call it can see statically — literal names in
+full, f-string names by their literal fragments (the formatted holes are
+runtime values the linter cannot judge).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+
+# A full instrument name: lowercase dotted path with >= 2 segments.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+# Characters permitted inside f-string literal fragments of a name.
+_FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+
+# Registry factory methods: the receiver is always a metrics registry,
+# so any ``.counter("...")`` / ``.gauge`` / ``.histogram`` call with a
+# string first argument is a registration.
+_REGISTRY_ATTRS = frozenset({"counter", "gauge", "histogram"})
+# Session recording helpers; ``count`` also exists on str/list, so these
+# are only checked when the receiver is (an attribute named) telemetry.
+_SESSION_ATTRS = frozenset({"count", "gauge_set", "gauge_add"})
+# WindowedRecorder methods, checked when the receiver is a series or
+# recorder attribute/variable.
+_RECORDER_ATTRS = frozenset({"record_count", "record_sample"})
+_RECORDER_RECEIVERS = frozenset({"series", "recorder"})
+
+
+def _receiver_name(func: ast.Attribute) -> str | None:
+    """The simple name of the call receiver (``x`` or ``a.b.x`` -> x)."""
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _name_argument(call: ast.Call) -> ast.expr | None:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+@register_rule
+class InstrumentNameStyle(Rule):
+    """Instrument names must be dotted lowercase ``component.metric``."""
+
+    rule_id = "instrument-name-style"
+    description = (
+        "counter/gauge/histogram names must be dotted lowercase "
+        "component.metric paths"
+    )
+
+    def check(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            attr = func.attr
+            if attr in _REGISTRY_ATTRS:
+                pass  # always a registration
+            elif attr in _SESSION_ATTRS:
+                if _receiver_name(func) != "telemetry":
+                    continue
+            elif attr in _RECORDER_ATTRS:
+                if _receiver_name(func) not in _RECORDER_RECEIVERS:
+                    continue
+            else:
+                continue
+            arg = _name_argument(node)
+            if arg is None:
+                continue
+            yield from self._check_name(module, attr, arg)
+
+    def _check_name(self, module, attr: str, arg: ast.expr) -> Iterator[Finding]:
+        if isinstance(arg, ast.Constant):
+            if isinstance(arg.value, str) and not _NAME_RE.match(arg.value):
+                yield self.finding(
+                    module,
+                    arg,
+                    f"{attr}({arg.value!r}): instrument names are dotted "
+                    "lowercase component.metric paths",
+                )
+        elif isinstance(arg, ast.JoinedStr):
+            for piece in arg.values:
+                if (
+                    isinstance(piece, ast.Constant)
+                    and isinstance(piece.value, str)
+                    and not _FRAGMENT_RE.match(piece.value)
+                ):
+                    yield self.finding(
+                        module,
+                        arg,
+                        f"{attr}(f\"...{piece.value}...\"): instrument name "
+                        "fragments must be lowercase [a-z0-9_.]",
+                    )

@@ -119,6 +119,7 @@ class MergeUnit(Component):
         self.output: Link | None = None
         self.inputs: list[Link] = []
         self.stats = L1Stats()
+        self._backlog_series = f"merge.{name}.backlog_bytes"
 
     def set_output(self, link: Link) -> None:
         self.output = link
@@ -143,9 +144,13 @@ class MergeUnit(Component):
         if telemetry is not None:
             # Merge contention: bytes already queued on the serial output
             # when this frame arrives (§4.3's bursty-merge failure mode).
+            # The gauge's high-watermark answers the sizing question —
+            # how deep did the merge backlog ever get.
+            backlog = self.output.queued_bytes_from(self)
             telemetry.metrics.histogram(f"merge.{self.name}.contention_bytes").observe(
-                self.output.queued_bytes_from(self)
+                backlog
             )
+            telemetry.gauge_set(self._backlog_series, self.now, backlog)
         self.call_after(self.merge_latency_ns, self._emit, packet)
 
     def _emit_reverse(self, packet: Packet) -> None:

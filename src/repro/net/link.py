@@ -80,6 +80,14 @@ class _Direction:
         self.queued_bytes = 0
         self.transmitting = False
         self.stats = LinkStats()
+        # Instrument names are precomputed so the telemetry-on hot path
+        # pays no per-packet string formatting. Drops and losses are
+        # per-link (both directions share the counter); queue depth is
+        # per-direction — the two transmit queues are distinct buffers.
+        slug = "a2b" if label == "a->b" else "b2a"
+        self._drops_series = f"link.{link.name}.queue_drops"
+        self._losses_series = f"link.{link.name}.wire_losses"
+        self._depth_series = f"link.{link.name}.{slug}.queue_bytes"
 
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission. Returns False if dropped."""
@@ -88,10 +96,15 @@ class _Direction:
             self.stats.packets_dropped_queue += 1
             telemetry = self.link.sim.telemetry
             if telemetry is not None:
-                telemetry.metrics.counter(f"link.{self.link.name}.queue_drops").inc()
+                telemetry.count(self._drops_series, self.link.sim.now)
             return False
         self.queue.append((packet, self.link.sim.now))
         self.queued_bytes += packet.wire_bytes
+        telemetry = self.link.sim.telemetry
+        if telemetry is not None:
+            telemetry.gauge_set(
+                self._depth_series, self.link.sim.now, self.queued_bytes
+            )
         if not self.transmitting:
             self._start_next()
         return True
@@ -99,6 +112,11 @@ class _Direction:
     def _start_next(self) -> None:
         packet, enqueued_at = self.queue.popleft()
         self.queued_bytes -= packet.wire_bytes
+        telemetry = self.link.sim.telemetry
+        if telemetry is not None:
+            telemetry.gauge_set(
+                self._depth_series, self.link.sim.now, self.queued_bytes
+            )
         wait = self.link.sim.now - enqueued_at
         self.stats.queue_delay_total_ns += wait
         self.stats.queue_delay_max_ns = max(self.stats.queue_delay_max_ns, wait)
@@ -121,7 +139,7 @@ class _Direction:
             self.stats.packets_lost += 1
             telemetry = self.link.sim.telemetry
             if telemetry is not None:
-                telemetry.metrics.counter(f"link.{self.link.name}.wire_losses").inc()
+                telemetry.count(self._losses_series, self.link.sim.now)
         else:
             self.link.sim.schedule(
                 after=self.link.propagation_delay_ns,

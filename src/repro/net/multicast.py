@@ -139,6 +139,16 @@ class MulticastFabric:
             else:
                 switch.remove_mroute(group)
 
+        # Table pressure is the §3 scarce resource; gauge it on every
+        # membership change (control plane, so no hot-path concern).
+        telemetry = self.topo.sim.telemetry
+        if telemetry is not None:
+            now = self.topo.sim.now
+            load = self.pressure()
+            telemetry.gauge_set("multicast.fabric.groups", now, load.groups)
+            telemetry.gauge_set("multicast.fabric.hw_entries", now, load.max_hw_entries)
+            telemetry.gauge_set("multicast.fabric.sw_entries", now, load.max_sw_entries)
+
     def reinstall_all(self) -> None:
         """Recompute every group's tree — the PIM reconvergence step
         after a topology change (e.g. a spine failure)."""

@@ -62,6 +62,11 @@ class Nic(Component):
         self._handler: Callable[[Packet], None] | None = None
         self._groups: set[MulticastGroup] = set()
         self.promiscuous = False
+        # Precomputed instrument names for the telemetry-on fast path.
+        # rx_inflight tracks packets between hardware receive and
+        # application delivery — the NIC's rx ring occupancy.
+        self._rx_inflight_series = f"nic.{name}.rx_inflight"
+        self._send_failures_series = f"nic.{name}.send_failures"
 
     # -- wiring ------------------------------------------------------------
 
@@ -99,6 +104,9 @@ class Nic(Component):
         packet.stamp(f"nic.rx.{self.name}", self.now)
         if packet.trace is not None:
             packet.trace.record(f"nic.rx.{self.name}", "wire", self.now)
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.gauge_add(self._rx_inflight_series, self.now, 1)
         self.call_after(self.rx_latency_ns, self._deliver, packet)
 
     def _accepts(self, packet: Packet) -> bool:
@@ -110,6 +118,9 @@ class Nic(Component):
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.packets_delivered += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.gauge_add(self._rx_inflight_series, self.now, -1)
         if packet.trace is not None:
             packet.trace.record(f"nic.{self.name}", "nic", self.now)
         if self._handler is not None:
@@ -138,6 +149,9 @@ class Nic(Component):
         ok = self.link.send(packet, self)
         if not ok:
             self.stats.send_failures += 1
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.count(self._send_failures_series, self.now)
 
 
 @dataclass

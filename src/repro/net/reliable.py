@@ -83,6 +83,12 @@ class ReliableChannel(Component):
         self._recv_next = 1
         self._recv_buffer: dict[int, object] = {}
         self._ack_owed = False
+        # Instrument names keyed by endpoint (host.nic), precomputed off
+        # the hot path. in_flight is the retransmit queue: messages sent
+        # but not yet cumulatively acked.
+        endpoint = f"{nic.address.host}.{nic.address.nic}"
+        self._retransmits_series = f"rel.{endpoint}.retransmits"
+        self._inflight_series = f"rel.{endpoint}.in_flight"
         nic.bind(self._on_packet)
 
     # -- sending -----------------------------------------------------------
@@ -94,6 +100,9 @@ class ReliableChannel(Component):
         entry = _Outstanding(seq, payload, payload_bytes)
         self._outstanding[seq] = entry
         self.stats.sent += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.gauge_set(self._inflight_series, self.now, len(self._outstanding))
         self._transmit(entry)
         return seq
 
@@ -128,6 +137,9 @@ class ReliableChannel(Component):
             return
         entry.retries += 1
         self.stats.retransmits += 1
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.count(self._retransmits_series, self.now)
         self._transmit(entry)
 
     @property
@@ -165,10 +177,17 @@ class ReliableChannel(Component):
                 self.on_message(payload)
 
     def _handle_ack(self, ack: int) -> None:
-        for seq in [s for s in self._outstanding if s <= ack]:
+        acked = [s for s in self._outstanding if s <= ack]
+        for seq in acked:
             entry = self._outstanding.pop(seq)
             if entry.timer is not None:
                 entry.timer.cancel()
+        if acked:
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.gauge_set(
+                    self._inflight_series, self.now, len(self._outstanding)
+                )
 
     def _schedule_ack(self) -> None:
         """Delayed-ack: coalesce; a data send in the window piggybacks."""

@@ -107,6 +107,10 @@ class CommoditySwitch(Component):
         self.stats = SwitchStats()
         self._sw_queue: deque[tuple[Packet, Link]] = deque()
         self._sw_busy = False
+        # Precomputed instrument names keep the telemetry-on datapath
+        # free of per-packet string formatting.
+        self._sw_drops_series = f"switch.{name}.software_drops"
+        self._sw_depth_series = f"switch.{name}.software_queue_depth"
 
     # -- wiring ------------------------------------------------------------
 
@@ -212,15 +216,21 @@ class CommoditySwitch(Component):
             self.stats.software_dropped += 1
             telemetry = self.sim.telemetry
             if telemetry is not None:
-                telemetry.metrics.counter(f"switch.{self.name}.software_drops").inc()
+                telemetry.count(self._sw_drops_series, self.now)
             return
         self._sw_queue.append((packet, ingress))
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.gauge_set(self._sw_depth_series, self.now, len(self._sw_queue))
         if not self._sw_busy:
             self._sw_busy = True
             self.call_after(self.profile.software_latency_ns, self._software_service)
 
     def _software_service(self) -> None:
         packet, ingress = self._sw_queue.popleft()
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.gauge_set(self._sw_depth_series, self.now, len(self._sw_queue))
         group = packet.dst
         assert isinstance(group, MulticastGroup)
         entry = self._mroute_sw.get(group, set())

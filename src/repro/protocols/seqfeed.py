@@ -118,6 +118,11 @@ class FeedArbiter:
         return delivered
 
     @property
+    def buffered(self) -> int:
+        """Messages held out-of-order waiting for a gap to fill."""
+        return len(self._buffer)
+
+    @property
     def gap(self) -> tuple[int, int] | None:
         """The open gap as (first missing seq, first buffered seq), if any."""
         if not self._buffer:

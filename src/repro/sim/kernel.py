@@ -100,6 +100,10 @@ class Simulator:
         self.events_executed = 0
         self.rng = RngStreams(seed)
         self._trace_hooks: list[Callable[[int, Callable], None]] = []
+        # Wall-clock profiling is opt-in like telemetry: None keeps the
+        # dispatch loop on its unclocked path; attach_profiler() swaps
+        # in the timed one.
+        self.profiler = None
         # Telemetry is opt-in: None keeps every instrumentation point in
         # the stack down to a single `is not None` check. Pass True for a
         # default session or a preconfigured TelemetrySession instance.
@@ -152,6 +156,26 @@ class Simulator:
         """Register a hook called as ``hook(time, callback)`` before each event."""
         self._trace_hooks.append(hook)
 
+    def attach_profiler(self, profiler: object | None = None):
+        """Attach a kernel profiler (created if not given) and return it.
+
+        The run loop then attributes every fired event and its
+        wall-clock duration to a handler kind; an attached telemetry
+        session additionally self-times its recording helpers against
+        the same clock, so the profile separates handler work from the
+        cost of observing it. Profiling reads the wall clock but never
+        feeds back into scheduling: a profiled run produces the same
+        simulation results as an unprofiled one.
+        """
+        if profiler is None:
+            from repro.telemetry.profile import KernelProfiler
+
+            profiler = KernelProfiler()
+        self.profiler = profiler
+        if self.telemetry is not None:
+            self.telemetry.profiler = profiler
+        return profiler
+
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
@@ -169,6 +193,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        profiler = self.profiler
+        if profiler is not None:
+            from repro.telemetry.profile import handler_kind
         try:
             while self._queue:
                 if self._stopped:
@@ -185,7 +212,14 @@ class Simulator:
                 self._now = event.time
                 for hook in self._trace_hooks:
                     hook(event.time, event.callback)
-                event.callback(*event.args)
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    begin = profiler.clock()
+                    event.callback(*event.args)
+                    profiler.record(
+                        handler_kind(event.callback), profiler.clock() - begin
+                    )
                 executed += 1
         finally:
             self._running = False

@@ -41,6 +41,13 @@ class Component:
     # -- convenience -------------------------------------------------------
 
     @property
+    def profile_kind(self) -> str:
+        """Label the kernel profiler groups this component's handlers
+        under. Defaults to the class name; subclasses with many
+        instances of distinct roles may override it to split them."""
+        return type(self).__name__
+
+    @property
     def now(self) -> int:
         return self.sim.now
 

@@ -1,4 +1,4 @@
-"""Tracing and metrics for the simulated trading stack.
+"""Tracing, metrics, time-series, and profiling for the simulated stack.
 
 The paper's §4.1 claim — at 500 ns per hop, the network is *half* of a
 12-switch-hop, 3-software-hop round trip — is only checkable hop by hop
@@ -11,11 +11,17 @@ production feed infrastructures use:
   timestamped point event as the packet passes; consecutive events become
   spans, so the per-hop decomposition sums to the measured round trip
   *by construction*.
-* :class:`MetricsRegistry` — named counters and ns-resolution histograms
-  (drops, queue depths, merge contention, round-trip times) that
-  components register into when telemetry is enabled.
+* :class:`MetricsRegistry` — named counters, gauges (with
+  high-watermarks), and ns-resolution histograms (drops, queue depths,
+  merge contention, round-trip times) that components register into when
+  telemetry is enabled.
+* :class:`WindowedRecorder` — the Fig. 2(b)/2(c) view: counter events
+  and gauge samples binned into fixed sim-time windows, with bounded
+  memory via width-doubling coalescing.
+* :class:`KernelProfiler` — wall-clock cost per handler kind plus
+  telemetry self-overhead, attached with ``sim.attach_profiler()``.
 * :mod:`repro.telemetry.export` — JSON/JSONL round-trip of completed
-  traces plus the per-hop decomposition table behind
+  traces and windowed series plus the per-hop decomposition table behind
   ``python -m repro trace``.
 
 Telemetry is **zero-overhead when disabled**: ``Simulator.telemetry`` is
@@ -30,24 +36,51 @@ from repro.telemetry.export import (
     decompose,
     read_traces_jsonl,
     render_decomposition,
+    write_series_jsonl,
     write_traces_jsonl,
 )
-from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.profile import (
+    HandlerRow,
+    KernelProfiler,
+    ProfileReport,
+    handler_kind,
+    render_profile,
+)
 from repro.telemetry.session import TelemetrySession
+from repro.telemetry.timeseries import (
+    DEFAULT_MAX_WINDOWS,
+    FIG2B_WINDOW_NS,
+    FIG2C_WINDOW_NS,
+    WindowPoint,
+    WindowedRecorder,
+)
 
 __all__ = [
     "Counter",
+    "DEFAULT_MAX_WINDOWS",
+    "FIG2B_WINDOW_NS",
+    "FIG2C_WINDOW_NS",
+    "Gauge",
+    "HandlerRow",
     "Histogram",
     "HopDecomposition",
+    "KernelProfiler",
     "MetricsRegistry",
     "NETWORK_KINDS",
+    "ProfileReport",
     "Span",
     "TelemetrySession",
     "Trace",
     "TraceContext",
     "TraceEvent",
+    "WindowPoint",
+    "WindowedRecorder",
     "decompose",
+    "handler_kind",
     "read_traces_jsonl",
     "render_decomposition",
+    "render_profile",
+    "write_series_jsonl",
     "write_traces_jsonl",
 ]

@@ -123,6 +123,31 @@ def render_decomposition(deco: HopDecomposition, title: str = "") -> str:
 # -- JSONL round trip -------------------------------------------------------
 
 
+def write_series_jsonl(recorder, path: str | Path) -> Path:
+    """One windowed series per line (name, kind, total, windows).
+
+    The sibling export to :func:`write_traces_jsonl`: where the trace
+    file carries per-event hop timings, this file carries the Fig. 2-
+    style binned view from a :class:`~repro.telemetry.timeseries.
+    WindowedRecorder`. Window width and coalescing state ride on every
+    line so each line is self-describing. ``recorder`` may also be the
+    recorder's exported dict (as carried by a run report).
+    """
+    path = Path(path)
+    exported = recorder.to_dict() if hasattr(recorder, "to_dict") else recorder
+    with path.open("w", encoding="utf-8") as fh:
+        for name, series in exported["series"].items():
+            line = {
+                "name": name,
+                "window_ns": exported["window_ns"],
+                "coalesce_count": exported["coalesce_count"],
+                **series,
+            }
+            fh.write(json.dumps(line, separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
 def write_traces_jsonl(traces: list[Trace], path: str | Path) -> Path:
     """One completed trace per line; returns the written path."""
     path = Path(path)

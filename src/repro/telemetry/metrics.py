@@ -1,9 +1,14 @@
-"""Counters and ns-resolution histograms, registered by name.
+"""Counters, gauges, and ns-resolution histograms, registered by name.
 
 The registry replaces ad-hoc latency plumbing with one shared sink:
 components ask the session's registry for a named instrument once, at
 construction, and update it on the hot path only when telemetry is on.
 Registries export to plain dicts for the JSON dump.
+
+Instrument names are dotted lowercase ``component.metric`` paths
+(``link.a.exchange.queue_drops``) — enforced by the
+``instrument-name-style`` lint rule — so exports group naturally and
+the report CLI can filter by prefix.
 """
 
 from __future__ import annotations
@@ -26,6 +31,40 @@ class Counter:
 
     def to_dict(self) -> dict:
         return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (queue depth, backlog, in-flight count).
+
+    Unlike a :class:`Counter`, a gauge moves both ways; the value that
+    matters for capacity sizing is its **high-watermark** — the §4.3
+    merge-backlog question is "how deep did the queue ever get", not
+    "how deep is it now". The watermark only ratchets upward; ``set``
+    and ``add`` keep it current with every update.
+    """
+
+    __slots__ = ("name", "value", "high_watermark")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self.high_watermark = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+        if value > self.high_watermark:
+            self.high_watermark = value
+
+    def add(self, delta: int = 1) -> None:
+        self.set(self.value + delta)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "value": self.value,
+            "high_watermark": self.high_watermark,
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +165,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -133,6 +173,13 @@ class MetricsRegistry:
         if instrument is None:
             instrument = Counter(name)
             self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._gauges[name] = instrument
         return instrument
 
     def histogram(self, name: str, max_samples: int = 100_000) -> Histogram:
@@ -147,12 +194,20 @@ class MetricsRegistry:
         return dict(self._counters)
 
     @property
+    def gauges(self) -> dict[str, Gauge]:
+        return dict(self._gauges)
+
+    @property
     def histograms(self) -> dict[str, Histogram]:
         return dict(self._histograms)
 
     def to_dict(self) -> dict:
         return {
             "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {
+                name: {"value": g.value, "high_watermark": g.high_watermark}
+                for name, g in sorted(self._gauges.items())
+            },
             "histograms": {
                 name: h.to_dict() for name, h in sorted(self._histograms.items())
             },

@@ -1,0 +1,174 @@
+"""Kernel profiler: where does the *wall-clock* time of a run go?
+
+The simulator is judged in virtual nanoseconds, but the cost of running
+it — and of observing it — is real seconds. The :class:`KernelProfiler`
+hooks the kernel's dispatch loop and attributes every fired event and
+its wall-clock duration to a *handler kind* (the owning component's
+class plus the bound method, e.g. ``Switch.handle_packet``). The
+telemetry session separately reports its own recording time through
+:meth:`KernelProfiler.record_telemetry`, so a report can state the cost
+of observability itself: with telemetry off, the telemetry share must
+be exactly zero.
+
+Profiling reads the wall clock but never the other way around: handler
+scheduling, virtual timestamps, and RNG draws are untouched, so a
+profiled run produces bit-identical simulation results to an unprofiled
+one. This module is the sole allowed user of ``time.perf_counter_ns``
+in the tree (see the ``no-wall-clock`` lint rule's allowlist).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+def handler_kind(callback) -> str:
+    """Stable attribution label for an event callback.
+
+    Bound methods are labelled ``Owner.method`` where ``Owner`` is the
+    receiver's ``profile_kind`` (components override it) or its class
+    name; plain functions fall back to their qualified name.
+    """
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        kind = getattr(owner, "profile_kind", None) or type(owner).__name__
+        name = getattr(callback, "__name__", "?")
+        return f"{kind}.{name}"
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+@dataclass(frozen=True, slots=True)
+class HandlerRow:
+    """Aggregate cost of one handler kind across a run."""
+
+    kind: str
+    events: int
+    wall_ns: int
+
+    @property
+    def mean_wall_ns(self) -> float:
+        return self.wall_ns / self.events if self.events else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileReport:
+    """A finished profile: per-kind rows plus telemetry self-overhead."""
+
+    rows: tuple[HandlerRow, ...]
+    total_events: int
+    total_wall_ns: int
+    telemetry_events: int
+    telemetry_wall_ns: int
+
+    @property
+    def telemetry_share(self) -> float:
+        """Fraction of handler wall time spent inside telemetry recording."""
+        if self.total_wall_ns == 0:
+            return 0.0
+        return self.telemetry_wall_ns / self.total_wall_ns
+
+    def to_dict(self) -> dict:
+        return {
+            "total_events": self.total_events,
+            "total_wall_ns": self.total_wall_ns,
+            "telemetry_events": self.telemetry_events,
+            "telemetry_wall_ns": self.telemetry_wall_ns,
+            "telemetry_share": self.telemetry_share,
+            "handlers": [
+                {
+                    "kind": row.kind,
+                    "events": row.events,
+                    "wall_ns": row.wall_ns,
+                    "mean_wall_ns": row.mean_wall_ns,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+class KernelProfiler:
+    """Accumulates per-handler-kind event counts and wall-clock time.
+
+    Attach one to a simulator with ``sim.attach_profiler()``; the run
+    loop then wraps every callback dispatch in two clock reads. The
+    telemetry session, when present, additionally self-times its
+    recording methods and reports that inner time here, so the profiler
+    can split "handler work" from "observing the handler work".
+    """
+
+    __slots__ = ("_events", "_wall_ns", "telemetry_events", "telemetry_wall_ns")
+
+    #: Wall-clock source, exposed so the session can self-time against
+    #: the same clock the kernel dispatch measurements use.
+    clock = staticmethod(time.perf_counter_ns)
+
+    def __init__(self) -> None:
+        self._events: dict[str, int] = {}
+        self._wall_ns: dict[str, int] = {}
+        self.telemetry_events = 0
+        self.telemetry_wall_ns = 0
+
+    def record(self, kind: str, wall_ns: int) -> None:
+        """Attribute one fired event taking ``wall_ns`` to ``kind``."""
+        self._events[kind] = self._events.get(kind, 0) + 1
+        self._wall_ns[kind] = self._wall_ns.get(kind, 0) + wall_ns
+
+    def record_telemetry(self, wall_ns: int) -> None:
+        """Attribute ``wall_ns`` of a handler's time to telemetry itself."""
+        self.telemetry_events += 1
+        self.telemetry_wall_ns += wall_ns
+
+    def report(self) -> ProfileReport:
+        """Snapshot the accumulated profile, costliest handlers first."""
+        rows = tuple(
+            sorted(
+                (
+                    HandlerRow(
+                        kind=kind,
+                        events=self._events[kind],
+                        wall_ns=self._wall_ns[kind],
+                    )
+                    for kind in self._events
+                ),
+                key=lambda row: (-row.wall_ns, row.kind),
+            )
+        )
+        return ProfileReport(
+            rows=rows,
+            total_events=sum(self._events.values()),
+            total_wall_ns=sum(self._wall_ns.values()),
+            telemetry_events=self.telemetry_events,
+            telemetry_wall_ns=self.telemetry_wall_ns,
+        )
+
+
+def render_profile(report: ProfileReport, top: int = 12) -> str:
+    """Fixed-width text table of the costliest handler kinds."""
+    lines = [
+        f"{'handler':<40} {'events':>10} {'wall ms':>10} {'ns/event':>10}",
+        "-" * 74,
+    ]
+    for row in report.rows[:top]:
+        lines.append(
+            f"{row.kind:<40} {row.events:>10} "
+            f"{row.wall_ns / 1e6:>10.2f} {row.mean_wall_ns:>10.0f}"
+        )
+    if len(report.rows) > top:
+        rest = report.rows[top:]
+        lines.append(
+            f"{'... ' + str(len(rest)) + ' more kinds':<40} "
+            f"{sum(r.events for r in rest):>10} "
+            f"{sum(r.wall_ns for r in rest) / 1e6:>10.2f} {'':>10}"
+        )
+    lines.append("-" * 74)
+    lines.append(
+        f"{'total':<40} {report.total_events:>10} "
+        f"{report.total_wall_ns / 1e6:>10.2f}"
+    )
+    lines.append(
+        f"telemetry self-overhead: {report.telemetry_wall_ns / 1e6:.2f} ms "
+        f"across {report.telemetry_events} recordings "
+        f"({report.telemetry_share:.1%} of handler wall time)"
+    )
+    return "\n".join(lines)

@@ -2,58 +2,148 @@
 
 ``Simulator(seed, telemetry=True)`` attaches one of these as
 ``sim.telemetry``; it owns trace creation/sampling, the completed-trace
-store, and the metrics registry. When telemetry is off, ``sim.telemetry``
-is ``None`` and no instrumentation point does any work beyond one
-``is not None`` check.
+store, the metrics registry, and the windowed time-series recorder. When
+telemetry is off, ``sim.telemetry`` is ``None`` and no instrumentation
+point does any work beyond one ``is not None`` check.
+
+Instrumentation points call :meth:`TelemetrySession.count`,
+:meth:`gauge_set`, and :meth:`gauge_add` rather than touching the
+registry directly: each helper updates the named instrument *and* the
+windowed series in one call, which is what makes the report CLI's
+sum-check possible — per-window counts sum exactly to the counter,
+because both are fed by the same call. When a kernel profiler is
+attached the helpers also self-time, so the profiler can report the
+wall-clock cost of observability itself.
 """
 
 from __future__ import annotations
 
 from repro.telemetry.context import Trace, TraceContext
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeseries import (
+    DEFAULT_MAX_WINDOWS,
+    FIG2C_WINDOW_NS,
+    WindowedRecorder,
+)
 
 
 class TelemetrySession:
-    """Trace + metrics state for one simulation run.
+    """Trace + metrics + time-series state for one simulation run.
 
     ``sample_interval`` traces every Nth feed frame (1 = all);
     ``max_traces`` caps the completed-trace store so an unbounded run
     cannot exhaust memory — the cap counts *finished* traces, and
-    arrivals past it are counted in the ``telemetry.traces_dropped``
-    counter instead of stored.
+    arrivals past it increment ``telemetry.traces_dropped`` (exactly
+    once each) instead of being stored. ``window_ns``/``max_windows``
+    size the windowed recorder (Fig. 2(c) preset by default; the
+    recorder coalesces itself wider on long runs).
     """
 
-    def __init__(self, sample_interval: int = 1, max_traces: int = 100_000):
+    def __init__(
+        self,
+        sample_interval: int = 1,
+        max_traces: int = 100_000,
+        window_ns: int = FIG2C_WINDOW_NS,
+        max_windows: int = DEFAULT_MAX_WINDOWS,
+    ):
         if sample_interval < 1:
             raise ValueError("sample_interval must be >= 1")
         self.sample_interval = int(sample_interval)
         self.max_traces = int(max_traces)
         self.metrics = MetricsRegistry()
+        self.series = WindowedRecorder(window_ns=window_ns, max_windows=max_windows)
         self.traces: list[Trace] = []
         self._started = 0
+        # Set by Simulator.attach_profiler(); when present, recording
+        # helpers self-time so observability's own cost is attributed.
+        self.profiler = None
 
     @property
     def enabled(self) -> bool:
         return True
 
+    # -- instruments + series, updated together ----------------------------
+
+    def count(self, name: str, now: int, amount: int = 1) -> None:
+        """Count ``amount`` events on counter ``name`` at time ``now``.
+
+        The counter and the windowed series advance together, so the
+        series' per-window values always sum to the counter's total.
+        """
+        profiler = self.profiler
+        if profiler is None:
+            self.metrics.counter(name).inc(amount)
+            self.series.record_count(name, now, amount)
+            return
+        begin = profiler.clock()
+        self.metrics.counter(name).inc(amount)
+        self.series.record_count(name, now, amount)
+        profiler.record_telemetry(profiler.clock() - begin)
+
+    def gauge_set(self, name: str, now: int, value: int) -> None:
+        """Set gauge ``name`` to ``value`` and sample it into the series."""
+        profiler = self.profiler
+        if profiler is None:
+            self.metrics.gauge(name).set(value)
+            self.series.record_sample(name, now, value)
+            return
+        begin = profiler.clock()
+        self.metrics.gauge(name).set(value)
+        self.series.record_sample(name, now, value)
+        profiler.record_telemetry(profiler.clock() - begin)
+
+    def gauge_add(self, name: str, now: int, delta: int = 1) -> None:
+        """Move gauge ``name`` by ``delta`` and sample the new level."""
+        profiler = self.profiler
+        if profiler is None:
+            gauge = self.metrics.gauge(name)
+            gauge.add(delta)
+            self.series.record_sample(name, now, gauge.value)
+            return
+        begin = profiler.clock()
+        gauge = self.metrics.gauge(name)
+        gauge.add(delta)
+        self.series.record_sample(name, now, gauge.value)
+        profiler.record_telemetry(profiler.clock() - begin)
+
+    # -- traces -------------------------------------------------------------
+
     def start_trace(self, where: str, kind: str, now: int) -> TraceContext | None:
         """Create a context for a new feed frame, honoring sampling."""
+        profiler = self.profiler
+        begin = profiler.clock() if profiler is not None else 0
         self._started += 1
         if (self._started - 1) % self.sample_interval:
-            return None
-        context = TraceContext(begin_ns=now)
-        context.record(where, kind, now)
+            context = None
+        else:
+            context = TraceContext(begin_ns=now)
+            context.record(where, kind, now)
+        if profiler is not None:
+            profiler.record_telemetry(profiler.clock() - begin)
         return context
 
     def finish_trace(self, context: TraceContext, end_ns: int) -> Trace | None:
-        """Complete ``context``; stores and returns the frozen trace."""
+        """Complete ``context``; stores and returns the frozen trace.
+
+        The ``max_traces`` cap is checked *before* the trace is built:
+        a dropped arrival costs one counter increment (counted exactly
+        once, in ``telemetry.traces_dropped``) and no
+        :meth:`TraceContext.finish` work, and returns ``None``.
+        """
+        profiler = self.profiler
+        begin = profiler.clock() if profiler is not None else 0
+        trace: Trace | None
         if context.done:
-            return None  # already finished (e.g. batched order frames)
-        trace = context.finish(end_ns)
-        if len(self.traces) >= self.max_traces:
+            trace = None  # already finished (e.g. batched order frames)
+        elif len(self.traces) >= self.max_traces:
+            context.done = True
             self.metrics.counter("telemetry.traces_dropped").inc()
-            return trace
-        self.traces.append(trace)
+            trace = None
+        else:
+            trace = context.finish(end_ns)
+            self.traces.append(trace)
+        if profiler is not None:
+            profiler.record_telemetry(profiler.clock() - begin)
         return trace
 
     # -- component-stats harvest ------------------------------------------------
@@ -78,4 +168,5 @@ class TelemetrySession:
         return {
             "traces": [trace.to_dict() for trace in self.traces],
             "metrics": self.metrics.to_dict(),
+            "series": self.series.to_dict(),
         }

@@ -1,0 +1,11 @@
+"""Fixture: instrument names that violate the dotted-lowercase style."""
+
+
+def register(metrics, telemetry, series, now):
+    metrics.counter("QueueDrops")  # uppercase, no dot
+    metrics.gauge("depth")  # single segment, no component prefix
+    metrics.histogram("merge contention")  # spaces
+    telemetry.count("link-drops", now)  # dashes instead of dots
+    telemetry.gauge_set("Switch.Depth", now, 3)  # uppercase segments
+    telemetry.gauge_add(name="nic.RxInflight", now=now)  # camelCase metric
+    series.record_count(f"link.{now}.Drops!", now)  # bad literal fragment

@@ -1,0 +1,18 @@
+"""Fixture: well-formed instrument names (and non-instrument lookalikes)."""
+
+
+def register(metrics, telemetry, series, now, name):
+    metrics.counter("link.access.queue_drops")
+    metrics.gauge("merge.merge.backlog_bytes")
+    metrics.histogram("merge.unit0.contention_bytes")
+    telemetry.count("feed.fh0.payloads", now)
+    telemetry.gauge_set("switch.leaf0.software_queue_depth", now, 2)
+    telemetry.gauge_add(name=f"nic.{name}.rx_inflight", now=now)
+    series.record_count(f"link.{name}.wire_losses", now)
+    # Same attribute names on unrelated receivers must not be flagged:
+    # str.count and a query builder's .count() are not instruments.
+    "some text".count("X")
+    rows.count("NOT A METRIC")
+
+
+rows = ["NOT A METRIC"]

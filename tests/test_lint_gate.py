@@ -18,6 +18,7 @@ def test_rule_registry_is_complete():
     assert rule_ids == {
         "all-exports-exist",
         "builder-registry",
+        "instrument-name-style",
         "no-cross-module-private-import",
         "no-float-time-equality",
         "no-global-random",

@@ -6,6 +6,7 @@ from repro.core import build_system
 from repro.telemetry import (
     NETWORK_KINDS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     TelemetrySession,
@@ -163,3 +164,67 @@ def test_system_metrics_populated(traced_design1):
     assert any(name.endswith(".roundtrip_ns") for name in histos)
     rtt = next(h for n, h in histos.items() if n.endswith(".roundtrip_ns"))
     assert rtt.summary().count == len(traced_design1.roundtrip_samples())
+
+
+def test_gauge_high_watermark_ratchets():
+    g = Gauge("q.depth")
+    g.set(5)
+    g.add(3)
+    g.set(2)
+    g.add(-2)
+    assert g.value == 0
+    assert g.high_watermark == 8  # never moves back down
+    assert g.to_dict() == {
+        "type": "gauge", "name": "q.depth", "value": 0, "high_watermark": 8,
+    }
+    reg = MetricsRegistry()
+    assert reg.gauge("a.b") is reg.gauge("a.b")
+    reg.gauge("a.b").set(4)
+    assert reg.to_dict()["gauges"]["a.b"] == {"value": 4, "high_watermark": 4}
+
+
+def test_session_helpers_update_instrument_and_series_together():
+    session = TelemetrySession(window_ns=100)
+    session.count("x.events", now=50, amount=2)
+    session.count("x.events", now=150)
+    session.gauge_set("x.depth", now=50, value=7)
+    session.gauge_add("x.depth", now=150, delta=-4)
+    assert session.metrics.counters["x.events"].value == 3
+    assert session.series.counts_array("x.events") == [2, 1]
+    gauge = session.metrics.gauges["x.depth"]
+    assert (gauge.value, gauge.high_watermark) == (3, 7)
+    # The series sampled the level at both updates, keeping per-window max.
+    assert session.series.counts_array("x.depth") == [7, 3]
+    assert "series" in session.to_dict()
+
+
+def test_system_gauges_populated(traced_design1):
+    gauges = traced_design1.sim.telemetry.metrics.gauges
+    assert any(name.endswith(".queue_bytes") for name in gauges)
+    assert any(name.endswith(".rx_inflight") for name in gauges)
+    assert any(g.high_watermark > 0 for g in gauges.values())
+
+
+# -- the max_traces boundary (regression) ----------------------------------
+
+
+def test_finish_trace_at_the_cap_drops_without_finishing():
+    """Regression: the cap must be checked *before* context.finish —
+    the dropped arrival is counted exactly once, its context is marked
+    done, and the store never exceeds max_traces."""
+    session = TelemetrySession(max_traces=2)
+    contexts = [session.start_trace("x", "exchange", now=t) for t in range(4)]
+    results = [session.finish_trace(c, 100 + i) for i, c in enumerate(contexts)]
+
+    assert results[0] is not None and results[1] is not None
+    assert results[2] is None and results[3] is None
+    assert len(session.traces) == 2
+    dropped = session.metrics.counters["telemetry.traces_dropped"]
+    assert dropped.value == 2  # exactly once per dropped trace
+
+    # The dropped contexts were closed without being finished...
+    assert contexts[2].done and contexts[3].done
+    # ...so re-finishing one is a no-op: no double count, no late store.
+    assert session.finish_trace(contexts[2], 999) is None
+    assert dropped.value == 2
+    assert len(session.traces) == 2
