@@ -1,9 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify lint test bench report
+.PHONY: verify lint test bench scoreboard report
 
-# The one gate: repro lint + ruff (when installed) + tier-1 pytest.
+# The one gate: repro lint + ruff (when installed) + tier-1 pytest +
+# the structural macro-bench check.
 verify:
 	$(PYTHON) -m repro verify
 
@@ -13,7 +14,12 @@ lint:
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Macro benchmark: whole-testbed events/s, merged into BENCH_perf.json.
 bench:
+	$(PYTHON) -m repro bench
+
+# The full pytest-benchmark scoreboard (components, macro, E-series).
+scoreboard:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 report:

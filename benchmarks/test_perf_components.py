@@ -5,33 +5,33 @@ paths of the library with pytest-benchmark's statistics — the numbers a
 downstream user needs to size their own experiments. No paper claims;
 just throughput.
 
-Besides pytest-benchmark's own storage, this module writes a
-machine-readable ``BENCH_perf.json`` next to the repo root at the end
-of the run: one entry per bench (median seconds and the bench's result
-value), plus the telemetry-overhead ratio measured by the kernel
-profiler — the cost of observing a run relative to running it dark.
+Besides pytest-benchmark's own storage, this module merges its results
+into the machine-readable ``BENCH_perf.json`` at the repo root at the
+end of the run: one entry per bench (median seconds and the bench's
+result value), plus the telemetry-overhead ratio measured by the kernel
+profiler — the cost of observing a run relative to running it dark. The
+macro suite (``test_perf_macro.py`` / ``python -m repro bench``) owns
+the ``macro_events_per_sec`` section of the same file; the shared
+merge-writer keeps both sets of keys intact.
 """
-
-import json
-from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.bench import default_bench_path, update_bench_json
 from repro.exchange.book import OrderBook
 from repro.protocols.pitch import AddOrder, DeleteOrder, PitchFrameCodec
 from repro.sim.kernel import Simulator
 
 _RESULTS: dict[str, dict] = {}
-_OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _write_bench_json():
-    """Collect every bench's numbers and dump them once, at module end."""
+    """Collect every bench's numbers and merge them in once, at module end."""
     yield
     if _RESULTS:
-        _OUT_PATH.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+        update_bench_json(default_bench_path(), _RESULTS)
 
 
 def _record(name: str, benchmark, result, **extra) -> None:
@@ -60,6 +60,27 @@ def test_perf_kernel_event_throughput(benchmark):
 
 def _noop():
     pass
+
+
+def test_perf_kernel_event_throughput_fast_path(benchmark):
+    """The same 100k-event loop through the positional fast path.
+
+    The spread between this entry and ``kernel_event_throughput`` in
+    BENCH_perf.json is the price of the validated keyword wrapper —
+    what a hot caller saves by scheduling through ``schedule_after``.
+    """
+
+    def run():
+        sim = Simulator()
+        schedule_after = sim.schedule_after
+        for i in range(100_000):
+            schedule_after(i + 1, _noop)
+        sim.run()
+        return sim.events_executed
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result == 100_000
+    _record("kernel_event_throughput_fast_path", benchmark, result)
 
 
 def test_perf_pitch_encode_decode(benchmark):

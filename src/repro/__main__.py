@@ -9,9 +9,10 @@ Commands
 ``run``         build and run a system from a SystemSpec JSON file
 ``trace``       run with telemetry and print the per-hop decomposition
 ``report``      one self-contained run report: hops, series, queues, profile
+``bench``       macro benchmark: whole-testbed events/s into BENCH_perf.json
 ``scoreboard``  run every reproduction bench (the full scoreboard)
 ``lint``        run the repro.lint static-analysis rules over the tree
-``verify``      run all three gates (lint, ruff, tier-1 pytest) as one
+``verify``      run all the gates (lint, ruff, tier-1 pytest, bench check)
 """
 
 from __future__ import annotations
@@ -186,7 +187,8 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    """Chain the three gates: repro lint, ruff (if present), tier-1 pytest."""
+    """Chain the gates: repro lint, ruff (if present), tier-1 pytest, and
+    the structural macro-bench check (bench runs + BENCH_perf.json shape)."""
     import os
     import shutil
     import subprocess
@@ -204,6 +206,9 @@ def _cmd_verify(args) -> int:
     else:
         print("verify: ruff not installed; skipping the style gate")
     steps.append(("pytest (tier 1)", [sys.executable, "-m", "pytest", "-x", "-q"]))
+    steps.append(
+        ("bench check", [sys.executable, "-m", "repro", "bench", "--check"])
+    )
 
     failed: list[str] = []
     for label, cmd in steps:
@@ -216,6 +221,52 @@ def _cmd_verify(args) -> int:
         print(f"verify: FAILED ({', '.join(failed)})")
         return 1
     print("verify: all gates passed")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro import bench
+    from repro.sim.kernel import MILLISECOND
+
+    path = Path(args.json).resolve() if args.json else bench.default_bench_path()
+    if args.check:
+        # The verify gate: a short smoke run proves the harness still
+        # drives every design to completion, then the committed numbers
+        # are checked for shape only — no throughput thresholds, because
+        # the numbers vary with hardware and the structure must not.
+        for design in bench.MACRO_DESIGNS:
+            result = bench.run_macro(
+                design, seed=args.seed, run_ns=bench.SMOKE_RUN_NS, repeats=1
+            )
+            print(f"bench --check: {design}: {result.events:,} events ok")
+        problems = bench.check_bench_json(path)
+        for problem in problems:
+            print(f"bench --check: {problem}")
+        if problems:
+            return 1
+        print(f"bench --check: {path} structure ok")
+        return 0
+
+    results = {}
+    for design in bench.MACRO_DESIGNS:
+        result = bench.run_macro(
+            design,
+            seed=args.seed,
+            run_ns=args.ms * MILLISECOND,
+            repeats=args.repeats,
+        )
+        results[design] = result
+        print(
+            f"{design}: {result.events:,} events in "
+            f"{result.wall_ns / MILLISECOND:.1f} ms "
+            f"-> {result.events_per_sec:,.0f} events/s"
+        )
+    bench.update_bench_json(
+        path, {bench.MACRO_SECTION: bench.macro_section(results)}
+    )
+    print(f"wrote {bench.MACRO_SECTION} ({len(results)} designs) to {path}")
     return 0
 
 
@@ -288,10 +339,26 @@ def main(argv: list[str] | None = None) -> int:
         "--series-jsonl", help="also dump the windowed series to this JSONL file"
     )
 
+    bn = sub.add_parser(
+        "bench",
+        help="macro benchmark: whole-testbed events/s -> BENCH_perf.json",
+    )
+    bn.add_argument("--ms", type=int, default=20, help="simulated ms per run")
+    bn.add_argument("--seed", type=int, default=1)
+    bn.add_argument("--repeats", type=int, default=3, help="best-of-N repeats")
+    bn.add_argument(
+        "--json", help="output path (default: BENCH_perf.json at the repo root)"
+    )
+    bn.add_argument(
+        "--check", action="store_true",
+        help="structural gate: smoke-run every design and validate the "
+             "committed file's keys; writes nothing",
+    )
+
     sub.add_parser("scoreboard", help="run all reproduction benches")
 
     verify = sub.add_parser(
-        "verify", help="run lint + ruff + tier-1 pytest as one gate"
+        "verify", help="run lint + ruff + tier-1 pytest + bench check as one gate"
     )
     verify.add_argument(
         "--keep-going", action="store_true",
@@ -314,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "bench": _cmd_bench,
         "scoreboard": _cmd_scoreboard,
         "lint": _cmd_lint,
         "verify": _cmd_verify,

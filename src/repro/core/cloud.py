@@ -121,7 +121,7 @@ class CloudFabric(Component):
         self.stats.frames_in += 1
         if packet.trace is not None:
             packet.trace.record(f"cloud.{self.name}", "wire", self.now)
-        self.call_after(self.equalized_delivery_ns, self._deliver, packet)
+        self.sim.schedule_after(self.equalized_delivery_ns, self._deliver, (packet,))
 
     def _deliver(self, packet: Packet) -> None:
         dst: Address = packet.dst

@@ -147,10 +147,8 @@ def analyze_merge(
         dst = EndpointAddress("strategy")
         for t in times:
             offered += 1
-            sim.schedule(
-                at=int(t),
-                callback=_emit_frame,
-                args=(in_link, source, src, dst, wire, payload),
+            sim.schedule_at(
+                int(t), _emit_frame, (in_link, source, src, dst, wire, payload)
             )
 
     sim.run_until_idle()

@@ -59,7 +59,7 @@ class HardwareStrategy(Component):
         if message.side == "B" and message.price > self._last_bid:
             previous, self._last_bid = self._last_bid, message.price
             if previous:
-                self.call_after(FPGA_COMPUTE_NS, self._fire, message)
+                self.sim.schedule_after(FPGA_COMPUTE_NS, self._fire, (message,))
 
     def _fire(self, trigger: AddOrder) -> None:
         self._ids += 1
@@ -161,9 +161,9 @@ def build_tick_to_trade_system(
     def improve_bid():
         price[0] += 100
         exchange.inject_order("AA", "B", price[0], 100)
-        sim.schedule(after=int(rng.integers(30_000, 80_000)), callback=improve_bid)
+        sim.schedule_after(int(rng.integers(30_000, 80_000)), improve_bid)
 
-    sim.schedule(after=1_000, callback=improve_bid)
+    sim.schedule_after(1_000, improve_bid)
     system = TickToTradeSystem(sim, exchange, strategy)
     if run_ns is not None:
         system.run(run_ns)

@@ -117,8 +117,8 @@ class OrderEntryPort(Component):
                     )
                     if packet.trace is not None:
                         telemetry.finish_trace(packet.trace, self.now)
-            self.call_after(
-                self.matching_latency_ns, self._process, session, message
+            self.sim.schedule_after(
+                self.matching_latency_ns, self._process, (session, message)
             )
 
     def _process(self, session: _SessionState, message: BoeMessage) -> None:

@@ -181,7 +181,9 @@ class FeedPublisher(Component):
             self.stats.messages += 1
         if pending and not self._flush_scheduled[partition]:
             self._flush_scheduled[partition] = True
-            self.call_after(self.coalesce_window_ns, self._flush_timer, partition)
+            self.sim.schedule_after(
+                self.coalesce_window_ns, self._flush_timer, (partition,)
+            )
 
     def _flush_timer(self, partition: int) -> None:
         self._flush_scheduled[partition] = False

@@ -92,8 +92,8 @@ class SnapshotServer(Component):
             return
         _tag, request_id, symbol = message
         self.stats.requests += 1
-        self.call_after(
-            self.service_latency_ns, self._respond, request_id, symbol, packet.src
+        self.sim.schedule_after(
+            self.service_latency_ns, self._respond, (request_id, symbol, packet.src)
         )
 
     def _respond(

@@ -98,8 +98,10 @@ class OrderGateway(Component):
         order = packet.message
         if not isinstance(order, InternalOrder):
             return
-        self.call_after(
-            self.function_latency_ns, self._translate, order, packet.src, packet.trace
+        self.sim.schedule_after(
+            self.function_latency_ns,
+            self._translate,
+            (order, packet.src, packet.trace),
         )
 
     def _translate(

@@ -217,20 +217,22 @@ class Normalizer(Component):
             )
         if not self._busy:
             self._busy = True
-            self.call_after(self.service_time_ns, self._service)
+            self.sim.schedule_after(self.service_time_ns, self._service)
 
     def _service(self) -> None:
         message, trace = self._work_queue.pop(0)
         self._process(message, trace)
         if self._work_queue:
-            self.call_after(self.service_time_ns, self._service)
+            self.sim.schedule_after(self.service_time_ns, self._service)
         else:
             self._busy = False
 
     def _process(self, message: PitchMessage, trace=None) -> None:
         updates = self._apply(message)
         if updates:
-            self.call_after(self.function_latency_ns, self._publish, updates, trace)
+            self.sim.schedule_after(
+                self.function_latency_ns, self._publish, (updates, trace)
+            )
 
     def _publish(self, updates: list[NormalizedUpdate], trace=None) -> None:
         by_partition: dict[int, list[NormalizedUpdate]] = {}

@@ -154,8 +154,8 @@ class Strategy(Component):
                     else o
                     for o in orders
                 ]
-                self.call_after(
-                    self.decision_latency_ns, self._send_orders, orders, packet.trace
+                self.sim.schedule_after(
+                    self.decision_latency_ns, self._send_orders, (orders, packet.trace)
                 )
 
     # -- trading logic hook ---------------------------------------------------------------

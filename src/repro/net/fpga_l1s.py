@@ -162,7 +162,7 @@ class FilteringL1Switch(Component):
         if entry is None:
             self.stats.no_route += 1
             return
-        self.call_after(self.latency_ns, self._emit, packet, entry, ingress)
+        self.sim.schedule_after(self.latency_ns, self._emit, (packet, entry, ingress))
 
     def _emit(self, packet: Packet, entry: _GroupEntry, ingress: Link) -> None:
         for link in entry.egress:

@@ -84,7 +84,9 @@ class Layer1Switch(Component):
         if not egress:
             self.stats.unconfigured_drops += 1
             return
-        self.call_after(self.fanout_latency_ns, self._emit_all, packet, list(egress))
+        self.sim.schedule_after(
+            self.fanout_latency_ns, self._emit_all, (packet, list(egress))
+        )
 
     def _emit_all(self, packet: Packet, egress: list[Link]) -> None:
         for link in egress:
@@ -137,7 +139,9 @@ class MergeUnit(Component):
             # Downstream direction: frames from the consumer side are
             # broadcast back to every input (the companion fan-out path
             # commercial mux devices provide); NICs filter by address.
-            self.call_after(L1S_FANOUT_LATENCY_NS, self._emit_reverse, packet)
+            self.sim.schedule_after(
+                L1S_FANOUT_LATENCY_NS, self._emit_reverse, (packet,)
+            )
             return
         self.stats.packets_in += 1
         telemetry = self.sim.telemetry
@@ -151,7 +155,7 @@ class MergeUnit(Component):
                 backlog
             )
             telemetry.gauge_set(self._backlog_series, self.now, backlog)
-        self.call_after(self.merge_latency_ns, self._emit, packet)
+        self.sim.schedule_after(self.merge_latency_ns, self._emit, (packet,))
 
     def _emit_reverse(self, packet: Packet) -> None:
         for link in self.inputs:

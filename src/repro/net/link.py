@@ -74,6 +74,7 @@ class _Direction:
 
     def __init__(self, link: "Link", label: str, sink: PacketSink):
         self.link = link
+        self.sim = link.sim  # one hop instead of two on the datapath
         self.label = label
         self.sink = sink
         self.queue: deque[tuple[Packet, int]] = deque()  # (packet, enqueue time)
@@ -91,60 +92,57 @@ class _Direction:
 
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission. Returns False if dropped."""
+        sim = self.sim
         limit = self.link.queue_limit_bytes
         if limit is not None and self.queued_bytes + packet.wire_bytes > limit:
             self.stats.packets_dropped_queue += 1
-            telemetry = self.link.sim.telemetry
+            telemetry = sim.telemetry
             if telemetry is not None:
-                telemetry.count(self._drops_series, self.link.sim.now)
+                telemetry.count(self._drops_series, sim.now)
             return False
-        self.queue.append((packet, self.link.sim.now))
+        self.queue.append((packet, sim.now))
         self.queued_bytes += packet.wire_bytes
-        telemetry = self.link.sim.telemetry
+        telemetry = sim.telemetry
         if telemetry is not None:
-            telemetry.gauge_set(
-                self._depth_series, self.link.sim.now, self.queued_bytes
-            )
+            telemetry.gauge_set(self._depth_series, sim.now, self.queued_bytes)
         if not self.transmitting:
             self._start_next()
         return True
 
     def _start_next(self) -> None:
+        sim = self.sim
+        stats = self.stats
         packet, enqueued_at = self.queue.popleft()
         self.queued_bytes -= packet.wire_bytes
-        telemetry = self.link.sim.telemetry
+        telemetry = sim.telemetry
         if telemetry is not None:
-            telemetry.gauge_set(
-                self._depth_series, self.link.sim.now, self.queued_bytes
-            )
-        wait = self.link.sim.now - enqueued_at
-        self.stats.queue_delay_total_ns += wait
-        self.stats.queue_delay_max_ns = max(self.stats.queue_delay_max_ns, wait)
+            telemetry.gauge_set(self._depth_series, sim.now, self.queued_bytes)
+        wait = sim.now - enqueued_at
+        stats.queue_delay_total_ns += wait
+        if wait > stats.queue_delay_max_ns:
+            stats.queue_delay_max_ns = wait
         self.transmitting = True
         ser = self.link.serialization_ns(packet.wire_bytes)
-        self.stats.busy_ns += ser
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += packet.wire_bytes
-        self.link.sim.schedule(
-            after=ser, callback=self._serialization_done, args=(packet,)
-        )
+        stats.busy_ns += ser
+        stats.packets_sent += 1
+        stats.bytes_sent += packet.wire_bytes
+        sim.schedule_after(ser, self._serialization_done, (packet,))
 
     def _serialization_done(self, packet: Packet) -> None:
         self.transmitting = False
+        sim = self.sim
         lost = False
         if self.link.loss_prob > 0.0:
-            rng = self.link.sim.rng.stream(f"link.loss.{self.link.name}")
+            rng = sim.rng.stream(f"link.loss.{self.link.name}")
             lost = rng.random() < self.link.loss_prob
         if lost:
             self.stats.packets_lost += 1
-            telemetry = self.link.sim.telemetry
+            telemetry = sim.telemetry
             if telemetry is not None:
-                telemetry.count(self._losses_series, self.link.sim.now)
+                telemetry.count(self._losses_series, sim.now)
         else:
-            self.link.sim.schedule(
-                after=self.link.propagation_delay_ns,
-                callback=self._deliver,
-                args=(packet,),
+            sim.schedule_after(
+                self.link.propagation_delay_ns, self._deliver, (packet,)
             )
         if self.queue:
             self._start_next()

@@ -107,7 +107,7 @@ class Nic(Component):
         telemetry = self.sim.telemetry
         if telemetry is not None:
             telemetry.gauge_add(self._rx_inflight_series, self.now, 1)
-        self.call_after(self.rx_latency_ns, self._deliver, packet)
+        self.sim.schedule_after(self.rx_latency_ns, self._deliver, (packet,))
 
     def _accepts(self, packet: Packet) -> bool:
         if self.promiscuous:
@@ -139,7 +139,7 @@ class Nic(Component):
         packet.stamp(f"nic.tx.{self.name}", self.now)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.wire_bytes
-        self.call_after(self.tx_latency_ns, self._transmit, packet)
+        self.sim.schedule_after(self.tx_latency_ns, self._transmit, (packet,))
         return True
 
     def _transmit(self, packet: Packet) -> None:

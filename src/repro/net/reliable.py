@@ -22,7 +22,7 @@ from repro.net.addressing import EndpointAddress
 from repro.net.nic import Nic
 from repro.net.packet import Packet
 from repro.protocols.headers import frame_bytes_tcp
-from repro.sim.kernel import EventHandle, MICROSECOND, Simulator
+from repro.sim.kernel import MICROSECOND, Simulator
 from repro.sim.process import Component
 
 DEFAULT_RTO_NS = 200 * MICROSECOND
@@ -46,7 +46,10 @@ class _Outstanding:
     payload: object
     payload_bytes: int
     retries: int = 0
-    timer: EventHandle | None = None
+    # Raw fast-path event token for the pending retransmit timeout.
+    # Every data message arms one and nearly every ACK cancels one, so
+    # this is the workload heap compaction exists for.
+    timer: list | None = None
 
 
 class ChannelBroken(RuntimeError):
@@ -109,7 +112,9 @@ class ReliableChannel(Component):
     def _transmit(self, entry: _Outstanding) -> None:
         self._emit(entry.seq, entry.payload, entry.payload_bytes)
         backoff = self.rto_ns << min(entry.retries, 6)
-        entry.timer = self.call_after(backoff, self._on_timeout, entry.seq)
+        entry.timer = self.sim.schedule_after(
+            backoff, self._on_timeout, (entry.seq,)
+        )
 
     def _emit(self, seq: int, payload: object, payload_bytes: int) -> None:
         ack = self._recv_next - 1
@@ -181,7 +186,7 @@ class ReliableChannel(Component):
         for seq in acked:
             entry = self._outstanding.pop(seq)
             if entry.timer is not None:
-                entry.timer.cancel()
+                self.sim.cancel(entry.timer)
         if acked:
             telemetry = self.sim.telemetry
             if telemetry is not None:
@@ -194,7 +199,7 @@ class ReliableChannel(Component):
         if self._ack_owed:
             return
         self._ack_owed = True
-        self.call_after(10 * MICROSECOND, self._flush_ack)
+        self.sim.schedule_after(10 * MICROSECOND, self._flush_ack)
 
     def _flush_ack(self) -> None:
         if not self._ack_owed:

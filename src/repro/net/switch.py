@@ -193,7 +193,7 @@ class CommoditySwitch(Component):
             return
         self.stats.unicast_forwarded += 1
         delay_ns = self._forward_latency_ns(packet)
-        self.call_after(delay_ns, self._emit, packet, egress)
+        self.sim.schedule_after(delay_ns, self._emit, (packet, egress))
 
     def _forward_multicast(self, packet: Packet, ingress: Link) -> None:
         group = packet.dst
@@ -202,10 +202,12 @@ class CommoditySwitch(Component):
         if hw_entry is not None:
             self.stats.multicast_forwarded += 1
             delay_ns = self._forward_latency_ns(packet)
+            schedule_after = self.sim.schedule_after
+            emit = self._emit
             for egress in hw_entry:
                 if egress is ingress:
                     continue
-                self.call_after(delay_ns, self._emit, packet.clone(), egress)
+                schedule_after(delay_ns, emit, (packet.clone(), egress))
             return
         sw_entry = self._mroute_sw.get(group)
         if sw_entry is None:
@@ -224,7 +226,9 @@ class CommoditySwitch(Component):
             telemetry.gauge_set(self._sw_depth_series, self.now, len(self._sw_queue))
         if not self._sw_busy:
             self._sw_busy = True
-            self.call_after(self.profile.software_latency_ns, self._software_service)
+            self.sim.schedule_after(
+                self.profile.software_latency_ns, self._software_service
+            )
 
     def _software_service(self) -> None:
         packet, ingress = self._sw_queue.popleft()
@@ -240,7 +244,9 @@ class CommoditySwitch(Component):
                 continue
             self._emit(packet.clone(), egress)
         if self._sw_queue:
-            self.call_after(self.profile.software_latency_ns, self._software_service)
+            self.sim.schedule_after(
+                self.profile.software_latency_ns, self._software_service
+            )
         else:
             self._sw_busy = False
 

@@ -55,11 +55,13 @@ class Component:
         self, delay_ns: int, callback: Callable[..., None], *args
     ) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay_ns`` nanoseconds."""
-        return self.sim.schedule(after=delay_ns, callback=callback, args=args)
+        sim = self.sim
+        return EventHandle(sim, sim.schedule_after(delay_ns, callback, args))
 
     def call_at(self, when: int, callback: Callable[..., None], *args) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
-        return self.sim.schedule(at=when, callback=callback, args=args)
+        sim = self.sim
+        return EventHandle(sim, sim.schedule_at(when, callback, args))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -77,28 +79,34 @@ class Timer:
     def __init__(self, sim: Simulator, callback: Callable[[], None]):
         self.sim = sim
         self.callback = callback
-        self._handle: EventHandle | None = None
+        # Raw fast-path event token; restart/cancel churn is the hot
+        # pattern (one arm + one cancel per protected message), so the
+        # timer skips the EventHandle wrapper entirely.
+        self._event: list | None = None
 
     @property
     def armed(self) -> bool:
-        return self._handle is not None and not self._handle.cancelled
+        return self._event is not None
 
     def start(self, delay_ns: int) -> None:
         """Arm the timer to fire after ``delay_ns`` ns. Errors if already armed."""
-        if self.armed:
+        if self._event is not None:
             raise SimulationError("timer already armed; use restart()")
-        self._handle = self.sim.schedule(after=delay_ns, callback=self._fire)
+        self._event = self.sim.schedule_after(delay_ns, self._fire)
 
     def restart(self, delay_ns: int) -> None:
         """Cancel any pending expiry and arm for ``delay_ns`` ns from now."""
-        self.cancel()
-        self._handle = self.sim.schedule(after=delay_ns, callback=self._fire)
+        event = self._event
+        if event is not None:
+            self.sim.cancel(event)
+        self._event = self.sim.schedule_after(delay_ns, self._fire)
 
     def cancel(self) -> None:
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        event = self._event
+        if event is not None:
+            self.sim.cancel(event)
+            self._event = None
 
     def _fire(self) -> None:
-        self._handle = None
+        self._event = None
         self.callback()

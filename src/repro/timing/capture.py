@@ -120,7 +120,9 @@ class CaptureTap(Component):
         egress = self._through.get(id(ingress))
         if egress is None:
             return  # capture-only port (e.g. mirrored feed)
-        self.call_after(self.forward_latency_ns, self._forward, packet, egress)
+        self.sim.schedule_after(
+            self.forward_latency_ns, self._forward, (packet, egress)
+        )
 
     def _forward(self, packet: Packet, egress: Link) -> None:
         egress.send(packet, self)

@@ -106,7 +106,7 @@ class ChainFlowGenerator(Component):
         ticks = int(self._rng.poisson(expected))
         for _ in range(ticks):
             self._tick()
-        self.call_after(self.batch_ns, self._batch)
+        self.sim.schedule_after(self.batch_ns, self._batch)
 
     def _tick(self) -> None:
         self.stats.underlier_ticks += 1

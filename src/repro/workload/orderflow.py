@@ -94,9 +94,11 @@ class OrderFlowGenerator(Component):
         count = int(self._rng.poisson(expected))
         if count:
             offsets = np.sort(self._rng.integers(0, self.batch_ns, size=count))
+            schedule_after = self.sim.schedule_after
+            event = self._event
             for offset in offsets:
-                self.call_after(int(offset), self._event)
-        self.call_after(self.batch_ns, self._batch)
+                schedule_after(int(offset), event)
+        self.sim.schedule_after(self.batch_ns, self._batch)
 
     def _event(self) -> None:
         roll = self._rng.random()

@@ -1,0 +1,21 @@
+"""Bad: imports the deprecated construction shims."""
+
+import repro.firm.strategies
+from repro.core import build_design1_system
+from repro.core.cloud import build_design2_system
+from repro.core.testbed import build_design3_system
+from repro.core.testbed4 import build_design4_system
+from repro.core.wan_testbed import build_cross_colo_system
+from repro.firm import strategies
+from repro.firm.strategies import MomentumStrategy
+
+__all__ = [
+    "build_design1_system",
+    "build_design2_system",
+    "build_design3_system",
+    "build_design4_system",
+    "build_cross_colo_system",
+    "strategies",
+    "MomentumStrategy",
+    "repro",
+]

@@ -1,0 +1,7 @@
+"""Good: constructs through the facade and the renamed strategy module."""
+
+from repro.core import build_system
+from repro.core.config import SystemSpec
+from repro.firm.strategy import MomentumStrategy
+
+__all__ = ["build_system", "SystemSpec", "MomentumStrategy"]

@@ -2,14 +2,13 @@
 
 import pytest
 
+from repro.core import build_system
 from repro.core.cloud import (
     CloudFabric,
     DEFAULT_EQUALIZED_NS,
     UnsupportedMulticast,
-    build_design2_system,
 )
 from repro.core.designs import Design2Cloud
-from repro.core.testbed import build_design1_system
 from repro.net.addressing import EndpointAddress, MulticastGroup
 from repro.net.nic import Nic
 from repro.net.packet import Packet
@@ -107,7 +106,7 @@ class TestCloudFabric:
 class TestDesign2System:
     @pytest.fixture(scope="class")
     def system(self):
-        system = build_design2_system(seed=3)
+        system = build_system(design="design2", seed=3)
         system.run(40 * MILLISECOND)
         return system
 
@@ -124,7 +123,7 @@ class TestDesign2System:
         assert model < stats.median < 1.05 * model + 10_000
 
     def test_orders_of_magnitude_above_design1(self, system):
-        d1 = build_design1_system(seed=3)
+        d1 = build_system(design="design1", seed=3)
         d1.run(40 * MILLISECOND)
         assert system.roundtrip_stats().median > 10 * d1.roundtrip_stats().median
 

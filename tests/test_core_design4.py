@@ -7,8 +7,7 @@ from repro.core.designs import (
     Design3L1S,
     Design4EnhancedL1S,
 )
-from repro.core.testbed import build_design3_system
-from repro.core.testbed4 import build_design4_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 
@@ -34,7 +33,7 @@ class TestAnalytic:
 class TestSimulated:
     @pytest.fixture(scope="class")
     def system(self):
-        system = build_design4_system(seed=3)
+        system = build_system(design="design4", seed=3)
         system.run(40 * MILLISECOND)
         return system
 
@@ -43,7 +42,7 @@ class TestSimulated:
         assert sum(s.stats.fills for s in system.strategies) > 0
 
     def test_round_trip_between_d3_and_d1(self, system):
-        d3 = build_design3_system(seed=3)
+        d3 = build_system(design="design3", seed=3)
         d3.run(40 * MILLISECOND)
         d4_median = system.roundtrip_stats().median
         d3_median = d3.roundtrip_stats().median
@@ -59,9 +58,11 @@ class TestSimulated:
         assert fpga_b.stats.copies_out >= fpga_b.stats.packets_in
 
     def test_in_fabric_filtering_thins_per_strategy_traffic(self):
-        full = build_design4_system(seed=3)
+        full = build_system(design="design4", seed=3)
         full.run(30 * MILLISECOND)
-        thin = build_design4_system(seed=3, subscriptions_per_strategy=2)
+        thin = build_system(
+            design="design4", seed=3, subscriptions_per_strategy=2
+        )
         thin.run(30 * MILLISECOND)
         full_updates = full.strategies[0].stats.updates_in
         thin_updates = thin.strategies[0].stats.updates_in

@@ -3,13 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.core.wan_testbed import build_cross_colo_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 
 @pytest.fixture(scope="module")
 def system():
-    system = build_cross_colo_system(seed=3)
+    # The wan spec knobs that differ from the SystemSpec defaults are
+    # pinned to the historical cross-colo builder's values.
+    system = build_system(
+        design="wan", seed=3, n_strategies=2,
+        flow_rate_per_s=30_000.0, firm_partitions=4,
+    )
     system.run(40 * MILLISECOND)
     return system
 
@@ -62,8 +67,6 @@ def test_no_orders_lost_despite_wan_loss(system):
 def test_remote_vs_local_latency_gap(system):
     """The remote round trip is ~25x a local Design-1 loop — why firms
     place servers in every colo instead of trading remotely (§2)."""
-    from repro.core.testbed import build_design1_system
-
-    local = build_design1_system(seed=3)
+    local = build_system(design="design1", seed=3)
     local.run(30 * MILLISECOND)
     assert system.roundtrip_stats().median > 20 * local.roundtrip_stats().median

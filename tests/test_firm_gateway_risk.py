@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.testbed import build_design1_system
+from repro.core import build_system
 from repro.firm.nbbo import NbboBuilder
 from repro.firm.risk import PositionTracker, RiskChecker
 from repro.firm.strategy import InternalOrder
@@ -10,7 +10,7 @@ from repro.sim.kernel import MILLISECOND
 
 
 def _gated_system(per_symbol_limit=10_000, firm_gross_limit=100_000):
-    system = build_design1_system(seed=44)
+    system = build_system(design="design1", seed=44)
     positions = PositionTracker()
     checker = RiskChecker(
         positions, NbboBuilder(),

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.testbed import build_design1_system
+from repro.core import build_system
 from repro.firm.replay import (
     RecordedUpdate,
     ReplayDriver,
@@ -53,7 +53,7 @@ class OfflineMomentum:
 
 def _recorded_system():
     """A live Design 1 run with a recorder tapping the internal feed."""
-    system = build_design1_system(seed=33)
+    system = build_system(design="design1", seed=33)
     recorder_host_nic = system.topology.attach_server(
         system.topology.hosts["strat0"], system.topology.leaves[2], "tap"
     )

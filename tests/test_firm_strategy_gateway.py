@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.testbed import build_design1_system
+from repro.core import build_system
 from repro.firm import (
     ArbitrageStrategy,
     InternalOrder,
@@ -125,7 +125,7 @@ def test_momentum_downtick_resets_streak():
 
 def test_gateway_translates_and_routes_fills_end_to_end():
     """Full-system check via the Design 1 testbed."""
-    system = build_design1_system(seed=5)
+    system = build_system(design="design1", seed=5)
     system.run(30 * MILLISECOND)
     gw = system.gateway
     assert gw.stats.orders_in > 0
@@ -140,7 +140,7 @@ def test_gateway_translates_and_routes_fills_end_to_end():
 
 
 def test_gateway_unknown_exchange_counted():
-    system = build_design1_system(seed=5)
+    system = build_system(design="design1", seed=5)
     gw = system.gateway
     order = InternalOrder("s", 1, "exch999", "AA", "B", 10_000, 100)
     gw._translate(order, system.strategies[0].order_nic.address)
@@ -148,7 +148,7 @@ def test_gateway_unknown_exchange_counted():
 
 
 def test_gateway_cancel_before_new_is_dropped():
-    system = build_design1_system(seed=5)
+    system = build_system(design="design1", seed=5)
     gw = system.gateway
     cancel = InternalOrder("s", 77, "exch1", "AA", "B", 10_000, 100, action="cancel")
     before = gw.stats.orders_out
@@ -158,7 +158,7 @@ def test_gateway_cancel_before_new_is_dropped():
 
 def test_strategy_latency_recorder_paper_definition():
     """Latency = order send - most recent input arrival (§2)."""
-    system = build_design1_system(seed=5)
+    system = build_system(design="design1", seed=5)
     system.run(30 * MILLISECOND)
     samples = system.recorder.all_samples()
     assert samples

@@ -4,20 +4,20 @@ import pytest
 
 from repro.core.latency import Category
 from repro.core.designs import Design1LeafSpine, Design3L1S
-from repro.core.testbed import build_design1_system, build_design3_system
+from repro.core import build_system
 from repro.sim.kernel import MILLISECOND
 
 
 @pytest.fixture(scope="module")
 def design1():
-    system = build_design1_system(seed=11)
+    system = build_system(design="design1", seed=11)
     system.run(40 * MILLISECOND)
     return system
 
 
 @pytest.fixture(scope="module")
 def design3():
-    system = build_design3_system(seed=11)
+    system = build_system(design="design3", seed=11)
     system.run(40 * MILLISECOND)
     return system
 
@@ -75,9 +75,9 @@ class TestDesign3EndToEnd:
 
     def test_identical_seeds_identical_trading(self):
         """Determinism across runs: same seed, same event counts."""
-        a = build_design1_system(seed=21)
+        a = build_system(design="design1", seed=21)
         a.run(10 * MILLISECOND)
-        b = build_design1_system(seed=21)
+        b = build_system(design="design1", seed=21)
         b.run(10 * MILLISECOND)
         assert a.flow.stats.total == b.flow.stats.total
         assert [s.stats.orders_sent for s in a.strategies] == [
@@ -86,7 +86,7 @@ class TestDesign3EndToEnd:
         assert a.roundtrip_samples() == b.roundtrip_samples()
 
     def test_multi_normalizer_design3_uses_merges(self):
-        system = build_design3_system(seed=12, n_normalizers=2)
+        system = build_system(design="design3", seed=12, n_normalizers=2)
         system.run(20 * MILLISECOND)
         assert len(system.merge_units) == len(system.strategies) + 1
         assert len(system.roundtrip_samples()) > 0

@@ -65,4 +65,4 @@ def test_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     assert "unit-suffix" in out and "builder-registry" in out
-    assert len(out.strip().splitlines()) == 9
+    assert len(out.strip().splitlines()) == 10

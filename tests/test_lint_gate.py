@@ -20,6 +20,7 @@ def test_rule_registry_is_complete():
         "builder-registry",
         "instrument-name-style",
         "no-cross-module-private-import",
+        "no-deprecated-entry-point",
         "no-float-time-equality",
         "no-global-random",
         "no-mutable-default-args",

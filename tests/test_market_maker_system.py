@@ -9,7 +9,7 @@ exchange delete → feed delete.
 
 import pytest
 
-from repro.core.testbed import build_design1_system
+from repro.core import build_system
 from repro.firm import MarketMakerStrategy
 from repro.net.addressing import MulticastGroup
 from repro.sim.kernel import MILLISECOND
@@ -17,7 +17,7 @@ from repro.sim.kernel import MILLISECOND
 
 @pytest.fixture(scope="module")
 def system():
-    system = build_design1_system(seed=55, n_symbols=6, n_strategies=1)
+    system = build_system(design="design1", seed=55, n_symbols=6, n_strategies=1)
     # Replace the momentum strategy's logic with a market maker on the
     # same NICs/gateway wiring.
     old = system.strategies[0]

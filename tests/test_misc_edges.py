@@ -62,9 +62,9 @@ class TestFeedHandlerEdges:
 
 class TestStrategyEdges:
     def test_non_itf_market_data_ignored(self):
-        from repro.core.testbed import build_design1_system
+        from repro.core import build_system
 
-        system = build_design1_system(seed=1)
+        system = build_system(design="design1", seed=1)
         strategy = system.strategies[0]
         before = strategy.stats.updates_in
         strategy._on_md_packet(
@@ -76,9 +76,9 @@ class TestStrategyEdges:
 
 class TestOrderEntryEdges:
     def test_non_bytes_order_packet_ignored(self):
-        from repro.core.testbed import build_design1_system
+        from repro.core import build_system
 
-        system = build_design1_system(seed=1)
+        system = build_system(design="design1", seed=1)
         port = system.exchange.order_entry
         before = port.stats.requests
         port._on_packet(

@@ -1,0 +1,39 @@
+"""Tree-wide gate: no in-tree caller imports a deprecated entry point.
+
+``python -m repro lint`` (and its test-suite face, ``test_lint_gate``)
+scans ``src/`` only. This test runs the ``no-deprecated-entry-point``
+rule over tests/, benchmarks/ and examples/ as well, so the migration
+off the legacy ``build_*_system`` builders and ``repro.firm.strategies``
+stays migrated everywhere in the tree — the shims exist for downstream
+code, not for us.
+"""
+
+from pathlib import Path
+
+from repro.lint import render_findings, run_lint
+
+ROOT = Path(__file__).resolve().parent.parent
+SCANNED = ("src", "tests", "benchmarks", "examples")
+
+
+def test_whole_tree_avoids_deprecated_entry_points():
+    findings = run_lint(
+        root=ROOT,
+        paths=[ROOT / part for part in SCANNED],
+        rule_ids=["no-deprecated-entry-point"],
+    )
+    # The lint fixtures deliberately exercise the bad pattern; everything
+    # else must be clean.
+    findings = [f for f in findings if "lint_fixtures" not in f.path]
+    assert not findings, "\n" + render_findings(findings)
+
+
+def test_gate_scans_every_tree():
+    """Guard against the gate silently scanning nothing."""
+    from repro.lint import load_modules
+
+    modules = load_modules(ROOT, [ROOT / part for part in SCANNED])
+    names = {m.relpath for m in modules}
+    assert any(path.startswith("tests/") for path in names)
+    assert any(path.startswith("benchmarks/") for path in names)
+    assert any(path.startswith("examples/") for path in names)
