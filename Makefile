@@ -1,12 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify lint test bench scoreboard report
+.PHONY: verify lint test bench scoreboard report sweep-smoke
 
 # The one gate: repro lint + ruff (when installed) + tier-1 pytest +
-# the structural macro-bench check.
+# the structural macro-bench check + the sweep smoke matrix.
 verify:
 	$(PYTHON) -m repro verify
+
+# Tiny 2-design x 2-seed matrix on 2 workers, with the workers=1-vs-N
+# byte-identical-artifact determinism check (also chained into verify).
+sweep-smoke:
+	$(PYTHON) -m repro sweep --smoke
 
 lint:
 	$(PYTHON) -m repro lint

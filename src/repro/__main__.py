@@ -6,19 +6,47 @@ Commands
 ``table1``      regenerate the paper's Table 1 from the calibrated feeds
 ``figure2``     regenerate Figure 2's headline statistics
 ``roundtrip``   run the Design 1 and Design 3 testbeds and compare
-``run``         build and run a system from a SystemSpec JSON file
+``run``         execute one run from a SystemSpec and print its summary
 ``trace``       run with telemetry and print the per-hop decomposition
 ``report``      one self-contained run report: hops, series, queues, profile
+``sweep``       multiprocess scenario matrix -> one comparative artifact
 ``bench``       macro benchmark: whole-testbed events/s into BENCH_perf.json
 ``scoreboard``  run every reproduction bench (the full scoreboard)
 ``lint``        run the repro.lint static-analysis rules over the tree
-``verify``      run all the gates (lint, ruff, tier-1 pytest, bench check)
+``verify``      run all the gates (lint, ruff, pytest, bench, sweep smoke)
+
+Every run-shaped command (``run``, ``trace``, ``report``, ``sweep``)
+accepts ``--spec FILE`` — a :class:`~repro.core.config.SystemSpec` JSON
+document — and resolves ``--design`` through the same alias table
+(``leaf_spine``, ``l1s``, bare numbers, ...). Execution always flows
+through :func:`repro.core.run.execute_spec`: there is exactly one way
+to run and summarize a system.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _spec_from_args(args, **defaults):
+    """The run-shaped commands' shared spec loading: ``--spec`` wins whole.
+
+    When ``--spec FILE`` is given the file describes the run entirely;
+    otherwise the command's flag defaults build the spec. Returns None
+    (after printing the problem) for an unknown design.
+    """
+    from repro.core.config import ALL_DESIGNS, SystemSpec, resolve_design
+
+    if getattr(args, "spec", None):
+        return SystemSpec.from_file(args.spec)
+    if "design" in defaults:
+        design = resolve_design(defaults["design"])
+        if design not in ALL_DESIGNS:
+            print(f"unknown design {defaults['design']!r}; known: {ALL_DESIGNS}")
+            return None
+        defaults["design"] = design
+    return SystemSpec(**defaults)
 
 
 def _cmd_designs(_args) -> int:
@@ -106,35 +134,43 @@ def _cmd_roundtrip(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.core.config import SystemSpec
-    from repro.sim.kernel import format_ns
+    from repro.core.run import run_spec
+    from repro.sim.kernel import MILLISECOND, format_ns
 
-    if args.config:
-        spec = SystemSpec.from_file(args.config)
-    else:
-        spec = SystemSpec(design=args.design, seed=args.seed)
-    from repro.sim.kernel import MILLISECOND
-
+    spec = _spec_from_args(args, design=args.design, seed=args.seed)
+    if spec is None:
+        return 2
     print(f"building {spec.design} (seed={spec.seed}, "
           f"{spec.n_strategies} strategies, {spec.run_ns / MILLISECOND:g} ms)...")
-    system = spec.build_and_run()
-    stats = system.roundtrip_stats()
-    print(f"round trip: median {format_ns(int(stats.median))}, "
-          f"p99 {format_ns(int(stats.p99))} (n={stats.count})")
-    print(f"feed frames: {system.exchange.publisher.stats.frames:,}; "
-          f"orders: {system.gateway.stats.orders_in}; "
-          f"fills: {sum(s.stats.fills for s in system.strategies)}")
+    result = run_spec(spec)
+    if result.roundtrip is not None:
+        rt = result.roundtrip
+        print(f"round trip: median {format_ns(int(rt['median_ns']))}, "
+              f"p99 {format_ns(int(rt['p99_ns']))} (n={rt['count']})")
+    workload = result.workload
+    print(f"feed frames: {workload.get('feed_frames', 0):,}; "
+          f"orders: {workload.get('orders_in', 0)}; "
+          f"fills: {workload.get('fills', 0)}")
+    for note in result.notes:
+        print(f"note: {note}")
     return 0
 
 
 def _cmd_trace(args) -> int:
-    from repro.core import build_system
+    from dataclasses import replace
+
+    from repro.core.run import execute_spec
     from repro.sim.kernel import MILLISECOND, format_ns
     from repro.telemetry import decompose, render_decomposition, write_traces_jsonl
 
-    design = args.design if args.design.startswith(("design", "wan")) else f"design{args.design}"
-    system = build_system(design=design, seed=args.seed, telemetry=True)
-    system.run(args.ms * MILLISECOND)
+    spec = _spec_from_args(
+        args, design=args.design, seed=args.seed, run_ns=args.ms * MILLISECOND
+    )
+    if spec is None:
+        return 2
+    spec = replace(spec, telemetry=True)
+    design = spec.design
+    system = execute_spec(spec).system
     telemetry = system.sim.telemetry
     if not telemetry.traces:
         if design == "wan":
@@ -144,7 +180,8 @@ def _cmd_trace(args) -> int:
                   "across the reliable metro channel; use run --design wan "
                   "for round-trip stats, or trace designs 1-4")
         else:
-            print(f"no round trips completed in {args.ms} simulated ms; "
+            print(f"no round trips completed in "
+                  f"{spec.run_ns / MILLISECOND:g} simulated ms; "
                   "try a longer --ms or another --seed")
         return 1
     deco = decompose(telemetry.traces)
@@ -165,17 +202,15 @@ def _cmd_report(args) -> int:
     import json
 
     from repro.analysis.report import build_report, render_report
-    from repro.core.config import ALL_DESIGNS, resolve_design
     from repro.sim.kernel import MILLISECOND
     from repro.telemetry import write_series_jsonl
 
-    design = resolve_design(args.design)
-    if design not in ALL_DESIGNS:
-        print(f"unknown design {args.design!r}; known: {ALL_DESIGNS}")
-        return 2
-    report = build_report(
-        design=design, seed=args.seed, run_ns=args.ms * MILLISECOND
+    spec = _spec_from_args(
+        args, design=args.design, seed=args.seed, run_ns=args.ms * MILLISECOND
     )
+    if spec is None:
+        return 2
+    report = build_report(spec=spec)
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -186,9 +221,16 @@ def _cmd_report(args) -> int:
     return 0 if report.sum_check.ok else 1
 
 
+def _cmd_sweep(args) -> int:
+    from repro.sweep.cli import run as sweep_run
+
+    return sweep_run(args)
+
+
 def _cmd_verify(args) -> int:
-    """Chain the gates: repro lint, ruff (if present), tier-1 pytest, and
-    the structural macro-bench check (bench runs + BENCH_perf.json shape)."""
+    """Chain the gates: repro lint, ruff (if present), tier-1 pytest, the
+    structural macro-bench check (bench runs + BENCH_perf.json shape), and
+    the sweep smoke matrix with its workers=1-vs-N determinism check."""
     import os
     import shutil
     import subprocess
@@ -208,6 +250,9 @@ def _cmd_verify(args) -> int:
     steps.append(("pytest (tier 1)", [sys.executable, "-m", "pytest", "-x", "-q"]))
     steps.append(
         ("bench check", [sys.executable, "-m", "repro", "bench", "--check"])
+    )
+    steps.append(
+        ("sweep smoke", [sys.executable, "-m", "repro", "sweep", "--smoke"])
     )
 
     failed: list[str] = []
@@ -305,22 +350,25 @@ def main(argv: list[str] | None = None) -> int:
     rt.add_argument("--seed", type=int, default=7)
     rt.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
 
-    run = sub.add_parser("run", help="build and run a system from a spec")
-    run.add_argument("--config", help="path to a SystemSpec JSON file")
-    run.add_argument(
-        "--design",
-        choices=["design1", "design2", "design3", "design4", "wan"],
-        default="design1",
+    _SPEC_HELP = "path to a SystemSpec JSON file (overrides the other flags)"
+    _DESIGN_HELP = (
+        'design name, number, or alias: "design1"/"leaf_spine", "3", '
+        '"l1s", "fpga_l1s", "wan", ...'
     )
+
+    run = sub.add_parser("run", help="build and run a system from a spec")
+    run.add_argument(
+        "--spec", "--config", dest="spec", help=_SPEC_HELP + " "
+        "(--config is the deprecated spelling)",
+    )
+    run.add_argument("--design", default="design1", help=_DESIGN_HELP)
     run.add_argument("--seed", type=int, default=1)
 
     tr = sub.add_parser(
         "trace", help="per-hop round-trip decomposition (telemetry on)"
     )
-    tr.add_argument(
-        "--design", default="design1",
-        help='design name or number: "1"/"design1", "3", "4", "wan", ...',
-    )
+    tr.add_argument("--spec", help=_SPEC_HELP)
+    tr.add_argument("--design", default="design1", help=_DESIGN_HELP)
     tr.add_argument("--seed", type=int, default=7)
     tr.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
     tr.add_argument("--jsonl", help="also dump every trace to this JSONL file")
@@ -328,16 +376,22 @@ def main(argv: list[str] | None = None) -> int:
     rp = sub.add_parser(
         "report", help="one self-contained run report (telemetry + profiler on)"
     )
-    rp.add_argument(
-        "--design", default="design1",
-        help='design name or alias: "design1"/"leaf_spine", "l1s", "wan", ...',
-    )
+    rp.add_argument("--spec", help=_SPEC_HELP)
+    rp.add_argument("--design", default="design1", help=_DESIGN_HELP)
     rp.add_argument("--seed", type=int, default=7)
     rp.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
     rp.add_argument("--format", choices=["text", "json"], default="text")
     rp.add_argument(
         "--series-jsonl", help="also dump the windowed series to this JSONL file"
     )
+
+    sw = sub.add_parser(
+        "sweep",
+        help="multiprocess scenario matrix -> one comparative artifact",
+    )
+    from repro.sweep.cli import add_arguments as add_sweep_arguments
+
+    add_sweep_arguments(sw)
 
     bn = sub.add_parser(
         "bench",
@@ -381,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "sweep": _cmd_sweep,
         "bench": _cmd_bench,
         "scoreboard": _cmd_scoreboard,
         "lint": _cmd_lint,

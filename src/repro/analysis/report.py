@@ -148,7 +148,7 @@ def build_report(
     :func:`~repro.core.api.build_system`; telemetry is always forced on.
     ``merge_feeds`` sizes the companion §4.3 merge-bottleneck run.
     """
-    from repro.core.api import build_system
+    from repro.core.run import execute_spec, roundtrip_summary
 
     if spec is None:
         spec = SystemSpec(**{**overrides, "telemetry": True})
@@ -157,30 +157,22 @@ def build_report(
 
         spec = replace(spec, **{**overrides, "telemetry": True})
 
-    system = build_system(spec)
+    executed = execute_spec(spec, profile=True)
+    system = executed.system
     sim = system.sim
-    profiler = sim.attach_profiler()
-    system.run(spec.run_ns)
+    profiler = executed.profiler
 
     telemetry = sim.telemetry
     notes: list[str] = []
 
-    roundtrip = None
-    if hasattr(system, "roundtrip_stats"):
-        stats = system.roundtrip_stats()
-        if stats.count:
-            roundtrip = {
-                "count": stats.count,
-                "mean_ns": stats.mean,
-                "median_ns": stats.median,
-                "p99_ns": stats.p99,
-                "min_ns": stats.minimum,
-                "max_ns": stats.maximum,
-            }
-        else:
+    roundtrip = roundtrip_summary(system)
+    if roundtrip is None:
+        if hasattr(system, "roundtrip_samples"):
             notes.append("no round trips completed; try a longer run_ns")
-    else:
-        notes.append(f"design {spec.design} does not expose round-trip stats")
+        else:
+            notes.append(
+                f"design {spec.design} does not expose round-trip stats"
+            )
 
     decomposition = None
     if telemetry.traces:

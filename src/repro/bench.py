@@ -28,7 +28,6 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.sim.kernel import MILLISECOND, SECOND
-from repro.telemetry.profile import KernelProfiler
 
 #: The designs the macro suite covers: the §4 colo designs whose packet
 #: pipelines exercise the kernel hot path end to end.
@@ -44,11 +43,6 @@ SMOKE_RUN_NS = 2 * MILLISECOND
 MACRO_SECTION = "macro_events_per_sec"
 #: Fields every per-design entry must carry (the verify gate's shape).
 MACRO_FIELDS = ("events", "events_per_sec", "repeats", "run_ns", "wall_ns")
-
-# The kernel profiler owns the tree's one sanctioned wall-clock source
-# (repro.lint's no-wall-clock rule); the bench measures with the same
-# clock the profiler attributes handler time with.
-_clock = KernelProfiler.clock
 
 
 @dataclass(frozen=True)
@@ -86,22 +80,23 @@ def run_macro(
     """Drive one design's testbed through a busy window, best-of-N.
 
     Each repeat builds the system fresh (construction is excluded from
-    the timed window) and must execute exactly the same number of
-    events — a repeat that doesn't is a determinism bug, not noise, and
-    raises rather than averaging it away.
+    the timed window — :func:`repro.core.run.execute_spec` times only
+    the run) and must execute exactly the same number of events — a
+    repeat that doesn't is a determinism bug, not noise, and raises
+    rather than averaging it away.
     """
-    from repro.core import build_system
+    from repro.core.config import SystemSpec
+    from repro.core.run import execute_spec
 
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    spec = SystemSpec(design=design, seed=seed, run_ns=run_ns)
     events: int | None = None
     best_wall_ns: int | None = None
     for _ in range(repeats):
-        system = build_system(design=design, seed=seed)
-        begin = _clock()
-        system.run(run_ns)
-        wall_ns = _clock() - begin
-        executed = system.sim.events_executed
+        executed_run = execute_spec(spec)
+        wall_ns = executed_run.wall_ns
+        executed = executed_run.system.sim.events_executed
         if events is None:
             events = executed
         elif executed != events:

@@ -14,6 +14,10 @@
 * :mod:`repro.core.api` — the :func:`build_system` facade: every
   testbed (Designs 1–4 plus the cross-colo WAN build) constructed from
   one :class:`SystemSpec`;
+* :mod:`repro.core.run` — the one execution path: :func:`run_spec`
+  turns a :class:`SystemSpec` into a plain-data, JSON-round-trippable
+  :class:`RunResult` (what the CLI, bench, and ``repro sweep`` all run
+  through);
 * :mod:`repro.core.compare` — the cross-design comparison table.
 """
 
@@ -36,7 +40,14 @@ from repro.core.testbed import (
     standalone_nic,
 )
 from repro.core.cloud import CloudFabric, build_design2_system
-from repro.core.config import SystemSpec
+from repro.core.config import SystemSpec, resolve_design
+from repro.core.run import (
+    ExecutedRun,
+    RunResult,
+    execute_spec,
+    run_spec,
+    summarize_run,
+)
 from repro.core.wan_testbed import CrossColoSystem, build_cross_colo_system
 from repro.core.multivenue import MultiVenueSystem, build_multi_venue_system
 from repro.core.testbed4 import build_design4_system
@@ -54,7 +65,13 @@ __all__ = [
     "CrossColoSystem",
     "MultiVenueSystem",
     "build_multi_venue_system",
+    "ExecutedRun",
+    "RunResult",
     "SystemSpec",
+    "execute_spec",
+    "resolve_design",
+    "run_spec",
+    "summarize_run",
     "build_cross_colo_system",
     "build_design2_system",
     "Design1LeafSpine",

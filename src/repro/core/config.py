@@ -9,6 +9,7 @@ CLI's ``run`` and ``trace`` commands consume.
 
 from __future__ import annotations
 
+import difflib
 import json
 import warnings
 from dataclasses import asdict, dataclass
@@ -43,6 +44,26 @@ def resolve_design(name: str) -> str:
     if name.isdigit():
         return f"design{name}"
     return DESIGN_ALIASES.get(name, name)
+
+
+def unknown_field_error(unknown, valid, kind: str) -> ValueError:
+    """A ``ValueError`` naming each unknown field and its closest valid one.
+
+    Shared by every ``from_dict`` in the tree (:class:`SystemSpec`,
+    :class:`~repro.core.run.RunResult`,
+    :class:`~repro.sweep.matrix.MatrixSpec`), so a typo'd spec file
+    fails the same way everywhere: the offending key, a difflib
+    suggestion when one is close enough, and the full valid set.
+    """
+    valid = sorted(valid)
+    parts = []
+    for key in sorted(unknown):
+        close = difflib.get_close_matches(key, valid, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        parts.append(f"{key!r}{hint}")
+    return ValueError(
+        f"unknown {kind} field(s): {', '.join(parts)}; valid fields: {valid}"
+    )
 
 
 @dataclass(frozen=True)
@@ -111,6 +132,10 @@ class SystemSpec:
     def to_dict(self) -> dict:
         return asdict(self)
 
+    # Documented legacy keys: accepted by from_dict (with a deprecation
+    # warning) and converted, never reported as unknown.
+    LEGACY_KEYS = ("run_ms",)
+
     @classmethod
     def from_dict(cls, raw: dict) -> "SystemSpec":
         if "run_ms" in raw:  # pre-1.1 spec files carried milliseconds
@@ -124,7 +149,9 @@ class SystemSpec:
             raw.setdefault("run_ns", ms_to_ns(raw.pop("run_ms")))
         unknown = set(raw) - set(cls.__dataclass_fields__)
         if unknown:
-            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+            raise unknown_field_error(
+                unknown, cls.__dataclass_fields__, "SystemSpec"
+            )
         return cls(**raw)
 
     def to_json(self) -> str:
@@ -146,6 +173,6 @@ class SystemSpec:
         return build_system(self)
 
     def build_and_run(self) -> "TradingSystem":
-        system = self.build()
-        system.run(self.run_ns)
-        return system
+        from repro.core.run import execute_spec
+
+        return execute_spec(self).system

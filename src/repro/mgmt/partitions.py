@@ -62,6 +62,26 @@ class PartitionPlan:
         return want / got if got else float("inf")
 
 
+def partitions_for_rate(
+    events_per_s: float,
+    per_partition_capacity: float,
+    group_budget: int,
+    headroom: float = 0.5,
+) -> tuple[int, int]:
+    """``(allocated, desired)`` partitions for one feed under a budget.
+
+    The single-feed view of :func:`plan_partitions`, used by the sweep
+    engine's partition axis: a cell's event rate decides how many
+    partitions the feed *wants*; the fabric's group budget decides how
+    many it *gets*. ``allocated < desired`` is §3's coarsening squeeze.
+    """
+    plan = plan_partitions(
+        [FeedDemand("feed", events_per_s, per_partition_capacity, headroom)],
+        group_budget,
+    )
+    return plan.allocations["feed"], plan.desired["feed"]
+
+
 def plan_partitions(demands: list[FeedDemand], group_budget: int) -> PartitionPlan:
     """Allocate partitions per feed within ``group_budget``.
 

@@ -1,0 +1,30 @@
+"""``repro sweep``: the multiprocess scenario-matrix runner.
+
+The paper's core question is comparative — where does each design fall
+over as the feed grows (Fig 2a) and bursts concentrate (Fig 2c)? One
+run answers an anecdote; a matrix answers the question. This package
+expands a :class:`MatrixSpec` (designs × growth years × burst
+intensities × partition budgets × seeds) into fully serializable
+:class:`SweepCell` run descriptions, fans them out across a process
+pool (:func:`run_matrix`), and merges the per-run
+:class:`~repro.core.run.RunResult` summaries into one comparative
+artifact (:func:`merge_results`).
+
+Determinism is load-bearing: the same matrix produces a byte-identical
+merged artifact whether it ran on one worker or N (see
+``docs/sweep.md`` for the contract).
+"""
+
+from repro.sweep.matrix import MatrixSpec, SweepCell
+from repro.sweep.merge import artifact_json, merge_results, render_artifact
+from repro.sweep.worker import run_cell, run_matrix
+
+__all__ = [
+    "MatrixSpec",
+    "SweepCell",
+    "artifact_json",
+    "merge_results",
+    "render_artifact",
+    "run_cell",
+    "run_matrix",
+]

@@ -1,0 +1,159 @@
+"""Argument wiring for ``python -m repro sweep``.
+
+Two ways to describe the matrix:
+
+* ``--matrix FILE`` — a :class:`~repro.sweep.matrix.MatrixSpec` JSON
+  document (the full vocabulary, including per-axis lists and the base
+  spec inline);
+* axis flags — ``--designs design1,design3 --years 0,4 --seeds 1,2``
+  and friends, for one-liners; ``--spec FILE`` loads the base
+  :class:`~repro.core.config.SystemSpec` every cell derives from.
+
+``--smoke`` runs the canned verify-gate matrix: designs 1 and 3 × two
+seeds on two workers, then re-merges on one worker and fails unless the
+two artifacts are byte-identical — the determinism contract, enforced
+on every ``python -m repro verify``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.core.config import SystemSpec
+from repro.sim.kernel import ms_to_ns
+from repro.sweep.matrix import MatrixSpec
+from repro.sweep.merge import artifact_json, merge_results, render_artifact
+from repro.sweep.worker import run_matrix
+
+#: The --smoke gate's canned matrix: 2 designs × 2 seeds, tiny windows.
+SMOKE_MATRIX = dict(
+    designs=("design1", "design3"),
+    seeds=(1, 2),
+)
+SMOKE_RUN_MS = 2
+SMOKE_WORKERS = 2
+
+
+def add_arguments(parser) -> None:
+    parser.add_argument(
+        "--matrix", help="path to a MatrixSpec JSON file (the full vocabulary)"
+    )
+    parser.add_argument(
+        "--spec",
+        help="path to a SystemSpec JSON file used as every cell's base spec",
+    )
+    parser.add_argument(
+        "--designs", default="design1,design3",
+        help="comma-separated designs/aliases (default: design1,design3)",
+    )
+    parser.add_argument(
+        "--years", default="0",
+        help="comma-separated growth years along the Fig 2(a) trend",
+    )
+    parser.add_argument(
+        "--bursts", default="1",
+        help="comma-separated burst-intensity multipliers",
+    )
+    parser.add_argument(
+        "--partitions", default="-",
+        help='comma-separated multicast-group budgets ("-" = no planning)',
+    )
+    parser.add_argument(
+        "--seeds", default="1", help="comma-separated replicate seeds"
+    )
+    parser.add_argument(
+        "--ms", type=int, help="simulated milliseconds per cell "
+        "(default: the base spec's run_ns)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width (1 = in-process, no pool)",
+    )
+    parser.add_argument("--out", help="write the merged JSON artifact here")
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="stdout rendering of the merged artifact",
+    )
+    parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="re-run the matrix on 1 worker and require byte-identical "
+             "artifacts",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="the verify gate: canned 2-design × 2-seed matrix on "
+             f"{SMOKE_WORKERS} workers, with the determinism check",
+    )
+
+
+def _csv(text: str, convert):
+    return tuple(convert(part.strip()) for part in text.split(",") if part.strip())
+
+
+def _budget(token: str):
+    if token in ("-", "none", "None", "null"):
+        return None
+    return int(token)
+
+
+def build_matrix(args) -> MatrixSpec:
+    """The matrix an invocation describes (file, flags, or --smoke)."""
+    base = SystemSpec.from_file(args.spec) if args.spec else SystemSpec()
+    if args.ms is not None:
+        base = replace(base, run_ns=ms_to_ns(args.ms))
+    if args.smoke:
+        return MatrixSpec(
+            base=replace(base, run_ns=ms_to_ns(SMOKE_RUN_MS)), **SMOKE_MATRIX
+        )
+    if args.matrix:
+        matrix = MatrixSpec.from_file(args.matrix)
+        if args.spec or args.ms is not None:
+            matrix = replace(matrix, base=base)
+        return matrix
+    return MatrixSpec(
+        designs=_csv(args.designs, str),
+        growth_years=_csv(args.years, int),
+        burst_intensities=_csv(args.bursts, float),
+        partition_budgets=_csv(args.partitions, _budget),
+        seeds=_csv(args.seeds, int),
+        base=base,
+    )
+
+
+def run(args) -> int:
+    matrix = build_matrix(args)
+    workers = SMOKE_WORKERS if args.smoke else args.workers
+
+    def progress(cell_id: str) -> None:
+        print(f"sweep: finished {cell_id}", file=sys.stderr)
+
+    outcomes = run_matrix(matrix, workers=workers, progress=progress)
+    artifact = merge_results(matrix, outcomes)
+    payload = artifact_json(artifact)
+
+    if args.check_determinism or args.smoke:
+        serial = merge_results(matrix, run_matrix(matrix, workers=1))
+        if artifact_json(serial) != payload:
+            print(
+                "sweep: DETERMINISM FAILURE — workers="
+                f"{workers} and workers=1 artifacts differ",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"sweep: determinism ok (workers={workers} == workers=1, "
+            f"{artifact['n_cells']} cells)",
+            file=sys.stderr,
+        )
+
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(payload, encoding="utf-8")
+        print(f"sweep: wrote {args.out}", file=sys.stderr)
+    if args.format == "json":
+        print(payload, end="")
+    else:
+        print(render_artifact(artifact))
+    return 0

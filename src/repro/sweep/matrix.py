@@ -1,0 +1,270 @@
+"""Matrix specification: the axes of a ``repro sweep`` and their expansion.
+
+A :class:`MatrixSpec` names five axes and a base
+:class:`~repro.core.config.SystemSpec` every cell is derived from:
+
+* ``designs`` — which testbeds to compare (any alias ``resolve_design``
+  accepts);
+* ``growth_years`` — years along Fig 2(a)'s +500% trend; each year
+  scales the base spec's ``flow_rate_per_s`` by
+  :func:`~repro.workload.growth.growth_multiplier`;
+* ``burst_intensities`` — multipliers concentrating the same trend into
+  hotter windows (Fig 2c's 1066-events-per-100 µs direction);
+* ``partition_budgets`` — §3's multicast-group budgets; each cell's
+  effective rate is planned through
+  :func:`~repro.mgmt.partitions.partitions_for_rate` to decide how many
+  firm partitions the feed actually gets (``None`` skips planning and
+  keeps the base spec's ``firm_partitions``);
+* ``seeds`` — independent replicates.
+
+:meth:`MatrixSpec.expand` is a pure function of the spec: the same
+matrix expands to the same ordered tuple of :class:`SweepCell` run
+descriptions in every process, which is half of the sweep's
+determinism contract (the other half is
+:class:`~repro.core.run.RunResult`'s deterministic serialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.config import (
+    ALL_DESIGNS,
+    SystemSpec,
+    resolve_design,
+    unknown_field_error,
+)
+from repro.mgmt.partitions import partitions_for_rate
+from repro.workload.growth import growth_multiplier
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully serializable run description: coordinates + derived spec.
+
+    Everything a child process needs to reconstruct and execute the run
+    (``spec``) plus everything the merge step needs to label it
+    (``index``, ``cell_id``, the axis coordinates, and the partition
+    planning outcome).
+    """
+
+    index: int
+    cell_id: str
+    design: str
+    growth_year: int
+    burst_intensity: float
+    partition_budget: int | None
+    seed: int
+    growth_factor: float
+    desired_partitions: int | None
+    spec: SystemSpec
+
+    @property
+    def coords(self) -> dict:
+        """The cell's matrix coordinates, for artifact labeling."""
+        return {
+            "design": self.design,
+            "growth_year": self.growth_year,
+            "burst_intensity": self.burst_intensity,
+            "partition_budget": self.partition_budget,
+            "seed": self.seed,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "cell_id": self.cell_id,
+            "design": self.design,
+            "growth_year": self.growth_year,
+            "burst_intensity": self.burst_intensity,
+            "partition_budget": self.partition_budget,
+            "seed": self.seed,
+            "growth_factor": self.growth_factor,
+            "desired_partitions": self.desired_partitions,
+            "spec": self.spec.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SweepCell":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(raw) - known
+        if unknown:
+            raise unknown_field_error(unknown, known, "SweepCell")
+        raw = dict(raw)
+        raw["spec"] = SystemSpec.from_dict(raw["spec"])
+        return cls(**raw)
+
+
+def _axis(values: Sequence, name: str) -> tuple:
+    out = tuple(values)
+    if not out:
+        raise ValueError(f"matrix axis {name!r} must not be empty")
+    if len(set(out)) != len(out):
+        raise ValueError(f"matrix axis {name!r} has duplicate entries: {out}")
+    return out
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """The sweep's five axes plus the base spec every cell derives from."""
+
+    designs: tuple[str, ...] = ("design1", "design3")
+    growth_years: tuple[int, ...] = (0,)
+    burst_intensities: tuple[float, ...] = (1.0,)
+    partition_budgets: tuple[int | None, ...] = (None,)
+    seeds: tuple[int, ...] = (1,)
+    base: SystemSpec = field(default_factory=SystemSpec)
+    # Events/s one firm partition absorbs when planning the partition
+    # axis; 0.0 derives it from the base spec (rate / firm_partitions),
+    # so the base workload exactly fits the base partition count.
+    per_partition_capacity: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "designs",
+            _axis(
+                tuple(resolve_design(d) for d in self.designs), "designs"
+            ),
+        )
+        for design in self.designs:
+            if design not in ALL_DESIGNS:
+                raise ValueError(
+                    f"unknown design {design!r}; expected one of {ALL_DESIGNS}"
+                )
+        object.__setattr__(
+            self, "growth_years", _axis(self.growth_years, "growth_years")
+        )
+        object.__setattr__(
+            self,
+            "burst_intensities",
+            _axis(self.burst_intensities, "burst_intensities"),
+        )
+        object.__setattr__(
+            self,
+            "partition_budgets",
+            _axis(self.partition_budgets, "partition_budgets"),
+        )
+        object.__setattr__(self, "seeds", _axis(self.seeds, "seeds"))
+        for year in self.growth_years:
+            if year < 0:
+                raise ValueError("growth_years must be >= 0")
+        for burst in self.burst_intensities:
+            if burst <= 0:
+                raise ValueError("burst_intensities must be > 0")
+        for budget in self.partition_budgets:
+            if budget is not None and budget < 1:
+                raise ValueError("partition_budgets must be >= 1 or null")
+        if self.per_partition_capacity < 0:
+            raise ValueError("per_partition_capacity must be >= 0")
+
+    @property
+    def n_cells(self) -> int:
+        return (
+            len(self.designs)
+            * len(self.growth_years)
+            * len(self.burst_intensities)
+            * len(self.partition_budgets)
+            * len(self.seeds)
+        )
+
+    # -- expansion ---------------------------------------------------------
+
+    def expand(self) -> tuple[SweepCell, ...]:
+        """The ordered run list: designs ▸ years ▸ bursts ▸ budgets ▸ seeds.
+
+        Ordering is part of the determinism contract — merged artifacts
+        list cells in exactly this order no matter which worker finished
+        first. Telemetry is forced on in every cell: the comparative
+        artifact's drop counters and backlog high-watermarks come from
+        the flight-recorder gauges.
+        """
+        capacity = self.per_partition_capacity or (
+            self.base.flow_rate_per_s / self.base.firm_partitions
+        )
+        cells: list[SweepCell] = []
+        for design in self.designs:
+            for year in self.growth_years:
+                factor = growth_multiplier(year)
+                for burst in self.burst_intensities:
+                    rate = self.base.flow_rate_per_s * factor * burst
+                    for budget in self.partition_budgets:
+                        if budget is None:
+                            allocated = self.base.firm_partitions
+                            desired = None
+                        else:
+                            allocated, desired = partitions_for_rate(
+                                rate, capacity, budget
+                            )
+                        for seed in self.seeds:
+                            budget_label = (
+                                "-" if budget is None else str(budget)
+                            )
+                            cell_id = (
+                                f"{design}/y{year}/b{burst:g}"
+                                f"/p{budget_label}/s{seed}"
+                            )
+                            spec = replace(
+                                self.base,
+                                design=design,
+                                seed=seed,
+                                flow_rate_per_s=rate,
+                                firm_partitions=allocated,
+                                telemetry=True,
+                            )
+                            cells.append(
+                                SweepCell(
+                                    index=len(cells),
+                                    cell_id=cell_id,
+                                    design=design,
+                                    growth_year=year,
+                                    burst_intensity=burst,
+                                    partition_budget=budget,
+                                    seed=seed,
+                                    growth_factor=factor,
+                                    desired_partitions=desired,
+                                    spec=spec,
+                                )
+                            )
+        return tuple(cells)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "designs": list(self.designs),
+            "growth_years": list(self.growth_years),
+            "burst_intensities": list(self.burst_intensities),
+            "partition_budgets": list(self.partition_budgets),
+            "seeds": list(self.seeds),
+            "base": self.base.to_dict(),
+            "per_partition_capacity": self.per_partition_capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "MatrixSpec":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(raw) - known
+        if unknown:
+            raise unknown_field_error(unknown, known, "MatrixSpec")
+        raw = dict(raw)
+        if "base" in raw:
+            raw["base"] = SystemSpec.from_dict(raw["base"])
+        return cls(**raw)
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MatrixSpec":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "MatrixSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,140 @@
+"""Merging per-cell results into one comparative artifact.
+
+The artifact is a single JSON document (or text table) answering the
+paper's comparative question directly: for every cell — design × growth
+year × burst × partition budget × seed — the round-trip median/p99, the
+simulated event rate, total drops, and the deepest backlog any gauge
+saw. Cells appear in matrix-expansion order and the JSON is serialized
+with sorted keys, so the artifact is byte-identical across worker
+counts and across re-runs of the same matrix (the determinism contract
+``docs/sweep.md`` spells out and ``tests/test_sweep.py`` asserts).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.kernel import SECOND, format_ns
+from repro.sweep.matrix import MatrixSpec
+
+#: The artifact's schema version: bump when the merged shape changes.
+ARTIFACT_VERSION = 1
+
+
+def summarize_cell(outcome: dict) -> dict:
+    """The comparative per-cell row distilled from a worker outcome."""
+    result = outcome["result"]
+    roundtrip = result.get("roundtrip") or {}
+    counters = result.get("counters", {})
+    gauges = result.get("gauge_high_watermarks", {})
+    spec = result["spec"]
+    drops = {
+        name: value for name, value in counters.items() if "drop" in name and value
+    }
+    backlogs = {
+        name: value for name, value in gauges.items() if "backlog" in name and value
+    }
+    events = result["events_executed"]
+    return {
+        "roundtrips": roundtrip.get("count", 0),
+        "median_rtt_ns": roundtrip.get("median_ns"),
+        "p99_rtt_ns": roundtrip.get("p99_ns"),
+        "events": events,
+        "events_per_sim_sec": round(events * SECOND / spec["run_ns"], 1),
+        "flow_rate_per_s": spec["flow_rate_per_s"],
+        "firm_partitions": spec["firm_partitions"],
+        "dropped_total": sum(drops.values()),
+        "drop_counters": drops,
+        "backlog_high_watermark_bytes": max(backlogs.values(), default=0),
+        "backlog_high_watermarks": backlogs,
+    }
+
+
+def merge_results(matrix: MatrixSpec, outcomes: list[dict]) -> dict:
+    """Assemble worker outcomes into the merged comparative artifact.
+
+    ``outcomes`` may arrive in any order; the artifact lists cells by
+    their matrix index. Raises if any cell is missing or duplicated —
+    a partial sweep is not an artifact.
+    """
+    by_index = {outcome["index"]: outcome for outcome in outcomes}
+    if len(by_index) != len(outcomes):
+        raise ValueError("duplicate cell indices in sweep outcomes")
+    expected = matrix.n_cells
+    missing = sorted(set(range(expected)) - set(by_index))
+    if missing:
+        raise ValueError(f"sweep outcomes missing cell indices {missing}")
+    cells = []
+    for index in range(expected):
+        outcome = by_index[index]
+        cells.append(
+            {
+                "cell_id": outcome["cell_id"],
+                "coords": outcome["coords"],
+                "growth_factor": outcome["growth_factor"],
+                "desired_partitions": outcome["desired_partitions"],
+                "summary": summarize_cell(outcome),
+                "result": outcome["result"],
+            }
+        )
+    return {
+        "artifact_version": ARTIFACT_VERSION,
+        "matrix": matrix.to_dict(),
+        "n_cells": expected,
+        "cells": cells,
+    }
+
+
+def artifact_json(artifact: dict) -> str:
+    """The artifact's canonical byte form: sorted keys, trailing newline."""
+    return json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+
+
+def _fmt_rtt(value) -> str:
+    return "-" if value is None else format_ns(int(value))
+
+
+def render_artifact(artifact: dict) -> str:
+    """Human-readable comparative table, one row per cell."""
+    lines = [
+        f"sweep artifact: {artifact['n_cells']} cells "
+        f"(designs={','.join(artifact['matrix']['designs'])})",
+        "=" * 78,
+        f"  {'cell':<28} {'median':>9} {'p99':>9} {'ev/sim-s':>10} "
+        f"{'drops':>7} {'backlog':>8}",
+    ]
+    for cell in artifact["cells"]:
+        summary = cell["summary"]
+        lines.append(
+            f"  {cell['cell_id']:<28} "
+            f"{_fmt_rtt(summary['median_rtt_ns']):>9} "
+            f"{_fmt_rtt(summary['p99_rtt_ns']):>9} "
+            f"{summary['events_per_sim_sec']:>10,.0f} "
+            f"{summary['dropped_total']:>7} "
+            f"{summary['backlog_high_watermark_bytes']:>8}"
+        )
+    # Per-design rollup: the "where does each design fall over" line.
+    lines.append("")
+    lines.append("per-design medians across cells:")
+    by_design: dict[str, list] = {}
+    for cell in artifact["cells"]:
+        by_design.setdefault(cell["coords"]["design"], []).append(
+            cell["summary"]
+        )
+    for design in artifact["matrix"]["designs"]:
+        rows = by_design.get(design, [])
+        medians = sorted(
+            row["median_rtt_ns"]
+            for row in rows
+            if row["median_rtt_ns"] is not None
+        )
+        drops = sum(row["dropped_total"] for row in rows)
+        if medians:
+            mid = medians[len(medians) // 2]
+            lines.append(
+                f"  {design:<12} median-of-medians {_fmt_rtt(mid):>9}, "
+                f"total drops {drops}"
+            )
+        else:
+            lines.append(f"  {design:<12} no round trips recorded")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Child-process execution: reconstruct a cell, run it, ship plain data back.
+
+:func:`run_cell` is the unit of work a ``ProcessPoolExecutor`` worker
+performs. It takes a *plain dict* (a :meth:`SweepCell.to_dict`
+payload), reconstructs the cell — including its
+:class:`~repro.core.config.SystemSpec` via ``from_dict`` — executes it
+through the one run API (:func:`repro.core.run.run_spec`), and returns
+a plain-dict result. Nothing live crosses the process boundary in
+either direction, which is what makes the fan-out safe under any start
+method and the results mergeable.
+
+:func:`run_matrix` is the fan-out driver: workers=1 runs in-process
+(no pool), workers=N uses a process pool; either way the result list is
+ordered by cell index, never by completion time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sweep.matrix import MatrixSpec, SweepCell
+
+
+def run_cell(cell_dict: dict) -> dict:
+    """Execute one serialized :class:`SweepCell`; return a plain-dict result.
+
+    The returned ``result`` payload is the cell's
+    :class:`~repro.core.run.RunResult` in its *deterministic* form
+    (``wall_ns`` excluded), so identical cells produce identical
+    payloads no matter which process ran them.
+    """
+    from repro.core.run import run_spec
+
+    cell = SweepCell.from_dict(cell_dict)
+    result = run_spec(cell.spec)
+    return {
+        "index": cell.index,
+        "cell_id": cell.cell_id,
+        "coords": cell.coords,
+        "growth_factor": cell.growth_factor,
+        "desired_partitions": cell.desired_partitions,
+        "result": result.to_dict(deterministic=True),
+    }
+
+
+def run_matrix(
+    matrix: MatrixSpec,
+    workers: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[dict]:
+    """Expand ``matrix`` and execute every cell; results in cell order.
+
+    ``workers=1`` executes serially in-process; ``workers>1`` fans the
+    serialized cells out across a ``ProcessPoolExecutor``. ``progress``
+    (if given) is called with each cell id as it completes — completion
+    order, which is the only place pool scheduling is allowed to show.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    payloads = [cell.to_dict() for cell in matrix.expand()]
+    if workers == 1:
+        results = []
+        for payload in payloads:
+            outcome = run_cell(payload)
+            if progress is not None:
+                progress(outcome["cell_id"])
+            results.append(outcome)
+        return results
+
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    results_by_index: dict[int, dict] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(run_cell, payload) for payload in payloads]
+        for future in as_completed(futures):
+            outcome = future.result()
+            if progress is not None:
+                progress(outcome["cell_id"])
+            results_by_index[outcome["index"]] = outcome
+    return [results_by_index[i] for i in range(len(payloads))]

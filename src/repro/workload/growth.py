@@ -64,6 +64,24 @@ def daily_event_counts(
     return year_fraction, counts
 
 
+def growth_multiplier(
+    years_from_start: float, model: GrowthModel | None = None
+) -> float:
+    """Feed-rate multiplier after ``years_from_start`` of the Fig 2(a) trend.
+
+    Year 0 is the window's start (multiplier 1.0); the window's final
+    year carries the full ``total_growth_factor`` (the paper's +500%).
+    This is the deterministic trend only — the sweep engine uses it to
+    scale a spec's ``flow_rate_per_s`` along the growth axis.
+    """
+    if years_from_start < 0:
+        raise ValueError("years_from_start must be >= 0")
+    if model is None:
+        model = GrowthModel()
+    span_years = max(1, model.n_years - 1)
+    return float(model.total_growth_factor ** (years_from_start / span_years))
+
+
 def average_events_per_second(daily_events: float, trading_seconds: int = 23_400) -> float:
     """Average event rate over the trading session for one day's volume.
 

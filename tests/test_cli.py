@@ -63,3 +63,94 @@ def test_run_command_without_config(capsys):
     assert main(["run", "--design", "design1", "--seed", "2"]) == 0
     out = capsys.readouterr().out
     assert "design1" in out and "fills" in out
+
+
+def test_run_command_with_spec_file(tmp_path, capsys):
+    """--spec is the uniform spelling; --config remains as an alias."""
+    from repro.core.config import SystemSpec
+
+    spec = SystemSpec(design="design1", seed=5, run_ns=10_000_000,
+                      n_symbols=6, n_strategies=2)
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    assert main(["run", "--spec", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "design1" in out and "round trip" in out
+
+
+def test_run_command_accepts_aliases(capsys):
+    assert main(["run", "--design", "leaf_spine", "--seed", "2"]) == 0
+    assert "design1" in capsys.readouterr().out
+
+
+def test_run_command_rejects_unknown_design(capsys):
+    assert main(["run", "--design", "design9"]) == 2
+    assert "unknown design" in capsys.readouterr().out
+
+
+def test_trace_command_accepts_aliases(capsys):
+    """trace resolves the same alias table report does (l1s, bare 3, ...)."""
+    assert main(["trace", "--design", "l1s", "--ms", "15", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "design3 round-trip decomposition" in out
+
+
+def test_trace_command_rejects_unknown_design(capsys):
+    assert main(["trace", "--design", "nope"]) == 2
+    assert "unknown design" in capsys.readouterr().out
+
+
+def test_trace_command_with_spec_file(tmp_path, capsys):
+    from repro.core.config import SystemSpec
+
+    spec = SystemSpec(design="3", seed=3, run_ns=15_000_000,
+                      n_symbols=6, n_strategies=2)
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    assert main(["trace", "--spec", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "design3 round-trip decomposition" in out
+
+
+def test_report_command_with_spec_file(tmp_path, capsys):
+    from repro.core.config import SystemSpec
+
+    spec = SystemSpec(design="design1", seed=7, run_ns=10_000_000,
+                      n_symbols=6, n_strategies=2)
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    assert main(["report", "--spec", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "run report: design1" in out
+
+
+def test_sweep_command_text_output(tmp_path, capsys):
+    out_path = tmp_path / "artifact.json"
+    assert main([
+        "sweep", "--designs", "design1", "--seeds", "1", "--ms", "2",
+        "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "sweep artifact: 1 cells" in out
+    assert "design1/y0/b1/p-/s1" in out
+    import json
+
+    artifact = json.loads(out_path.read_text())
+    assert artifact["n_cells"] == 1
+
+
+def test_sweep_command_with_base_spec_file(tmp_path, capsys):
+    from repro.core.config import SystemSpec
+
+    base = SystemSpec(run_ns=2_000_000, n_symbols=6, n_strategies=2)
+    path = tmp_path / "base.json"
+    path.write_text(base.to_json())
+    assert main([
+        "sweep", "--spec", str(path), "--designs", "design3", "--seeds", "4",
+        "--format", "json",
+    ]) == 0
+    import json
+
+    artifact = json.loads(capsys.readouterr().out)
+    assert artifact["matrix"]["base"]["n_symbols"] == 6
+    assert artifact["cells"][0]["coords"]["design"] == "design3"

@@ -30,6 +30,25 @@ def test_unknown_fields_rejected():
         SystemSpec.from_dict({"design": "design1", "warp_factor": 9})
 
 
+def test_unknown_field_error_suggests_closest_field():
+    """A typo'd key names itself and the closest valid field (difflib)."""
+    with pytest.raises(ValueError) as excinfo:
+        SystemSpec.from_dict({"design": "design1", "seeed": 2})
+    message = str(excinfo.value)
+    assert "'seeed'" in message
+    assert "did you mean 'seed'?" in message
+    assert "valid fields" in message
+
+
+def test_unknown_field_error_without_close_match_lists_valid_fields():
+    with pytest.raises(ValueError) as excinfo:
+        SystemSpec.from_dict({"zzz_bogus_zzz": 1})
+    message = str(excinfo.value)
+    assert "did you mean" not in message
+    assert "'zzz_bogus_zzz'" in message
+    assert "design" in message
+
+
 def test_legacy_run_ms_field_converts_with_warning():
     """Pre-1.1 spec files carried milliseconds; they still load."""
     with pytest.warns(DeprecationWarning, match="run_ms"):

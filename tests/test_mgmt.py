@@ -5,7 +5,11 @@ import pytest
 
 from repro.mgmt.capacity import first_overflow_year, project_capacity
 from repro.mgmt.inventory import Cage, Rack, ServerSpec
-from repro.mgmt.partitions import FeedDemand, plan_partitions
+from repro.mgmt.partitions import (
+    FeedDemand,
+    partitions_for_rate,
+    plan_partitions,
+)
 from repro.mgmt.placement import (
     Flow,
     Placement,
@@ -183,6 +187,19 @@ class TestPartitionPlanning:
     def test_budget_too_small_raises(self):
         with pytest.raises(ValueError):
             plan_partitions([FeedDemand("a", 1, 1)], group_budget=0)
+
+    def test_partitions_for_rate_single_feed_view(self):
+        """The sweep engine's partition axis: within budget the feed gets
+        what it wants; past it, the budget caps the grant."""
+        allocated, desired = partitions_for_rate(
+            4_000_000, 1_000_000, group_budget=100
+        )
+        assert allocated == desired
+        allocated, desired = partitions_for_rate(
+            40_000_000, 1_000_000, group_budget=16
+        )
+        assert desired > 16
+        assert allocated == 16
 
 
 class TestCapacity:

@@ -1,0 +1,221 @@
+"""Tests for the ``repro sweep`` matrix engine.
+
+The load-bearing invariant: the same matrix produces a byte-identical
+merged artifact on one worker and on N — same per-cell results, same
+cell ordering — because every cell is a pure function of its
+serialized :class:`SweepCell` and the merge orders by matrix index.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import SystemSpec
+from repro.sweep.matrix import MatrixSpec, SweepCell
+from repro.sweep.merge import artifact_json, merge_results, render_artifact
+from repro.sweep.worker import run_cell, run_matrix
+
+TINY_RUN_NS = 2_000_000
+
+
+def tiny_base(**overrides) -> SystemSpec:
+    defaults = dict(run_ns=TINY_RUN_NS, n_symbols=6, n_strategies=2)
+    defaults.update(overrides)
+    return SystemSpec(**defaults)
+
+
+def tiny_matrix(**overrides) -> MatrixSpec:
+    defaults = dict(
+        designs=("design1",), seeds=(1, 2), base=tiny_base()
+    )
+    defaults.update(overrides)
+    return MatrixSpec(**defaults)
+
+
+# -- matrix expansion --------------------------------------------------------
+
+
+def test_expansion_order_and_ids_are_stable():
+    matrix = MatrixSpec(
+        designs=("design1", "design3"),
+        growth_years=(0, 4),
+        seeds=(1, 2),
+        base=tiny_base(),
+    )
+    cells = matrix.expand()
+    assert len(cells) == matrix.n_cells == 8
+    assert [c.index for c in cells] == list(range(8))
+    ids = [c.cell_id for c in cells]
+    assert len(set(ids)) == 8
+    # designs vary slowest, seeds fastest
+    assert ids[0] == "design1/y0/b1/p-/s1"
+    assert ids[1] == "design1/y0/b1/p-/s2"
+    assert ids[4].startswith("design3/")
+    # expansion is a pure function of the spec
+    assert matrix.expand() == cells
+
+
+def test_growth_axis_scales_flow_rate():
+    matrix = tiny_matrix(growth_years=(0, 4))
+    cells = matrix.expand()
+    year0 = next(c for c in cells if c.growth_year == 0)
+    year4 = next(c for c in cells if c.growth_year == 4)
+    assert year0.growth_factor == pytest.approx(1.0)
+    assert year4.growth_factor == pytest.approx(5.0)  # the paper's +500%
+    assert year4.spec.flow_rate_per_s == pytest.approx(
+        5.0 * matrix.base.flow_rate_per_s
+    )
+
+
+def test_burst_axis_multiplies_rate():
+    matrix = tiny_matrix(burst_intensities=(1.0, 2.5))
+    cells = matrix.expand()
+    rates = sorted(c.spec.flow_rate_per_s for c in cells if c.seed == 1)
+    assert rates[1] == pytest.approx(2.5 * rates[0])
+
+
+def test_partition_budget_caps_firm_partitions():
+    base = tiny_base(firm_partitions=8)
+    matrix = tiny_matrix(
+        base=base, growth_years=(0, 4), partition_budgets=(4,), seeds=(1,)
+    )
+    cells = matrix.expand()
+    for cell in cells:
+        assert cell.spec.firm_partitions <= 4
+        assert cell.desired_partitions is not None
+    # year 4's 5x rate wants more partitions than the budget grants
+    year4 = next(c for c in cells if c.growth_year == 4)
+    assert year4.desired_partitions > 4
+    # no budget -> base partitions pass through unplanned
+    unplanned = tiny_matrix(base=base, seeds=(1,)).expand()[0]
+    assert unplanned.spec.firm_partitions == 8
+    assert unplanned.desired_partitions is None
+
+
+def test_expansion_forces_telemetry_on():
+    assert all(c.spec.telemetry for c in tiny_matrix().expand())
+
+
+def test_matrix_json_round_trip():
+    matrix = MatrixSpec(
+        designs=("leaf_spine", "l1s"),  # aliases resolve on construction
+        growth_years=(0, 2),
+        burst_intensities=(1.0, 4.0),
+        partition_budgets=(None, 16),
+        seeds=(7,),
+        base=tiny_base(),
+    )
+    assert matrix.designs == ("design1", "design3")
+    restored = MatrixSpec.from_json(matrix.to_json())
+    assert restored == matrix
+
+
+def test_matrix_rejects_unknown_fields_with_suggestion():
+    with pytest.raises(ValueError, match="growth_years"):
+        MatrixSpec.from_dict({"growth_yeers": [0]})
+
+
+def test_matrix_validates_axes():
+    with pytest.raises(ValueError, match="designs"):
+        MatrixSpec(designs=())
+    with pytest.raises(ValueError, match="duplicate"):
+        MatrixSpec(seeds=(1, 1))
+    with pytest.raises(ValueError, match="burst"):
+        MatrixSpec(burst_intensities=(0.0,))
+    with pytest.raises(ValueError):
+        MatrixSpec(designs=("design9",))
+
+
+def test_cell_round_trips_through_plain_json():
+    cell = tiny_matrix().expand()[0]
+    payload = json.loads(json.dumps(cell.to_dict()))
+    restored = SweepCell.from_dict(payload)
+    assert restored == cell
+    assert restored.spec == cell.spec
+
+
+# -- worker ------------------------------------------------------------------
+
+
+def test_run_cell_reconstructs_from_plain_dict():
+    cell = tiny_matrix(seeds=(5,)).expand()[0]
+    outcome = run_cell(json.loads(json.dumps(cell.to_dict())))
+    assert outcome["index"] == 0
+    assert outcome["cell_id"] == cell.cell_id
+    assert outcome["coords"]["seed"] == 5
+    result = outcome["result"]
+    assert result["events_executed"] > 0
+    assert "wall_ns" not in result  # deterministic payload only
+    assert result["spec"]["design"] == "design1"
+
+
+def test_run_matrix_subprocess_reconstruction_matches_inprocess():
+    """The same matrix through a real ProcessPoolExecutor produces the
+    same outcomes a serial in-process run does: child processes rebuild
+    each run purely from the serialized cell."""
+    matrix = tiny_matrix()
+    serial = run_matrix(matrix, workers=1)
+    pooled = run_matrix(matrix, workers=2)
+    assert pooled == serial
+
+
+def test_run_matrix_reports_progress_in_cell_order_when_serial():
+    seen = []
+    run_matrix(tiny_matrix(), workers=1, progress=seen.append)
+    assert seen == [c.cell_id for c in tiny_matrix().expand()]
+
+
+def test_run_matrix_rejects_bad_workers():
+    with pytest.raises(ValueError):
+        run_matrix(tiny_matrix(), workers=0)
+
+
+# -- merge -------------------------------------------------------------------
+
+
+def test_workers_1_vs_n_merged_artifacts_are_bit_identical():
+    """The acceptance invariant: byte-identical merged artifacts across
+    worker counts."""
+    matrix = MatrixSpec(
+        designs=("design1", "design3"), seeds=(1, 2), base=tiny_base()
+    )
+    serial = artifact_json(merge_results(matrix, run_matrix(matrix, workers=1)))
+    pooled = artifact_json(merge_results(matrix, run_matrix(matrix, workers=2)))
+    assert pooled == serial
+
+
+def test_merge_orders_cells_by_index_not_completion():
+    matrix = tiny_matrix()
+    outcomes = run_matrix(matrix, workers=1)
+    shuffled = list(reversed(outcomes))
+    artifact = merge_results(matrix, shuffled)
+    assert [c["cell_id"] for c in artifact["cells"]] == [
+        o["cell_id"] for o in outcomes
+    ]
+
+
+def test_merge_rejects_incomplete_sweeps():
+    matrix = tiny_matrix()
+    outcomes = run_matrix(matrix, workers=1)
+    with pytest.raises(ValueError, match="missing"):
+        merge_results(matrix, outcomes[:-1])
+    with pytest.raises(ValueError, match="duplicate"):
+        merge_results(matrix, outcomes + [outcomes[0]])
+
+
+def test_artifact_shape_and_rendering():
+    matrix = tiny_matrix()
+    artifact = merge_results(matrix, run_matrix(matrix, workers=1))
+    assert artifact["n_cells"] == 2
+    assert artifact["matrix"] == matrix.to_dict()
+    for cell in artifact["cells"]:
+        summary = cell["summary"]
+        assert summary["events"] > 0
+        assert summary["events_per_sim_sec"] > 0
+        assert "dropped_total" in summary
+        assert "backlog_high_watermark_bytes" in summary
+    text = render_artifact(artifact)
+    assert "design1/y0/b1/p-/s1" in text
+    assert "per-design medians" in text
+    # canonical byte form ends with exactly one newline
+    assert artifact_json(artifact).endswith("}\n")

@@ -17,6 +17,7 @@ from repro.workload.growth import (
     GrowthModel,
     average_events_per_second,
     daily_event_counts,
+    growth_multiplier,
     measured_growth_factor,
 )
 
@@ -116,3 +117,16 @@ class TestFig2a:
             average_events_per_second(1e9, 0)
         with pytest.raises(ValueError):
             measured_growth_factor(np.ones(5), window_days=10)
+
+    def test_growth_multiplier_trend_endpoints(self):
+        """Year 0 is 1.0x; the window's final year carries the paper's
+        full +500% — the sweep engine's growth axis."""
+        assert growth_multiplier(0) == pytest.approx(1.0)
+        model = GrowthModel()
+        assert growth_multiplier(model.n_years - 1) == pytest.approx(
+            model.total_growth_factor
+        )
+        # monotone in between, fractional years allowed
+        assert 1.0 < growth_multiplier(1.5) < growth_multiplier(3)
+        with pytest.raises(ValueError):
+            growth_multiplier(-1)
