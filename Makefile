@@ -1,10 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify lint test bench scoreboard report sweep-smoke
+.PHONY: verify lint lint-changed test bench scoreboard report sweep-smoke
 
-# The one gate: repro lint + ruff (when installed) + tier-1 pytest +
-# the structural macro-bench check + the sweep smoke matrix.
+# The one gate: repro lint --changed + ruff (when installed) + tier-1
+# pytest (which includes the full-tree lint gate) + the structural
+# macro-bench check + the sweep smoke matrix.
 verify:
 	$(PYTHON) -m repro verify
 
@@ -15,6 +16,11 @@ sweep-smoke:
 
 lint:
 	$(PYTHON) -m repro lint
+
+# Findings scoped to git-dirty files; the whole tree is still analyzed
+# so cross-file hot-path violations stay visible.
+lint-changed:
+	$(PYTHON) -m repro lint --changed
 
 test:
 	$(PYTHON) -m pytest -x -q

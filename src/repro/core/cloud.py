@@ -86,6 +86,8 @@ class CloudFabric(Component):
         self.stats = CloudStats()
         self._links: dict[EndpointAddress, Link] = {}
         self._members: dict[MulticastGroup, list[EndpointAddress]] = {}
+        # Precomputed stamp/trace name: the datapath must not build it.
+        self._trace_point = f"cloud.{name}"
 
     # -- provisioning ------------------------------------------------------------
 
@@ -120,7 +122,7 @@ class CloudFabric(Component):
     def handle_packet(self, packet: Packet, ingress: Link) -> None:
         self.stats.frames_in += 1
         if packet.trace is not None:
-            packet.trace.record(f"cloud.{self.name}", "wire", self.now)
+            packet.trace.record(self._trace_point, "wire", self.now)
         self.sim.schedule_after(self.equalized_delivery_ns, self._deliver, (packet,))
 
     def _deliver(self, packet: Packet) -> None:
@@ -143,9 +145,9 @@ class CloudFabric(Component):
             self.stats.unroutable += 1
             return
         self.stats.delivered += 1
-        packet.stamp(f"cloud.{self.name}", self.now)
+        packet.stamp(self._trace_point, self.now)
         if packet.trace is not None:
-            packet.trace.record(f"cloud.{self.name}", "cloud", self.now)
+            packet.trace.record(self._trace_point, "cloud", self.now)
         link.send(packet, self)
 
 

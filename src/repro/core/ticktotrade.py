@@ -61,6 +61,7 @@ class HardwareStrategy(Component):
             if previous:
                 self.sim.schedule_after(FPGA_COMPUTE_NS, self._fire, (message,))
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _fire(self, trigger: AddOrder) -> None:
         self._ids += 1
         self.orders_sent += 1

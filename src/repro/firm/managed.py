@@ -86,6 +86,7 @@ class ManagedStrategy(Strategy):
 
     # -- market data path ---------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
         # Every update feeds the NBBO (the §4.2 aggregation requirement)...
         self.nbbo.on_update(update)

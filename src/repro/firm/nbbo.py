@@ -67,6 +67,7 @@ class NbboBuilder:
         self.stats = NbboStats()
         self.events: list[NbboState] = []
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def on_update(self, update: NormalizedUpdate) -> NbboState | None:
         """Apply one normalized update; returns the new NBBO if it changed."""
         if not update.is_quote:
@@ -90,6 +91,7 @@ class NbboBuilder:
             self.events.append(state)
         return state
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     @staticmethod
     def _recompute(
         symbol: str, venues: dict[int, tuple[int, int, int, int]]

@@ -105,6 +105,7 @@ class Normalizer(Component):
 
     # -- book state ---------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _levels_for(self, symbol: str) -> dict[str, dict[int, int]]:
         levels = self._levels.get(symbol)
         if levels is None:
@@ -131,6 +132,7 @@ class Normalizer(Component):
             return self.now
         return self.now - ((self.now - t32) & 0xFFFFFFFF)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _apply(self, message: PitchMessage) -> list[NormalizedUpdate]:
         """Apply one PITCH message; return resulting normalized updates."""
         affected: str | None = None
@@ -234,6 +236,7 @@ class Normalizer(Component):
                 self.function_latency_ns, self._publish, (updates, trace)
             )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _publish(self, updates: list[NormalizedUpdate], trace=None) -> None:
         by_partition: dict[int, list[NormalizedUpdate]] = {}
         for update in updates:
@@ -294,6 +297,7 @@ class Normalizer(Component):
         """The normalizer's current view of ``symbol``'s BBO."""
         return self._bbo.get(symbol)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def depth_snapshot(self, symbol: str, depth: int = 5):
         """Top-``depth`` price levels per side, best first.
 

@@ -55,6 +55,7 @@ class UpdateRecorder:
             self._codecs[itf_codec.mode] = itf_codec
         nic.bind(self._on_packet)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _codec_for(self, mode: str) -> ItfCodec:
         codec = self._codecs.get(mode)
         if codec is None:
@@ -62,6 +63,7 @@ class UpdateRecorder:
             self._codecs[mode] = codec
         return codec
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _on_packet(self, packet: Packet) -> None:
         message = packet.message
         if not (isinstance(message, tuple) and message and message[0] == "itf"):

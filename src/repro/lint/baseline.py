@@ -21,13 +21,22 @@ _FORMAT_VERSION = 1
 
 
 def write_baseline(findings: Iterable[Finding], path: Path | str) -> Path:
-    """Write the baseline for ``findings``; returns the path written."""
+    """Write the baseline for ``findings``; returns the path written.
+
+    The output is byte-deterministic and diff-friendly: keys are sorted
+    and deduplicated, object keys are sorted, and the file ends with a
+    trailing newline — writing the same findings twice produces
+    identical bytes, so baseline diffs show only real accepted-debt
+    changes.
+    """
     path = Path(path)
     document = {
         "version": _FORMAT_VERSION,
         "findings": sorted({f.baseline_key() for f in findings}),
     }
-    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return path
 
 

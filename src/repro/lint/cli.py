@@ -1,18 +1,33 @@
 """The ``python -m repro lint`` subcommand.
 
-Exit status: 0 when no non-baselined findings, 1 when new findings
-exist, 2 on usage errors (unknown rule ids, bad baseline file).
+Exit status: 0 when no active (non-baselined, non-suppressed) findings,
+1 when new findings exist, 2 on usage errors (unknown rule ids, bad
+baseline file). Suppressed findings — ``# lint: hot-ok(<rule>)`` debt —
+are reported and counted but never fail the run.
+
+``--changed`` scopes the *report* to files touched per git (diff against
+HEAD plus untracked files) while still analyzing the whole tree, because
+hot-path reachability is a whole-program property: an edit to a helper
+can create a violation in an unchanged file, and a partial scan would
+miss call edges. ``--graph`` dumps the call graph / hot set.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.lint.baseline import filter_baselined, load_baseline, write_baseline
+from repro.lint.callgraph import analyze_modules, render_graph
 from repro.lint.engine import default_root, load_modules, run_rules
-from repro.lint.findings import findings_to_json, render_findings
+from repro.lint.findings import (
+    findings_to_github,
+    findings_to_json,
+    render_findings,
+    split_suppressed,
+)
 from repro.lint.registry import all_rules, get_rules
 
 
@@ -29,9 +44,9 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=["human", "json"],
+        choices=["human", "json", "github"],
         default="human",
-        help="report format",
+        help="report format (github = GitHub Actions annotations)",
     )
     parser.add_argument(
         "--rules",
@@ -49,6 +64,17 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--list-rules", action="store_true", help="list rule ids and exit"
     )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the call graph, kernel-handler roots, and hot set",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only findings in git-changed files (the whole tree is "
+        "still analyzed so cross-file hot paths stay visible)",
+    )
 
 
 def _resolve_scan(args) -> tuple[Path, list[Path] | None]:
@@ -64,6 +90,32 @@ def _resolve_scan(args) -> tuple[Path, list[Path] | None]:
     return default_root(), None
 
 
+def _git_changed_files(root: Path) -> set[Path] | None:
+    """Absolute paths of files changed vs HEAD (tracked) or untracked.
+
+    Returns None when git is unavailable or ``root`` is outside a work
+    tree, so the caller can fall back to a full report.
+    """
+
+    def _lines(*argv: str) -> list[str]:
+        out = subprocess.run(
+            ["git", "-C", str(root), *argv],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return [line for line in out.splitlines() if line.strip()]
+
+    try:
+        toplevel = Path(_lines("rev-parse", "--show-toplevel")[0])
+        names = _lines("diff", "--name-only", "HEAD") + _lines(
+            "ls-files", "--others", "--exclude-standard"
+        )
+    except (OSError, subprocess.CalledProcessError, IndexError):
+        return None
+    return {(toplevel / name).resolve() for name in names}
+
+
 def run(args) -> int:
     if args.list_rules:
         for rule in all_rules():
@@ -77,7 +129,26 @@ def run(args) -> int:
         return 2
 
     root, paths = _resolve_scan(args)
-    findings = run_rules(load_modules(root, paths), rules)
+    modules = load_modules(root, paths)
+
+    if args.graph:
+        print(render_graph(analyze_modules(modules)))
+        return 0
+
+    findings = run_rules(modules, rules)
+
+    if args.changed:
+        changed = _git_changed_files(root)
+        if changed is None:
+            print(
+                "warning: --changed needs git; reporting the full tree",
+                file=sys.stderr,
+            )
+        else:
+            by_relpath = {m.relpath: m.path.resolve() for m in modules}
+            findings = [
+                f for f in findings if by_relpath.get(f.path) in changed
+            ]
 
     if args.write_baseline:
         path = write_baseline(findings, args.write_baseline)
@@ -93,21 +164,30 @@ def run(args) -> int:
             return 2
         findings, grandfathered = filter_baselined(findings, baseline)
 
+    active, suppressed = split_suppressed(findings)
+
     if args.format == "json":
         print(findings_to_json(findings))
-    elif findings:
-        print(render_findings(findings))
+    elif args.format == "github":
+        if findings:
+            print(findings_to_github(findings))
+    elif active:
+        # Human format shows active findings only; suppressed debt is
+        # summarized in the status line (full list: --format json).
+        print(render_findings(active))
 
-    if findings:
-        noun = "finding" if len(findings) == 1 else "findings"
-        print(f"\n{len(findings)} {noun}", file=sys.stderr)
+    if active:
+        noun = "finding" if len(active) == 1 else "findings"
+        suffix = f" (+{len(suppressed)} suppressed)" if suppressed else ""
+        print(f"\n{len(active)} {noun}{suffix}", file=sys.stderr)
         return 1
-    if args.format != "json":
-        suffix = (
-            f" ({len(grandfathered)} grandfathered by baseline)"
-            if grandfathered
-            else ""
-        )
+    if args.format == "human":
+        notes = []
+        if suppressed:
+            notes.append(f"{len(suppressed)} suppressed as hot-ok debt")
+        if grandfathered:
+            notes.append(f"{len(grandfathered)} grandfathered by baseline")
+        suffix = f" ({', '.join(notes)})" if notes else ""
         print(f"clean: {len(all_rules())} rules, 0 findings{suffix}")
     return 0
 

@@ -98,10 +98,19 @@ def load_modules(root: Path, paths: Sequence[Path] | None = None) -> list[Module
 
 
 def run_rules(modules: Iterable[Module], rules: Sequence[Rule]) -> list[Finding]:
+    modules = list(modules)
+    per_module = [r for r in rules if not r.requires_project]
+    project_rules = [r for r in rules if r.requires_project]
     findings: list[Finding] = []
     for module in modules:
-        for rule in rules:
+        for rule in per_module:
             findings.extend(rule.check(module))
+    if project_rules:
+        from repro.lint.callgraph import analyze_modules
+
+        project = analyze_modules(modules)
+        for rule in project_rules:
+            findings.extend(rule.check_project(project))
     return sorted(findings)
 
 

@@ -12,6 +12,7 @@ to activate it.
 from __future__ import annotations
 
 import ast
+import difflib
 from typing import Iterable, Iterator
 
 from repro.lint.findings import Finding
@@ -23,13 +24,26 @@ class Rule:
     Subclasses set ``rule_id`` and ``description`` and implement
     :meth:`check`. The :meth:`finding` helper builds a
     :class:`Finding` from an AST node (or explicit line number).
+
+    Rules that need the whole-program view (symbol table, call graph,
+    hot set) set ``requires_project = True`` and implement
+    :meth:`check_project` instead; the engine builds one shared
+    :class:`~repro.lint.callgraph.ProjectAnalysis` and hands it to every
+    such rule.
     """
 
     rule_id: str = ""
     description: str = ""
+    requires_project: bool = False
 
     def check(self, module) -> Iterator[Finding]:
+        if self.requires_project:
+            return iter(())
         raise NotImplementedError
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Whole-program check; only called when ``requires_project``."""
+        return iter(())
 
     def finding(self, module, where: ast.AST | int, message: str) -> Finding:
         line = where if isinstance(where, int) else getattr(where, "lineno", 0)
@@ -71,5 +85,13 @@ def get_rules(rule_ids: Iterable[str] | None = None) -> tuple[Rule, ...]:
     known = {r.rule_id for r in rules}
     unknown = sorted(set(wanted) - known)
     if unknown:
-        raise ValueError(f"unknown rule ids: {unknown}; known: {sorted(known)}")
+        hints = []
+        for rule_id in unknown:
+            close = difflib.get_close_matches(rule_id, sorted(known), n=1)
+            if close:
+                hints.append(f"did you mean {close[0]!r} instead of {rule_id!r}?")
+        hint = (" " + " ".join(hints)) if hints else ""
+        raise ValueError(
+            f"unknown rule ids: {unknown}; known: {sorted(known)}.{hint}"
+        )
     return tuple(r for r in rules if r.rule_id in set(wanted))

@@ -10,6 +10,7 @@ See ``docs/lint.md`` for a worked example.
 from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     builders,
     determinism,
+    hotpath,
     hygiene,
     imports,
     instrument_names,
@@ -19,6 +20,7 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
 __all__ = [
     "builders",
     "determinism",
+    "hotpath",
     "hygiene",
     "imports",
     "instrument_names",

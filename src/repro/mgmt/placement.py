@@ -46,6 +46,7 @@ class Placement:
     rack_capacity: int
     assignment: dict[str, int] = field(default_factory=dict)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def rack_load(self, rack: int) -> int:
         return sum(1 for r in self.assignment.values() if r == rack)
 

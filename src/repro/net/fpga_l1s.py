@@ -88,6 +88,8 @@ class FilteringL1Switch(Component):
         self._table: dict[MulticastGroup, _GroupEntry] = {}
         self.links: list[Link] = []
         self.stats = FpgaStats()
+        # Precomputed stamp/trace name: the datapath must not build it.
+        self._trace_point = f"fpga.{name}"
 
     # -- configuration ---------------------------------------------------------
 
@@ -150,7 +152,7 @@ class FilteringL1Switch(Component):
     def handle_packet(self, packet: Packet, ingress: Link) -> None:
         self.stats.packets_in += 1
         if packet.trace is not None:
-            packet.trace.record(f"fpga.{self.name}", "wire", self.now)
+            packet.trace.record(self._trace_point, "wire", self.now)
         if not is_multicast(packet.dst):
             # Unicast cut-through: deliver out every other attached link's
             # filter-free path is not meaningful for an FPGA mux; treat
@@ -184,9 +186,9 @@ class FilteringL1Switch(Component):
 
     def _send_copy(self, packet: Packet, link: Link) -> None:
         copy = packet.clone()
-        copy.stamp(f"fpga.{self.name}", self.now)
+        copy.stamp(self._trace_point, self.now)
         if copy.trace is not None:
-            copy.trace.record(f"fpga.{self.name}", "fpga", self.now)
+            copy.trace.record(self._trace_point, "fpga", self.now)
         self.stats.copies_out += 1
         if not link.send(copy, self):
             self.stats.egress_send_failures += 1

@@ -54,6 +54,8 @@ class Layer1Switch(Component):
         self._fanout: dict[int, list[Link]] = {}
         self.links: list[Link] = []
         self.stats = L1Stats()
+        # Precomputed stamp/trace name: the datapath must not build it.
+        self._trace_point = f"l1s.{name}"
 
     def attach_link(self, link: Link) -> None:
         if link not in self.links:
@@ -76,10 +78,11 @@ class Layer1Switch(Component):
     def fanout_of(self, ingress: Link) -> list[Link]:
         return list(self._fanout.get(id(ingress), ()))
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def handle_packet(self, packet: Packet, ingress: Link) -> None:
         self.stats.packets_in += 1
         if packet.trace is not None:
-            packet.trace.record(f"l1s.{self.name}", "wire", self.now)
+            packet.trace.record(self._trace_point, "wire", self.now)
         egress = self._fanout.get(id(ingress))
         if not egress:
             self.stats.unconfigured_drops += 1
@@ -91,9 +94,9 @@ class Layer1Switch(Component):
     def _emit_all(self, packet: Packet, egress: list[Link]) -> None:
         for link in egress:
             copy = packet.clone() if len(egress) > 1 else packet
-            copy.stamp(f"l1s.{self.name}", self.now)
+            copy.stamp(self._trace_point, self.now)
             if copy.trace is not None:
-                copy.trace.record(f"l1s.{self.name}", "l1s", self.now)
+                copy.trace.record(self._trace_point, "l1s", self.now)
             self.stats.copies_out += 1
             if not link.send(copy, self):
                 self.stats.egress_send_failures += 1
@@ -121,7 +124,11 @@ class MergeUnit(Component):
         self.output: Link | None = None
         self.inputs: list[Link] = []
         self.stats = L1Stats()
+        # Precomputed instrument/stamp names for the per-frame path.
         self._backlog_series = f"merge.{name}.backlog_bytes"
+        self._contention_series = f"merge.{name}.contention_bytes"
+        self._merge_stamp = f"merge.{name}"
+        self._reverse_stamp = f"merge.rev.{name}"
 
     def set_output(self, link: Link) -> None:
         self.output = link
@@ -134,7 +141,7 @@ class MergeUnit(Component):
         if self.output is None:
             raise RuntimeError(f"merge unit {self.name} has no output configured")
         if packet.trace is not None:
-            packet.trace.record(f"merge.{self.name}", "wire", self.now)
+            packet.trace.record(self._merge_stamp, "wire", self.now)
         if ingress is self.output:
             # Downstream direction: frames from the consumer side are
             # broadcast back to every input (the companion fan-out path
@@ -151,7 +158,7 @@ class MergeUnit(Component):
             # The gauge's high-watermark answers the sizing question —
             # how deep did the merge backlog ever get.
             backlog = self.output.queued_bytes_from(self)
-            telemetry.metrics.histogram(f"merge.{self.name}.contention_bytes").observe(
+            telemetry.metrics.histogram(self._contention_series).observe(
                 backlog
             )
             telemetry.gauge_set(self._backlog_series, self.now, backlog)
@@ -160,17 +167,17 @@ class MergeUnit(Component):
     def _emit_reverse(self, packet: Packet) -> None:
         for link in self.inputs:
             copy = packet.clone() if len(self.inputs) > 1 else packet
-            copy.stamp(f"merge.rev.{self.name}", self.now)
+            copy.stamp(self._reverse_stamp, self.now)
             if copy.trace is not None:
-                copy.trace.record(f"merge.rev.{self.name}", "merge", self.now)
+                copy.trace.record(self._reverse_stamp, "merge", self.now)
             if not link.send(copy, self):
                 self.stats.egress_send_failures += 1
 
     def _emit(self, packet: Packet) -> None:
         assert self.output is not None
-        packet.stamp(f"merge.{self.name}", self.now)
+        packet.stamp(self._merge_stamp, self.now)
         if packet.trace is not None:
-            packet.trace.record(f"merge.{self.name}", "merge", self.now)
+            packet.trace.record(self._merge_stamp, "merge", self.now)
         self.stats.copies_out += 1
         if not self.output.send(packet, self):
             self.stats.egress_send_failures += 1

@@ -89,6 +89,10 @@ class _Direction:
         self._drops_series = f"link.{link.name}.queue_drops"
         self._losses_series = f"link.{link.name}.wire_losses"
         self._depth_series = f"link.{link.name}.{slug}.queue_bytes"
+        # Loss stream resolved on first lossy frame and cached: the name
+        # lookup (and its f-string) must not run per packet.
+        self._loss_stream_name = f"link.loss.{link.name}"
+        self._loss_rng = None
 
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission. Returns False if dropped."""
@@ -133,7 +137,9 @@ class _Direction:
         sim = self.sim
         lost = False
         if self.link.loss_prob > 0.0:
-            rng = sim.rng.stream(f"link.loss.{self.link.name}")
+            rng = self._loss_rng
+            if rng is None:
+                rng = self._loss_rng = sim.rng.stream(self._loss_stream_name)
             lost = rng.random() < self.link.loss_prob
         if lost:
             self.stats.packets_lost += 1

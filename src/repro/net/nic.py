@@ -67,6 +67,9 @@ class Nic(Component):
         # application delivery — the NIC's rx ring occupancy.
         self._rx_inflight_series = f"nic.{name}.rx_inflight"
         self._send_failures_series = f"nic.{name}.send_failures"
+        self._rx_stamp = f"nic.rx.{name}"
+        self._tx_stamp = f"nic.tx.{name}"
+        self._trace_point = f"nic.{name}"
 
     # -- wiring ------------------------------------------------------------
 
@@ -101,9 +104,9 @@ class Nic(Component):
         if not self._accepts(packet):
             self.stats.packets_filtered += 1
             return
-        packet.stamp(f"nic.rx.{self.name}", self.now)
+        packet.stamp(self._rx_stamp, self.now)
         if packet.trace is not None:
-            packet.trace.record(f"nic.rx.{self.name}", "wire", self.now)
+            packet.trace.record(self._rx_stamp, "wire", self.now)
         telemetry = self.sim.telemetry
         if telemetry is not None:
             telemetry.gauge_add(self._rx_inflight_series, self.now, 1)
@@ -122,7 +125,7 @@ class Nic(Component):
         if telemetry is not None:
             telemetry.gauge_add(self._rx_inflight_series, self.now, -1)
         if packet.trace is not None:
-            packet.trace.record(f"nic.{self.name}", "nic", self.now)
+            packet.trace.record(self._trace_point, "nic", self.now)
         if self._handler is not None:
             self._handler(packet)
 
@@ -136,7 +139,7 @@ class Nic(Component):
         """
         if self.link is None:
             raise RuntimeError(f"NIC {self.name} is not attached to a link")
-        packet.stamp(f"nic.tx.{self.name}", self.now)
+        packet.stamp(self._tx_stamp, self.now)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.wire_bytes
         self.sim.schedule_after(self.tx_latency_ns, self._transmit, (packet,))
@@ -145,7 +148,7 @@ class Nic(Component):
     def _transmit(self, packet: Packet) -> None:
         assert self.link is not None
         if packet.trace is not None:
-            packet.trace.record(f"nic.{self.name}", "nic", self.now)
+            packet.trace.record(self._trace_point, "nic", self.now)
         ok = self.link.send(packet, self)
         if not ok:
             self.stats.send_failures += 1

@@ -91,6 +91,7 @@ class Packet:
                 found = when
         return found
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def clone(self) -> "Packet":
         """Copy for multicast fan-out: fresh id, copied trail, forked trace."""
         return Packet(

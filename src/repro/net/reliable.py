@@ -96,6 +96,7 @@ class ReliableChannel(Component):
 
     # -- sending -----------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def send(self, payload: object, payload_bytes: int = 64) -> int:
         """Queue ``payload`` for reliable delivery; returns its seq."""
         seq = self._next_seq
@@ -116,6 +117,7 @@ class ReliableChannel(Component):
             backoff, self._on_timeout, (entry.seq,)
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _emit(self, seq: int, payload: object, payload_bytes: int) -> None:
         ack = self._recv_next - 1
         self._ack_owed = False
@@ -181,6 +183,7 @@ class ReliableChannel(Component):
             if self.on_message is not None:
                 self.on_message(payload)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _handle_ack(self, ack: int) -> None:
         acked = [s for s in self._outstanding if s <= ack]
         for seq in acked:

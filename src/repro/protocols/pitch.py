@@ -328,11 +328,13 @@ _MESSAGE_TYPES: dict[int, type] = {
 }
 
 
+# lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
 def encode_messages(messages: Iterable[PitchMessage]) -> bytes:
     """Concatenate encoded messages (no unit header)."""
     return b"".join(m.encode() for m in messages)
 
 
+# lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
 def decode_messages(buf: bytes) -> list[PitchMessage]:
     """Parse a run of length-prefixed messages."""
     out: list[PitchMessage] = []
@@ -378,6 +380,7 @@ class PitchFrameCodec:
         self.max_payload = max_payload
         self.next_sequence = 1
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def pack(self, messages: list[PitchMessage]) -> list[bytes]:
         """Encode ``messages`` into one or more sequenced payloads."""
         payloads: list[bytes] = []

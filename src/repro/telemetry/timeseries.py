@@ -51,6 +51,7 @@ class _Series:
         self.windows: dict[int, int] = {}
         self.total = 0
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def coalesce(self) -> None:
         """Fold each window into its half-index (width just doubled)."""
         folded: dict[int, int] = {}
@@ -103,6 +104,7 @@ class WindowedRecorder:
         series.windows[idx] = series.windows.get(idx, 0) + amount
         series.total += amount
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def record_sample(self, name: str, now_ns: int, value: int) -> None:
         """Record a gauge level at ``now_ns``; windows keep the maximum."""
         series = self._series.get(name)

@@ -62,6 +62,7 @@ class LatencyRecorder:
         """Record that ``context`` received an input at ``when_ns``."""
         self._last_input[context] = when_ns
 
+    # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def order_sent(self, context: str, when_ns: int) -> int | None:
         """Record an order send; returns the attributed latency, if any."""
         last = self._last_input.get(context)

@@ -88,6 +88,9 @@ class PtpSync(Component):
         self.quality = SyncQuality()
         self.rounds = 0
         self._running = False
+        # Jitter stream resolved once: sync rounds repeat forever and
+        # must not rebuild the stream name each round.
+        self._jitter_rng = sim.rng.stream(f"ptp.{name}")
 
     def start(self) -> None:
         super().start()
@@ -106,7 +109,7 @@ class PtpSync(Component):
     def _round(self) -> None:
         if not self._running:
             return
-        rng = self.sim.rng.stream(f"ptp.{self.name}")
+        rng = self._jitter_rng
         fwd = self.forward_delay_ns + rng.normal(0.0, self.jitter_ns)
         rev = self.reverse_delay_ns + rng.normal(0.0, self.jitter_ns)
 

@@ -1,0 +1,23 @@
+"""Transitive hot-path allocation: the kernel handler itself is clean,
+but a helper two edges down builds a list per event."""
+
+
+class FeedHandler:
+    def __init__(self, sim):
+        self.sim = sim
+        self.last_seq = 0
+
+    def start(self):
+        self.sim.schedule_after(1_000, self.on_feed_packet)
+
+    def on_feed_packet(self):  # hot: scheduler callback
+        self._decode()
+
+    def _decode(self):  # hot: called by the handler
+        self._collect_updates()
+
+    def _collect_updates(self):  # hot, two calls below the handler
+        updates = []  # allocates per event
+        updates.append(self.last_seq)
+        seen = {self.last_seq}  # and a set display
+        return updates, seen

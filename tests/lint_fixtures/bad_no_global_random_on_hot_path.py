@@ -1,0 +1,18 @@
+"""A hot helper draws from ambient (unseeded, global-state) randomness."""
+
+import random
+
+
+class JitterModel:
+    def __init__(self, sim):
+        self.sim = sim
+        self.jitter_ns = 0
+
+    def start(self):
+        self.sim.schedule_after(5_000, self.on_hop)
+
+    def on_hop(self):  # hot: scheduler callback
+        self._draw()
+
+    def _draw(self):  # hot: global RNG state, not a seeded stream
+        self.jitter_ns = random.randint(0, 50)

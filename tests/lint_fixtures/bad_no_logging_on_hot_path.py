@@ -1,0 +1,20 @@
+"""Logging and printing inside a kernel-handler call chain."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class OrderGateway:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def start(self):
+        self.sim.schedule_after(2_000, self.on_order_ack)
+
+    def on_order_ack(self):  # hot: scheduler callback
+        logger.info("ack received")
+        self._audit()
+
+    def _audit(self):  # hot: called by the handler
+        print("audited")

@@ -1,0 +1,15 @@
+"""Instrument names built per event inside a hot handler."""
+
+
+class LatencyProbe:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+
+    def start(self):
+        self.sim.schedule_after(3_000, self.on_sample)
+
+    def on_sample(self):  # hot: scheduler callback
+        telemetry = self.sim.telemetry
+        telemetry.count(f"probe.{self.name}.samples", self.sim.now)
+        telemetry.gauge_set("probe." + self.name + ".depth", self.sim.now, 0)

@@ -1,0 +1,15 @@
+"""Set iteration in hash order feeding order-sensitive sinks."""
+
+
+class GroupFanout:
+    def __init__(self, sim):
+        self.sim = sim
+        self.members = {"a", "b", "c"}
+
+    def flush(self, out):
+        for member in self.members:  # hash order
+            out.append(member)
+
+    def kick(self, handlers: set):
+        for handler in handlers:  # hash order into the event queue
+            self.sim.schedule_after(1_000, handler)

@@ -1,0 +1,20 @@
+"""Hot-path work on preallocated state: containers are built at wiring
+time and reused per event."""
+
+
+class FeedHandler:
+    def __init__(self, sim):
+        self.sim = sim
+        self.last_seq = 0
+        self.updates = []  # preallocated at construction (not hot)
+
+    def start(self):
+        self.sim.schedule_after(1_000, self.on_feed_packet)
+
+    def on_feed_packet(self):  # hot: scheduler callback
+        self._decode()
+
+    def _decode(self):  # hot: reuses the preallocated buffer
+        self.updates.clear()
+        self.updates.append(self.last_seq)
+        return self.last_seq, self.updates[-1]

@@ -1,0 +1,17 @@
+"""Hot path draws from a named, seeded stream resolved at wiring time."""
+
+
+class JitterModel:
+    def __init__(self, sim):
+        self.sim = sim
+        self.jitter_ns = 0
+        self._rng = sim.rng.stream("jitter.hop")
+
+    def start(self):
+        self.sim.schedule_after(5_000, self.on_hop)
+
+    def on_hop(self):  # hot: scheduler callback
+        self._draw()
+
+    def _draw(self):  # hot: seeded per-stream generator
+        self.jitter_ns = int(self._rng.integers(0, 50))

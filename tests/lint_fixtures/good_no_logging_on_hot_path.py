@@ -1,0 +1,16 @@
+"""Hot path reports through counters, not stdout/logging I/O."""
+
+
+class OrderGateway:
+    def __init__(self, sim):
+        self.sim = sim
+        self.acks_seen = 0
+
+    def start(self):
+        self.sim.schedule_after(2_000, self.on_order_ack)
+
+    def on_order_ack(self):  # hot: scheduler callback
+        self._audit()
+
+    def _audit(self):  # hot: counter increment only
+        self.acks_seen += 1

@@ -1,0 +1,17 @@
+"""Instrument names precomputed at construction, constant per event."""
+
+
+class LatencyProbe:
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self._samples_series = f"probe.{name}.samples"
+        self._depth_series = f"probe.{name}.depth"
+
+    def start(self):
+        self.sim.schedule_after(3_000, self.on_sample)
+
+    def on_sample(self):  # hot: names are attribute loads, no formatting
+        telemetry = self.sim.telemetry
+        telemetry.count(self._samples_series, self.sim.now)
+        telemetry.gauge_set(self._depth_series, self.sim.now, 0)

@@ -1,0 +1,16 @@
+"""Hot path timestamps come from the simulated clock only."""
+
+
+class CaptureTap:
+    def __init__(self, sim):
+        self.sim = sim
+        self.last_seen_ns = 0
+
+    def start(self):
+        self.sim.schedule_after(4_000, self.on_frame)
+
+    def on_frame(self):  # hot: scheduler callback
+        self._timestamp()
+
+    def _timestamp(self):  # hot: sim.now is deterministic
+        self.last_seen_ns = self.sim.now

@@ -1,0 +1,17 @@
+"""Order-sensitive sinks are fed in sorted (or insertion) order."""
+
+
+class GroupFanout:
+    def __init__(self, sim):
+        self.sim = sim
+        self.members = {"a", "b", "c"}
+        self.routes = {}  # dict: insertion-ordered, exempt
+
+    def flush(self, out):
+        for member in sorted(self.members):
+            out.append(member)
+
+    def kick(self):
+        for name in self.routes:  # dict iteration is deterministic
+            out = self.routes[name]
+            out.append(name)

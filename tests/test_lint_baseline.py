@@ -75,6 +75,31 @@ def test_cli_baseline_round_trip(tmp_path, capsys):
     assert "fresh.py" in out and "legacy.py" not in out
 
 
+def test_baseline_writes_are_byte_deterministic(tmp_path):
+    """Baselines are reviewed as diffs, so the writer must be stable:
+    sorted, deduplicated keys, sorted object keys, trailing newline —
+    write -> load -> write round-trips to identical bytes."""
+    _write_tree(tmp_path)
+    (tmp_path / "fresh.py").write_text(SECOND_BAD_SNIPPET)
+    findings = run_lint(root=tmp_path)
+
+    first_path = write_baseline(findings, tmp_path / "a.json")
+    first = first_path.read_bytes()
+    assert first.endswith(b"\n")
+
+    # Same findings in reverse order, duplicated: identical bytes out.
+    again = write_baseline(
+        list(reversed(findings)) + list(findings), tmp_path / "b.json"
+    ).read_bytes()
+    assert again == first
+
+    # Round-trip through load_baseline: the keys survive unchanged and
+    # re-serialize to the same document.
+    document = json.loads(first)
+    assert document["findings"] == sorted(document["findings"])
+    assert set(document["findings"]) == load_baseline(first_path)
+
+
 def test_corrupt_baseline_is_a_usage_error(tmp_path, capsys):
     _write_tree(tmp_path)
     bad = tmp_path / "baseline.json"

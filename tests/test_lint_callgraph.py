@@ -1,0 +1,121 @@
+"""Symbol table and call graph construction (``repro.lint.callgraph``).
+
+These tests exercise name resolution through the shapes the tree
+actually uses — ``from x import y`` aliases, ``self`` method calls,
+scheduler-callback registration — plus the contract that unresolvable
+calls are *recorded* as unknown edges, never silently dropped.
+"""
+
+from pathlib import Path
+
+from repro.lint import analyze_modules, load_modules
+
+
+def _analyze(tmp_path: Path, files: dict[str, str]):
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return analyze_modules(load_modules(tmp_path))
+
+
+def _edge_pairs(project, kind=None):
+    return {
+        (e.caller, e.callee)
+        for e in project.graph.edges
+        if kind is None or e.kind == kind
+    }
+
+
+def test_from_import_call_resolves_across_modules(tmp_path):
+    project = _analyze(tmp_path, {
+        "util.py": "def helper():\n    return 1\n",
+        "app.py": "from util import helper\n\ndef run():\n    return helper()\n",
+    })
+    assert ("app:run", "util:helper") in _edge_pairs(project, kind="call")
+
+
+def test_from_import_alias_resolves(tmp_path):
+    """``from x import y as z`` binds z to x.y, and calls through the
+    alias resolve to the imported function."""
+    project = _analyze(tmp_path, {
+        "util.py": "def helper():\n    return 1\n",
+        "app.py": (
+            "from util import helper as h\n\ndef run():\n    return h()\n"
+        ),
+    })
+    assert ("app:run", "util:helper") in _edge_pairs(project, kind="call")
+
+
+def test_self_method_call_resolves_to_own_class(tmp_path):
+    project = _analyze(tmp_path, {
+        "box.py": (
+            "class Box:\n"
+            "    def outer(self):\n"
+            "        return self.inner()\n"
+            "    def inner(self):\n"
+            "        return 1\n"
+        ),
+    })
+    assert ("box:Box.outer", "box:Box.inner") in _edge_pairs(project, "call")
+
+
+def test_unknown_call_is_recorded_not_dropped(tmp_path):
+    """A call through a value the resolver cannot type still leaves an
+    edge (kind='unknown') so graph consumers can count blind spots."""
+    project = _analyze(tmp_path, {
+        "app.py": (
+            "def run(callback):\n"
+            "    return callback()\n"
+        ),
+    })
+    unknown = [e for e in project.graph.edges if e.kind == "unknown"]
+    assert unknown, "unresolvable call produced no edge at all"
+    assert unknown[0].caller == "app:run"
+
+
+def test_scheduler_callback_becomes_root_and_hot(tmp_path):
+    project = _analyze(tmp_path, {
+        "feed.py": (
+            "class Feed:\n"
+            "    def __init__(self, sim):\n"
+            "        self.sim = sim\n"
+            "    def start(self):\n"
+            "        self.sim.schedule_after(1000, self.on_packet)\n"
+            "    def on_packet(self):\n"
+            "        self.decode()\n"
+            "    def decode(self):\n"
+            "        return 0\n"
+        ),
+    })
+    graph = project.graph
+    assert "feed:Feed.on_packet" in graph.roots
+    # Hotness propagates through call edges; the registration site does
+    # not become hot, only the callback and what it reaches.
+    assert "feed:Feed.on_packet" in graph.hot
+    assert "feed:Feed.decode" in graph.hot
+    assert "feed:Feed.start" not in graph.hot
+    chain = graph.describe_hot("feed:Feed.decode")
+    assert "on_packet" in chain and "decode" in chain
+
+
+def test_hot_chain_is_reported_shortest_first(tmp_path):
+    """describe_hot walks back to the root, so the chain starts at the
+    kernel handler that makes the function hot."""
+    project = _analyze(tmp_path, {
+        "chain.py": (
+            "class C:\n"
+            "    def __init__(self, sim):\n"
+            "        self.sim = sim\n"
+            "    def wire(self):\n"
+            "        self.sim.schedule_after(1, self.h)\n"
+            "    def h(self):\n"
+            "        self.a()\n"
+            "    def a(self):\n"
+            "        self.b()\n"
+            "    def b(self):\n"
+            "        return 0\n"
+        ),
+    })
+    chain = project.graph.describe_hot("chain:C.b")
+    assert chain.index("C.h") < chain.index("C.b")

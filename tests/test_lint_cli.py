@@ -1,6 +1,7 @@
 """The ``python -m repro lint`` subcommand end to end."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.__main__ import main
@@ -32,7 +33,16 @@ def test_json_format(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert isinstance(payload, list) and payload
     record = payload[0]
-    assert set(record) == {"path", "line", "rule_id", "message"}
+    assert set(record) == {"path", "line", "rule_id", "message", "suppressed"}
+
+
+def test_github_format(capsys):
+    assert main(["lint", str(FIXTURES), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=no-wall-clock::" in out
+    for line in out.strip().splitlines():
+        assert line.startswith("::error ") or line.startswith("::notice ")
 
 
 def test_rule_selection(capsys):
@@ -58,11 +68,74 @@ def test_single_file_outside_default_root(capsys):
 
 def test_unknown_rule_is_usage_error(capsys):
     assert main(["lint", "--rules", "no-such-rule"]) == 2
-    assert "unknown rule ids" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown rule ids" in err
+    # The error is actionable: it lists the known ids.
+    assert "no-wall-clock" in err and "unit-suffix" in err
+
+
+def test_unknown_rule_suggests_close_match(capsys):
+    assert main(["lint", "--rules", "no-wall-clok"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'no-wall-clock'" in err
 
 
 def test_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
     assert "unit-suffix" in out and "builder-registry" in out
-    assert len(out.strip().splitlines()) == 10
+    assert "no-alloc-on-hot-path" in out
+    assert len(out.strip().splitlines()) == 16
+
+
+def test_graph_dump(capsys):
+    assert main(["lint", str(FIXTURES), "--graph"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# call graph:")
+    # The hot fixtures register scheduler callbacks, so the fixture tree
+    # has roots and hot functions.
+    assert "root " in out
+    assert "edge " in out
+
+
+def _git(cwd: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", "-c", "user.email=lint@test", "-c", "user.name=lint", *argv],
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+def test_changed_scopes_report_to_git_dirty_files(tmp_path, capsys):
+    _git(tmp_path, "init", "-q")
+    committed = tmp_path / "legacy.py"
+    committed.write_text("def collect(sample, into=[]):\n    return into\n")
+    _git(tmp_path, "add", "legacy.py")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+
+    # Untracked new file with its own violation.
+    (tmp_path / "fresh.py").write_text(
+        "def index(key, table={}):\n    return table\n"
+    )
+
+    # Full run sees both files; --changed reports only the dirty one.
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "legacy.py" in out and "fresh.py" in out
+
+    assert main(["lint", str(tmp_path), "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out and "legacy.py" not in out
+
+    # Nothing dirty -> clean exit even though legacy.py still violates.
+    (tmp_path / "fresh.py").unlink()
+    assert main(["lint", str(tmp_path), "--changed"]) == 0
+
+
+def test_changed_without_git_falls_back_to_full_report(tmp_path, capsys):
+    (tmp_path / "legacy.py").write_text(
+        "def collect(sample, into=[]):\n    return into\n"
+    )
+    assert main(["lint", str(tmp_path), "--changed"]) == 1
+    captured = capsys.readouterr()
+    assert "warning: --changed needs git" in captured.err
+    assert "legacy.py" in captured.out

@@ -1,16 +1,28 @@
 """Tier-1 gate: the shipped tree is lint-clean, with no baseline.
 
 This is the test-suite face of ``python -m repro lint``: every rule runs
-over every module under ``src/`` and must produce zero findings. There
-is deliberately no baseline file in the repository — new debt fails
-here, visibly, instead of accreting.
+over every module under ``src/`` and must produce zero *active*
+findings. There is deliberately no baseline file in the repository —
+new debt fails here, visibly, instead of accreting. Hot-path debt that
+is explicitly accepted carries a per-function ``# lint: hot-ok(<rule>)``
+marker and surfaces as ``suppressed`` findings: counted and reported,
+but not failing.
 """
 
+import time
 from pathlib import Path
 
-from repro.lint import all_rules, render_findings, run_lint
+from repro.lint import all_rules, render_findings, run_lint, split_suppressed
 
 SRC = Path(__file__).resolve().parent.parent / "src"
+
+HOT_PATH_RULE_IDS = {
+    "no-alloc-on-hot-path",
+    "no-global-random-on-hot-path",
+    "no-logging-on-hot-path",
+    "no-string-build-on-hot-path",
+    "no-wall-clock-on-hot-path",
+}
 
 
 def test_rule_registry_is_complete():
@@ -19,21 +31,38 @@ def test_rule_registry_is_complete():
         "all-exports-exist",
         "builder-registry",
         "instrument-name-style",
+        "no-alloc-on-hot-path",
         "no-cross-module-private-import",
         "no-deprecated-entry-point",
         "no-float-time-equality",
         "no-global-random",
+        "no-global-random-on-hot-path",
+        "no-logging-on-hot-path",
         "no-mutable-default-args",
+        "no-string-build-on-hot-path",
         "no-wall-clock",
+        "no-wall-clock-on-hot-path",
         "unit-suffix",
+        "unordered-iteration",
     }
     for rule in all_rules():
         assert rule.description, f"{rule.rule_id} has no description"
 
 
 def test_source_tree_is_lint_clean():
-    findings = run_lint(root=SRC)
-    assert not findings, "\n" + render_findings(findings)
+    active, suppressed = split_suppressed(run_lint(root=SRC))
+    assert not active, "\n" + render_findings(active)
+    # Suppressions are scoped debt, not a general escape hatch: only the
+    # hot-path rule family may carry hot-ok markers in the tree.
+    assert {f.rule_id for f in suppressed} <= HOT_PATH_RULE_IDS
+
+
+def test_suppressed_debt_is_counted_not_hidden():
+    """The accepted hot-path allocation debt stays visible as suppressed
+    findings (the ROADMAP pooling item will burn it down)."""
+    _active, suppressed = split_suppressed(run_lint(root=SRC))
+    assert suppressed, "expected hot-ok debt to be reported, not dropped"
+    assert all(f.suppressed for f in suppressed)
 
 
 def test_gate_scans_the_whole_tree():
@@ -44,3 +73,14 @@ def test_gate_scans_the_whole_tree():
     assert len(modules) > 90
     assert any(m.name == "repro.sim.kernel" for m in modules)
     assert any(m.name == "repro.lint" for m in modules)
+
+
+def test_full_tree_lint_stays_fast():
+    """The gate must never become the slow step of `repro verify`: a
+    full-tree run — parse, symbol table, call graph, every rule — has a
+    wall-time budget (generous vs the ~2 s typical run, to absorb slow
+    CI machines)."""
+    start = time.perf_counter()
+    run_lint(root=SRC)
+    elapsed_s = time.perf_counter() - start
+    assert elapsed_s < 20.0, f"full-tree lint took {elapsed_s:.1f}s"

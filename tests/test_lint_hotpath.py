@@ -1,0 +1,124 @@
+"""Hot-path rule family semantics: transitive detection, chain
+reporting, and ``# lint: hot-ok(<rule>)`` suppression accounting."""
+
+from pathlib import Path
+
+from repro.lint import load_modules, run_lint, split_suppressed
+
+HOT_TREE = {
+    "feed.py": (
+        "class Feed:\n"
+        "    def __init__(self, sim):\n"
+        "        self.sim = sim\n"
+        "        self.pending = 0\n"
+        "    def start(self):\n"
+        "        self.sim.schedule_after(1000, self.on_packet)\n"
+        "    def on_packet(self):\n"
+        "        self.decode()\n"
+        "    def decode(self):\n"
+        "        batch = []\n"
+        "        batch.append(self.pending)\n"
+        "        return batch\n"
+    ),
+}
+
+
+def _lint(tmp_path: Path, files: dict[str, str], rule_ids=None):
+    for relpath, source in files.items():
+        (tmp_path / relpath).write_text(source)
+    return run_lint(root=tmp_path, rule_ids=rule_ids)
+
+
+def test_transitive_violation_is_caught_with_chain(tmp_path):
+    """The acceptance shape: handler -> helper -> allocation. The finding
+    lands on the helper and carries the chain that makes it hot."""
+    findings = _lint(tmp_path, HOT_TREE, ["no-alloc-on-hot-path"])
+    assert findings
+    f = findings[0]
+    assert f.path == "feed.py"
+    assert not f.suppressed
+    assert "hot via" in f.message
+    assert "Feed.on_packet" in f.message and "Feed.decode" in f.message
+
+
+def test_cold_function_with_same_body_is_not_flagged(tmp_path):
+    """Without the scheduler registration nothing is hot, so the same
+    allocation draws no finding — the rule is reachability-driven."""
+    cold = {
+        "feed.py": HOT_TREE["feed.py"].replace(
+            "        self.sim.schedule_after(1000, self.on_packet)\n",
+            "        return None\n",
+        )
+    }
+    assert not _lint(tmp_path, cold, ["no-alloc-on-hot-path"])
+
+
+def test_hot_ok_marker_suppresses_but_still_counts(tmp_path):
+    marked = {
+        "feed.py": HOT_TREE["feed.py"].replace(
+            "    def decode(self):\n",
+            "    # lint: hot-ok(no-alloc-on-hot-path) -- pooling later\n"
+            "    def decode(self):\n",
+        )
+    }
+    findings = _lint(tmp_path, marked, ["no-alloc-on-hot-path"])
+    active, suppressed = split_suppressed(findings)
+    assert not active
+    assert suppressed and all(f.suppressed for f in suppressed)
+    assert suppressed[0].path == "feed.py"
+
+
+def test_hot_ok_marker_is_rule_scoped(tmp_path):
+    """A hot-ok for one rule does not blanket-suppress the others."""
+    source = HOT_TREE["feed.py"].replace(
+        "    def decode(self):\n",
+        "    # lint: hot-ok(no-logging-on-hot-path)\n"
+        "    def decode(self):\n",
+    )
+    findings = _lint(
+        tmp_path, {"feed.py": source}, ["no-alloc-on-hot-path"]
+    )
+    active, _suppressed = split_suppressed(findings)
+    assert active, "hot-ok for a different rule must not suppress"
+
+
+def test_exception_paths_are_exempt_from_alloc_rule(tmp_path):
+    source = (
+        "class Feed:\n"
+        "    def __init__(self, sim):\n"
+        "        self.sim = sim\n"
+        "    def start(self):\n"
+        "        self.sim.schedule_after(1000, self.on_packet)\n"
+        "    def on_packet(self):\n"
+        "        if self.sim is None:\n"
+        "            raise RuntimeError('feed %s is unwired' % 'md')\n"
+        "        return 0\n"
+    )
+    assert not _lint(
+        tmp_path, {"feed.py": source}, ["no-alloc-on-hot-path"]
+    )
+
+
+def test_tree_fixture_matches_acceptance_shape():
+    """The shipped bad fixture really is the transitive
+    handler -> helper -> allocation proof, not a direct violation."""
+    fixtures = Path(__file__).resolve().parent / "lint_fixtures"
+    bad = fixtures / "bad_no_alloc_on_hot_path.py"
+    findings = run_lint(
+        root=fixtures, paths=[bad], rule_ids=["no-alloc-on-hot-path"]
+    )
+    assert findings
+    # All findings sit in the helper, below the handler itself.
+    assert all("_collect_updates" in f.message for f in findings)
+    assert all("on_feed_packet" in f.message for f in findings)
+
+
+def test_hot_rules_ignore_the_lint_package_itself(tmp_path):
+    """The analyzer is never hot: repro.lint modules are excluded from
+    hot propagation so the linter does not lint itself into knots."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    modules = load_modules(src)
+    from repro.lint import analyze_modules
+
+    graph = analyze_modules(modules).graph
+    assert not [fid for fid in graph.hot if fid.startswith("repro.lint")]

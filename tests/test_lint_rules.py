@@ -26,6 +26,18 @@ def test_every_rule_has_fixture_pair(rule_id):
     assert _fixture("good", rule_id).exists()
 
 
+def test_no_orphan_fixtures():
+    """Every fixture file maps back to a registered rule — a renamed or
+    retired rule must take its fixtures with it."""
+    expected = {
+        f"{kind}_{rule_id.replace('-', '_')}.py"
+        for rule_id in RULE_IDS
+        for kind in ("good", "bad")
+    }
+    actual = {p.name for p in FIXTURES.glob("*.py")}
+    assert actual == expected
+
+
 @pytest.mark.parametrize("rule_id", RULE_IDS)
 def test_rule_fires_on_bad_fixture(rule_id):
     findings = _run_rule(rule_id, _fixture("bad", rule_id))
