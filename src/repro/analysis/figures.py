@@ -10,6 +10,7 @@ from __future__ import annotations
 import csv
 from pathlib import Path
 
+from repro.sim.kernel import SECOND
 from repro.workload.bursts import window_counts
 from repro.workload.daily import (
     MARKET_OPEN_SECOND,
@@ -49,7 +50,7 @@ def write_fig2c_csv(path: str | Path, seed: int = 11, window_ns: int = 100_000) 
     Columns: window start (integer ns within the second), events."""
     path = Path(path)
     times = busy_second_event_times(seed=seed)
-    counts = window_counts(times, window_ns, 1_000_000_000)
+    counts = window_counts(times, window_ns, SECOND)
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(["window_start_ns", "events"])

@@ -38,7 +38,7 @@ from repro.net.addressing import (
 from repro.net.link import Link
 from repro.net.nic import Nic
 from repro.net.packet import Packet
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import MICROSECOND, Simulator
 from repro.sim.process import Component
 from repro.timing.latency import LatencyRecorder
 from repro.workload.orderflow import OrderFlowGenerator
@@ -197,7 +197,7 @@ def _build_design2(
         feed_nic_a=exchange_feed_nic,
         orders_nic=exchange_orders_nic,
         matching_latency_ns=matching_latency_ns,
-        coalesce_window_ns=1_000,
+        coalesce_window_ns=MICROSECOND,
     )
 
     # Exchange feed: provider multicast, equalized (assumption (ii)).

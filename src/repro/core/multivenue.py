@@ -27,7 +27,7 @@ from repro.net.nic import HostStack
 from repro.net.routing import compute_unicast_routes
 from repro.net.topology import LeafSpineTopology, build_leaf_spine
 from repro.protocols.itf import ItfCodec
-from repro.sim.kernel import MILLISECOND, Simulator
+from repro.sim.kernel import MICROSECOND, MILLISECOND, Simulator
 from repro.timing.latency import LatencyRecorder
 from repro.workload.orderflow import OrderFlowGenerator
 from repro.workload.symbols import SymbolUniverse, make_universe
@@ -84,7 +84,7 @@ def build_multi_venue_system(
             Exchange(
                 sim, f"exch{venue_id}", list(universe.names),
                 alphabetical_scheme(4), feed_nic_a=feed, orders_nic=orders,
-                coalesce_window_ns=1_000,
+                coalesce_window_ns=MICROSECOND,
             )
         )
 

@@ -25,7 +25,7 @@ from repro.net.multicast import MulticastFabric
 from repro.net.nic import HostStack, Nic
 from repro.net.topology import LeafSpineTopology, build_leaf_spine
 from repro.net.routing import compute_unicast_routes
-from repro.sim.kernel import MILLISECOND, Simulator
+from repro.sim.kernel import MICROSECOND, MILLISECOND, Simulator
 from repro.timing.latency import LatencyRecorder, LatencyStats, summarize
 from repro.workload.orderflow import OrderFlowGenerator
 from repro.workload.symbols import SymbolUniverse, make_universe
@@ -157,7 +157,7 @@ def _build_design1(
         feed_nic_a=feed_nic,
         orders_nic=orders_nic,
         matching_latency_ns=matching_latency_ns,
-        coalesce_window_ns=1_000,
+        coalesce_window_ns=MICROSECOND,
     )
     for group in exchange.publisher.groups:
         fabric.announce_server_source(group, feed_nic)
@@ -323,7 +323,7 @@ def _build_design3(
         feed_nic_a=exchange_feed_nic,
         orders_nic=exchange_orders_nic,
         matching_latency_ns=matching_latency_ns,
-        coalesce_window_ns=1_000,
+        coalesce_window_ns=MICROSECOND,
     )
     firm_scheme = hashed_scheme(firm_partitions)
     normalizers = []

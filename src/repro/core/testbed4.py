@@ -27,7 +27,7 @@ from repro.net.addressing import MulticastGroup
 from repro.net.fpga_l1s import FilteringL1Switch
 from repro.net.l1switch import Layer1Switch, MergeUnit
 from repro.net.link import Link
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import MICROSECOND, Simulator
 from repro.timing.latency import LatencyRecorder
 from repro.workload.orderflow import OrderFlowGenerator
 from repro.workload.symbols import make_universe
@@ -70,7 +70,7 @@ def _build_design4(
         sim, EXCHANGE_KEY, list(universe.names),
         alphabetical_scheme(exchange_partitions),
         feed_nic_a=exchange_feed_nic, orders_nic=exchange_orders_nic,
-        matching_latency_ns=matching_latency_ns, coalesce_window_ns=1_000,
+        matching_latency_ns=matching_latency_ns, coalesce_window_ns=MICROSECOND,
     )
 
     # --- net A: exchange feed -> normalizer, by group -----------------------

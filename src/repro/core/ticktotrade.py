@@ -28,7 +28,7 @@ from repro.core.api import register_builder
 from repro.protocols.boe import BoeSession, NewOrderRequest
 from repro.protocols.headers import frame_bytes_tcp
 from repro.protocols.pitch import AddOrder
-from repro.sim.kernel import MILLISECOND, Simulator
+from repro.sim.kernel import MICROSECOND, MILLISECOND, Simulator
 from repro.sim.process import Component
 
 FPGA_NIC_LATENCY_NS = 20  # MAC-to-pipeline, hardware path
@@ -164,7 +164,7 @@ def build_tick_to_trade_system(
         exchange.inject_order("AA", "B", price[0], 100)
         sim.schedule_after(int(rng.integers(30_000, 80_000)), improve_bid)
 
-    sim.schedule_after(1_000, improve_bid)
+    sim.schedule_after(MICROSECOND, improve_bid)
     system = TickToTradeSystem(sim, exchange, strategy)
     if run_ns is not None:
         system.run(run_ns)

@@ -36,7 +36,7 @@ from repro.net.link import Link
 from repro.net.nic import Nic
 from repro.net.packet import Packet
 from repro.net.reliable import ReliableChannel
-from repro.sim.kernel import MILLISECOND, Simulator
+from repro.sim.kernel import MICROSECOND, MILLISECOND, Simulator
 from repro.timing.latency import LatencyRecorder, LatencyStats, summarize
 from repro.workload.orderflow import OrderFlowGenerator
 from repro.workload.symbols import make_universe
@@ -113,7 +113,7 @@ def _build_cross_colo(
         sim, EXCHANGE_KEY, list(universe.names),
         alphabetical_scheme(2),
         feed_nic_a=exchange_feed_nic, orders_nic=exchange_orders_nic,
-        coalesce_window_ns=1_000,
+        coalesce_window_ns=MICROSECOND,
     )
 
     # --- market data: Carteret -> Mahwah over microwave + fiber ----------------

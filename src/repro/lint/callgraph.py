@@ -304,6 +304,13 @@ class _Resolver:
         return "unknown", label
 
 
+def make_resolver(symbols: SymbolTable, info: FunctionInfo) -> "_Resolver":
+    """A call-expression resolver for one function, for analyses built on
+    top of the graph (the unit-flow layer resolves call-site arguments
+    against callee parameters with this)."""
+    return _Resolver(symbols, info)
+
+
 def _callback_expr(call: ast.Call) -> ast.expr | None:
     """The callback argument of a scheduling/registration call, if any."""
     func = call.func

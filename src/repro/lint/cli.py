@@ -21,7 +21,7 @@ from pathlib import Path
 
 from repro.lint.baseline import filter_baselined, load_baseline, write_baseline
 from repro.lint.callgraph import analyze_modules, render_graph
-from repro.lint.engine import default_root, load_modules, run_rules
+from repro.lint.engine import default_root, load_modules, run_rules_with_stats
 from repro.lint.findings import (
     findings_to_github,
     findings_to_json,
@@ -68,6 +68,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--graph",
         action="store_true",
         help="dump the call graph, kernel-handler roots, and hot set",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule wall time and finding counts to stderr "
+        "(ordering is deterministic; the times are not)",
     )
     parser.add_argument(
         "--changed",
@@ -135,7 +141,23 @@ def run(args) -> int:
         print(render_graph(analyze_modules(modules)))
         return 0
 
-    findings = run_rules(modules, rules)
+    findings, stats = run_rules_with_stats(modules, rules)
+    if args.stats:
+        # Stats go to stderr so json/github output stays machine-parseable.
+        width = max(len(s.rule_id) for s in stats)
+        total_wall_ns = sum(s.wall_ns for s in stats)
+        print(f"{'rule':<{width}}  findings  wall_ms", file=sys.stderr)
+        for stat in stats:
+            print(
+                f"{stat.rule_id:<{width}}  {stat.findings:>8}  "
+                f"{stat.wall_ns / 1e6:>7.1f}",
+                file=sys.stderr,
+            )
+        print(
+            f"{'total':<{width}}  {len(findings):>8}  "
+            f"{total_wall_ns / 1e6:>7.1f}",
+            file=sys.stderr,
+        )
 
     if args.changed:
         changed = _git_changed_files(root)

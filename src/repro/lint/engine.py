@@ -10,6 +10,7 @@ walks that shared tree.
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -97,21 +98,79 @@ def load_modules(root: Path, paths: Sequence[Path] | None = None) -> list[Module
     return [load_module(p, root) for p in iter_source_files(root, paths)]
 
 
-def run_rules(modules: Iterable[Module], rules: Sequence[Rule]) -> list[Finding]:
+@dataclass(frozen=True)
+class RuleStat:
+    """Per-rule cost accounting from one ``run_rules_with_stats`` pass.
+
+    ``wall_ns`` is real elapsed host time, so values differ run to run;
+    the *ordering* of the stats list (by rule id, pseudo-rows first) is
+    deterministic so diffs and tests stay stable.
+    """
+
+    rule_id: str
+    findings: int
+    wall_ns: int
+
+
+#: Pseudo-row id for the shared symbol-table/call-graph build that all
+#: project rules amortize. Parenthesized so it sorts before real ids and
+#: can never collide with a registered rule.
+PROJECT_ANALYSIS_STAT = "(project-analysis)"
+
+
+def run_rules_with_stats(
+    modules: Iterable[Module], rules: Sequence[Rule]
+) -> tuple[list[Finding], list[RuleStat]]:
+    """Run ``rules`` and account wall time per rule.
+
+    Per-module rules loop rule-outer (rule -> every module) so each
+    rule's cost is measured in one contiguous span; findings are sorted
+    afterwards, so the report is identical to the module-outer order.
+    The whole-program analysis that project rules share is its own
+    pseudo-row (:data:`PROJECT_ANALYSIS_STAT`) — charging it to whichever
+    rule happened to run first would make timings misleading.
+    """
     modules = list(modules)
     per_module = [r for r in rules if not r.requires_project]
     project_rules = [r for r in rules if r.requires_project]
     findings: list[Finding] = []
-    for module in modules:
-        for rule in per_module:
-            findings.extend(rule.check(module))
+    stats: list[RuleStat] = []
+
+    def timed(rule_id: str, produce) -> None:
+        start_ns = time.perf_counter_ns()
+        produced = list(produce())
+        elapsed_ns = time.perf_counter_ns() - start_ns
+        findings.extend(produced)
+        stats.append(RuleStat(rule_id, len(produced), elapsed_ns))
+
+    for rule in per_module:
+        timed(
+            rule.rule_id,
+            lambda rule=rule: (
+                f for module in modules for f in rule.check(module)
+            ),
+        )
     if project_rules:
         from repro.lint.callgraph import analyze_modules
 
+        start_ns = time.perf_counter_ns()
         project = analyze_modules(modules)
+        stats.append(
+            RuleStat(
+                PROJECT_ANALYSIS_STAT,
+                0,
+                time.perf_counter_ns() - start_ns,
+            )
+        )
         for rule in project_rules:
-            findings.extend(rule.check_project(project))
-    return sorted(findings)
+            timed(rule.rule_id, lambda rule=rule: rule.check_project(project))
+    stats.sort(key=lambda s: s.rule_id)
+    return sorted(findings), stats
+
+
+def run_rules(modules: Iterable[Module], rules: Sequence[Rule]) -> list[Finding]:
+    findings, _ = run_rules_with_stats(modules, rules)
+    return findings
 
 
 def run_lint(

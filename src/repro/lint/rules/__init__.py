@@ -14,7 +14,9 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     hygiene,
     imports,
     instrument_names,
+    layering,
     units,
+    unitflow,
 )
 
 __all__ = [
@@ -24,5 +26,7 @@ __all__ = [
     "hygiene",
     "imports",
     "instrument_names",
+    "layering",
     "units",
+    "unitflow",
 ]

@@ -35,9 +35,12 @@ _WALL_CLOCK_TIME_ATTRS = frozenset(
 _WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 
 # The kernel profiler's whole job is measuring the *real* cost of the
-# simulation; it is the one sanctioned wall-clock consumer, and it never
-# feeds wall time back into simulation state.
-_WALL_CLOCK_ALLOWED_MODULES = frozenset({"repro.telemetry.profile"})
+# simulation, and the lint engine's ``--stats`` accounting measures the
+# real cost of the analyzer; both are sanctioned wall-clock consumers,
+# and neither feeds wall time back into simulation state.
+_WALL_CLOCK_ALLOWED_MODULES = frozenset(
+    {"repro.telemetry.profile", "repro.lint.engine"}
+)
 
 
 def wall_clock_allowed_module(module_name: str) -> bool:

@@ -54,6 +54,18 @@ _BUILTIN_METHOD_NAMES = frozenset(
 
 
 @dataclass(frozen=True)
+class ImportEdge:
+    """One top-level import: ``target`` is the dotted source the binding
+    points at (module or symbol — consumers trim to a known module).
+    ``type_only`` marks imports inside ``if TYPE_CHECKING:`` blocks:
+    annotation-time dependencies that never execute at runtime."""
+
+    target: str
+    lineno: int
+    type_only: bool = False
+
+
+@dataclass(frozen=True)
 class FunctionInfo:
     """One function, method, or scheduled lambda in the project."""
 
@@ -167,6 +179,15 @@ def _direct_nested_defs(node: ast.AST) -> list[ast.AST]:
     return found
 
 
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:`` guards."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
 def _import_source(module_name: str, node: ast.ImportFrom) -> str:
     """Absolute dotted source of a ``from X import ...`` (resolves dots)."""
     if node.level:
@@ -190,6 +211,9 @@ class SymbolTable:
         self.methods_by_name: dict[str, list[FunctionInfo]] = {}
         # fid -> {local def name: FunctionInfo} for nested functions.
         self.local_functions: dict[str, dict[str, FunctionInfo]] = {}
+        # module -> its top-level import edges (the layering rule's input;
+        # function-level lazy imports are deliberately absent).
+        self.import_edges: dict[str, list[ImportEdge]] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -198,6 +222,7 @@ class SymbolTable:
         self.module_names.add(module.name)
         bindings = self.bindings.setdefault(module.name, {})
         functions = self.module_functions.setdefault(module.name, {})
+        self.import_edges.setdefault(module.name, [])
         source_lines = module.source.splitlines()
         self._collect_imports(module.name, module.tree.body, bindings)
         for node in module.tree.body:
@@ -210,8 +235,13 @@ class SymbolTable:
                 self._register_class(module, node, source_lines)
 
     def _collect_imports(
-        self, module_name: str, body: list[ast.stmt], bindings: dict[str, str]
+        self,
+        module_name: str,
+        body: list[ast.stmt],
+        bindings: dict[str, str],
+        type_only: bool = False,
     ) -> None:
+        edges = self.import_edges.setdefault(module_name, [])
         for node in body:
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -220,21 +250,32 @@ class SymbolTable:
                     else:
                         head = alias.name.split(".")[0]
                         bindings.setdefault(head, head)
+                    edges.append(ImportEdge(alias.name, node.lineno, type_only))
             elif isinstance(node, ast.ImportFrom):
                 source = _import_source(module_name, node)
                 for alias in node.names:
                     if alias.name == "*":
+                        if source:
+                            edges.append(
+                                ImportEdge(source, node.lineno, type_only)
+                            )
                         continue
                     local = alias.asname or alias.name
                     bindings[local] = f"{source}.{alias.name}" if source else alias.name
+                    edges.append(
+                        ImportEdge(bindings[local], node.lineno, type_only)
+                    )
             elif isinstance(node, ast.If):
-                self._collect_imports(module_name, node.body, bindings)
-                self._collect_imports(module_name, node.orelse, bindings)
+                guarded = type_only or _is_type_checking_test(node.test)
+                self._collect_imports(module_name, node.body, bindings, guarded)
+                self._collect_imports(module_name, node.orelse, bindings, type_only)
             elif isinstance(node, ast.Try):
                 for block in (node.body, node.orelse, node.finalbody):
-                    self._collect_imports(module_name, block, bindings)
+                    self._collect_imports(module_name, block, bindings, type_only)
                 for handler in node.handlers:
-                    self._collect_imports(module_name, handler.body, bindings)
+                    self._collect_imports(
+                        module_name, handler.body, bindings, type_only
+                    )
 
     def _register_function(
         self,

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.net.addressing import EndpointAddress
 from repro.net.nic import Nic
 from repro.net.packet import Packet
-from repro.protocols.headers import frame_bytes_tcp
+from repro.net.headers import frame_bytes_tcp
 from repro.sim.kernel import MICROSECOND, Simulator
 from repro.sim.process import Component
 

@@ -1,73 +1,44 @@
-"""Standard protocol header sizes and the overhead arithmetic of §5.
+"""Compatibility shim: the header arithmetic moved to :mod:`repro.net.headers`.
 
-The paper's two data points:
-
-* "Across all feeds, 40 bytes of network headers (plus another 8–16 bytes
-  of protocol-specific headers) represent 25%–40% of the data sent." —
-  the 40 B figure is Ethernet (14) + IPv4 (20) + part of UDP/TCP, i.e. the
-  headers a receiver must parse before reaching the payload.
-* "at 10 Gbps, processing the Ethernet, IP, and TCP headers costs 40
-  nanoseconds" — 50 B of headers at 0.8 ns/byte.
-
-We account headers exactly and let callers reproduce the paper's rounded
-claims from the exact numbers.
+Frame overhead is a property of the wire, not of any market-data
+protocol — :mod:`repro.net.reliable` needs ``frame_bytes_tcp`` and the
+``net`` layer must not reach up into ``protocols`` (see the ``layering``
+lint rule). The canonical home is now ``repro.net.headers``; this module
+re-exports everything so existing imports keep working.
 """
 
 from __future__ import annotations
 
-ETHERNET_HEADER_BYTES = 14
-ETHERNET_FCS_BYTES = 4
-IPV4_HEADER_BYTES = 20
-UDP_HEADER_BYTES = 8
-TCP_HEADER_BYTES = 20
-
-#: Frame bytes added around a UDP payload (market data feeds).
-UDP_STACK_OVERHEAD_BYTES = (
-    ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES + UDP_HEADER_BYTES + ETHERNET_FCS_BYTES
+from repro.net.headers import (  # noqa: F401
+    ETHERNET_FCS_BYTES,
+    ETHERNET_HEADER_BYTES,
+    IPV4_HEADER_BYTES,
+    MIN_FRAME_BYTES,
+    TCP_HEADER_BYTES,
+    TCP_PARSED_HEADER_BYTES,
+    TCP_STACK_OVERHEAD_BYTES,
+    UDP_HEADER_BYTES,
+    UDP_PARSED_HEADER_BYTES,
+    UDP_STACK_OVERHEAD_BYTES,
+    frame_bytes_tcp,
+    frame_bytes_udp,
+    header_fraction,
+    wire_time_ns,
 )
 
-#: Frame bytes added around a TCP payload (order entry sessions).
-TCP_STACK_OVERHEAD_BYTES = (
-    ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES + TCP_HEADER_BYTES + ETHERNET_FCS_BYTES
-)
-
-#: The headers a receiver parses before the payload (no FCS): the paper's
-#: "40 bytes of network headers" for UDP market data.
-UDP_PARSED_HEADER_BYTES = ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES + UDP_HEADER_BYTES
-TCP_PARSED_HEADER_BYTES = ETHERNET_HEADER_BYTES + IPV4_HEADER_BYTES + TCP_HEADER_BYTES
-
-MIN_FRAME_BYTES = 64
-
-
-def frame_bytes_udp(payload_bytes: int) -> int:
-    """Full Ethernet frame length for a UDP payload, with runt padding."""
-    if payload_bytes < 0:
-        raise ValueError("payload must be >= 0 bytes")
-    return max(MIN_FRAME_BYTES, payload_bytes + UDP_STACK_OVERHEAD_BYTES)
-
-
-def frame_bytes_tcp(payload_bytes: int) -> int:
-    """Full Ethernet frame length for a TCP payload, with runt padding."""
-    if payload_bytes < 0:
-        raise ValueError("payload must be >= 0 bytes")
-    return max(MIN_FRAME_BYTES, payload_bytes + TCP_STACK_OVERHEAD_BYTES)
-
-
-def header_fraction(payload_bytes: int, stack_overhead: int = UDP_STACK_OVERHEAD_BYTES) -> float:
-    """Fraction of the frame that is protocol overhead rather than payload.
-
-    For PITCH-sized payloads this lands in the paper's 25–40% band.
-    """
-    frame = max(MIN_FRAME_BYTES, payload_bytes + stack_overhead)
-    return (frame - payload_bytes) / frame
-
-
-def wire_time_ns(n_bytes: int, bandwidth_bps: float = 10e9) -> float:
-    """Serialization time of ``n_bytes`` at ``bandwidth_bps``.
-
-    ``wire_time_ns(50)`` ≈ 40 ns at 10 Gb/s — the §5 figure for the cost
-    of the Ethernet+IP+TCP headers alone.
-    """
-    if bandwidth_bps <= 0:
-        raise ValueError("bandwidth must be positive")
-    return n_bytes * 8 / bandwidth_bps * 1e9
+__all__ = [
+    "ETHERNET_FCS_BYTES",
+    "ETHERNET_HEADER_BYTES",
+    "IPV4_HEADER_BYTES",
+    "MIN_FRAME_BYTES",
+    "TCP_HEADER_BYTES",
+    "TCP_PARSED_HEADER_BYTES",
+    "TCP_STACK_OVERHEAD_BYTES",
+    "UDP_HEADER_BYTES",
+    "UDP_PARSED_HEADER_BYTES",
+    "UDP_STACK_OVERHEAD_BYTES",
+    "frame_bytes_tcp",
+    "frame_bytes_udp",
+    "header_fraction",
+    "wire_time_ns",
+]

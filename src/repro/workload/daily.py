@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sim.kernel import SECOND
 from repro.workload.bursts import hawkes_timestamps, window_counts
 
 #: 9:30 to 16:00 — 6.5 hours of trading.
@@ -117,16 +118,16 @@ def busy_second_event_times(
         mean_rate_per_s=base_rate,
         branching_ratio=branching_ratio,
         decay_ns=decay_ns,
-        duration_ns=1_000_000_000,
+        duration_ns=SECOND,
         rng=rng,
     )
     pieces = [times]
     for _ in range(rng.poisson(n_shocks)):
         size = rng.lognormal(np.log(shock_median_size), shock_sigma)
         size = int(np.clip(size, *shock_size_bounds))
-        center = rng.uniform(0, 1_000_000_000 - 5 * shock_decay_ns)
+        center = rng.uniform(0, SECOND - 5 * shock_decay_ns)
         burst = center + rng.exponential(shock_decay_ns, size=size)
-        pieces.append(burst[burst < 1_000_000_000].astype(np.int64))
+        pieces.append(burst[burst < SECOND].astype(np.int64))
     merged = np.concatenate(pieces)
     merged.sort()
     return merged
@@ -137,7 +138,7 @@ def busy_second_window_counts(
 ) -> np.ndarray:
     """100 µs window counts for the busy second (Fig 2(c) series)."""
     times = busy_second_event_times(**kwargs)
-    return window_counts(times, window_ns, 1_000_000_000)
+    return window_counts(times, window_ns, SECOND)
 
 
 def processing_budget_ns(events_in_window: int, window_ns: int = 100_000) -> float:

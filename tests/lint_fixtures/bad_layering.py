@@ -1,0 +1,11 @@
+"""BAD: a module-level import cycle (here: the degenerate self-import).
+
+The DAG half of the rule needs a ``repro``-shaped package tree and is
+exercised by dedicated tmp_path tests in ``tests/test_lint_layering.py``.
+"""
+
+import bad_layering  # noqa: F401
+
+
+def loop():
+    return bad_layering.loop

@@ -1,0 +1,14 @@
+"""BAD: a bare magic-number duration in a scheduler slot.
+
+Is ``5_000_000`` five milliseconds or five seconds? The reader cannot
+tell, and neither could the author of the original bug this rule
+encodes.
+"""
+
+
+def arm(sim, on_fire):
+    sim.schedule_after(5_000_000, on_fire)
+
+
+def set_window(configure):
+    configure(coalesce_window_ns=1_000)

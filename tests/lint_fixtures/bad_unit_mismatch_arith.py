@@ -1,0 +1,10 @@
+"""BAD: subtracting a millisecond count from a nanosecond count."""
+
+
+def remaining_budget(window_ns, latency_ms):
+    return window_ns - latency_ms
+
+
+def drain(window_ns, latency_ms):
+    window_ns -= latency_ms
+    return window_ns

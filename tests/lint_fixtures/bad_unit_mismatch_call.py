@@ -1,0 +1,18 @@
+"""BAD: a millisecond value flows into nanosecond call slots.
+
+The seeded headline bug: ``sim.schedule_after`` takes an integer
+nanosecond delay, and handing it a ``*_ms`` value silently stretches
+the simulated delay by a factor of a million.
+"""
+
+
+def arm_timer(sim, delay_ms, on_fire):
+    sim.schedule_after(delay_ms, on_fire)
+
+
+def set_deadline(sim, deadline_ms, on_fire):
+    sim.schedule_at(deadline_ms, on_fire)
+
+
+def configure(set_timeout, poll_ms):
+    set_timeout(timeout_ns=poll_ms)

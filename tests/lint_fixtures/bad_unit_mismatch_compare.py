@@ -1,0 +1,9 @@
+"""BAD: comparing a millisecond count against a nanosecond deadline."""
+
+
+def overdue(deadline_ns, elapsed_ms):
+    return elapsed_ms > deadline_ns
+
+
+def earliest(first_ns, second_ms):
+    return min(first_ns, second_ms)

@@ -1,0 +1,5 @@
+"""BAD: the function name promises nanoseconds; the body returns ms."""
+
+
+def timeout_ns(timeout_ms):
+    return timeout_ms

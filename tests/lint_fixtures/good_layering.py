@@ -1,0 +1,7 @@
+"""GOOD: stdlib imports only — no cycles, no package back-edges."""
+
+import math
+
+
+def area(radius_ratio):
+    return math.pi * radius_ratio * radius_ratio

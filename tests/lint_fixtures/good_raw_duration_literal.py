@@ -1,0 +1,15 @@
+"""GOOD: durations enter scheduler slots via conversion helpers or
+named constants; sub-1000 literals (tick counts) stay allowed."""
+
+
+def arm(sim, on_fire):
+    sim.schedule_after(ms_to_ns(5), on_fire)
+
+
+def set_window(configure, window_ns):
+    configure(coalesce_window_ns=window_ns)
+
+
+def nudge(sim, on_fire):
+    # Below the threshold: a 999 ns delay is legible as written.
+    sim.schedule_after(999, on_fire)

@@ -1,0 +1,15 @@
+"""GOOD: everything is converted to nanoseconds before arithmetic."""
+
+
+def remaining_budget(window_ns, latency_ms):
+    return window_ns - ms_to_ns(latency_ms)
+
+
+def drain(window_ns, latency_ms):
+    window_ns -= ms_to_ns(latency_ms)
+    return window_ns
+
+
+def scaled(window_ns, factor_ratio):
+    # Dimensionless factors are normal arithmetic, not a mixup.
+    return window_ns + window_ns * factor_ratio

@@ -1,0 +1,13 @@
+"""GOOD: values are converted to nanoseconds at the call boundary."""
+
+
+def arm_timer(sim, delay_ms, on_fire):
+    sim.schedule_after(ms_to_ns(delay_ms), on_fire)
+
+
+def set_deadline(sim, deadline_ns, on_fire):
+    sim.schedule_at(deadline_ns, on_fire)
+
+
+def configure(set_timeout, poll_ms):
+    set_timeout(timeout_ns=ms_to_ns(poll_ms))

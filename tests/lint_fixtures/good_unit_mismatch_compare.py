@@ -1,0 +1,9 @@
+"""GOOD: comparisons happen in one unit (nanoseconds)."""
+
+
+def overdue(deadline_ns, elapsed_ms):
+    return ms_to_ns(elapsed_ms) > deadline_ns
+
+
+def earliest(first_ns, second_ms):
+    return min(first_ns, ms_to_ns(second_ms))

@@ -1,0 +1,13 @@
+"""GOOD: the returned value matches the unit the name declares."""
+
+
+def timeout_ns(timeout_ms):
+    return ms_to_ns(timeout_ms)
+
+
+def stamp_events(events, now_ns):
+    # A verb phrase, not a count: *_events on a function name is not a
+    # return-unit declaration.
+    for event in events:
+        event.time_ns = now_ns
+    return now_ns

@@ -85,7 +85,8 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     assert "unit-suffix" in out and "builder-registry" in out
     assert "no-alloc-on-hot-path" in out
-    assert len(out.strip().splitlines()) == 16
+    assert "unit-mismatch-call" in out and "layering" in out
+    assert len(out.strip().splitlines()) == 22
 
 
 def test_graph_dump(capsys):
@@ -139,3 +140,36 @@ def test_changed_without_git_falls_back_to_full_report(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "warning: --changed needs git" in captured.err
     assert "legacy.py" in captured.out
+
+
+def test_stats_table_is_deterministic_and_on_stderr(capsys):
+    """--stats prints one row per rule (plus the shared project-analysis
+    build and a total) to stderr, sorted by rule id, without disturbing
+    the findings report on stdout."""
+    from repro.lint import all_rules
+
+    assert main(["lint", str(FIXTURES), "--stats"]) == 1
+    captured = capsys.readouterr()
+    lines = captured.err.strip().splitlines()
+    # header + (project-analysis) + one row per rule + total; the final
+    # "N findings" status line also lands on stderr.
+    rows = [
+        line.split()[0]
+        for line in lines
+        if line and not line.startswith("rule") and "findings (" not in line
+    ]
+    rule_rows = [r for r in rows if r not in {"total"} and "finding" not in r]
+    expected = sorted(
+        ["(project-analysis)"] + [rule.rule_id for rule in all_rules()]
+    )
+    assert rule_rows[: len(expected)] == expected
+    assert "total" in rows
+    # stdout still carries the findings themselves.
+    assert "[unit-suffix]" in captured.out
+
+
+def test_stats_json_stdout_stays_parseable(capsys):
+    assert main(["lint", str(FIXTURES), "--stats", "--format", "json"]) == 1
+    captured = capsys.readouterr()
+    assert json.loads(captured.out)
+    assert "wall_ms" in captured.err

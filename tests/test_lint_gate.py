@@ -31,6 +31,7 @@ def test_rule_registry_is_complete():
         "all-exports-exist",
         "builder-registry",
         "instrument-name-style",
+        "layering",
         "no-alloc-on-hot-path",
         "no-cross-module-private-import",
         "no-deprecated-entry-point",
@@ -42,6 +43,11 @@ def test_rule_registry_is_complete():
         "no-string-build-on-hot-path",
         "no-wall-clock",
         "no-wall-clock-on-hot-path",
+        "raw-duration-literal",
+        "unit-mismatch-arith",
+        "unit-mismatch-call",
+        "unit-mismatch-compare",
+        "unit-mismatch-return",
         "unit-suffix",
         "unordered-iteration",
     }

@@ -1,0 +1,290 @@
+"""The unit-dataflow layer: lattice algebra, inference, propagation.
+
+These tests drive :mod:`repro.lint.unitflow` through small synthetic
+trees (tmp_path packages) rather than fixtures, because propagation is
+a whole-program property: what matters is that a unit inferred *here*
+survives an assignment chain, a return, and a call hop to fire a rule
+*there* — and that anything unresolvable lands on ``unknown`` instead
+of becoming a wrong guess.
+"""
+
+import ast
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lint import run_lint
+from repro.lint.callgraph import analyze_modules
+from repro.lint.engine import load_modules
+from repro.lint.unitflow import (
+    BYTES,
+    CONCRETE_UNITS,
+    LITERAL,
+    MS,
+    NS,
+    RATIO,
+    UNKNOWN,
+    join,
+    literal_int_value,
+    unit_from_name,
+    unitflow_for,
+)
+
+ALL_UNITS = sorted(CONCRETE_UNITS | {RATIO, LITERAL, UNKNOWN})
+
+
+def _flow(tmp_path, **files):
+    for name, source in files.items():
+        (tmp_path / f"{name}.py").write_text(source)
+    project = analyze_modules(load_modules(tmp_path))
+    return unitflow_for(project)
+
+
+def _scope(flow, owner):
+    for scope in flow.scopes():
+        if scope.owner == owner:
+            return scope
+    raise AssertionError(f"no scope {owner!r} in {[s.owner for s in flow.scopes()]}")
+
+
+# -- lattice algebra ---------------------------------------------------------
+
+
+def test_join_is_commutative_idempotent_and_literal_yields():
+    for a, b in itertools.product(ALL_UNITS, repeat=2):
+        assert join(a, b) == join(b, a)
+        assert join(a, a) == a
+        if a == LITERAL:
+            assert join(a, b) == b
+    # Disagreement between two real units is never resolved by guessing.
+    assert join(NS, MS) == UNKNOWN
+    assert join(BYTES, RATIO) == UNKNOWN
+    assert join(UNKNOWN, NS) == UNKNOWN
+
+
+def test_unit_from_name_suffixes_and_exacts():
+    assert unit_from_name("delay_ns") == NS
+    assert unit_from_name("poll_ms") == MS
+    assert unit_from_name("payload_bytes") == BYTES
+    assert unit_from_name("fill_ratio") == RATIO
+    assert unit_from_name("now") == NS
+    assert unit_from_name("widget") == UNKNOWN
+
+
+def test_literal_int_value_folds_constant_arithmetic():
+    def value(src):
+        return literal_int_value(ast.parse(src, mode="eval").body)
+
+    assert value("5_000_000") == 5_000_000
+    assert value("5 * 1000 * 1000") == 5_000_000
+    assert value("-3 + 1") == -2
+    assert value("2 ** 10") == 1024
+    assert value("2 ** 1000") is None  # refuses pathological exponents
+    assert value("1 / 0") is None
+    assert value("x * 1000") is None
+    assert value("'ns'") is None
+
+
+# -- local inference and propagation ----------------------------------------
+
+
+def test_parameter_suffix_seeds_env_and_assignments_chain(tmp_path):
+    flow = _flow(
+        tmp_path,
+        m="def f(start_ns):\n"
+        "    a = start_ns\n"
+        "    b = a\n"
+        "    return b\n",
+    )
+    scope = _scope(flow, "m:f")
+    assert scope.env["a"] == NS
+    assert scope.env["b"] == NS
+    assert flow.returns["m:f"] == NS
+
+
+def test_suffix_is_authoritative_over_assignment(tmp_path):
+    flow = _flow(tmp_path, m="def f(t_ns):\n    x_ms = t_ns\n    return x_ms\n")
+    scope = _scope(flow, "m:f")
+    # x_ms keeps announcing ms — the mismatch rule flags the assignment's
+    # *use sites*; the binding never silently re-brands the name.
+    assert "x_ms" not in scope.env
+    assert flow.unit_of(ast.parse("x_ms", mode="eval").body, scope) == MS
+
+
+def test_conflicting_assignments_poison_to_unknown(tmp_path):
+    flow = _flow(
+        tmp_path,
+        m="def f(a_ns, b_ms, flag):\n"
+        "    x = a_ns\n"
+        "    if flag:\n"
+        "        x = b_ms\n"
+        "    return x\n",
+    )
+    assert _scope(flow, "m:f").env["x"] == UNKNOWN
+    assert flow.returns["m:f"] == UNKNOWN
+
+
+def test_conversion_helpers_and_kernel_constants(tmp_path):
+    flow = _flow(
+        tmp_path,
+        m="from repro.sim.kernel import MILLISECOND, ms_to_ns\n"
+        "def f(poll_ms):\n"
+        "    a = ms_to_ns(poll_ms)\n"
+        "    b = 5 * MILLISECOND\n"
+        "    return a + b\n",
+    )
+    scope = _scope(flow, "m:f")
+    assert scope.env["a"] == NS
+    assert scope.env["b"] == NS
+    assert flow.returns["m:f"] == NS
+
+
+def test_return_summary_propagates_across_call_chain(tmp_path):
+    # No name suffix anywhere on the chain: the summary comes from the
+    # fixpoint over return expressions, two hops deep.
+    flow = _flow(
+        tmp_path,
+        m="def leaf(start_ns):\n"
+        "    return start_ns\n"
+        "def mid(v):\n"
+        "    return leaf(v)\n"
+        "def top(v):\n"
+        "    got = mid(v)\n"
+        "    return got\n",
+    )
+    assert flow.returns["m:leaf"] == NS
+    assert flow.returns["m:mid"] == NS
+    assert flow.returns["m:top"] == NS
+    assert _scope(flow, "m:top").env["got"] == NS
+
+
+def test_name_suffix_on_function_beats_body_inference(tmp_path):
+    flow = _flow(tmp_path, m="def timeout_ns(x):\n    return x\n")
+    assert flow.returns["m:timeout_ns"] == NS
+
+
+def test_unresolvable_lands_on_unknown_not_a_guess(tmp_path):
+    flow = _flow(
+        tmp_path,
+        m="def f(thing):\n"
+        "    a = thing.whatever()\n"
+        "    b = a + 1\n"
+        "    return b\n",
+    )
+    scope = _scope(flow, "m:f")
+    assert scope.env.get("a", UNKNOWN) == UNKNOWN
+    assert flow.returns["m:f"] == UNKNOWN
+
+
+def test_ratio_multiplication_preserves_unit(tmp_path):
+    flow = _flow(
+        tmp_path,
+        m="def f(base_ns, scale_ratio):\n"
+        "    x = base_ns * scale_ratio\n"
+        "    y = base_ns / base_ns\n"
+        "    return x\n",
+    )
+    scope = _scope(flow, "m:f")
+    assert scope.env["x"] == NS
+    assert scope.env["y"] == RATIO
+
+
+# -- the rules, end to end over synthetic trees ------------------------------
+
+
+def test_ms_value_into_ns_parameter_fires_across_call_site(tmp_path):
+    (tmp_path / "m.py").write_text(
+        "def set_timeout(delay_ns):\n"
+        "    return delay_ns\n"
+        "def caller(poll_ms):\n"
+        "    return set_timeout(poll_ms)\n"
+    )
+    findings = run_lint(root=tmp_path, rule_ids=["unit-mismatch-call"])
+    assert len(findings) == 1
+    assert "ms" in findings[0].message and "delay_ns" in findings[0].message
+
+
+def test_mismatched_return_via_propagated_call_unit(tmp_path):
+    (tmp_path / "m.py").write_text(
+        "def poll_interval(config):\n"
+        "    return config.timeout_ms\n"
+        "def deadline_ns(config):\n"
+        "    return poll_interval(config)\n"
+    )
+    findings = run_lint(root=tmp_path, rule_ids=["unit-mismatch-return"])
+    assert len(findings) == 1
+    assert "declares ns but returns ms" in findings[0].message
+
+
+def test_unknown_units_never_fire(tmp_path):
+    (tmp_path / "m.py").write_text(
+        "def f(a, b):\n"
+        "    return a - b\n"
+        "def g(x_ns, other):\n"
+        "    return x_ns < other\n"
+    )
+    assert not run_lint(
+        root=tmp_path,
+        rule_ids=[
+            "unit-mismatch-arith",
+            "unit-mismatch-compare",
+            "unit-mismatch-call",
+            "unit-mismatch-return",
+        ],
+    )
+
+
+def test_hot_ok_suppression_applies_to_unit_rules(tmp_path):
+    (tmp_path / "m.py").write_text(
+        "def f(window_ns, latency_ms):  # lint: hot-ok(unit-mismatch-arith)\n"
+        "    return window_ns - latency_ms\n"
+    )
+    findings = run_lint(root=tmp_path, rule_ids=["unit-mismatch-arith"])
+    assert len(findings) == 1 and findings[0].suppressed
+
+
+# -- conversion-helper round trips (hypothesis) ------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_integer_conversions_are_exact_scalings(value):
+    from repro.sim.kernel import (
+        MICROSECOND,
+        MILLISECOND,
+        SECOND,
+        ms_to_ns,
+        s_to_ns,
+        us_to_ns,
+    )
+
+    assert us_to_ns(value) == value * MICROSECOND
+    assert ms_to_ns(value) == value * MILLISECOND
+    assert s_to_ns(value) == value * SECOND
+
+
+@given(
+    st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+)
+def test_float_conversions_round_trip_within_half_a_unit(value):
+    from repro.sim.kernel import (
+        MICROSECOND,
+        MILLISECOND,
+        SECOND,
+        ms_to_ns,
+        s_to_ns,
+        us_to_ns,
+    )
+
+    for convert, scale in (
+        (us_to_ns, MICROSECOND),
+        (ms_to_ns, MILLISECOND),
+        (s_to_ns, SECOND),
+    ):
+        ns = convert(value)
+        assert isinstance(ns, int)
+        # Round-trip back to the source unit: off by at most half an
+        # output quantum (the int() rounding), never by a unit factor.
+        assert ns / scale == pytest.approx(value, abs=0.5 / scale + 1e-9)
