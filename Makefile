@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: verify lint lint-changed test bench scoreboard report sweep-smoke
+.PHONY: verify lint lint-changed test bench scoreboard report sweep-smoke \
+	trace-smoke
 
 # The one gate: repro lint --changed + ruff (when installed) + tier-1
 # pytest (which includes the full-tree lint gate) + the structural
@@ -13,6 +14,11 @@ verify:
 # byte-identical-artifact determinism check (also chained into verify).
 sweep-smoke:
 	$(PYTHON) -m repro sweep --smoke
+
+# Export a short run as Chrome Trace Event JSON and schema-validate it
+# (the write path validates before writing; also chained into verify).
+trace-smoke:
+	$(PYTHON) -m repro trace --ms 5 --chrome /tmp/repro-trace-smoke.json
 
 lint:
 	$(PYTHON) -m repro lint

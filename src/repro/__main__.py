@@ -13,7 +13,7 @@ Commands
 ``bench``       macro benchmark: whole-testbed events/s into BENCH_perf.json
 ``scoreboard``  run every reproduction bench (the full scoreboard)
 ``lint``        run the repro.lint static-analysis rules over the tree
-``verify``      run all the gates (lint, ruff, pytest, bench, sweep smoke)
+``verify``      run all the gates (lint, ruff, pytest, bench, sweep + trace smoke)
 
 Every run-shaped command (``run``, ``trace``, ``report``, ``sweep``)
 accepts ``--spec FILE`` — a :class:`~repro.core.config.SystemSpec` JSON
@@ -170,7 +170,14 @@ def _cmd_trace(args) -> int:
         return 2
     spec = replace(spec, telemetry=True)
     design = spec.design
-    system = execute_spec(spec).system
+    profiler = None
+    if args.chrome:
+        # The Chrome export's third process is the kernel profiler's
+        # per-event timeline; sized generously — overflow is counted.
+        from repro.telemetry import KernelProfiler
+
+        profiler = KernelProfiler(timeline_capacity=200_000)
+    system = execute_spec(spec, profiler=profiler).system
     telemetry = system.sim.telemetry
     if not telemetry.traces:
         if design == "wan":
@@ -195,6 +202,14 @@ def _cmd_trace(args) -> int:
     if args.jsonl:
         write_traces_jsonl(telemetry.traces, args.jsonl)
         print(f"wrote {len(telemetry.traces)} traces to {args.jsonl}")
+    if args.chrome:
+        from repro.telemetry.chrometrace import write_chrome_trace
+
+        doc = write_chrome_trace(args.chrome, telemetry, profiler)
+        print(
+            f"wrote {len(doc['traceEvents'])} trace events to {args.chrome} "
+            "(load in https://ui.perfetto.dev or chrome://tracing)"
+        )
     return 0 if deco.max_residual_ns <= 1 else 1
 
 
@@ -210,6 +225,17 @@ def _cmd_report(args) -> int:
     )
     if spec is None:
         return 2
+    if args.tail:
+        # The tail view runs without the profiler so its output is a
+        # pure function of the spec (byte-identical across runs).
+        from repro.analysis.report import build_tail_report, render_tail_report
+
+        tail = build_tail_report(spec=spec)
+        if args.format == "json":
+            print(json.dumps(tail.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_tail_report(tail))
+        return 0 if tail.roundtrip is not None else 1
     report = build_report(spec=spec)
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -257,6 +283,21 @@ def _cmd_verify(args) -> int:
     )
     steps.append(
         ("sweep smoke", [sys.executable, "-m", "repro", "sweep", "--smoke"])
+    )
+    # Trace-export smoke: a short telemetry run whose Chrome Trace JSON
+    # must pass the exporter's structural validation (write_chrome_trace
+    # raises on an invalid document). Mirrors `make trace-smoke`.
+    import tempfile
+
+    chrome_smoke = os.path.join(tempfile.gettempdir(), "repro-trace-smoke.json")
+    steps.append(
+        (
+            "trace smoke (--chrome)",
+            [
+                sys.executable, "-m", "repro", "trace",
+                "--ms", "5", "--chrome", chrome_smoke,
+            ],
+        )
     )
 
     failed: list[str] = []
@@ -376,6 +417,10 @@ def main(argv: list[str] | None = None) -> int:
     tr.add_argument("--seed", type=int, default=7)
     tr.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
     tr.add_argument("--jsonl", help="also dump every trace to this JSONL file")
+    tr.add_argument(
+        "--chrome",
+        help="also write a Chrome Trace Event JSON timeline (Perfetto) here",
+    )
 
     rp = sub.add_parser(
         "report", help="one self-contained run report (telemetry + profiler on)"
@@ -385,6 +430,11 @@ def main(argv: list[str] | None = None) -> int:
     rp.add_argument("--seed", type=int, default=7)
     rp.add_argument("--ms", type=int, default=40, help="simulated milliseconds")
     rp.add_argument("--format", choices=["text", "json"], default="text")
+    rp.add_argument(
+        "--tail", action="store_true",
+        help="tail view: p50/p99/p99.9 round trip, per-hop span tails, "
+             "slowest-trace exemplars, dominant hop at p99.9",
+    )
     rp.add_argument(
         "--series-jsonl", help="also dump the windowed series to this JSONL file"
     )

@@ -1,17 +1,26 @@
-"""Log-binned latency histograms.
+"""Latency histograms for analysis output — a float-facing shim.
 
-Latency distributions in trading systems span decades (hundreds of ns to
-hundreds of µs under bursts), so fixed-width bins waste resolution.
-:class:`LatencyHistogram` uses geometric bins, supports streaming
-insertion, percentile queries by interpolation, and an ASCII rendering
-for bench output — the standard operational tool for the footnote-1
-question ("of course, tail latency matters too").
+Historically this module carried its own geometric-binned histogram;
+the repo now has exactly one histogram implementation —
+:class:`~repro.telemetry.hdr.LogLinearHistogram` — and
+:class:`LatencyHistogram` is a thin float-facing adapter over it that
+keeps the analysis/bench API (float ns, ``percentile(p)`` with ``p`` in
+``(0, 100]``, ASCII :meth:`render`). The log-linear buckets are strictly
+finer than the old 10-bins-per-decade geometric layout: relative error
+is bounded by 1/128 (≈0.78%) instead of ≈12% per bin.
+
+``min_ns``/``max_ns`` no longer size the bucket table (the backing
+histogram covers the full integer range at fixed resolution); they
+remain the *reporting* range — recordings outside it are tallied as
+under-/overflow in :meth:`render`, and :meth:`percentile` clamps into
+``[min_ns, max_ns]``, exactly as before.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+from repro.telemetry.hdr import LogLinearHistogram
 
 
 @dataclass(frozen=True)
@@ -22,7 +31,7 @@ class HistogramBin:
 
 
 class LatencyHistogram:
-    """A streaming histogram with geometric (log-spaced) bins."""
+    """Streaming latency histogram over log-linear (HDR-style) buckets."""
 
     def __init__(
         self,
@@ -34,10 +43,11 @@ class LatencyHistogram:
             raise ValueError("invalid histogram bounds")
         self.min_ns = float(min_ns)
         self.max_ns = float(max_ns)
+        # Retained for API compatibility; resolution is now fixed by the
+        # backing LogLinearHistogram and is finer than any sane
+        # bins-per-decade setting this class accepted.
         self.bins_per_decade = int(bins_per_decade)
-        decades = math.log10(max_ns / min_ns)
-        self._n_bins = max(1, math.ceil(decades * bins_per_decade))
-        self._counts = [0] * self._n_bins
+        self._hist = LogLinearHistogram()
         self._underflow = 0
         self._overflow = 0
         self.total = 0
@@ -47,33 +57,24 @@ class LatencyHistogram:
 
     # -- insertion -----------------------------------------------------------
 
-    def _bin_index(self, value: float) -> int:
-        ratio = math.log10(value / self.min_ns)
-        return int(ratio * self.bins_per_decade)
-
     def record(self, value_ns: float) -> None:
         self.total += 1
         self._sum += value_ns
-        self._max_seen = max(self._max_seen, value_ns)
-        self._min_seen = min(self._min_seen, value_ns)
+        if value_ns > self._max_seen:
+            self._max_seen = value_ns
+        if value_ns < self._min_seen:
+            self._min_seen = value_ns
         if value_ns < self.min_ns:
             self._underflow += 1
-            return
-        if value_ns >= self.max_ns:
+        elif value_ns >= self.max_ns:
             self._overflow += 1
-            return
-        self._counts[self._bin_index(value_ns)] += 1
+        self._hist.record(int(round(value_ns)) if value_ns > 0 else 0)
 
     def record_many(self, values) -> None:
         for value in values:
             self.record(value)
 
     # -- queries -----------------------------------------------------------
-
-    def _bin_edges(self, index: int) -> tuple[float, float]:
-        low = self.min_ns * 10 ** (index / self.bins_per_decade)
-        high = self.min_ns * 10 ** ((index + 1) / self.bins_per_decade)
-        return low, high
 
     @property
     def mean(self) -> float:
@@ -87,46 +88,52 @@ class LatencyHistogram:
     def min_seen(self) -> float:
         return self._min_seen if self.total else float("nan")
 
+    @property
+    def relative_error_bound(self) -> float:
+        """The backing histogram's percentile relative-error guarantee."""
+        return self._hist.relative_error_bound
+
     def percentile(self, p: float) -> float:
-        """Approximate percentile by within-bin geometric interpolation."""
+        """Percentile with ``p`` in ``(0, 100]``, clamped to the range.
+
+        NaN on an empty histogram. Within ``[min_ns, max_ns]`` the value
+        carries the backing histogram's relative-error bound; samples
+        recorded outside the range clamp to the range edges, matching
+        the old under-/overflow bucket behavior.
+        """
         if not 0 < p <= 100:
             raise ValueError("percentile must be in (0, 100]")
         if self.total == 0:
             return float("nan")
-        target = p / 100 * self.total
-        cumulative = self._underflow
-        if cumulative >= target:
-            return self.min_ns
-        for index, count in enumerate(self._counts):
-            if cumulative + count >= target and count > 0:
-                low, high = self._bin_edges(index)
-                frac = (target - cumulative) / count
-                return low * (high / low) ** frac
-            cumulative += count
-        return self.max_ns
+        value = float(self._hist.percentile(p / 100))
+        return min(max(value, self.min_ns), self.max_ns)
 
     def bins(self) -> list[HistogramBin]:
-        """Non-empty bins, low to high."""
-        out = []
-        for index, count in enumerate(self._counts):
-            if count:
-                low, high = self._bin_edges(index)
-                out.append(HistogramBin(low, high, count))
-        return out
+        """Non-empty buckets, low to high (float edges, half-open)."""
+        return [
+            HistogramBin(float(low), float(high), count)
+            for index, count in self._hist.nonzero_buckets()
+            for low, high in (self._hist.bucket_bounds(index),)
+        ]
 
     def render(self, width: int = 50) -> str:
-        """ASCII bar rendering of the non-empty bins."""
-        bins = self.bins()
-        if not bins:
+        """ASCII bar rendering of the non-empty in-range buckets."""
+        rows = [
+            entry
+            for entry in self.bins()
+            if entry.high_ns > self.min_ns and entry.low_ns < self.max_ns
+        ]
+        if not rows and not (self._underflow or self._overflow):
             return "(empty histogram)"
-        peak = max(b.count for b in bins)
         lines = []
-        for entry in bins:
-            bar = "#" * max(1, round(entry.count / peak * width))
-            lines.append(
-                f"{entry.low_ns:>12,.0f}-{entry.high_ns:>12,.0f} ns "
-                f"|{bar:<{width}}| {entry.count}"
-            )
+        if rows:
+            peak = max(entry.count for entry in rows)
+            for entry in rows:
+                bar = "#" * max(1, round(entry.count / peak * width))
+                lines.append(
+                    f"{entry.low_ns:>12,.0f}-{entry.high_ns:>12,.0f} ns "
+                    f"|{bar:<{width}}| {entry.count}"
+                )
         if self._underflow:
             lines.append(f"(<{self.min_ns:,.0f} ns: {self._underflow})")
         if self._overflow:

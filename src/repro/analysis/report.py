@@ -229,6 +229,206 @@ def build_report(
     )
 
 
+@dataclass(frozen=True)
+class TailReport:
+    """Where the tail lives: round-trip tail + per-hop attribution.
+
+    Built from sim-time-derived data only (no profiler, no wall clock),
+    so two runs of the same spec render byte-identical reports — the
+    property the determinism test pins.
+    """
+
+    spec: SystemSpec
+    trace_count: int
+    roundtrip: dict | None
+    span_tails: tuple[dict, ...]
+    exemplars: tuple[dict, ...]
+    dominant_hop: str | None
+    dominant_hop_duration_ns: int = 0
+    dominant_hop_share: float = 0.0
+    notes: tuple[str, ...] = field(default=())
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "trace_count": self.trace_count,
+            "roundtrip": self.roundtrip,
+            "span_tails": list(self.span_tails),
+            "exemplars": list(self.exemplars),
+            "dominant_hop": self.dominant_hop,
+            "dominant_hop_duration_ns": self.dominant_hop_duration_ns,
+            "dominant_hop_share": self.dominant_hop_share,
+            "notes": list(self.notes),
+        }
+
+
+def build_tail_report(spec: SystemSpec | None = None, **overrides) -> TailReport:
+    """Run ``spec`` (telemetry on, profiler **off**) and attribute the tail.
+
+    The dominant hop is computed over the slowest kept exemplar traces
+    whose rtt reaches the round-trip p99.9: their span durations are
+    summed per (where, kind) and the largest total wins — "which hop
+    owns the p99.9 round trip".
+    """
+    from repro.core.run import execute_spec
+
+    if spec is None:
+        spec = SystemSpec(**{**overrides, "telemetry": True})
+    else:
+        from dataclasses import replace
+
+        spec = replace(spec, **{**overrides, "telemetry": True})
+
+    executed = execute_spec(spec)
+    telemetry = executed.system.sim.telemetry
+    notes: list[str] = []
+
+    from repro.telemetry.hdr import LogLinearHistogram
+
+    roundtrip = None
+    rtt_hist = LogLinearHistogram()
+    for trace in telemetry.traces:
+        rtt_hist.record(trace.rtt_ns)
+    if rtt_hist.count:
+        roundtrip = {
+            "count": rtt_hist.count,
+            "p50_ns": rtt_hist.percentile(0.50),
+            "p99_ns": rtt_hist.percentile(0.99),
+            "p999_ns": rtt_hist.percentile(0.999),
+            "max_ns": rtt_hist.max,
+        }
+    else:
+        notes.append("no completed traces; tail attribution unavailable")
+
+    span_tails = []
+    for (where, kind), hist in sorted(telemetry.span_histograms().items()):
+        span_tails.append(
+            {
+                "where": where,
+                "kind": kind,
+                "count": hist.count,
+                "p50_ns": int(hist.percentile(0.50)),
+                "p99_ns": int(hist.percentile(0.99)),
+                "p999_ns": int(hist.percentile(0.999)),
+                "max_ns": hist.max,
+            }
+        )
+    span_tails.sort(key=lambda row: (-row["p999_ns"], row["where"], row["kind"]))
+
+    exemplar_traces = telemetry.tail_exemplars()
+    exemplars = []
+    for trace in exemplar_traces:
+        spans = trace.spans()
+        ranked = sorted(
+            enumerate(spans), key=lambda pair: (-pair[1].duration_ns, pair[0])
+        )
+        # Identified by begin time, not trace_id: ids come from a
+        # process-global counter and would differ between two identical
+        # runs, breaking the report's byte-determinism.
+        exemplars.append(
+            {
+                "begin_ns": trace.begin_ns,
+                "rtt_ns": trace.rtt_ns,
+                "top_hops": [
+                    {
+                        "where": span.where,
+                        "kind": span.kind,
+                        "duration_ns": span.duration_ns,
+                    }
+                    for _, span in ranked[:3]
+                ],
+            }
+        )
+
+    dominant_hop = None
+    dominant_duration = 0
+    dominant_share = 0.0
+    if roundtrip is not None and exemplar_traces:
+        threshold = roundtrip["p999_ns"]
+        tail_traces = [
+            trace for trace in exemplar_traces if trace.rtt_ns >= threshold
+        ] or [exemplar_traces[0]]
+        by_hop: dict[tuple[str, str], int] = {}
+        tail_total = 0
+        for trace in tail_traces:
+            for span in trace.spans():
+                key = (span.where, span.kind)
+                by_hop[key] = by_hop.get(key, 0) + span.duration_ns
+                tail_total += span.duration_ns
+        (where, kind), duration = max(
+            by_hop.items(), key=lambda item: (item[1], item[0])
+        )
+        dominant_hop = f"{where} [{kind}]"
+        dominant_duration = duration
+        dominant_share = duration / tail_total if tail_total else 0.0
+
+    return TailReport(
+        spec=spec,
+        trace_count=len(telemetry.traces),
+        roundtrip=roundtrip,
+        span_tails=tuple(span_tails),
+        exemplars=tuple(exemplars),
+        dominant_hop=dominant_hop,
+        dominant_hop_duration_ns=dominant_duration,
+        dominant_hop_share=dominant_share,
+        notes=tuple(notes),
+    )
+
+
+def render_tail_report(report: TailReport, top_hops: int = 10) -> str:
+    """Human-readable text rendering of a :class:`TailReport`."""
+    spec = report.spec
+    lines = [
+        f"tail report: {spec.design} seed={spec.seed} "
+        f"({format_ns(spec.run_ns)} simulated, {report.trace_count} traces)",
+        "=" * 72,
+    ]
+    if report.roundtrip is not None:
+        rt = report.roundtrip
+        lines.append(
+            f"round trip: p50 {format_ns(int(rt['p50_ns']))}, "
+            f"p99 {format_ns(int(rt['p99_ns']))}, "
+            f"p99.9 {format_ns(int(rt['p999_ns']))}, "
+            f"max {format_ns(int(rt['max_ns']))} (n={rt['count']})"
+        )
+    if report.span_tails:
+        lines.append("")
+        lines.append("per-hop span tails (slowest p99.9 first):")
+        lines.append(
+            f"  {'hop':<36} {'count':>7} {'p50':>10} {'p99':>10} "
+            f"{'p99.9':>10} {'max':>10}"
+        )
+        for row in report.span_tails[:top_hops]:
+            hop = f"{row['where']} [{row['kind']}]"
+            lines.append(
+                f"  {hop:<36} {row['count']:>7} "
+                f"{format_ns(row['p50_ns']):>10} {format_ns(row['p99_ns']):>10} "
+                f"{format_ns(row['p999_ns']):>10} {format_ns(row['max_ns']):>10}"
+            )
+    if report.exemplars:
+        lines.append("")
+        lines.append(f"slowest traces ({len(report.exemplars)} exemplars kept):")
+        for exemplar in report.exemplars[:5]:
+            hops = ", ".join(
+                f"{hop['where']} [{hop['kind']}] {format_ns(hop['duration_ns'])}"
+                for hop in exemplar["top_hops"]
+            )
+            lines.append(
+                f"  trace @{format_ns(exemplar['begin_ns'])}: rtt "
+                f"{format_ns(exemplar['rtt_ns'])} — {hops}"
+            )
+    if report.dominant_hop is not None:
+        lines.append("")
+        lines.append(
+            f"dominant hop at p99.9: {report.dominant_hop} "
+            f"({format_ns(report.dominant_hop_duration_ns)}, "
+            f"{report.dominant_hop_share:.1%} of the slowest round trips)"
+        )
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
 def render_report(report: RunReport, top_series: int = 8) -> str:
     """Human-readable multi-section text rendering of ``report``."""
     spec = report.spec

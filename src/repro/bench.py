@@ -42,7 +42,19 @@ SMOKE_RUN_NS = 2 * MILLISECOND
 #: Top-level BENCH_perf.json key the macro results live under.
 MACRO_SECTION = "macro_events_per_sec"
 #: Fields every per-design entry must carry (the verify gate's shape).
-MACRO_FIELDS = ("events", "events_per_sec", "repeats", "run_ns", "wall_ns")
+#: The tail percentiles are deterministic (virtual-time) outputs of the
+#: same run that produced the throughput number, so the bench file
+#: tracks each design's round-trip tail alongside its events/s.
+MACRO_FIELDS = (
+    "events",
+    "events_per_sec",
+    "repeats",
+    "run_ns",
+    "wall_ns",
+    "p50_rtt_ns",
+    "p99_rtt_ns",
+    "p999_rtt_ns",
+)
 
 
 @dataclass(frozen=True)
@@ -54,6 +66,9 @@ class MacroResult:
     wall_ns: int  # best-of-repeats wall time for the run window
     run_ns: int
     repeats: int
+    p50_rtt_ns: int = 0
+    p99_rtt_ns: int = 0
+    p999_rtt_ns: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -68,6 +83,9 @@ class MacroResult:
             "repeats": self.repeats,
             "run_ns": self.run_ns,
             "wall_ns": self.wall_ns,
+            "p50_rtt_ns": self.p50_rtt_ns,
+            "p99_rtt_ns": self.p99_rtt_ns,
+            "p999_rtt_ns": self.p999_rtt_ns,
         }
 
 
@@ -93,6 +111,7 @@ def run_macro(
     spec = SystemSpec(design=design, seed=seed, run_ns=run_ns)
     events: int | None = None
     best_wall_ns: int | None = None
+    executed_run = None
     for _ in range(repeats):
         executed_run = execute_spec(spec)
         wall_ns = executed_run.wall_ns
@@ -107,7 +126,25 @@ def run_macro(
         if best_wall_ns is None or wall_ns < best_wall_ns:
             best_wall_ns = wall_ns
     assert events is not None and best_wall_ns is not None
-    return MacroResult(design, events, best_wall_ns, run_ns, repeats)
+    # Round-trip tail percentiles: virtual-time outputs, identical
+    # across repeats (the repeats are bit-identical by contract above),
+    # so the last repeat's samples describe them exactly.
+    p50 = p99 = p999 = 0
+    system = executed_run.system
+    if hasattr(system, "roundtrip_samples"):
+        samples = system.roundtrip_samples()
+        if samples:
+            from repro.telemetry.hdr import LogLinearHistogram
+
+            hist = LogLinearHistogram()
+            hist.record_many(samples)
+            p50 = hist.percentile(0.50)
+            p99 = hist.percentile(0.99)
+            p999 = hist.percentile(0.999)
+    return MacroResult(
+        design, events, best_wall_ns, run_ns, repeats,
+        p50_rtt_ns=p50, p99_rtt_ns=p99, p999_rtt_ns=p999,
+    )
 
 
 def run_macro_suite(

@@ -29,11 +29,12 @@ processes, on different days — produce byte-identical serializations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.core.config import SystemSpec, unknown_field_error
 from repro.sim.kernel import SECOND
+from repro.telemetry.hdr import LogLinearHistogram
 from repro.telemetry.profile import KernelProfiler
 from repro.timing.latency import summarize
 
@@ -53,18 +54,27 @@ class ExecutedRun:
     wall_ns: int
 
 
-def execute_spec(spec: SystemSpec, *, profile: bool = False) -> ExecutedRun:
+def execute_spec(
+    spec: SystemSpec,
+    *,
+    profile: bool = False,
+    profiler: KernelProfiler | None = None,
+) -> ExecutedRun:
     """Build ``spec``'s system, run it for ``spec.run_ns``, return the handles.
 
     ``wall_ns`` times the run window only — construction is excluded,
     matching the macro benchmark's definition of throughput. With
     ``profile=True`` the kernel profiler is attached before the run
-    (the report CLI's mode).
+    (the report CLI's mode); pass a preconfigured ``profiler`` instead
+    to control its options (e.g. a timeline for the Chrome export).
     """
     from repro.core.api import build_system
 
     system = build_system(spec)
-    profiler = system.sim.attach_profiler() if profile else None
+    if profiler is not None:
+        system.sim.attach_profiler(profiler)
+    elif profile:
+        profiler = system.sim.attach_profiler()
     begin = _clock()
     system.run(spec.run_ns)
     wall_ns = _clock() - begin
@@ -88,6 +98,7 @@ def roundtrip_summary(system: Any) -> dict | None:
         "mean_ns": stats.mean,
         "median_ns": stats.median,
         "p99_ns": stats.p99,
+        "p999_ns": stats.p999,
         "min_ns": stats.minimum,
         "max_ns": stats.maximum,
     }
@@ -136,6 +147,11 @@ class RunResult:
     counters: dict
     gauge_high_watermarks: dict
     workload: dict
+    # Serialized LogLinearHistogram dicts by instrument name; always
+    # carries "roundtrip_ns" when round trips completed, plus every
+    # telemetry histogram when telemetry was on. This is what lets
+    # sweep compute true cross-cell percentiles by merging.
+    histograms: dict = field(default_factory=dict)
     trace_count: int = 0
     notes: tuple[str, ...] = ()
     wall_ns: int = 0
@@ -174,6 +190,9 @@ class RunResult:
                 sorted(self.gauge_high_watermarks.items())
             ),
             "workload": dict(sorted(self.workload.items())),
+            "histograms": {
+                name: dict(data) for name, data in sorted(self.histograms.items())
+            },
             "trace_count": self.trace_count,
             "notes": list(self.notes),
         }
@@ -194,6 +213,7 @@ class RunResult:
             counters=dict(raw.get("counters", {})),
             gauge_high_watermarks=dict(raw.get("gauge_high_watermarks", {})),
             workload=dict(raw.get("workload", {})),
+            histograms=dict(raw.get("histograms", {})),
             trace_count=raw.get("trace_count", 0),
             notes=tuple(raw.get("notes", ())),
             wall_ns=raw.get("wall_ns", 0),
@@ -237,6 +257,16 @@ def summarize_run(executed: ExecutedRun) -> RunResult:
     counters: dict = {}
     gauges: dict = {}
     trace_count = 0
+    histograms: dict = {}
+    # The round-trip histogram is built from the raw samples, not from
+    # telemetry, so sweep cells can merge true tail percentiles even
+    # with telemetry off (the sweep default).
+    if hasattr(system, "roundtrip_samples"):
+        samples = system.roundtrip_samples()
+        if samples:
+            hist = LogLinearHistogram()
+            hist.record_many(samples)
+            histograms["roundtrip_ns"] = hist.to_dict()
     telemetry = system.sim.telemetry
     if telemetry is not None:
         metrics = telemetry.metrics.to_dict()
@@ -246,6 +276,10 @@ def summarize_run(executed: ExecutedRun) -> RunResult:
             for name, values in metrics["gauges"].items()
         }
         trace_count = len(telemetry.traces)
+        for name, hist in sorted(telemetry.metrics.histograms.items()):
+            # Base-class serialization: the mergeable hdr form, without
+            # the instrument summary fields.
+            histograms[name] = LogLinearHistogram.to_dict(hist)
 
     return RunResult(
         spec=spec,
@@ -254,6 +288,7 @@ def summarize_run(executed: ExecutedRun) -> RunResult:
         counters=counters,
         gauge_high_watermarks=gauges,
         workload=_workload_summary(system),
+        histograms=histograms,
         trace_count=trace_count,
         notes=tuple(notes),
         wall_ns=executed.wall_ns,

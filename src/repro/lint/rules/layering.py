@@ -59,7 +59,7 @@ PACKAGE_DAG: dict[str, frozenset[str]] = {
     "analysis": frozenset(
         {"sim", "protocols", "firm", "timing", "workload", "telemetry", "core"}
     ),
-    "sweep": frozenset({"sim", "workload", "mgmt", "core"}),
+    "sweep": frozenset({"sim", "workload", "mgmt", "core", "telemetry"}),
     "lint": frozenset(),
 }
 

@@ -343,7 +343,7 @@ class Simulator:
                 else:
                     begin = clock()
                     callback(*event[4])
-                    record(handler_kind(callback), clock() - begin)
+                    record(handler_kind(callback), clock() - begin, when)
                 executed += 1
         finally:
             self._running = False

@@ -2,12 +2,19 @@
 
 The artifact is a single JSON document (or text table) answering the
 paper's comparative question directly: for every cell — design × growth
-year × burst × partition budget × seed — the round-trip median/p99, the
-simulated event rate, total drops, and the deepest backlog any gauge
+year × burst × partition budget × seed — the round-trip median/p99/p99.9,
+the simulated event rate, total drops, and the deepest backlog any gauge
 saw. Cells appear in matrix-expansion order and the JSON is serialized
 with sorted keys, so the artifact is byte-identical across worker
 counts and across re-runs of the same matrix (the determinism contract
 ``docs/sweep.md`` spells out and ``tests/test_sweep.py`` asserts).
+
+Cross-cell rollups **merge** each cell's serialized
+:class:`~repro.telemetry.hdr.LogLinearHistogram` rather than averaging
+per-cell percentiles: a mean (or median) of per-cell p99s is not a p99,
+but merged log-linear histograms reproduce the whole-population
+percentile to within the histogram's documented relative-error bound —
+``tests/test_sweep.py`` proves it against the pooled raw samples.
 """
 
 from __future__ import annotations
@@ -16,9 +23,13 @@ import json
 
 from repro.sim.kernel import SECOND, format_ns
 from repro.sweep.matrix import MatrixSpec
+from repro.telemetry.hdr import LogLinearHistogram
 
 #: The artifact's schema version: bump when the merged shape changes.
-ARTIFACT_VERSION = 1
+#: v2: cells carry ``p999_rtt_ns``; the artifact gains per-design
+#: ``rollups`` built from merged histograms (v1 had no rollups and its
+#: renderer aggregated per-cell medians instead of pooling populations).
+ARTIFACT_VERSION = 2
 
 
 def summarize_cell(outcome: dict) -> dict:
@@ -39,6 +50,7 @@ def summarize_cell(outcome: dict) -> dict:
         "roundtrips": roundtrip.get("count", 0),
         "median_rtt_ns": roundtrip.get("median_ns"),
         "p99_rtt_ns": roundtrip.get("p99_ns"),
+        "p999_rtt_ns": roundtrip.get("p999_ns"),
         "events": events,
         "events_per_sim_sec": round(events * SECOND / spec["run_ns"], 1),
         "flow_rate_per_s": spec["flow_rate_per_s"],
@@ -82,7 +94,45 @@ def merge_results(matrix: MatrixSpec, outcomes: list[dict]) -> dict:
         "matrix": matrix.to_dict(),
         "n_cells": expected,
         "cells": cells,
+        "rollups": _design_rollups(matrix.to_dict()["designs"], cells),
     }
+
+
+def _design_rollups(designs: list[str], cells: list[dict]) -> dict:
+    """True cross-cell tail percentiles per design, by histogram merge.
+
+    Each cell's ``RunResult`` carries its round-trip population as a
+    serialized log-linear histogram; merging those histograms yields the
+    percentiles of the pooled population (within the documented
+    relative-error bound) — never an average of per-cell percentiles.
+    """
+    rollups: dict[str, dict] = {}
+    for design in designs:
+        histograms = []
+        drops = 0
+        roundtrips = 0
+        for cell in cells:
+            if cell["coords"]["design"] != design:
+                continue
+            drops += cell["summary"]["dropped_total"]
+            raw = cell["result"].get("histograms", {}).get("roundtrip_ns")
+            if raw:
+                histograms.append(LogLinearHistogram.from_dict(raw))
+        if histograms:
+            merged = LogLinearHistogram.merged(histograms)
+            roundtrips = merged.count
+            rollups[design] = {
+                "roundtrips": roundtrips,
+                "median_rtt_ns": merged.percentile(0.50),
+                "p99_rtt_ns": merged.percentile(0.99),
+                "p999_rtt_ns": merged.percentile(0.999),
+                "max_rtt_ns": merged.max,
+                "dropped_total": drops,
+                "histogram": merged.to_dict(),
+            }
+        else:
+            rollups[design] = {"roundtrips": 0, "dropped_total": drops}
+    return rollups
 
 
 def artifact_json(artifact: dict) -> str:
@@ -113,27 +163,20 @@ def render_artifact(artifact: dict) -> str:
             f"{summary['dropped_total']:>7} "
             f"{summary['backlog_high_watermark_bytes']:>8}"
         )
-    # Per-design rollup: the "where does each design fall over" line.
+    # Per-design rollup: the "where does each design fall over" lines,
+    # computed from merged histograms (true pooled percentiles).
     lines.append("")
-    lines.append("per-design medians across cells:")
-    by_design: dict[str, list] = {}
-    for cell in artifact["cells"]:
-        by_design.setdefault(cell["coords"]["design"], []).append(
-            cell["summary"]
-        )
+    lines.append("per-design tail across all cells (merged histograms):")
+    rollups = artifact.get("rollups", {})
     for design in artifact["matrix"]["designs"]:
-        rows = by_design.get(design, [])
-        medians = sorted(
-            row["median_rtt_ns"]
-            for row in rows
-            if row["median_rtt_ns"] is not None
-        )
-        drops = sum(row["dropped_total"] for row in rows)
-        if medians:
-            mid = medians[len(medians) // 2]
+        rollup = rollups.get(design, {})
+        if rollup.get("roundtrips"):
             lines.append(
-                f"  {design:<12} median-of-medians {_fmt_rtt(mid):>9}, "
-                f"total drops {drops}"
+                f"  {design:<12} median {_fmt_rtt(rollup['median_rtt_ns']):>9}, "
+                f"p99 {_fmt_rtt(rollup['p99_rtt_ns']):>9}, "
+                f"p99.9 {_fmt_rtt(rollup['p999_rtt_ns']):>9} "
+                f"(n={rollup['roundtrips']}), "
+                f"total drops {rollup['dropped_total']}"
             )
         else:
             lines.append(f"  {design:<12} no round trips recorded")

@@ -23,13 +23,26 @@ production feed infrastructures use:
 * :mod:`repro.telemetry.export` — JSON/JSONL round-trip of completed
   traces and windowed series plus the per-hop decomposition table behind
   ``python -m repro trace``.
+* :class:`LogLinearHistogram` — the mergeable log-linear (HdrHistogram
+  style) sketch behind every histogram: O(1) allocation-free record,
+  bounded-relative-error percentiles up to p99.99, and lossless merge
+  so sweep rollups report true pooled-population tails.
+* :mod:`repro.telemetry.chrometrace` — Chrome Trace Event (Perfetto)
+  export of traces, gauge series, and the profiler timeline, behind
+  ``python -m repro trace --chrome``.
 
 Telemetry is **zero-overhead when disabled**: ``Simulator.telemetry`` is
 ``None`` by default, packets carry ``trace=None``, and every
 instrumentation point is guarded by a single ``is not None`` check.
 """
 
+from repro.telemetry.chrometrace import (
+    build_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.telemetry.context import Span, Trace, TraceContext, TraceEvent
+from repro.telemetry.hdr import LogLinearHistogram
 from repro.telemetry.export import (
     HopDecomposition,
     NETWORK_KINDS,
@@ -66,6 +79,7 @@ __all__ = [
     "Histogram",
     "HopDecomposition",
     "KernelProfiler",
+    "LogLinearHistogram",
     "MetricsRegistry",
     "NETWORK_KINDS",
     "ProfileReport",
@@ -76,11 +90,14 @@ __all__ = [
     "TraceEvent",
     "WindowPoint",
     "WindowedRecorder",
+    "build_chrome_trace",
     "decompose",
     "handler_kind",
     "read_traces_jsonl",
     "render_decomposition",
     "render_profile",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "write_series_jsonl",
     "write_traces_jsonl",
 ]

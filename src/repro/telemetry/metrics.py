@@ -13,8 +13,9 @@ the report CLI can filter by prefix.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+from repro.telemetry.hdr import LogLinearHistogram
 
 
 class Counter:
@@ -78,61 +79,37 @@ class HistogramSummary:
     p50: float
     p90: float
     p99: float
+    p999: float
+    p9999: float
 
 
-class Histogram:
-    """Integer-valued (ns-resolution) sample sink with quantile export.
+class Histogram(LogLinearHistogram):
+    """A named ns-resolution latency instrument backed by log-linear buckets.
 
-    Samples are kept raw up to ``max_samples`` and then reservoir-thinned
-    by simple striding (every run is deterministic, so no RNG): this
-    bounds memory on long runs while keeping quantiles representative.
+    Backed by :class:`~repro.telemetry.hdr.LogLinearHistogram`, so
+    `record`/`observe` is O(1) and allocation-free, memory is bounded by
+    the fixed bucket table (no reservoir thinning), percentiles carry a
+    ≤ 0.78% relative-error guarantee out to p99.99, and histograms from
+    different runs **merge losslessly** — the property ``repro sweep``
+    relies on for true cross-cell tail percentiles.
     """
 
-    __slots__ = ("name", "samples", "count", "total", "min", "max", "max_samples", "_stride")
+    __slots__ = ("name",)
 
-    def __init__(self, name: str, max_samples: int = 100_000):
+    def __init__(self, name: str, max_samples: int | None = None):
+        # ``max_samples`` survives as an accepted-and-ignored kwarg for
+        # callers written against the old reservoir implementation.
+        super().__init__()
         self.name = name
-        self.samples: list[int] = []
-        self.count = 0
-        self.total = 0
-        self.min: int | None = None
-        self.max: int | None = None
-        self.max_samples = max_samples
-        self._stride = 1
 
     def observe(self, value: int) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if self.count % self._stride == 0:
-            self.samples.append(value)
-            if len(self.samples) >= self.max_samples:
-                # Thin by half and double the stride; extrema are exact
-                # regardless, and quantiles stay representative.
-                self.samples = self.samples[::2]
-                self._stride *= 2
+        self.record(value)
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile over the retained samples."""
-        if not self.samples:
+        """Bounded-relative-error percentile; 0.0 on an empty histogram."""
+        if self.count == 0:
             return 0.0
-        ordered = sorted(self.samples)
-        if len(ordered) == 1:
-            return float(ordered[0])
-        rank = (len(ordered) - 1) * q
-        low = math.floor(rank)
-        high = math.ceil(rank)
-        if low == high:
-            return float(ordered[low])
-        frac = rank - low
-        return ordered[low] * (1.0 - frac) + ordered[high] * frac
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return float(super().percentile(q))
 
     def summary(self) -> HistogramSummary:
         return HistogramSummary(
@@ -143,6 +120,8 @@ class Histogram:
             p50=self.percentile(0.50),
             p90=self.percentile(0.90),
             p99=self.percentile(0.99),
+            p999=self.percentile(0.999),
+            p9999=self.percentile(0.9999),
         )
 
     def to_dict(self) -> dict:
@@ -157,6 +136,11 @@ class Histogram:
             "p50": s.p50,
             "p90": s.p90,
             "p99": s.p99,
+            "p999": s.p999,
+            "p9999": s.p9999,
+            "sub_bucket_bits": self.sub_bucket_bits,
+            "total": self.total,
+            "buckets": [[i, c] for i, c in self.nonzero_buckets()],
         }
 
 

@@ -97,22 +97,45 @@ class KernelProfiler:
     can split "handler work" from "observing the handler work".
     """
 
-    __slots__ = ("_events", "_wall_ns", "telemetry_events", "telemetry_wall_ns")
+    __slots__ = (
+        "_events",
+        "_wall_ns",
+        "telemetry_events",
+        "telemetry_wall_ns",
+        "timeline_capacity",
+        "timeline",
+        "timeline_dropped",
+    )
 
     #: Wall-clock source, exposed so the session can self-time against
     #: the same clock the kernel dispatch measurements use.
     clock = staticmethod(time.perf_counter_ns)
 
-    def __init__(self) -> None:
+    def __init__(self, timeline_capacity: int = 0) -> None:
         self._events: dict[str, int] = {}
         self._wall_ns: dict[str, int] = {}
         self.telemetry_events = 0
         self.telemetry_wall_ns = 0
+        # Opt-in per-event timeline for timeline exporters (Chrome
+        # trace): bounded ``(sim_now_ns, kind, wall_ns)`` tuples; events
+        # past the capacity are counted, not stored.
+        self.timeline_capacity = int(timeline_capacity)
+        self.timeline: list[tuple[int, str, int]] = []
+        self.timeline_dropped = 0
 
-    def record(self, kind: str, wall_ns: int) -> None:
-        """Attribute one fired event taking ``wall_ns`` to ``kind``."""
+    def record(self, kind: str, wall_ns: int, now: int = 0) -> None:
+        """Attribute one fired event taking ``wall_ns`` to ``kind``.
+
+        ``now`` is the event's virtual firing time; it is only retained
+        when a timeline capacity was configured.
+        """
         self._events[kind] = self._events.get(kind, 0) + 1
         self._wall_ns[kind] = self._wall_ns.get(kind, 0) + wall_ns
+        if self.timeline_capacity:
+            if len(self.timeline) < self.timeline_capacity:
+                self.timeline.append((now, kind, wall_ns))
+            else:
+                self.timeline_dropped += 1
 
     def record_telemetry(self, wall_ns: int) -> None:
         """Attribute ``wall_ns`` of a handler's time to telemetry itself."""

@@ -18,8 +18,10 @@ wall-clock cost of observability itself.
 
 from __future__ import annotations
 
+from heapq import heappush, heapreplace
+
 from repro.telemetry.context import Trace, TraceContext
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import Histogram, MetricsRegistry
 from repro.telemetry.timeseries import (
     DEFAULT_MAX_WINDOWS,
     FIG2C_WINDOW_NS,
@@ -36,7 +38,9 @@ class TelemetrySession:
     arrivals past it increment ``telemetry.traces_dropped`` (exactly
     once each) instead of being stored. ``window_ns``/``max_windows``
     size the windowed recorder (Fig. 2(c) preset by default; the
-    recorder coalesces itself wider on long runs).
+    recorder coalesces itself wider on long runs). ``max_exemplars``
+    bounds the keep-the-N-slowest trace reservoir behind
+    :meth:`tail_exemplars`.
     """
 
     def __init__(
@@ -45,15 +49,27 @@ class TelemetrySession:
         max_traces: int = 100_000,
         window_ns: int = FIG2C_WINDOW_NS,
         max_windows: int = DEFAULT_MAX_WINDOWS,
+        max_exemplars: int = 16,
     ):
         if sample_interval < 1:
             raise ValueError("sample_interval must be >= 1")
         self.sample_interval = int(sample_interval)
         self.max_traces = int(max_traces)
+        self.max_exemplars = int(max_exemplars)
         self.metrics = MetricsRegistry()
         self.series = WindowedRecorder(window_ns=window_ns, max_windows=max_windows)
         self.traces: list[Trace] = []
         self._started = 0
+        # Keep-the-N-slowest exemplar reservoir: a min-heap of
+        # (rtt_ns, -finish_seq, trace) so the fastest kept trace is at
+        # the root and evictions are deterministic — a new trace only
+        # displaces the root when *strictly* slower, so on rtt ties the
+        # earliest-finished trace is retained.
+        self._slowest: list[tuple[int, int, Trace]] = []
+        self._finish_seq = 0
+        # Per-(where, kind) span histograms, cached so the hot path
+        # builds each instrument name exactly once per hop identity.
+        self._span_hists: dict[tuple[str, str], Histogram] = {}
         # Set by Simulator.attach_profiler(); when present, recording
         # helpers self-time so observability's own cost is attributed.
         self.profiler = None
@@ -143,9 +159,59 @@ class TelemetrySession:
         else:
             trace = context.finish(end_ns)
             self.traces.append(trace)
+            self._observe_tail(trace)
         if profiler is not None:
             profiler.record_telemetry(profiler.clock() - begin)
         return trace
+
+    # The span-histogram name f-string runs once per hop identity
+    # (cache miss on the tuple-keyed dict), not per trace.
+    # lint: hot-ok(no-string-build-on-hot-path)
+    def _observe_tail(self, trace: Trace) -> None:
+        """Feed one finished trace into the tail observatory.
+
+        Updates the slowest-trace exemplar heap and the per-(where,
+        kind) span histograms. Span attribution mirrors
+        :meth:`Trace.spans` but iterates the event tuple directly so
+        the hot path allocates no Span objects.
+        """
+        self._finish_seq += 1
+        rtt = trace.end_ns - trace.begin_ns
+        slowest = self._slowest
+        if len(slowest) < self.max_exemplars:
+            heappush(slowest, (rtt, -self._finish_seq, trace))
+        elif rtt > slowest[0][0]:
+            heapreplace(slowest, (rtt, -self._finish_seq, trace))
+        span_hists = self._span_hists
+        prev = trace.begin_ns
+        for event in trace.events:
+            key = (event.where, event.kind)
+            hist = span_hists.get(key)
+            if hist is None:
+                hist = self.metrics.histogram(f"span.{event.where}.{event.kind}_ns")
+                span_hists[key] = hist
+            hist.record(event.t - prev)
+            prev = event.t
+        if prev != trace.end_ns:
+            key = ("delivery", "wire")
+            hist = span_hists.get(key)
+            if hist is None:
+                hist = self.metrics.histogram("span.delivery.wire_ns")
+                span_hists[key] = hist
+            hist.record(trace.end_ns - prev)
+
+    def tail_exemplars(self) -> list[Trace]:
+        """The slowest finished traces, slowest first.
+
+        Bounded by ``max_exemplars``; deterministic ordering — ties on
+        rtt list the earliest-finished trace first.
+        """
+        ordered = sorted(self._slowest, key=lambda entry: (-entry[0], -entry[1]))
+        return [trace for _, _, trace in ordered]
+
+    def span_histograms(self) -> dict[tuple[str, str], Histogram]:
+        """Per-(where, kind) span latency histograms, a snapshot copy."""
+        return dict(self._span_hists)
 
     # -- component-stats harvest ------------------------------------------------
 

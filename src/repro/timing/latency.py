@@ -23,6 +23,7 @@ class LatencyStats:
     p99: float
     minimum: float
     maximum: float
+    p999: float = 0.0
 
     def __str__(self) -> str:
         return (
@@ -43,6 +44,7 @@ def summarize(samples) -> LatencyStats:
         p99=float(np.percentile(arr, 99)),
         minimum=float(arr.min()),
         maximum=float(arr.max()),
+        p999=float(np.percentile(arr, 99.9)),
     )
 
 

@@ -216,6 +216,59 @@ def test_artifact_shape_and_rendering():
         assert "backlog_high_watermark_bytes" in summary
     text = render_artifact(artifact)
     assert "design1/y0/b1/p-/s1" in text
-    assert "per-design medians" in text
+    assert "per-design tail across all cells (merged histograms):" in text
+    # No rollup line may claim an averaged percentile is a percentile.
+    assert "median-of-medians" not in text
     # canonical byte form ends with exactly one newline
     assert artifact_json(artifact).endswith("}\n")
+
+
+def test_rollup_percentiles_match_pooled_population():
+    """Sweep's cross-cell p99/p99.9 must equal the whole-population
+    percentile within the histogram's documented relative-error bound —
+    the property that distinguishes merged histograms from the averaged
+    per-cell percentiles this rollup replaced."""
+    import math
+
+    from repro.telemetry.hdr import LogLinearHistogram
+
+    matrix = tiny_matrix(
+        seeds=(1, 2, 3), base=tiny_base(run_ns=4 * TINY_RUN_NS)
+    )
+    artifact = merge_results(matrix, run_matrix(matrix, workers=1))
+    rollup = artifact["rollups"]["design1"]
+
+    # Pool the raw round-trip samples by re-executing every cell spec.
+    from repro.core.api import build_system
+
+    pooled: list[int] = []
+    for cell in matrix.expand():
+        system = build_system(cell.spec)
+        system.run(cell.spec.run_ns)
+        pooled.extend(system.roundtrip_samples())
+
+    assert rollup["roundtrips"] == len(pooled) > 0
+    bound = LogLinearHistogram().relative_error_bound
+    ordered = sorted(pooled)
+    for key, q in (
+        ("median_rtt_ns", 0.50),
+        ("p99_rtt_ns", 0.99),
+        ("p999_rtt_ns", 0.999),
+    ):
+        oracle = ordered[max(1, math.ceil(q * len(ordered))) - 1]
+        assert abs(rollup[key] - oracle) <= max(1, oracle) * bound
+    assert rollup["max_rtt_ns"] == ordered[-1]
+
+
+def test_no_averaged_percentiles_in_src():
+    """Acceptance guard: nothing under src/repro computes a mean (or
+    median) of per-cell percentile values and presents it as one."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    offenders = []
+    for path in src.rglob("*.py"):
+        text = path.read_text(encoding="utf-8")
+        if "median-of-medians" in text or "mean_of_p99" in text:
+            offenders.append(str(path))
+    assert not offenders, f"averaged percentiles still present: {offenders}"

@@ -1,0 +1,119 @@
+"""Tests for the tail observatory: exemplars, span tails, report --tail."""
+
+import pytest
+
+from repro.analysis.report import build_tail_report, render_tail_report
+from repro.sim.kernel import MILLISECOND
+from repro.telemetry.context import TraceContext
+from repro.telemetry.session import TelemetrySession
+
+
+def _finish(session, begin_ns, rtt_ns, where="hop", kind="wire"):
+    context = session.start_trace(where, kind, begin_ns)
+    return session.finish_trace(context, begin_ns + rtt_ns)
+
+
+# -- exemplar reservoir policy ----------------------------------------------
+
+
+def test_exemplars_keep_the_n_slowest():
+    session = TelemetrySession(max_exemplars=3)
+    for index, rtt in enumerate([10, 50, 20, 90, 30, 70]):
+        _finish(session, begin_ns=index * 100, rtt_ns=rtt)
+    kept = session.tail_exemplars()
+    assert [trace.rtt_ns for trace in kept] == [90, 70, 50]
+
+
+def test_exemplar_ties_keep_earliest_arrival():
+    session = TelemetrySession(max_exemplars=2)
+    # Three traces with identical rtt: the two earliest must survive,
+    # listed earliest-first.
+    for begin in (100, 200, 300):
+        _finish(session, begin_ns=begin, rtt_ns=42)
+    kept = session.tail_exemplars()
+    assert [trace.begin_ns for trace in kept] == [100, 200]
+
+
+def test_exemplars_bounded_and_ordered():
+    session = TelemetrySession(max_exemplars=4)
+    for index in range(50):
+        _finish(session, begin_ns=index, rtt_ns=1 + (index * 7919) % 1000)
+    kept = session.tail_exemplars()
+    assert len(kept) == 4
+    rtts = [trace.rtt_ns for trace in kept]
+    assert rtts == sorted(rtts, reverse=True)
+
+
+def test_span_histograms_accumulate_per_hop():
+    session = TelemetrySession()
+    context = session.start_trace("a", "wire", 0)
+    context.record("b", "switch", 500)
+    session.finish_trace(context, 700)
+    hists = session.span_histograms()
+    assert hists[("b", "switch")].count == 1
+    assert hists[("b", "switch")].total == 500
+    # Remainder after the last event is attributed to delivery.
+    assert hists[("delivery", "wire")].total == 200
+
+
+def test_dropped_traces_do_not_reach_the_tail_store():
+    session = TelemetrySession(max_traces=1)
+    _finish(session, begin_ns=0, rtt_ns=10)
+    _finish(session, begin_ns=100, rtt_ns=99)  # dropped by the cap
+    assert len(session.tail_exemplars()) == 1
+    assert session.tail_exemplars()[0].rtt_ns == 10
+
+
+# -- the tail report --------------------------------------------------------
+
+
+@pytest.mark.parametrize("design", ["design1", "design3"])
+def test_tail_report_names_dominant_hop(design):
+    report = build_tail_report(
+        design=design, seed=7, run_ns=10 * MILLISECOND
+    )
+    assert report.roundtrip is not None
+    assert report.roundtrip["p999_ns"] >= report.roundtrip["p99_ns"] > 0
+    assert report.dominant_hop
+    assert report.dominant_hop_duration_ns > 0
+    assert 0 < report.dominant_hop_share <= 1
+    text = render_tail_report(report)
+    assert "dominant hop at p99.9:" in text
+    assert report.dominant_hop in text
+    assert "p99.9" in text
+
+
+def test_tail_report_span_tails_cover_every_hop():
+    report = build_tail_report(design="design1", seed=7, run_ns=10 * MILLISECOND)
+    hops = {(row["where"], row["kind"]) for row in report.span_tails}
+    assert ("gateway.gw0", "gateway") in hops
+    for row in report.span_tails:
+        assert row["count"] > 0
+        assert row["p50_ns"] <= row["p99_ns"] <= row["p999_ns"] <= row["max_ns"]
+
+
+def test_report_tail_cli_deterministic_across_runs(capsys):
+    from repro.__main__ import main
+
+    assert main(["report", "--tail", "--ms", "5"]) == 0
+    first = capsys.readouterr().out
+    assert main(["report", "--tail", "--ms", "5"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert "dominant hop at p99.9:" in first
+
+
+def test_report_tail_json_is_deterministic_and_complete(capsys):
+    import json
+
+    from repro.__main__ import main
+
+    assert main(["report", "--tail", "--ms", "5", "--format", "json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["report", "--tail", "--ms", "5", "--format", "json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    doc = json.loads(first)
+    assert doc["dominant_hop"]
+    assert doc["roundtrip"]["count"] > 0
+    assert doc["span_tails"] and doc["exemplars"]

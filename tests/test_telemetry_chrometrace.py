@@ -1,0 +1,121 @@
+"""Tests for the Chrome Trace Event (Perfetto) export."""
+
+import json
+
+import pytest
+
+from repro.core.config import SystemSpec
+from repro.core.run import execute_spec
+from repro.sim.kernel import MILLISECOND
+from repro.telemetry.chrometrace import (
+    build_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.profile import KernelProfiler
+
+SMALL_SPEC = dict(
+    design="design1", seed=7, run_ns=5 * MILLISECOND, telemetry=True
+)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return execute_spec(
+        SystemSpec(**SMALL_SPEC), profiler=KernelProfiler(timeline_capacity=50_000)
+    )
+
+
+def test_export_is_schema_valid(small_run):
+    telemetry = small_run.system.sim.telemetry
+    assert telemetry.traces, "small design1 run must complete traces"
+    doc = build_chrome_trace(telemetry, small_run.profiler)
+    assert validate_chrome_trace(doc) == []
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    phases = {event["ph"] for event in events}
+    # Complete slices, counter series, and metadata must all be present.
+    assert {"X", "C", "M"} <= phases
+    # JSON-serializable as-is.
+    json.dumps(doc)
+
+
+def test_trace_slices_tile_the_round_trip(small_run):
+    telemetry = small_run.system.sim.telemetry
+    doc = build_chrome_trace(telemetry)
+    trace = telemetry.traces[0]
+    slices = [
+        event
+        for event in doc["traceEvents"]
+        if event["ph"] == "X" and event["pid"] == 1
+        and event["tid"] == trace.trace_id
+    ]
+    assert slices
+    total = sum(event["dur"] for event in slices)
+    assert total * 1_000 == pytest.approx(trace.rtt_ns)
+    # ts is monotone nondecreasing within the track (validator-checked
+    # globally, asserted directly here for one track).
+    ts = [event["ts"] for event in slices]
+    assert ts == sorted(ts)
+
+
+def test_profiler_timeline_renders_as_third_process(small_run):
+    doc = build_chrome_trace(
+        small_run.system.sim.telemetry, small_run.profiler
+    )
+    handler_slices = [
+        event
+        for event in doc["traceEvents"]
+        if event["ph"] == "X" and event["pid"] == 3
+    ]
+    assert handler_slices
+    assert all(event["dur"] >= 0 for event in handler_slices)
+
+
+def test_counter_series_carry_values(small_run):
+    doc = build_chrome_trace(small_run.system.sim.telemetry)
+    counters = [
+        event for event in doc["traceEvents"] if event["ph"] == "C"
+    ]
+    assert counters
+    assert all("value" in event["args"] for event in counters)
+
+
+def test_validator_rejects_malformed_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "?"}]}) != []
+    # X without dur.
+    bad = {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "ts": 0, "name": "a"}]}
+    assert any("dur" in problem for problem in validate_chrome_trace(bad))
+    # Decreasing ts on one track.
+    bad = {
+        "traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 5.0, "dur": 1.0, "name": "a"},
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 4.0, "dur": 1.0, "name": "b"},
+        ]
+    }
+    assert any("decreases" in problem for problem in validate_chrome_trace(bad))
+    # Unbalanced B/E.
+    bad = {"traceEvents": [{"ph": "B", "pid": 1, "tid": 1, "ts": 0, "name": "a"}]}
+    assert any("unclosed" in problem for problem in validate_chrome_trace(bad))
+    bad = {"traceEvents": [{"ph": "E", "pid": 1, "tid": 1, "ts": 0, "name": "a"}]}
+    assert any("matching B" in problem for problem in validate_chrome_trace(bad))
+
+
+def test_write_chrome_trace_writes_valid_json(tmp_path, small_run):
+    out = tmp_path / "trace.json"
+    write_chrome_trace(str(out), small_run.system.sim.telemetry)
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    assert validate_chrome_trace(loaded) == []
+
+
+def test_cli_trace_chrome_smoke(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "cli.json"
+    code = main(["trace", "--ms", "5", "--chrome", str(out)])
+    assert code == 0
+    assert str(out) in capsys.readouterr().out
+    loaded = json.loads(out.read_text(encoding="utf-8"))
+    assert validate_chrome_trace(loaded) == []

@@ -1,0 +1,152 @@
+"""Property tests for the mergeable log-linear histogram.
+
+These are the guarantees the tail observatory stands on: exact
+count/total/min/max under any merge order, merge associativity and
+commutativity (so sweep's cross-cell rollups are order-independent),
+the documented percentile relative-error bound against a sorted-sample
+oracle, and a byte-identical ``to_dict``/``from_dict`` round-trip.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.hdr import LogLinearHistogram
+
+# Latency-shaped values: everything from sub-ns to >1000 s in ns.
+values = st.integers(min_value=0, max_value=2**50)
+value_lists = st.lists(values, min_size=0, max_size=200)
+quantiles = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _hist(samples) -> LogLinearHistogram:
+    hist = LogLinearHistogram()
+    hist.record_many(samples)
+    return hist
+
+
+@given(value_lists.filter(bool))
+def test_exact_aggregates(samples):
+    hist = _hist(samples)
+    assert hist.count == len(samples)
+    assert hist.total == sum(samples)
+    assert hist.min == min(samples)
+    assert hist.max == max(samples)
+
+
+@given(value_lists.filter(bool), quantiles)
+@settings(max_examples=200)
+def test_percentile_relative_error_bound(samples, q):
+    hist = _hist(samples)
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(samples)))
+    oracle = ordered[rank - 1]
+    got = hist.percentile(q)
+    assert abs(got - oracle) <= max(1, oracle) * hist.relative_error_bound
+
+
+@given(value_lists.filter(bool))
+def test_extreme_percentiles_exact(samples):
+    hist = _hist(samples)
+    assert hist.percentile(0.0) == min(samples)
+    assert hist.percentile(1.0) == max(samples)
+
+
+@given(value_lists, value_lists)
+def test_merge_equals_pooled_population(a, b):
+    merged = _hist(a).merge(_hist(b))
+    assert merged.to_dict() == _hist(a + b).to_dict()
+
+
+@given(value_lists, value_lists)
+def test_merge_commutative(a, b):
+    ab = _hist(a).merge(_hist(b))
+    ba = _hist(b).merge(_hist(a))
+    assert ab.to_dict() == ba.to_dict()
+
+
+@given(value_lists, value_lists, value_lists)
+@settings(max_examples=50)
+def test_merge_associative(a, b, c):
+    left = _hist(a).merge(_hist(b)).merge(_hist(c))
+    right = _hist(a).merge(_hist(b).merge(_hist(c)))
+    assert left.to_dict() == right.to_dict()
+
+
+@given(value_lists, value_lists)
+def test_merge_aggregates_exact(a, b):
+    merged = _hist(a).merge(_hist(b))
+    pooled = a + b
+    assert merged.count == len(pooled)
+    assert merged.total == sum(pooled)
+    assert merged.min == (min(pooled) if pooled else None)
+    assert merged.max == (max(pooled) if pooled else None)
+
+
+@given(value_lists)
+def test_dict_round_trip_byte_identical(samples):
+    hist = _hist(samples)
+    raw = hist.to_dict()
+    restored = LogLinearHistogram.from_dict(json.loads(json.dumps(raw)))
+    assert restored.to_dict() == raw
+    assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+        raw, sort_keys=True
+    )
+    if hist.count:
+        for q in (0.0, 0.5, 0.99, 0.999, 1.0):
+            assert restored.percentile(q) == hist.percentile(q)
+
+
+def test_linear_region_is_exact():
+    hist = LogLinearHistogram()
+    hist.record_many(range(128))
+    for index, count in hist.nonzero_buckets():
+        low, high = hist.bucket_bounds(index)
+        assert high - low == 1
+        assert count == 1
+    assert hist.percentile(0.5) == 63
+
+
+def test_record_weighted():
+    hist = LogLinearHistogram()
+    hist.record(1_000, n=99)
+    hist.record(50_000)
+    assert hist.count == 100
+    assert hist.total == 99 * 1_000 + 50_000
+    assert hist.percentile(0.5) == pytest.approx(1_000, rel=1 / 128)
+    assert hist.percentile(1.0) == 50_000
+
+
+def test_huge_values_saturate_without_losing_aggregates():
+    hist = LogLinearHistogram()
+    big = 2**70
+    hist.record(big)
+    hist.record(10)
+    assert hist.count == 2
+    assert hist.total == big + 10
+    assert hist.max == big
+    # The saturated bucket still answers percentile queries (clamped
+    # into the observed range).
+    assert hist.percentile(1.0) == big
+
+
+def test_merge_resolution_mismatch_rejected():
+    with pytest.raises(ValueError):
+        LogLinearHistogram(7).merge(LogLinearHistogram(8))
+
+
+def test_empty_percentile_raises():
+    with pytest.raises(ValueError):
+        LogLinearHistogram().percentile(0.5)
+    with pytest.raises(ValueError):
+        LogLinearHistogram().percentile(1.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LogLinearHistogram(0)
+    with pytest.raises(ValueError):
+        LogLinearHistogram(17)
