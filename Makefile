@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: verify lint lint-changed test bench scoreboard report sweep-smoke \
-	trace-smoke
+	trace-smoke scenario-smoke
 
 # The one gate: repro lint --changed + ruff (when installed) + tier-1
 # pytest (which includes the full-tree lint gate) + the structural
@@ -19,6 +19,12 @@ sweep-smoke:
 # (the write path validates before writing; also chained into verify).
 trace-smoke:
 	$(PYTHON) -m repro trace --ms 5 --chrome /tmp/repro-trace-smoke.json
+
+# Run the feed-gap-storm chaos scenario twice and byte-compare the JSON
+# renderings — the determinism gate for the fault-injection tier (also
+# chained into verify).
+scenario-smoke:
+	$(PYTHON) -m repro scenario feed-gap-storm --format json --check
 
 lint:
 	$(PYTHON) -m repro lint

@@ -9,7 +9,7 @@ order is comparable to the order itself.
 import numpy as np
 import pytest
 
-from repro.protocols.headers import (
+from repro.net.headers import (
     TCP_PARSED_HEADER_BYTES,
     UDP_PARSED_HEADER_BYTES,
     wire_time_ns,

@@ -21,7 +21,7 @@ from repro.protocols.ctp import (
     peek_header,
     symbol_class_bit,
 )
-from repro.protocols.headers import UDP_STACK_OVERHEAD_BYTES, frame_bytes_udp
+from repro.net.headers import UDP_STACK_OVERHEAD_BYTES, frame_bytes_udp
 from repro.sim.kernel import Simulator
 
 PAPER_HEADER_COST_NS = 40  # the §5 figure CTP attacks

@@ -38,7 +38,7 @@ from repro.protocols.ctp import (
     peek_header,
     symbol_class_bit,
 )
-from repro.protocols.headers import frame_bytes_udp
+from repro.net.headers import frame_bytes_udp
 from repro.sim.kernel import Simulator
 from repro.workload.symbols import make_universe
 

@@ -7,6 +7,7 @@ Commands
 ``figure2``     regenerate Figure 2's headline statistics
 ``roundtrip``   run the Design 1 and Design 3 testbeds and compare
 ``run``         execute one run from a SystemSpec and print its summary
+``scenario``    run a named chaos scenario (deterministic failure injection)
 ``trace``       run with telemetry and print the per-hop decomposition
 ``report``      one self-contained run report: hops, series, queues, profile
 ``sweep``       multiprocess scenario matrix -> one comparative artifact
@@ -27,6 +28,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+class _RetiredOption(argparse.Action):
+    """A retired flag spelling, kept only to fail well: using it exits
+    through the same did-you-mean path as an unknown SystemSpec field
+    (``unknown_field_error``) instead of silently aliasing."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.core.config import unknown_field_error
+
+        name = (option_string or "").lstrip("-")
+        parser.error(
+            str(unknown_field_error([name], ["spec", "design", "seed"], "option"))
+        )
 
 
 def _spec_from_args(args, **defaults):
@@ -154,6 +169,12 @@ def _cmd_run(args) -> int:
     for note in result.notes:
         print(f"note: {note}")
     return 0
+
+
+def _cmd_scenario(args) -> int:
+    from repro.chaos.cli import run_command
+
+    return run_command(args)
 
 
 def _cmd_trace(args) -> int:
@@ -284,6 +305,18 @@ def _cmd_verify(args) -> int:
     steps.append(
         ("sweep smoke", [sys.executable, "-m", "repro", "sweep", "--smoke"])
     )
+    # Scenario smoke: the chaos tier's determinism gate — the storm
+    # scenario must render byte-identically twice. Mirrors
+    # `make scenario-smoke`.
+    steps.append(
+        (
+            "scenario smoke (--check)",
+            [
+                sys.executable, "-m", "repro", "scenario",
+                "feed-gap-storm", "--format", "json", "--check",
+            ],
+        )
+    )
     # Trace-export smoke: a short telemetry run whose Chrome Trace JSON
     # must pass the exporter's structural validation (write_chrome_trace
     # raises on an invalid document). Mirrors `make trace-smoke`.
@@ -402,12 +435,44 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     run = sub.add_parser("run", help="build and run a system from a spec")
+    run.add_argument("--spec", help=_SPEC_HELP)
     run.add_argument(
-        "--spec", "--config", dest="spec", help=_SPEC_HELP + " "
-        "(--config is the deprecated spelling)",
+        "--config",
+        action=_RetiredOption,
+        nargs="?",
+        help=argparse.SUPPRESS,
     )
     run.add_argument("--design", default="design1", help=_DESIGN_HELP)
     run.add_argument("--seed", type=int, default=1)
+
+    sc = sub.add_parser(
+        "scenario",
+        help="run a named chaos scenario (deterministic failure injection)",
+    )
+    sc.add_argument(
+        "name", nargs="?",
+        help="scenario name (see --list); omit to list the catalog",
+    )
+    sc.add_argument(
+        "--list", action="store_true", help="list the scenario catalog"
+    )
+    sc.add_argument(
+        "--spec",
+        help="run a SystemSpec JSON file (with its faults) as an "
+        "ad-hoc scenario",
+    )
+    sc.add_argument(
+        "--design", help="override the scenario's design; " + _DESIGN_HELP
+    )
+    sc.add_argument("--seed", type=int, help="override the scenario's seed")
+    sc.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (both byte-deterministic)",
+    )
+    sc.add_argument(
+        "--check", action="store_true",
+        help="run twice and fail unless both renders are byte-identical",
+    )
 
     tr = sub.add_parser(
         "trace", help="per-hop round-trip decomposition (telemetry on)"
@@ -487,6 +552,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure2": _cmd_figure2,
         "roundtrip": _cmd_roundtrip,
         "run": _cmd_run,
+        "scenario": _cmd_scenario,
         "trace": _cmd_trace,
         "report": _cmd_report,
         "sweep": _cmd_sweep,

@@ -246,10 +246,11 @@ class TailReport:
     dominant_hop: str | None
     dominant_hop_duration_ns: int = 0
     dominant_hop_share: float = 0.0
+    lifecycle: dict = field(default_factory=dict)
     notes: tuple[str, ...] = field(default=())
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "spec": self.spec.to_dict(),
             "trace_count": self.trace_count,
             "roundtrip": self.roundtrip,
@@ -260,6 +261,11 @@ class TailReport:
             "dominant_hop_share": self.dominant_hop_share,
             "notes": list(self.notes),
         }
+        # Present only for lifecycle-enabled runs, so reports for plain
+        # specs serialize exactly as they did before the chaos tier.
+        if self.lifecycle:
+            out["lifecycle"] = self.lifecycle
+        return out
 
 
 def build_tail_report(spec: SystemSpec | None = None, **overrides) -> TailReport:
@@ -362,6 +368,9 @@ def build_tail_report(spec: SystemSpec | None = None, **overrides) -> TailReport
         dominant_duration = duration
         dominant_share = duration / tail_total if tail_total else 0.0
 
+    controller = getattr(executed.system.sim, "chaos", None)
+    lifecycle = controller.summary().get("lifecycle", {}) if controller else {}
+
     return TailReport(
         spec=spec,
         trace_count=len(telemetry.traces),
@@ -371,6 +380,7 @@ def build_tail_report(spec: SystemSpec | None = None, **overrides) -> TailReport
         dominant_hop=dominant_hop,
         dominant_hop_duration_ns=dominant_duration,
         dominant_hop_share=dominant_share,
+        lifecycle=lifecycle,
         notes=tuple(notes),
     )
 
@@ -423,6 +433,20 @@ def render_tail_report(report: TailReport, top_hops: int = 10) -> str:
             f"dominant hop at p99.9: {report.dominant_hop} "
             f"({format_ns(report.dominant_hop_duration_ns)}, "
             f"{report.dominant_hop_share:.1%} of the slowest round trips)"
+        )
+    if report.lifecycle:
+        lines.append("")
+        lines.append("firm lifecycle:")
+        for name, machine in report.lifecycle["machines"].items():
+            ready = machine["ready_after_ns"]
+            ready_text = format_ns(ready) if ready is not None else "never"
+            lines.append(
+                f"  {name}: {machine['state']} (ready at {ready_text}, "
+                f"{len(machine['transitions'])} transitions)"
+            )
+        lines.append(
+            f"  recovery to READY: {format_ns(report.lifecycle['recovery_ns'])} "
+            f"across {report.lifecycle['degraded_windows']} degraded window(s)"
         )
     for note in report.notes:
         lines.append(f"note: {note}")

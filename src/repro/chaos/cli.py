@@ -1,0 +1,144 @@
+"""The ``repro scenario`` command: run one chaos scenario, print its facts.
+
+Output is a pure function of the scenario's spec — the renderer only
+touches the deterministic view of the :class:`~repro.core.run.RunResult`
+— so two invocations of the same scenario produce byte-identical text
+(or JSON). ``--check`` turns that property into a gate: run twice,
+compare bytes, fail loudly on any drift. ``make scenario-smoke`` and
+``repro verify`` chain it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+from repro.chaos.scenarios import Scenario, get_scenario, scenario_names
+from repro.core.config import SystemSpec, resolve_design
+from repro.core.run import RunResult, run_spec
+
+
+def _millis(ns: int) -> str:
+    return f"{ns / 1e6:.3f}ms"
+
+
+def _micros(ns: int) -> str:
+    return f"{ns / 1e3:.3f}us"
+
+
+def render_text(scenario: Scenario, result: RunResult) -> str:
+    """The human view; every line derived from the deterministic result."""
+    spec = result.spec
+    lines = [
+        f"scenario {scenario.name}: {scenario.description}",
+        (
+            f"spec: design={spec.design} seed={spec.seed} "
+            f"run={_millis(spec.run_ns)} faults={len(spec.faults)} "
+            f"lifecycle={'on' if spec.lifecycle else 'off'}"
+        ),
+    ]
+    roundtrip = result.roundtrip
+    if roundtrip:
+        lines.append(
+            f"round trip: median {_micros(roundtrip['median_ns'])}, "
+            f"p99 {_micros(roundtrip['p99_ns'])} (n={roundtrip['count']})"
+        )
+    windows = result.chaos.get("fault_windows", ())
+    if windows:
+        lines.append("fault windows:")
+        for window in windows:
+            magnitude = (
+                "" if window["magnitude"] == 1.0
+                else f" x{window['magnitude']:g}"
+            )
+            state = "applied" if window["applied"] else "NOT APPLIED"
+            lines.append(
+                f"  {window['kind']} {window['target']} @"
+                f"{_millis(window['at_ns'])} for "
+                f"{_millis(window['duration_ns'])}{magnitude} ({state})"
+            )
+    lifecycle = result.chaos.get("lifecycle")
+    if lifecycle:
+        lines.append("lifecycle:")
+        for name, machine in lifecycle["machines"].items():
+            ready = machine["ready_after_ns"]
+            ready_text = _millis(ready) if ready is not None else "never"
+            lines.append(
+                f"  {name}: {machine['state']} "
+                f"(ready at {ready_text}, "
+                f"{len(machine['transitions'])} transitions)"
+            )
+        lines.append(
+            f"  recovery: {_millis(lifecycle['recovery_ns'])} across "
+            f"{lifecycle['degraded_windows']} degraded window(s)"
+        )
+    storms = result.counters.get("reliable.storm_retransmits", 0)
+    drops = sum(result.drop_counters.values())
+    lines.append(f"storm retransmits: {storms}; packets dropped: {drops}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(scenario: Scenario, result: RunResult) -> str:
+    envelope = {
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "result": result.to_dict(deterministic=True),
+    }
+    return json.dumps(envelope, indent=2, sort_keys=True) + "\n"
+
+
+def _render(scenario: Scenario, output_format: str) -> str:
+    result = run_spec(scenario.spec)
+    if output_format == "json":
+        return render_json(scenario, result)
+    return render_text(scenario, result)
+
+
+def _resolve(args) -> Scenario:
+    if args.spec:
+        spec = SystemSpec.from_file(args.spec)
+        scenario = Scenario(
+            name=f"spec:{args.spec}",
+            description="ad-hoc scenario from a SystemSpec file",
+            spec=spec,
+        )
+    else:
+        scenario = get_scenario(args.name)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.design is not None:
+        overrides["design"] = resolve_design(args.design)
+    if overrides:
+        scenario = replace(
+            scenario, spec=replace(scenario.spec, **overrides)
+        )
+    return scenario
+
+
+def run_command(args) -> int:
+    """Back end of ``python -m repro scenario``."""
+    if args.list or (not args.name and not args.spec):
+        for name in scenario_names():
+            print(f"{name}: {get_scenario(name).description}")
+        return 0
+    try:
+        scenario = _resolve(args)
+        first = _render(scenario, args.format)
+    except (KeyError, OSError, ValueError) as exc:
+        # Unknown name, unreadable spec file, or a fault target that
+        # matches nothing in the built system — all spec errors.
+        message = exc.args[0] if exc.args else exc
+        print(f"scenario: {message}")
+        return 2
+    if args.check:
+        second = _render(scenario, args.format)
+        if first != second:
+            print(f"scenario {scenario.name}: NOT deterministic — "
+                  "two runs rendered different bytes")
+            return 1
+        print(f"scenario {scenario.name}: deterministic "
+              f"({len(first)} bytes, twice)")
+        return 0
+    print(first, end="")
+    return 0

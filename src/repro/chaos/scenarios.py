@@ -1,0 +1,145 @@
+"""The named chaos scenarios behind ``repro scenario <name>``.
+
+Each scenario is one fully-specified :class:`~repro.core.config.SystemSpec`
+— design, seed, run length, fault windows, lifecycle on — so running it
+is exactly ``run_spec(scenario.spec)``: byte-deterministic, sweepable,
+and reconstructable anywhere the spec's JSON lands. The catalog covers
+the failure modes the paper's designs differ on:
+
+``link-flap``         Design 3's exchange cross-connect flaps twice;
+``feed-gap-storm``    the WAN feed blacks out while the order circuit
+                      drops, forcing gap recovery on the feed side and a
+                      retransmission storm through the reliable channel;
+``switch-failover``   a Design 1 spine dies mid-run (leaf-spine's
+                      headline advantage: the fabric half survives);
+``merge-saturation``  Design 3's L1S merge egress is throttled to a
+                      fraction of line rate (§4.3's bottleneck, forced);
+``cold-start``        no faults at all: the lifecycle baseline showing
+                      WARMING → READY and zero recovery time.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+from repro.core.config import SystemSpec
+from repro.sim.kernel import MILLISECOND
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registry entry: name, what it demonstrates, and the full spec."""
+
+    name: str
+    description: str
+    spec: SystemSpec
+
+
+def _catalog() -> dict[str, Scenario]:
+    entries = (
+        Scenario(
+            name="link-flap",
+            description=(
+                "design3's exchange feed cross-connect goes down twice "
+                "(two 1 ms windows); the firm degrades and recovers twice"
+            ),
+            spec=SystemSpec(
+                design="design3", seed=7, run_ns=24 * MILLISECOND,
+                telemetry=True, lifecycle=True,
+                faults=(
+                    {"kind": "link_down", "target": "a.exchange",
+                     "at_ns": 5 * MILLISECOND, "duration_ns": 1 * MILLISECOND},
+                    {"kind": "link_down", "target": "a.exchange",
+                     "at_ns": 12 * MILLISECOND, "duration_ns": 1 * MILLISECOND},
+                ),
+            ),
+        ),
+        Scenario(
+            name="feed-gap-storm",
+            description=(
+                "the cross-colo WAN: both feed legs black out for 2 ms "
+                "(sequence gap -> DEGRADED -> watchdog recovery) while "
+                "the microwave order circuit drops too, driving the "
+                "reliable channel into a retransmission storm"
+            ),
+            spec=SystemSpec(
+                design="wan", seed=7, run_ns=24 * MILLISECOND,
+                telemetry=True, lifecycle=True,
+                faults=(
+                    {"kind": "link_down",
+                     "target": "wan.microwave.carteret-mahwah",
+                     "at_ns": 5 * MILLISECOND, "duration_ns": 2 * MILLISECOND},
+                    {"kind": "link_down",
+                     "target": "wan.fiber.carteret-mahwah",
+                     "at_ns": 5 * MILLISECOND, "duration_ns": 2 * MILLISECOND},
+                    {"kind": "link_down",
+                     "target": "wan.microwave.mahwah-carteret",
+                     "at_ns": 5 * MILLISECOND, "duration_ns": 2 * MILLISECOND},
+                ),
+            ),
+        ),
+        Scenario(
+            name="switch-failover",
+            description=(
+                "design1 loses spine0 for 4 ms mid-run; flows pinned "
+                "through it blackhole until the window closes"
+            ),
+            spec=SystemSpec(
+                design="design1", seed=7, run_ns=24 * MILLISECOND,
+                telemetry=True, lifecycle=True,
+                faults=(
+                    {"kind": "switch_fail", "target": "spine0",
+                     "at_ns": 6 * MILLISECOND, "duration_ns": 4 * MILLISECOND},
+                ),
+            ),
+        ),
+        Scenario(
+            name="merge-saturation",
+            description=(
+                "design3 with two normalizers: every L1S merge egress is "
+                "throttled to 5% of line rate for 6 ms, forcing the "
+                "Section 4.3 merge bottleneck to queue"
+            ),
+            spec=SystemSpec(
+                design="design3", seed=7, run_ns=24 * MILLISECOND,
+                n_normalizers=2, telemetry=True, lifecycle=True,
+                faults=(
+                    {"kind": "link_rate", "target": "b.merge*.out",
+                     "at_ns": 6 * MILLISECOND, "duration_ns": 6 * MILLISECOND,
+                     "magnitude": 0.05},
+                ),
+            ),
+        ),
+        Scenario(
+            name="cold-start",
+            description=(
+                "no faults: the lifecycle baseline — every feed stack "
+                "goes WARMING -> READY on first data and recovery is zero"
+            ),
+            spec=SystemSpec(
+                design="design3", seed=7, run_ns=12 * MILLISECOND,
+                telemetry=True, lifecycle=True,
+            ),
+        ),
+    )
+    return {entry.name: entry for entry in entries}
+
+
+SCENARIOS = _catalog()
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario, failing with a did-you-mean on typos."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        close = difflib.get_close_matches(name, SCENARIOS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        raise KeyError(
+            f"unknown scenario {name!r}{hint}; known: {sorted(SCENARIOS)}"
+        )
+    return scenario

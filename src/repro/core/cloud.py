@@ -8,16 +8,16 @@ latency-equalized; (iii) all tenants see the same delivery bound.
 The catch the paper identifies is also implemented: the fabric offers
 **no multicast for tenant-internal traffic**. A normalizer fanning its
 feed to N strategies must send N unicast copies, each paying the full
-equalized delivery bound — which is what
-:func:`build_design2_system` wires so the cloud round trip can be
-*measured* next to Designs 1 and 3.
+equalized delivery bound — which is what this module's
+``design2`` builder wires so the cloud round trip can be *measured*
+next to Designs 1 and 3.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.api import deprecated_builder, register_builder
+from repro.core.api import register_builder
 from repro.core.testbed import (
     EXCHANGE_ID,
     EXCHANGE_KEY,
@@ -246,7 +246,3 @@ def _design2_from_spec(spec) -> TradingSystem:
         telemetry=spec.telemetry,
     )
 
-
-build_design2_system = deprecated_builder(
-    "build_design2_system", "design2", _build_design2
-)

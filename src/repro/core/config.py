@@ -11,12 +11,11 @@ from __future__ import annotations
 
 import difflib
 import json
-import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.sim.kernel import MILLISECOND, ms_to_ns
+from repro.sim.kernel import MILLISECOND
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.testbed import TradingSystem
@@ -101,6 +100,12 @@ class SystemSpec:
     # multivenue: arbitrage edge threshold and optional NBBO risk gate.
     min_edge_ticks: int = 100
     with_risk_gate: bool = False
+    # Chaos tier (repro.chaos): deterministic fault windows (plain dicts
+    # matching chaos.FaultSpec) and the firm lifecycle state machine.
+    # Both default off, and to_dict omits them when off, so a chaos-free
+    # spec serializes exactly as it did before the tier existed.
+    faults: tuple = ()
+    lifecycle: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "design", resolve_design(self.design))
@@ -126,27 +131,29 @@ class SystemSpec:
             raise ValueError("microwave_loss must be in [0, 1)")
         if self.min_edge_ticks < 0:
             raise ValueError("min_edge_ticks must be >= 0")
+        if self.faults:
+            object.__setattr__(
+                self, "faults", tuple(dict(fault) for fault in self.faults)
+            )
+            # Validation lives with the fault vocabulary; the lazy import
+            # is the sanctioned upward reference (chaos sits above core).
+            from repro.chaos.spec import parse_faults
+
+            parse_faults(self.faults)
 
     # -- (de)serialization ------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return asdict(self)
-
-    # Documented legacy keys: accepted by from_dict (with a deprecation
-    # warning) and converted, never reported as unknown.
-    LEGACY_KEYS = ("run_ms",)
+        out = asdict(self)
+        out["faults"] = [dict(fault) for fault in self.faults]
+        if not out["faults"]:
+            del out["faults"]
+        if not out["lifecycle"]:
+            del out["lifecycle"]
+        return out
 
     @classmethod
     def from_dict(cls, raw: dict) -> "SystemSpec":
-        if "run_ms" in raw:  # pre-1.1 spec files carried milliseconds
-            raw = dict(raw)
-            warnings.warn(
-                "SystemSpec field 'run_ms' is deprecated; use 'run_ns' "
-                "(integer nanoseconds)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            raw.setdefault("run_ns", ms_to_ns(raw.pop("run_ms")))
         unknown = set(raw) - set(cls.__dataclass_fields__)
         if unknown:
             raise unknown_field_error(

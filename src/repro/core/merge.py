@@ -24,7 +24,7 @@ from repro.net.addressing import EndpointAddress
 from repro.net.l1switch import MergeUnit
 from repro.net.link import Link
 from repro.net.packet import Packet
-from repro.protocols.headers import frame_bytes_udp
+from repro.net.headers import frame_bytes_udp
 from repro.sim.kernel import MILLISECOND, Simulator
 from repro.workload.bursts import hawkes_timestamps
 

@@ -71,6 +71,12 @@ def execute_spec(
     from repro.core.api import build_system
 
     system = build_system(spec)
+    if spec.faults or spec.lifecycle:
+        # The chaos tier sits above core; the lazy import is the
+        # sanctioned upward reference, paid only on faulted runs.
+        from repro.chaos.inject import install_chaos
+
+        install_chaos(system, spec)
     if profiler is not None:
         system.sim.attach_profiler(profiler)
     elif profile:
@@ -154,6 +160,10 @@ class RunResult:
     histograms: dict = field(default_factory=dict)
     trace_count: int = 0
     notes: tuple[str, ...] = ()
+    # Chaos facts (fault windows applied, lifecycle transitions and
+    # recovery) — empty, and omitted from to_dict, on chaos-free runs so
+    # their serializations are unchanged by the tier's existence.
+    chaos: dict = field(default_factory=dict)
     wall_ns: int = 0
 
     @property
@@ -169,6 +179,18 @@ class RunResult:
             for name, value in self.counters.items()
             if "drop" in name and value
         }
+
+    @property
+    def recovery_ns(self) -> int | None:
+        """Time-to-READY after degradation: the chaos tier's headline.
+
+        Total simulated time the firm stack spent DEGRADED before
+        recovering; ``None`` when the run had no lifecycle machinery.
+        """
+        lifecycle = self.chaos.get("lifecycle")
+        if lifecycle is None:
+            return None
+        return lifecycle.get("recovery_ns")
 
     @property
     def backlog_high_watermarks(self) -> dict:
@@ -196,6 +218,8 @@ class RunResult:
             "trace_count": self.trace_count,
             "notes": list(self.notes),
         }
+        if self.chaos:
+            out["chaos"] = dict(self.chaos)
         if not deterministic:
             out["wall_ns"] = self.wall_ns
         return out
@@ -216,6 +240,7 @@ class RunResult:
             histograms=dict(raw.get("histograms", {})),
             trace_count=raw.get("trace_count", 0),
             notes=tuple(raw.get("notes", ())),
+            chaos=dict(raw.get("chaos", {})),
             wall_ns=raw.get("wall_ns", 0),
         )
 
@@ -281,6 +306,9 @@ def summarize_run(executed: ExecutedRun) -> RunResult:
             # the instrument summary fields.
             histograms[name] = LogLinearHistogram.to_dict(hist)
 
+    controller = getattr(system.sim, "chaos", None)
+    chaos = controller.summary() if controller is not None else {}
+
     return RunResult(
         spec=spec,
         events_executed=system.sim.events_executed,
@@ -291,6 +319,7 @@ def summarize_run(executed: ExecutedRun) -> RunResult:
         histograms=histograms,
         trace_count=trace_count,
         notes=tuple(notes),
+        chaos=chaos,
         wall_ns=executed.wall_ns,
     )
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.api import deprecated_builder, register_builder
+from repro.core.api import register_builder
 from repro.exchange.exchange import Exchange
 from repro.exchange.publisher import alphabetical_scheme, hashed_scheme
 from repro.firm.gateway import OrderGateway
@@ -393,10 +393,3 @@ def _design3_from_spec(spec) -> TradingSystem:
         telemetry=spec.telemetry,
     )
 
-
-build_design1_system = deprecated_builder(
-    "build_design1_system", "design1", _build_design1
-)
-build_design3_system = deprecated_builder(
-    "build_design3_system", "design3", _build_design3
-)

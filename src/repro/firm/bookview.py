@@ -21,7 +21,7 @@ from repro.firm.normalizer import Normalizer
 from repro.net.addressing import EndpointAddress
 from repro.net.nic import Nic
 from repro.net.packet import Packet
-from repro.protocols.headers import frame_bytes_tcp
+from repro.net.headers import frame_bytes_tcp
 from repro.sim.kernel import Simulator
 from repro.sim.process import Component
 

@@ -76,6 +76,10 @@ class FeedHandler(Component):
         # across arbiters — the gap-fill queue depth.
         self._payloads_series = f"feed.{name}.payloads"
         self._backlog_series = f"feed.{name}.arbiter_backlog"
+        # Optional lifecycle machine (repro.firm.lifecycle), wired by the
+        # chaos tier: observes every packet's gap state so WARMING/READY/
+        # DEGRADED transitions happen on the packet that caused them.
+        self.lifecycle = None
         nic.bind(self._on_packet)
 
     def subscribe(
@@ -139,6 +143,9 @@ class FeedHandler(Component):
             self.current_trace = None
         if telemetry is not None:
             telemetry.gauge_set(self._backlog_series, self.now, arbiter.buffered)
+        lifecycle = self.lifecycle
+        if lifecycle is not None:
+            lifecycle.on_feed(self.now, arbiter.gap is not None)
 
     # lint: hot-ok(no-alloc-on-hot-path) — pooling is a ROADMAP item
     def gaps(self) -> dict[MulticastGroup, tuple[int, int]]:

@@ -27,7 +27,7 @@ from repro.protocols.boe import (
     CancelAck,
     CancelReject,
 )
-from repro.protocols.headers import frame_bytes_tcp
+from repro.net.headers import frame_bytes_tcp
 from repro.sim.kernel import Simulator
 from repro.sim.process import Component
 

@@ -1,0 +1,152 @@
+"""The firm-stack lifecycle state machine the chaos tier drives.
+
+Production trading stacks are explicit about *operational state*: a feed
+handler that has not yet seen data is warming, one sitting on a
+sequence gap is degraded, and the interesting number after an incident
+is how long it took to get back to ready. This module makes those
+states first-class:
+
+    WARMING ──▶ READY ──▶ DEGRADED ──▶ RECOVERED
+        │                     ▲            │
+        └─────────────────────┘◀───────────┘
+
+* ``WARMING → READY`` on the first in-sequence message;
+* ``→ DEGRADED`` whenever the attached
+  :class:`~repro.firm.feedhandler.FeedHandler` reports an open
+  sequence gap (from any state that was not already degraded);
+* ``DEGRADED → RECOVERED`` when the gap closes — either the redundant
+  leg fills it, or the machine's *watchdog* gives up after
+  ``grace_ns`` and declares the loss so the stack can move on.
+
+Every transition is timestamped on the simulation clock, so
+``recovery_ns`` (total time spent DEGRADED) is deterministic and
+comparable across designs — the chaos scenarios' headline metric.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import MILLISECOND
+from repro.sim.process import Component
+
+WARMING = "WARMING"
+READY = "READY"
+DEGRADED = "DEGRADED"
+RECOVERED = "RECOVERED"
+
+# The legal edges; the property tests assert observed transition
+# sequences stay inside this relation.
+TRANSITIONS = {
+    WARMING: (READY, DEGRADED),
+    READY: (DEGRADED,),
+    DEGRADED: (RECOVERED,),
+    RECOVERED: (DEGRADED,),
+}
+
+# How long a gap may stay open before the watchdog declares the loss
+# and forces recovery. One millisecond is several retransmission RTOs
+# and far beyond any redundant-leg fill.
+DEFAULT_GRACE_NS = 1 * MILLISECOND
+
+
+class FirmLifecycle(Component):
+    """One feed handler's operational state, with a recovery watchdog."""
+
+    def __init__(self, sim, name: str, handler, grace_ns: int = DEFAULT_GRACE_NS):
+        super().__init__(sim, name)
+        self.handler = handler
+        self.grace_ns = int(grace_ns)
+        self.state = WARMING
+        self.transitions: list[tuple[str, int]] = [(WARMING, sim.now)]
+        self.ready_after_ns: int | None = None
+        self.recovery_ns = 0
+        self.degraded_windows = 0
+        self._degraded_at = 0
+
+    @property
+    def ready(self) -> bool:
+        return self.state == READY or self.state == RECOVERED
+
+    @property
+    def order_safe(self) -> bool:
+        """Orders may leave the host: the stack is not sitting on a gap."""
+        return self.state != DEGRADED
+
+    # -- feed-driven transitions (called from the handler's hot path) --------
+
+    def on_feed(self, now: int, gap_open: bool) -> None:
+        state = self.state
+        if gap_open:
+            if state != DEGRADED:
+                self._enter(DEGRADED, now)
+            return
+        if state == WARMING:
+            self._enter(READY, now)
+        elif state == DEGRADED and not self.handler.gaps():
+            # This arbiter is whole again; recover only once *no* arbiter
+            # on the handler still has an open gap.
+            self._enter(RECOVERED, now)
+
+    def _enter(self, state: str, now: int) -> None:
+        prev = self.state
+        self.state = state
+        self.transitions.append((state, now))
+        if state == DEGRADED:
+            self.degraded_windows += 1
+            self._degraded_at = now
+            self.sim.schedule_after(self.grace_ns, self._watchdog, (now,))
+        elif state == READY:
+            self.ready_after_ns = now
+        elif state == RECOVERED and prev == DEGRADED:
+            self.recovery_ns += now - self._degraded_at
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.count("lifecycle.transitions", now)
+
+    def _watchdog(self, degraded_at: int) -> None:
+        """Give up on gaps that outlived the grace window.
+
+        Declaring the loss flushes whatever the arbiters buffered past
+        the gap, which is what turns a stall into a *recovery* — the
+        stack trades again on a known-incomplete book rather than
+        waiting forever.
+        """
+        if self.state != DEGRADED or self._degraded_at != degraded_at:
+            return  # recovered (or re-degraded) in the meantime
+        for group in sorted(self.handler.gaps(), key=str):
+            self.handler.declare_loss(group)
+        if not self.handler.gaps():
+            self._enter(RECOVERED, self.now)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Plain-data view: state, timestamped transitions, recovery."""
+        return {
+            "state": self.state,
+            "transitions": [[state, t] for state, t in self.transitions],
+            "ready_after_ns": self.ready_after_ns,
+            "recovery_ns": self.recovery_ns,
+            "degraded_windows": self.degraded_windows,
+        }
+
+
+class FleetView:
+    """The firm-wide order gate over several lifecycle machines.
+
+    A :class:`~repro.firm.managed.ManagedStrategy` should stop releasing
+    orders while *any* of the firm's feed stacks is degraded — trading
+    on a book known to have holes is exactly what §4.2's compliance
+    machinery exists to prevent.
+    """
+
+    __slots__ = ("machines",)
+
+    def __init__(self, machines):
+        self.machines = tuple(machines)
+
+    @property
+    def order_safe(self) -> bool:
+        for machine in self.machines:
+            if machine.state == DEGRADED:
+                return False
+        return True

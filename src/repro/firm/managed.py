@@ -30,6 +30,7 @@ class ManagedStats:
     orders_proposed: int = 0
     orders_released: int = 0
     orders_blocked: int = 0
+    lifecycle_holds: int = 0  # orders held while the feed stack was DEGRADED
     blocks_by_verdict: dict = field(default_factory=dict)
 
     def record_block(self, verdict: RiskVerdict) -> None:
@@ -73,6 +74,10 @@ class ManagedStrategy(Strategy):
             firm_gross_limit=firm_gross_limit,
         )
         self.managed_stats = ManagedStats()
+        # Optional firm lifecycle gate (repro.firm.lifecycle), wired by
+        # the chaos tier: while any feed stack is DEGRADED, proposed
+        # orders are held rather than released on a known-incomplete book.
+        self.lifecycle = None
         # The inner strategy is instantiated decoupled from the network —
         # it gets inert stub NICs and only contributes decision logic
         # through on_update.
@@ -93,6 +98,12 @@ class ManagedStrategy(Strategy):
         # ...then the alpha logic sees it.
         proposed = self._inner.on_update(update) or []
         released: list[InternalOrder] = []
+        lifecycle = self.lifecycle
+        if lifecycle is not None and not lifecycle.order_safe:
+            for _order in proposed:
+                self.managed_stats.orders_proposed += 1
+                self.managed_stats.lifecycle_holds += 1
+            return released
         for order in proposed:
             self.managed_stats.orders_proposed += 1
             verdict = self.checker.check(order)

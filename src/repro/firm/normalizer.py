@@ -28,7 +28,7 @@ from repro.net.addressing import MulticastGroup
 from repro.net.nic import Nic
 from repro.net.packet import Packet
 from repro.exchange.publisher import PartitionScheme
-from repro.protocols.headers import frame_bytes_udp
+from repro.net.headers import frame_bytes_udp
 from repro.protocols.itf import ItfCodec, NormalizedUpdate
 from repro.protocols.pitch import (
     AddOrder,

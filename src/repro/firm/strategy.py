@@ -21,7 +21,7 @@ from repro.net.multicast import MulticastFabric
 from repro.net.nic import Nic
 from repro.net.packet import Packet
 from repro.protocols.boe import OrderFill
-from repro.protocols.headers import frame_bytes_tcp
+from repro.net.headers import frame_bytes_tcp
 from repro.protocols.itf import ItfCodec, NormalizedUpdate
 from repro.sim.kernel import Simulator
 from repro.sim.process import Component

@@ -5,9 +5,8 @@
 second, undiscoverable way to stand up a testbed (exactly how the
 multi-venue and tick-to-trade builders drifted out of the facade before
 this rule landed). A builder counts as registered when it is decorated
-with ``@register_builder`` itself, when a ``@register_builder``-decorated
-adapter in the same module calls it, or when it is a
-``deprecated_builder(...)`` compatibility shim.
+with ``@register_builder`` itself, or when a
+``@register_builder``-decorated adapter in the same module calls it.
 """
 
 from __future__ import annotations
@@ -50,7 +49,6 @@ class BuilderRegistry(Rule):
     def check(self, module) -> Iterator[Finding]:
         builders: list[ast.FunctionDef] = []
         adapter_refs: set[str] = set()
-        shim_names: set[str] = set()
         for node in module.tree.body:
             if isinstance(node, ast.FunctionDef):
                 names = [_decorator_name(d) for d in node.decorator_list]
@@ -58,18 +56,8 @@ class BuilderRegistry(Rule):
                     adapter_refs |= _referenced_names(node)
                 elif fnmatch.fnmatch(node.name, _BUILDER_PATTERN):
                     builders.append(node)
-            elif isinstance(node, ast.Assign):
-                # build_foo_system = deprecated_builder("...", design, impl)
-                value = node.value
-                if (
-                    isinstance(value, ast.Call)
-                    and _decorator_name(value.func) == "deprecated_builder"
-                ):
-                    for target in node.targets:
-                        if isinstance(target, ast.Name):
-                            shim_names.add(target.id)
         for builder in builders:
-            if builder.name in adapter_refs or builder.name in shim_names:
+            if builder.name in adapter_refs:
                 continue
             yield self.finding(
                 module,

@@ -1,5 +1,4 @@
-"""Import-boundary rules: private names stay inside their module, and
-deprecated entry points stay out of in-tree code.
+"""Import-boundary rules: private names stay inside their module.
 
 The private-import rule migrated from the original ad-hoc
 ``tests/test_no_private_cross_imports`` AST walk — this is the
@@ -8,14 +7,10 @@ rule. The motivating incident: ``_momentum_strategies`` leaked from the
 testbed into three other builders before being promoted to a public
 name.
 
-The deprecated-entry-point rule keeps migrations migrated: once in-tree
-callers move from the legacy ``build_*_system`` builders onto
-:func:`repro.core.build_system` (and from ``repro.firm.strategies`` to
-``repro.firm.strategy``), nothing may quietly drift back. The shims
-themselves remain importable for downstream code; only this tree is
-held to the new surface. ``tests/test_no_deprecated_entry_points.py``
-additionally runs this rule over tests/, benchmarks/ and examples/,
-which the default ``src/``-rooted lint scan does not cover.
+A deprecated-entry-point rule used to live here as well, policing the
+PR-1 compatibility shims; the shims were deleted outright (failed
+imports now raise with a migration message from the owning package), so
+the rule retired with them.
 """
 
 from __future__ import annotations
@@ -72,90 +67,3 @@ class NoCrossModulePrivateImport(Rule):
                         "wrapper",
                     )
 
-
-# The legacy construction surface: the per-design ``build_*_system``
-# shims and the ``repro.firm.strategies`` module rename are kept
-# importable (with a DeprecationWarning) for downstream source
-# compatibility, but in-tree code must construct through
-# ``repro.core.build_system()`` and import ``repro.firm.strategy``.
-_DEPRECATED_BUILDERS = frozenset(
-    {
-        "build_design1_system",
-        "build_design2_system",
-        "build_design3_system",
-        "build_design4_system",
-        "build_cross_colo_system",
-    }
-)
-_DEPRECATED_MODULES = frozenset({"repro.firm.strategies"})
-# The modules that define the shims, and the package __init__ that
-# re-exports them as the public compatibility surface: they are the
-# deprecation machinery, not callers of it.
-_SHIM_SURFACE = frozenset(
-    {
-        "repro.core",
-        "repro.core.testbed",
-        "repro.core.testbed4",
-        "repro.core.cloud",
-        "repro.core.wan_testbed",
-        "repro.firm.strategies",
-    }
-)
-
-
-@register_rule
-class NoDeprecatedEntryPoint(Rule):
-    """In-tree code must not import the deprecated construction shims."""
-
-    rule_id = "no-deprecated-entry-point"
-    description = (
-        "in-tree code must use build_system() / repro.firm.strategy, never "
-        "the deprecated build_*_system shims or repro.firm.strategies"
-    )
-
-    def check(self, module) -> Iterator[Finding]:
-        # A repo-root scan (the tree-wide gate test) derives module names
-        # with a leading "src." segment; the shim surface is the same
-        # modules either way.
-        if module.name.removeprefix("src.") in _SHIM_SURFACE:
-            return
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name in _DEPRECATED_MODULES:
-                        yield self.finding(
-                            module,
-                            node,
-                            f"import {alias.name}: deprecated module; import "
-                            "repro.firm.strategy instead",
-                        )
-            elif isinstance(node, ast.ImportFrom):
-                source = _import_source(module, node)
-                if not source.startswith("repro"):
-                    continue
-                if source in _DEPRECATED_MODULES:
-                    yield self.finding(
-                        module,
-                        node,
-                        f"from {source} import ...: deprecated module; "
-                        "import repro.firm.strategy instead",
-                    )
-                    continue
-                for alias in node.names:
-                    if alias.name in _DEPRECATED_BUILDERS:
-                        yield self.finding(
-                            module,
-                            node,
-                            f"from {source} import {alias.name}: deprecated "
-                            "builder; construct through "
-                            "repro.core.build_system()",
-                        )
-                    elif (
-                        source == "repro.firm" and alias.name == "strategies"
-                    ):
-                        yield self.finding(
-                            module,
-                            node,
-                            "from repro.firm import strategies: deprecated "
-                            "module; import repro.firm.strategy instead",
-                        )

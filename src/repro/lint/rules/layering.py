@@ -59,6 +59,7 @@ PACKAGE_DAG: dict[str, frozenset[str]] = {
     "analysis": frozenset(
         {"sim", "protocols", "firm", "timing", "workload", "telemetry", "core"}
     ),
+    "chaos": frozenset({"sim", "net", "protocols", "firm", "telemetry", "core"}),
     "sweep": frozenset({"sim", "workload", "mgmt", "core", "telemetry"}),
     "lint": frozenset(),
 }

@@ -31,6 +31,7 @@ class NicStats:
     packets_received: int = 0
     packets_delivered: int = 0
     packets_filtered: int = 0
+    packets_chaos_dropped: int = 0
     packets_sent: int = 0
     send_failures: int = 0
     bytes_received: int = 0
@@ -67,6 +68,15 @@ class Nic(Component):
         # application delivery — the NIC's rx ring occupancy.
         self._rx_inflight_series = f"nic.{name}.rx_inflight"
         self._send_failures_series = f"nic.{name}.send_failures"
+        self._chaos_drops_series = f"nic.{name}.chaos_drops"
+        # Receive-side fault injection (repro.chaos): probability a
+        # delivered-to-us frame is dropped, read per packet so the chaos
+        # controller can open/close drop windows mid-run. The loss draw
+        # rides a named substream, like Link's wire loss, so faulted
+        # runs stay deterministic.
+        self.chaos_drop_prob = 0.0
+        self._chaos_rng = None
+        self._chaos_stream_name = f"chaos.nic.{name}"
         self._rx_stamp = f"nic.rx.{name}"
         self._tx_stamp = f"nic.tx.{name}"
         self._trace_point = f"nic.{name}"
@@ -104,6 +114,16 @@ class Nic(Component):
         if not self._accepts(packet):
             self.stats.packets_filtered += 1
             return
+        if self.chaos_drop_prob > 0.0:
+            rng = self._chaos_rng
+            if rng is None:
+                rng = self._chaos_rng = self.sim.rng.stream(self._chaos_stream_name)
+            if rng.random() < self.chaos_drop_prob:
+                self.stats.packets_chaos_dropped += 1
+                telemetry = self.sim.telemetry
+                if telemetry is not None:
+                    telemetry.count(self._chaos_drops_series, self.now)
+                return
         packet.stamp(self._rx_stamp, self.now)
         if packet.trace is not None:
             packet.trace.record(self._rx_stamp, "wire", self.now)

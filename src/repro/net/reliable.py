@@ -29,11 +29,16 @@ DEFAULT_RTO_NS = 200 * MICROSECOND
 MAX_RETRIES = 8
 PURE_ACK_BYTES = 0  # payload bytes of an ACK-only frame
 
+# A retransmit that fires while this many messages sit unacked is part of
+# a *storm* (a gap-replay burst), not an isolated tail-drop recovery.
+STORM_IN_FLIGHT = 4
+
 
 @dataclass
 class ReliableStats:
     sent: int = 0
     retransmits: int = 0
+    storm_retransmits: int = 0  # retransmits fired with >= STORM_IN_FLIGHT unacked
     delivered: int = 0
     duplicates: int = 0
     pure_acks: int = 0
@@ -144,9 +149,18 @@ class ReliableChannel(Component):
             return
         entry.retries += 1
         self.stats.retransmits += 1
+        in_flight = len(self._outstanding)
+        storm = in_flight >= STORM_IN_FLIGHT
+        if storm:
+            self.stats.storm_retransmits += 1
         telemetry = self.sim.telemetry
         if telemetry is not None:
             telemetry.count(self._retransmits_series, self.now)
+            # Re-gauge during replay so the storm's in-flight plateau (and
+            # its high watermark) is visible even with no sends landing.
+            telemetry.gauge_set(self._inflight_series, self.now, in_flight)
+            if storm:
+                telemetry.count("reliable.storm_retransmits", self.now)
         self._transmit(entry)
 
     @property

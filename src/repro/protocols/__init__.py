@@ -8,10 +8,11 @@ encoding rather than assumed sizes, and the §5 header-overhead arithmetic
 (40 B of network headers = 25–40% of bytes sent) is measured, not assumed.
 """
 
-from repro.protocols.headers import (
+from repro.net.headers import (
     ETHERNET_HEADER_BYTES,
     ETHERNET_FCS_BYTES,
     IPV4_HEADER_BYTES,
+    MIN_FRAME_BYTES,
     TCP_HEADER_BYTES,
     UDP_HEADER_BYTES,
     UDP_STACK_OVERHEAD_BYTES,
@@ -91,8 +92,19 @@ __all__ = [
     "ETHERNET_HEADER_BYTES",
     "ETHERNET_FCS_BYTES",
     "IPV4_HEADER_BYTES",
+    "MIN_FRAME_BYTES",
     "TCP_HEADER_BYTES",
     "UDP_HEADER_BYTES",
     "UDP_STACK_OVERHEAD_BYTES",
     "TCP_STACK_OVERHEAD_BYTES",
 ]
+
+
+def __getattr__(name: str):
+    if name == "headers":
+        raise ImportError(
+            "repro.protocols.headers was removed; the header arithmetic "
+            "lives in repro.net.headers (frame overhead is a property of "
+            "the wire, not of any protocol)"
+        )
+    raise AttributeError(f"module 'repro.protocols' has no attribute {name!r}")

@@ -29,7 +29,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.protocols.headers import (
+from repro.net.headers import (
     ETHERNET_FCS_BYTES,
     UDP_STACK_OVERHEAD_BYTES,
     wire_time_ns,

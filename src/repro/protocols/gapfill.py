@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 from repro.net.addressing import EndpointAddress
 from repro.net.nic import Nic
 from repro.net.packet import Packet
-from repro.protocols.headers import frame_bytes_tcp, frame_bytes_udp
+from repro.net.headers import frame_bytes_tcp, frame_bytes_udp
 from repro.protocols.pitch import PitchMessage, encode_messages
 from repro.sim.kernel import MICROSECOND, Simulator
 from repro.sim.process import Component

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.protocols.headers import UDP_STACK_OVERHEAD_BYTES, MIN_FRAME_BYTES
+from repro.protocols import MIN_FRAME_BYTES, UDP_STACK_OVERHEAD_BYTES
 from repro.protocols.pitch import (
     AddOrder,
     DeleteOrder,

@@ -1,6 +1,6 @@
 """GOOD: builders are facade-reachable via @register_builder."""
 
-from repro.core.api import deprecated_builder, register_builder
+from repro.core.api import register_builder
 
 
 @register_builder("design1")
@@ -15,8 +15,3 @@ def build_adapted_system(seed: int = 1):  # reached through the adapter
 @register_builder("design2")
 def _adapted_from_spec(spec):
     return build_adapted_system(seed=spec.seed)
-
-
-build_legacy_system = deprecated_builder(
-    "build_legacy_system", "design2", build_adapted_system
-)

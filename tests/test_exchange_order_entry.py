@@ -18,7 +18,7 @@ from repro.protocols.boe import (
     OrderReject,
     OrderState,
 )
-from repro.protocols.headers import frame_bytes_tcp
+from repro.net.headers import frame_bytes_tcp
 from repro.sim.kernel import Simulator
 
 

@@ -86,7 +86,7 @@ def test_list_rules(capsys):
     assert "unit-suffix" in out and "builder-registry" in out
     assert "no-alloc-on-hot-path" in out
     assert "unit-mismatch-call" in out and "layering" in out
-    assert len(out.strip().splitlines()) == 22
+    assert len(out.strip().splitlines()) == 21
 
 
 def test_graph_dump(capsys):

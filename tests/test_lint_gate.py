@@ -34,7 +34,6 @@ def test_rule_registry_is_complete():
         "layering",
         "no-alloc-on-hot-path",
         "no-cross-module-private-import",
-        "no-deprecated-entry-point",
         "no-float-time-equality",
         "no-global-random",
         "no-global-random-on-hot-path",

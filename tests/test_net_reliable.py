@@ -6,7 +6,12 @@ from repro.exchange.colo import default_nj_metro
 from repro.net.addressing import EndpointAddress
 from repro.net.link import Link
 from repro.net.nic import Nic
-from repro.net.reliable import MAX_RETRIES, ReliableChannel, connect
+from repro.net.reliable import (
+    MAX_RETRIES,
+    STORM_IN_FLIGHT,
+    ReliableChannel,
+    connect,
+)
 from repro.sim.kernel import MICROSECOND, MILLISECOND, Simulator
 
 
@@ -148,3 +153,39 @@ def test_pure_acks_do_not_deliver():
     assert got_b == ["only-one"]
     assert got_a == []  # the ACK back to A carries no message
     assert a.stats.pure_acks >= 1
+
+
+def test_storm_retransmits_count_timeouts_with_a_full_window():
+    """A blackout with >= STORM_IN_FLIGHT unacked frames is a *storm*:
+    every timeout in that state bumps the dedicated counter (and the
+    chaos scenarios' storm metric rides it)."""
+    sim = Simulator(seed=1)
+    nic_a = Nic(sim, "nic.a", EndpointAddress("a", "o"))
+    nic_b = Nic(sim, "nic.b", EndpointAddress("b", "o"))
+    link = Link(sim, "dead", nic_a, nic_b, loss_prob=1.0)
+    nic_a.attach(link)
+    nic_b.attach(link)
+    channel = ReliableChannel(
+        sim, "rel", nic_a, nic_b.address, rto_ns=50 * MICROSECOND,
+    )
+    for i in range(STORM_IN_FLIGHT):
+        channel.send(("m", i))
+    sim.run_until_idle()
+    assert channel.stats.storm_retransmits > 0
+    assert channel.stats.storm_retransmits <= channel.stats.retransmits
+
+
+def test_single_frame_blackout_is_not_a_storm():
+    sim = Simulator(seed=1)
+    nic_a = Nic(sim, "nic.a", EndpointAddress("a", "o"))
+    nic_b = Nic(sim, "nic.b", EndpointAddress("b", "o"))
+    link = Link(sim, "dead", nic_a, nic_b, loss_prob=1.0)
+    nic_a.attach(link)
+    nic_b.attach(link)
+    channel = ReliableChannel(
+        sim, "rel", nic_a, nic_b.address, rto_ns=50 * MICROSECOND,
+    )
+    channel.send("lonely")
+    sim.run_until_idle()
+    assert channel.stats.retransmits == MAX_RETRIES
+    assert channel.stats.storm_retransmits == 0

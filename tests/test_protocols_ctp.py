@@ -15,7 +15,7 @@ from repro.protocols.ctp import (
     peek_header,
     symbol_class_bit,
 )
-from repro.protocols.headers import UDP_STACK_OVERHEAD_BYTES
+from repro.net.headers import UDP_STACK_OVERHEAD_BYTES
 
 
 def test_header_is_twelve_bytes():
@@ -72,7 +72,7 @@ def test_frame_bytes_with_runt_padding():
     assert frame_bytes_ctp(0) == 64
     assert frame_bytes_ctp(100) == 116
     # The same payload under UDP costs 30 B more on the wire.
-    from repro.protocols.headers import frame_bytes_udp
+    from repro.net.headers import frame_bytes_udp
 
     assert frame_bytes_udp(100) - frame_bytes_ctp(100) == 30
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.protocols.headers import (
+from repro.net.headers import (
     ETHERNET_FCS_BYTES,
     ETHERNET_HEADER_BYTES,
     IPV4_HEADER_BYTES,

@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro scenario`` command."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.chaos.scenarios import scenario_names
+
+
+def test_bare_command_lists_the_catalog(capsys):
+    assert main(["scenario"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_list_flag_lists_the_catalog(capsys):
+    assert main(["scenario", "--list"]) == 0
+    assert "cold-start" in capsys.readouterr().out
+
+
+def test_unknown_scenario_exits_2_with_a_suggestion(capsys):
+    assert main(["scenario", "feed-gap-strom"]) == 2
+    out = capsys.readouterr().out
+    assert "feed-gap-storm" in out
+
+
+def test_cold_start_text_rendering(capsys):
+    assert main(["scenario", "cold-start"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario cold-start" in out
+    assert "lifecycle:" in out
+    assert "READY" in out
+    assert "recovery: 0.000ms" in out
+
+
+def test_json_rendering_is_an_envelope_over_the_run_result(capsys):
+    assert main(["scenario", "cold-start", "--format", "json"]) == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["scenario"] == "cold-start"
+    result = envelope["result"]
+    assert result["spec"]["lifecycle"] is True
+    assert "lifecycle" in result["chaos"]
+
+
+def test_check_flag_runs_twice_and_confirms_determinism(capsys):
+    assert main(
+        ["scenario", "cold-start", "--format", "json", "--check"]
+    ) == 0
+    assert "deterministic" in capsys.readouterr().out
+
+
+def test_seed_override_changes_the_run(capsys):
+    assert main(["scenario", "cold-start", "--seed", "11"]) == 0
+    first = capsys.readouterr().out
+    assert main(["scenario", "cold-start", "--seed", "11"]) == 0
+    assert capsys.readouterr().out == first  # still deterministic per seed
+
+
+def test_spec_file_runs_as_an_ad_hoc_scenario(tmp_path, capsys):
+    path = tmp_path / "chaos.json"
+    path.write_text(json.dumps({
+        "design": "design1", "seed": 3, "run_ns": 2_000_000,
+        "telemetry": True, "lifecycle": True,
+        "faults": [
+            {"kind": "switch_fail", "target": "spine0",
+             "at_ns": 500_000, "duration_ns": 500_000},
+        ],
+    }))
+    assert main(["scenario", "--spec", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "switch_fail spine0" in out
+    assert "(applied)" in out
+
+
+def test_spec_file_with_bad_target_exits_2_naming_devices(tmp_path, capsys):
+    path = tmp_path / "chaos.json"
+    path.write_text(json.dumps({
+        "design": "design1", "seed": 3, "run_ns": 2_000_000,
+        "lifecycle": True,
+        "faults": [
+            {"kind": "switch_fail", "target": "no-such-switch",
+             "at_ns": 0, "duration_ns": 1},
+        ],
+    }))
+    assert main(["scenario", "--spec", str(path)]) == 2
+    out = capsys.readouterr().out
+    assert "no-such-switch" in out
+    assert "spine0" in out  # the error lists what it does know

@@ -117,3 +117,18 @@ def test_report_tail_json_is_deterministic_and_complete(capsys):
     assert doc["dominant_hop"]
     assert doc["roundtrip"]["count"] > 0
     assert doc["span_tails"] and doc["exemplars"]
+
+def test_tail_report_includes_lifecycle_only_when_armed():
+    plain = build_tail_report(design="design1", seed=7, run_ns=5 * MILLISECOND)
+    assert plain.lifecycle == {}
+    assert "lifecycle" not in plain.to_dict()
+    assert "firm lifecycle:" not in render_tail_report(plain)
+
+    armed = build_tail_report(
+        design="design1", seed=7, run_ns=5 * MILLISECOND, lifecycle=True
+    )
+    assert armed.lifecycle["machines"]
+    assert armed.to_dict()["lifecycle"] == armed.lifecycle
+    text = render_tail_report(armed)
+    assert "firm lifecycle:" in text
+    assert "recovery to READY:" in text
